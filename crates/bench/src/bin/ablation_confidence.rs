@@ -1,0 +1,95 @@
+//! Ablation: detection confidence level.
+//!
+//! The paper selects 99.5 % likelihood for its thresholds. This bench
+//! sweeps the confidence and reports the false-alarm rate under a stable
+//! rate against the detection latency after a real step — the classic
+//! ROC trade-off the 99.5 % point sits on.
+
+use detect::changepoint::{ChangePointConfig, ChangePointDetector};
+use detect::estimator::RateEstimator;
+use serde::Serialize;
+use simcore::dist::{Exponential, Sample};
+use simcore::rng::SimRng;
+
+#[derive(Serialize)]
+struct Row {
+    confidence: f64,
+    false_alarms_per_1k: f64,
+    mean_latency_frames: f64,
+    missed: usize,
+}
+
+fn main() {
+    bench::header("Ablation", "detection confidence (false alarms vs latency)");
+    let confidences = [0.90, 0.95, 0.99, 0.995, 0.999];
+    let trials = 60;
+    println!(
+        "{:>11} {:>18} {:>16} {:>8}",
+        "confidence", "false alarms /1k", "latency (frames)", "missed"
+    );
+    let mut rows = Vec::new();
+    for &confidence in &confidences {
+        let config = ChangePointConfig {
+            confidence,
+            calibration_trials: 2000,
+            ..ChangePointConfig::default()
+        };
+        let template =
+            ChangePointDetector::new(20.0, config.clone()).expect("valid ablation config");
+        let table = template.table().clone();
+        let flat = Exponential::new(20.0).expect("static rate");
+        let fast = Exponential::new(60.0).expect("static rate");
+
+        let mut false_alarms = 0usize;
+        let mut flat_samples = 0usize;
+        let mut latencies = Vec::new();
+        let mut missed = 0usize;
+        for trial in 0..trials {
+            let mut rng = SimRng::seed_from(bench::EXPERIMENT_SEED).fork_indexed(
+                "ablation-confidence",
+                (trial as u64) * 1000 + (confidence * 1000.0) as u64,
+            );
+            let mut det =
+                ChangePointDetector::with_table(20.0, table.clone(), config.check_interval)
+                    .expect("valid detector");
+            for _ in 0..500 {
+                if det.observe(flat.sample(&mut rng)).is_some() {
+                    false_alarms += 1;
+                    det.reset(20.0);
+                }
+                flat_samples += 1;
+            }
+            det.reset(20.0);
+            for _ in 0..200 {
+                det.observe(flat.sample(&mut rng));
+            }
+            let mut found = false;
+            for i in 0..600 {
+                if det.observe(fast.sample(&mut rng)).is_some() {
+                    latencies.push(i as f64);
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                missed += 1;
+            }
+        }
+        let fa = 1000.0 * false_alarms as f64 / flat_samples as f64;
+        let latency = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
+        println!("{confidence:>11.3} {fa:>18.2} {latency:>16.1} {missed:>8}");
+        rows.push(Row {
+            confidence,
+            false_alarms_per_1k: fa,
+            mean_latency_frames: latency,
+            missed,
+        });
+    }
+    println!("\nExpected: false alarms fall monotonically with confidence while the");
+    println!("post-step detection latency stays in the same ballpark (spurious early");
+    println!("resets at low confidence can even slow real detections down) — the");
+    println!("paper's 99.5 % point buys near-zero false alarms essentially for free.");
+    if let Some(path) = bench::json_path_from_args() {
+        bench::write_json(&path, &rows);
+    }
+}

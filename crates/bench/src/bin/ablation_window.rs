@@ -1,0 +1,105 @@
+//! Ablation: detection window size `m`.
+//!
+//! The paper: "We found that a window of m = 100 is large enough. Larger
+//! windows will cause longer execution times, while much shorter windows
+//! do not contain statistically large enough sample and thus give
+//! unstable results." This bench quantifies that trade-off: detection
+//! latency and false-alarm rate for a 10 → 60 fr/s step across window
+//! sizes.
+
+use detect::changepoint::{ChangePointConfig, ChangePointDetector};
+use detect::estimator::RateEstimator;
+use serde::Serialize;
+use simcore::dist::{Exponential, Sample};
+use simcore::rng::SimRng;
+
+#[derive(Serialize)]
+struct Row {
+    window: usize,
+    mean_latency_frames: f64,
+    missed: usize,
+    false_alarms_per_1k: f64,
+    rate_error_pct: f64,
+}
+
+fn main() {
+    bench::header("Ablation", "change-point window size m (step 10 → 60 fr/s)");
+    let windows = [20usize, 50, 100, 200];
+    let trials = 60;
+    println!(
+        "{:>7} {:>16} {:>8} {:>18} {:>14}",
+        "m", "latency (frames)", "missed", "false alarms /1k", "rate err (%)"
+    );
+    let mut rows = Vec::new();
+    for &window in &windows {
+        let config = ChangePointConfig {
+            window,
+            check_interval: (window / 10).max(1),
+            k_step: (window / 10).max(1),
+            calibration_trials: 1000,
+            ..ChangePointConfig::default()
+        };
+        // Build once and clone the calibrated table per trial.
+        let template =
+            ChangePointDetector::new(10.0, config.clone()).expect("ablation config is valid");
+        let table = template.table().clone();
+        let slow = Exponential::new(10.0).expect("static rate");
+        let fast = Exponential::new(60.0).expect("static rate");
+
+        let mut latencies = Vec::new();
+        let mut missed = 0usize;
+        let mut false_alarms = 0usize;
+        let mut flat_samples = 0usize;
+        let mut rate_errors = Vec::new();
+        for trial in 0..trials {
+            let mut rng = SimRng::seed_from(bench::EXPERIMENT_SEED)
+                .fork_indexed("ablation-window", (window * 1000 + trial) as u64);
+            let mut det =
+                ChangePointDetector::with_table(10.0, table.clone(), config.check_interval)
+                    .expect("valid detector");
+            // Flat phase: count false alarms.
+            for _ in 0..600 {
+                if det.observe(slow.sample(&mut rng)).is_some() {
+                    false_alarms += 1;
+                    det.reset(10.0);
+                }
+                flat_samples += 1;
+            }
+            det.reset(10.0);
+            for _ in 0..2 * window {
+                det.observe(slow.sample(&mut rng));
+            }
+            // Step phase: measure latency.
+            let mut found = false;
+            for i in 0..600 {
+                if det.observe(fast.sample(&mut rng)).is_some() {
+                    latencies.push(i as f64);
+                    rate_errors.push((det.current_rate() - 60.0).abs() / 60.0);
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                missed += 1;
+            }
+        }
+        let mean_latency = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
+        let rate_err = 100.0 * rate_errors.iter().sum::<f64>() / rate_errors.len().max(1) as f64;
+        let fa_rate = 1000.0 * false_alarms as f64 / flat_samples as f64;
+        println!(
+            "{:>7} {:>16.1} {:>8} {:>18.2} {:>14.1}",
+            window, mean_latency, missed, fa_rate, rate_err
+        );
+        rows.push(Row {
+            window,
+            mean_latency_frames: mean_latency,
+            missed,
+            false_alarms_per_1k: fa_rate,
+            rate_error_pct: rate_err,
+        });
+    }
+    println!("\nExpected: small windows fire fast but noisily; m = 100 is a good knee.");
+    if let Some(path) = bench::json_path_from_args() {
+        bench::write_json(&path, &rows);
+    }
+}

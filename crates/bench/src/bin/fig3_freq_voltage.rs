@@ -1,0 +1,52 @@
+//! Regenerates **Figure 3**: SA-1100 clock frequency vs minimum supply
+//! voltage, plus the resulting relative CPU power at each operating
+//! point (`f·V²` scaling).
+
+use hardware::CpuModel;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    freq_mhz: f64,
+    voltage_v: f64,
+    power_ratio: f64,
+    active_mw: f64,
+}
+
+fn main() {
+    bench::header("Figure 3", "frequency vs voltage for the SA-1100");
+    let cpu = CpuModel::sa1100();
+    let max = cpu.max_operating_point();
+    println!(
+        "{:>9} {:>9} {:>12} {:>10}",
+        "f (MHz)", "V_min (V)", "P/P_max", "P (mW)"
+    );
+    let mut rows = Vec::new();
+    for op in cpu.operating_points() {
+        let ratio = op.power_ratio_vs(&max);
+        println!(
+            "{:>9.1} {:>9.3} {:>12.3} {:>10.1}",
+            op.freq_mhz,
+            op.voltage_v,
+            ratio,
+            cpu.active_power_mw(*op)
+        );
+        rows.push(Row {
+            freq_mhz: op.freq_mhz,
+            voltage_v: op.voltage_v,
+            power_ratio: ratio,
+            active_mw: cpu.active_power_mw(*op),
+        });
+    }
+    println!(
+        "\nShape check: convex voltage curve, >5x power reduction at the lowest step: {}",
+        if rows[0].power_ratio < 0.2 {
+            "yes"
+        } else {
+            "NO"
+        }
+    );
+    if let Some(path) = bench::json_path_from_args() {
+        bench::write_json(&path, &rows);
+    }
+}

@@ -1,0 +1,28 @@
+//! Regenerates **Figure 4**: normalized performance and energy vs CPU
+//! frequency for MP3 audio decode (memory bound on SRAM — performance
+//! saturates at high frequency).
+
+use bench::perf_energy;
+use hardware::perf::PerformanceCurve;
+use hardware::SmartBadge;
+use workload::MediaKind;
+
+fn main() {
+    bench::header(
+        "Figure 4",
+        "performance and energy vs frequency, MP3 audio (SRAM, memory bound)",
+    );
+    let badge = SmartBadge::new();
+    let curve = PerformanceCurve::mp3_on_sram(badge.cpu());
+    let rows = perf_energy::rows(&badge, &curve, MediaKind::Mp3Audio);
+    perf_energy::print(&rows);
+    let perf_at_half = curve.performance_at(110.6);
+    println!(
+        "\nShape check: memory bound — performance at ~half clock is {:.2} (>> 0.5): {}",
+        perf_at_half,
+        if perf_at_half > 0.6 { "yes" } else { "NO" }
+    );
+    if let Some(path) = bench::json_path_from_args() {
+        bench::write_json(&path, &rows);
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerates **Figure 5**: normalized performance and energy vs CPU
+//! frequency for MPEG video decode (near-linear on SDRAM).
+
+use bench::perf_energy;
+use hardware::perf::PerformanceCurve;
+use hardware::SmartBadge;
+use workload::MediaKind;
+
+fn main() {
+    bench::header(
+        "Figure 5",
+        "performance and energy vs frequency, MPEG video (SDRAM, ~linear)",
+    );
+    let badge = SmartBadge::new();
+    let curve = PerformanceCurve::mpeg_on_sdram(badge.cpu());
+    let rows = perf_energy::rows(&badge, &curve, MediaKind::MpegVideo);
+    perf_energy::print(&rows);
+    let perf_at_half = curve.performance_at(110.6);
+    println!(
+        "\nShape check: ~linear — performance at ~half clock is {:.2} (≈ 0.5): {}",
+        perf_at_half,
+        if (perf_at_half - 0.5).abs() < 0.06 {
+            "yes"
+        } else {
+            "NO"
+        }
+    );
+    if let Some(path) = bench::json_path_from_args() {
+        bench::write_json(&path, &rows);
+    }
+}

@@ -1,0 +1,61 @@
+//! Regenerates **Figure 9**: for the football clip, the decode rate the
+//! CPU sustains at each frequency setting and the WLAN arrival rate that
+//! frequency can serve while holding the mean buffered-frame delay at
+//! 0.1 s (≈ 2 extra buffered frames) — the M/M/1 working curve of the
+//! DVS policy.
+
+use hardware::perf::PerformanceCurve;
+use hardware::SmartBadge;
+use serde::Serialize;
+use workload::MpegClip;
+
+#[derive(Serialize)]
+struct Row {
+    freq_mhz: f64,
+    cpu_rate: f64,
+    wlan_rate: f64,
+}
+
+fn main() {
+    bench::header(
+        "Figure 9",
+        "MPEG frame rates vs CPU frequency at 0.1 s mean delay (football)",
+    );
+    let badge = SmartBadge::new();
+    let curve = PerformanceCurve::mpeg_on_sdram(badge.cpu());
+    // Decode capability at maximum frequency: the clip's mean service rate.
+    let capability = {
+        let sched = MpegClip::football();
+        let s = sched.service_schedule();
+        s.mean_rate()
+    };
+    let delay = 0.1;
+
+    println!(
+        "{:>9} {:>16} {:>16}",
+        "f (MHz)", "CPU rate (fr/s)", "WLAN rate (fr/s)"
+    );
+    let mut rows = Vec::new();
+    for op in badge.cpu().operating_points() {
+        let cpu_rate = curve.decode_rate(op.freq_mhz, capability);
+        // Invert Eq. 5: λ_U = λ_D − 1/W (zero if the decode rate cannot
+        // even cover the delay slack).
+        let wlan_rate = (cpu_rate - 1.0 / delay).max(0.0);
+        println!(
+            "{:>9.1} {:>16.1} {:>16.1}",
+            op.freq_mhz, cpu_rate, wlan_rate
+        );
+        rows.push(Row {
+            freq_mhz: op.freq_mhz,
+            cpu_rate,
+            wlan_rate,
+        });
+    }
+    println!(
+        "\nShape check: both curves increase with frequency and CPU > WLAN by 1/W = {:.0} fr/s",
+        1.0 / delay
+    );
+    if let Some(path) = bench::json_path_from_args() {
+        bench::write_json(&path, &rows);
+    }
+}

@@ -1,0 +1,67 @@
+//! Runs every table/figure regeneration binary in sequence by invoking
+//! their logic through the shared crates, printing the complete
+//! reproduction report. Convenience wrapper for `EXPERIMENTS.md`:
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_all
+//! ```
+//!
+//! Each individual experiment remains runnable on its own (see
+//! `DESIGN.md` § 4 for the index).
+
+use std::process::Command;
+
+fn main() {
+    let binaries = [
+        "table1_components",
+        "fig3_freq_voltage",
+        "fig4_mp3_perf_energy",
+        "fig5_mpeg_perf_energy",
+        "fig6_interarrival_fit",
+        "table2_clips",
+        "fig7_tismdp_policy",
+        "fig8_active_states",
+        "fig9_rates_vs_freq",
+        "fig10_detection",
+        "table3_mp3_dvs",
+        "table4_mpeg_dvs",
+        "table5_dvs_dpm",
+        "ablation_window",
+        "ablation_rate_grid",
+        "ablation_confidence",
+        "ablation_queue_model",
+        "ablation_dpm",
+        "validate_queueing",
+    ];
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("exe directory");
+    let mut failures = Vec::new();
+    for bin in binaries {
+        println!("\n{:=^78}\n", format!(" {bin} "));
+        let path = dir.join(bin);
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                failures.push(bin);
+            }
+            Err(e) => {
+                eprintln!(
+                    "could not run {bin}: {e} (build with `cargo build --release -p bench` first)"
+                );
+                failures.push(bin);
+            }
+        }
+    }
+    println!("\n{:=^78}\n", " summary ");
+    if failures.is_empty() {
+        println!(
+            "all {} experiments regenerated successfully",
+            binaries.len()
+        );
+    } else {
+        println!("FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

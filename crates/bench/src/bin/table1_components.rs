@@ -1,0 +1,77 @@
+//! Regenerates **Table 1**: SmartBadge components, per-state power and
+//! wake-up latencies, plus the derived break-even times the DPM policies
+//! reason with.
+
+use dpm::costs::DpmCosts;
+use dpm::policy::SleepState;
+use hardware::{PowerState, SmartBadge};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    component: String,
+    active_mw: f64,
+    idle_mw: f64,
+    standby_mw: f64,
+    t_standby_ms: f64,
+    t_off_ms: f64,
+}
+
+fn main() {
+    bench::header(
+        "Table 1",
+        "SmartBadge components (reconstructed values; scan is OCR-garbled)",
+    );
+    let badge = SmartBadge::new();
+    println!(
+        "{:<10} {:>9} {:>9} {:>11} {:>9} {:>9}",
+        "Component", "P_act mW", "P_idle mW", "P_stdby mW", "t_sby ms", "t_off ms"
+    );
+    let mut rows = Vec::new();
+    for spec in badge.components() {
+        println!(
+            "{:<10} {:>9.1} {:>9.1} {:>11.3} {:>9.1} {:>9.1}",
+            spec.id.to_string(),
+            spec.active_mw,
+            spec.idle_mw,
+            spec.standby_mw,
+            spec.t_standby.as_secs_f64() * 1e3,
+            spec.t_off.as_secs_f64() * 1e3
+        );
+        rows.push(Row {
+            component: spec.id.to_string(),
+            active_mw: spec.active_mw,
+            idle_mw: spec.idle_mw,
+            standby_mw: spec.standby_mw,
+            t_standby_ms: spec.t_standby.as_secs_f64() * 1e3,
+            t_off_ms: spec.t_off.as_secs_f64() * 1e3,
+        });
+    }
+    println!(
+        "{:<10} {:>9.1} {:>9.1} {:>11.3}",
+        "Total",
+        badge.total_active_mw(),
+        badge.uniform_power_mw(PowerState::Idle),
+        badge.uniform_power_mw(PowerState::Standby)
+    );
+
+    let managed = DpmCosts::managed_subsystem(&badge);
+    println!("\nManaged subsystem (CPU + memories), the DVS/DPM-metered rail:");
+    println!(
+        "  active {:.0} mW / idle {:.0} mW / standby {:.2} mW / off {:.0} mW",
+        managed.active_mw, managed.idle_mw, managed.standby_mw, managed.off_mw
+    );
+    for state in [SleepState::Standby, SleepState::Off] {
+        if let Some(be) = managed.break_even(state) {
+            println!(
+                "  break-even({state:?}) = {:.1} ms (wake {:.1} ms)",
+                be.as_secs_f64() * 1e3,
+                managed.wake_latency(state).as_secs_f64() * 1e3
+            );
+        }
+    }
+
+    if let Some(path) = bench::json_path_from_args() {
+        bench::write_json(&path, &rows);
+    }
+}

@@ -1,0 +1,56 @@
+//! Regenerates **Table 2**: the six MP3 audio clips with bit rate,
+//! sample rate and decode rate, plus measured statistics from a
+//! generated trace of each clip.
+
+use serde::Serialize;
+use simcore::rng::SimRng;
+use workload::Mp3Clip;
+
+#[derive(Serialize)]
+struct Row {
+    label: char,
+    bit_rate_kbps: f64,
+    sample_rate_khz: f64,
+    decode_rate: f64,
+    arrival_rate: f64,
+    duration_secs: f64,
+    measured_arrival_rate: f64,
+}
+
+fn main() {
+    bench::header("Table 2", "MP3 audio clips (A–F)");
+    println!(
+        "{:>5} {:>10} {:>12} {:>14} {:>14} {:>9} {:>14}",
+        "clip", "bit kb/s", "sample kHz", "decode fr/s", "arrival fr/s", "len s", "measured fr/s"
+    );
+    let mut rng = SimRng::seed_from(bench::EXPERIMENT_SEED).fork("table2");
+    let mut rows = Vec::new();
+    for clip in Mp3Clip::table2() {
+        let trace = clip.generate(&mut rng);
+        let row = Row {
+            label: clip.label,
+            bit_rate_kbps: clip.bit_rate_kbps,
+            sample_rate_khz: clip.sample_rate_khz,
+            decode_rate: clip.decode_rate,
+            arrival_rate: clip.arrival_rate(),
+            duration_secs: clip.duration_secs,
+            measured_arrival_rate: trace.mean_arrival_rate(),
+        };
+        println!(
+            "{:>5} {:>10.0} {:>12.2} {:>14.0} {:>14.1} {:>9.0} {:>14.1}",
+            row.label,
+            row.bit_rate_kbps,
+            row.sample_rate_khz,
+            row.decode_rate,
+            row.arrival_rate,
+            row.duration_secs,
+            row.measured_arrival_rate
+        );
+        rows.push(row);
+    }
+    let total: f64 = rows.iter().map(|r| r.duration_secs).sum();
+    println!("\ntotal audio: {total:.0} s (paper: 653 s)");
+    if let Some(path) = bench::json_path_from_args() {
+        bench::write_json(&path, &rows);
+    }
+}

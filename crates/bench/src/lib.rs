@@ -1,0 +1,176 @@
+//! Shared helpers for the experiment-regeneration binaries.
+//!
+//! Every table and figure of the paper has a binary under `src/bin/`
+//! that regenerates it (see `DESIGN.md` § 4 for the index). The binaries
+//! print a human-readable table to stdout and, when `--json <path>` is
+//! passed, also write machine-readable rows for `EXPERIMENTS.md`.
+
+use powermgr::config::{DpmKind, GovernorKind, SystemConfig};
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// The fixed base seed all experiment binaries derive their randomness
+/// from, so printed tables are reproducible run-to-run.
+pub const EXPERIMENT_SEED: u64 = 0xDAC_2001;
+
+/// The paper-parameter change-point governor (window 100, 99.5 %
+/// confidence, checked every 10 samples).
+#[must_use]
+pub fn paper_change_point() -> GovernorKind {
+    GovernorKind::change_point()
+}
+
+/// The four governor columns of Tables 3 and 4, in paper order:
+/// ideal, change-point, exponential average, maximum performance.
+#[must_use]
+pub fn table_governors() -> Vec<(&'static str, GovernorKind)> {
+    vec![
+        ("Ideal", GovernorKind::Ideal),
+        ("Change Point", paper_change_point()),
+        ("Exp. Ave.", GovernorKind::ExpAverage { gain: 0.5 }),
+        ("Max", GovernorKind::MaxPerformance),
+    ]
+}
+
+/// A config with the given governor and no DPM (the Table 3/4 setting:
+/// DVS in isolation).
+#[must_use]
+pub fn dvs_only(governor: GovernorKind) -> SystemConfig {
+    SystemConfig {
+        governor,
+        dpm: DpmKind::None,
+        ..SystemConfig::default()
+    }
+}
+
+/// Prints the standard experiment header.
+pub fn header(id: &str, caption: &str) {
+    println!("== {id} — {caption}");
+    println!("   (reproduction of Simunic et al., DAC 2001; synthetic workloads, see DESIGN.md)");
+    println!();
+}
+
+/// Writes `rows` as pretty JSON to `path`.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written — experiment binaries want loud
+/// failures, not silent truncation.
+pub fn write_json<T: Serialize>(path: &Path, rows: &T) {
+    let json = serde_json::to_string_pretty(rows).expect("experiment rows serialize");
+    let mut f = std::fs::File::create(path)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+    f.write_all(json.as_bytes())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("\n[json written to {}]", path.display());
+}
+
+/// Parses an optional `--json <path>` argument pair from `args`.
+#[must_use]
+pub fn json_path_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+    }
+    None
+}
+
+/// Shared computation for Figures 4 and 5: normalized performance and
+/// energy per frame vs CPU frequency.
+pub mod perf_energy {
+    use hardware::perf::PerformanceCurve;
+    use hardware::SmartBadge;
+    use powermgr::power::PowerProfile;
+    use serde::Serialize;
+    use workload::MediaKind;
+
+    /// One operating point's performance/energy pair.
+    #[derive(Debug, Clone, Copy, Serialize)]
+    pub struct Row {
+        /// CPU frequency, MHz.
+        pub freq_mhz: f64,
+        /// Normalized decode performance (1.0 at the top frequency).
+        pub performance: f64,
+        /// Energy per frame relative to the top frequency:
+        /// `(P(f)·t(f)) / (P(f_max)·t(f_max))`.
+        pub energy_ratio: f64,
+    }
+
+    /// Computes the rows for one application curve.
+    #[must_use]
+    pub fn rows(badge: &SmartBadge, curve: &PerformanceCurve, kind: MediaKind) -> Vec<Row> {
+        let max = badge.cpu().max_operating_point();
+        let p_max = PowerProfile::decode(badge, max, kind, 1.0).total_mw();
+        badge
+            .cpu()
+            .operating_points()
+            .iter()
+            .map(|&op| {
+                let perf = curve.performance_at(op.freq_mhz);
+                let p = PowerProfile::decode(badge, op, kind, perf).total_mw();
+                Row {
+                    freq_mhz: op.freq_mhz,
+                    performance: perf,
+                    energy_ratio: (p / perf) / p_max,
+                }
+            })
+            .collect()
+    }
+
+    /// Prints the rows as the figure's table.
+    pub fn print(rows: &[Row]) {
+        println!(
+            "{:>9} {:>13} {:>13}",
+            "f (MHz)", "perf ratio", "energy ratio"
+        );
+        for r in rows {
+            println!(
+                "{:>9.1} {:>13.3} {:>13.3}",
+                r.freq_mhz, r.performance, r.energy_ratio
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn governor_columns_match_paper_order() {
+        let names: Vec<&str> = table_governors().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["Ideal", "Change Point", "Exp. Ave.", "Max"]);
+    }
+
+    #[test]
+    fn dvs_only_has_no_dpm() {
+        let c = dvs_only(GovernorKind::MaxPerformance);
+        assert_eq!(c.dpm.label(), "none");
+    }
+
+    #[test]
+    fn perf_energy_rows_normalize_to_one_at_max() {
+        let badge = hardware::SmartBadge::new();
+        let curve = hardware::perf::PerformanceCurve::mpeg_on_sdram(badge.cpu());
+        let rows = perf_energy::rows(&badge, &curve, workload::MediaKind::MpegVideo);
+        let last = rows.last().unwrap();
+        assert!((last.performance - 1.0).abs() < 1e-9);
+        assert!((last.energy_ratio - 1.0).abs() < 1e-9);
+        // DVS rationale: lower frequency means lower energy per frame.
+        assert!(rows[0].energy_ratio < 1.0);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let dir = std::env::temp_dir().join("bench-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rows.json");
+        write_json(&path, &vec![1, 2, 3]);
+        let back: Vec<i32> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+    }
+}

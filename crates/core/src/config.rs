@@ -1,0 +1,322 @@
+//! Experiment configuration: which governor, which DPM policy, which
+//! targets.
+
+use crate::dvs::QueueModel;
+use crate::PmError;
+use detect::changepoint::ChangePointConfig;
+use dpm::costs::DpmCosts;
+use dpm::idle::IdleMixture;
+use dpm::policy::{DpmPolicy, SleepState};
+use dpm::predictive::PredictiveShutdown;
+use dpm::renewal::{RenewalConfig, RenewalPolicy};
+use dpm::timeout::{AdaptiveTimeout, FixedTimeout};
+use dpm::tismdp::{TismdpConfig, TismdpPolicy};
+use dpm::NoSleep;
+use simcore::time::SimDuration;
+
+/// The detection strategy driving DVS — the four columns of the paper's
+/// Tables 3 and 4.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GovernorKind {
+    /// Ideal detection: reads the ground-truth rates from the trace
+    /// ("assumes knowledge of the future").
+    Ideal,
+    /// The paper's change-point detection algorithm.
+    ChangePoint(ChangePointConfig),
+    /// Exponential moving average of instantaneous rates (Eq. 6) with
+    /// the given gain.
+    ExpAverage {
+        /// EMA gain `g ∈ (0, 1]`; the paper plots 0.3 and 0.5.
+        gain: f64,
+    },
+    /// No DVS: always run at maximum frequency and voltage.
+    MaxPerformance,
+}
+
+impl GovernorKind {
+    /// A change-point governor with the paper's default parameters
+    /// (m = 100, 99.5 %, checked every 10 samples).
+    #[must_use]
+    pub fn change_point() -> Self {
+        GovernorKind::ChangePoint(ChangePointConfig::default())
+    }
+
+    /// A change-point governor with a reduced calibration budget —
+    /// identical online behaviour class, faster to construct. Used by
+    /// doctests and unit tests.
+    #[must_use]
+    pub fn quick_change_point() -> Self {
+        GovernorKind::ChangePoint(ChangePointConfig {
+            window: 60,
+            check_interval: 6,
+            k_step: 6,
+            calibration_trials: 400,
+            ..ChangePointConfig::default()
+        })
+    }
+
+    /// The label used in experiment tables.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            GovernorKind::Ideal => "ideal",
+            GovernorKind::ChangePoint(_) => "change-point",
+            GovernorKind::ExpAverage { .. } => "exp-average",
+            GovernorKind::MaxPerformance => "max",
+        }
+    }
+}
+
+/// The DPM policy choice for idle periods.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DpmKind {
+    /// Never sleep (the "DVS only" / "no PM" rows of Table 5).
+    None,
+    /// Fixed timeout into a sleep state.
+    FixedTimeout {
+        /// Timeout in seconds.
+        timeout_s: f64,
+        /// Target sleep state.
+        state: SleepState,
+    },
+    /// The 2-competitive break-even timeout.
+    BreakEven {
+        /// Target sleep state.
+        state: SleepState,
+    },
+    /// Adaptive timeout.
+    Adaptive {
+        /// Target sleep state.
+        state: SleepState,
+    },
+    /// Predictive shutdown with the given EMA gain.
+    Predictive {
+        /// Target sleep state.
+        state: SleepState,
+        /// Idle-length EMA gain.
+        gain: f64,
+    },
+    /// Renewal-theory optimal (possibly randomized) timeout.
+    Renewal {
+        /// Target sleep state.
+        state: SleepState,
+        /// Expected wake-delay budget per idle period, seconds.
+        delay_budget_s: f64,
+    },
+    /// Time-indexed SMDP policy over both sleep states.
+    Tismdp {
+        /// Lagrangian weight on wake-up delay (J per second of delay).
+        delay_weight: f64,
+    },
+}
+
+impl DpmKind {
+    /// The label used in experiment tables.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            DpmKind::None => "none",
+            DpmKind::FixedTimeout { .. } => "fixed-timeout",
+            DpmKind::BreakEven { .. } => "break-even",
+            DpmKind::Adaptive { .. } => "adaptive-timeout",
+            DpmKind::Predictive { .. } => "predictive",
+            DpmKind::Renewal { .. } => "renewal",
+            DpmKind::Tismdp { .. } => "tismdp",
+        }
+    }
+
+    /// Instantiates the policy against device costs and the idle-period
+    /// model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the policy parameters are invalid for these
+    /// costs.
+    pub fn build(
+        &self,
+        costs: &DpmCosts,
+        idle_model: &IdleMixture,
+    ) -> Result<Box<dyn DpmPolicy>, PmError> {
+        Ok(match self {
+            DpmKind::None => Box::new(NoSleep::new()),
+            DpmKind::FixedTimeout { timeout_s, state } => Box::new(FixedTimeout::new(
+                SimDuration::from_secs_f64(*timeout_s),
+                *state,
+            )?),
+            DpmKind::BreakEven { state } => Box::new(FixedTimeout::break_even(costs, *state)?),
+            DpmKind::Adaptive { state } => Box::new(AdaptiveTimeout::new(
+                costs,
+                *state,
+                SimDuration::from_millis(50),
+                SimDuration::from_secs(120),
+            )?),
+            DpmKind::Predictive { state, gain } => {
+                Box::new(PredictiveShutdown::new(costs, *state, *gain)?)
+            }
+            DpmKind::Renewal {
+                state,
+                delay_budget_s,
+            } => Box::new(RenewalPolicy::solve(
+                costs,
+                idle_model,
+                *state,
+                *delay_budget_s,
+                RenewalConfig::default(),
+            )?),
+            DpmKind::Tismdp { delay_weight } => Box::new(TismdpPolicy::solve(
+                costs,
+                idle_model,
+                TismdpConfig {
+                    delay_weight: *delay_weight,
+                    ..TismdpConfig::default()
+                },
+            )?),
+        })
+    }
+}
+
+/// Full experiment configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// DVS detection strategy.
+    pub governor: GovernorKind,
+    /// DPM policy for idle periods.
+    pub dpm: DpmKind,
+    /// Target mean total frame delay for MP3 audio, seconds (≈ 6 extra
+    /// buffered frames at typical audio rates).
+    pub mp3_target_delay_s: f64,
+    /// Target mean total frame delay for MPEG video, seconds (the
+    /// paper's 0.1 s ≈ 2 extra buffered frames).
+    pub mpeg_target_delay_s: f64,
+    /// Queue model inverting the delay target into a decode rate.
+    pub queue_model: QueueModel,
+    /// Overload control: when `Some(n)`, the power manager observes the
+    /// buffer occupancy (the paper's PM watches "the number of jobs in
+    /// the queue") and forces the maximum operating point whenever `n`
+    /// or more frames are waiting, releasing with hysteresis at `n/2`.
+    /// `None` reproduces the paper's pure rate-driven policy.
+    pub overload_boost_depth: Option<usize>,
+    /// Arrival gaps longer than this are idle periods, not samples of
+    /// the streaming interarrival distribution (the paper excludes idle
+    /// state arrivals from the exponential model).
+    pub streaming_gap_threshold_s: f64,
+    /// Fraction of idle periods that are short intra-stream gaps in the
+    /// model the stochastic DPM policies optimize against.
+    pub idle_short_weight: f64,
+    /// Rate of the short intra-stream idle gaps, 1/seconds.
+    pub idle_short_rate: f64,
+    /// Pareto scale of the long (session-gap) idle component, seconds.
+    pub idle_pareto_scale: f64,
+    /// Pareto shape of the long idle component.
+    pub idle_pareto_shape: f64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            governor: GovernorKind::change_point(),
+            dpm: DpmKind::None,
+            mp3_target_delay_s: 0.2,
+            mpeg_target_delay_s: 0.1,
+            queue_model: QueueModel::Mm1,
+            overload_boost_depth: None,
+            streaming_gap_threshold_s: 2.0,
+            idle_short_weight: 0.95,
+            idle_short_rate: 25.0,
+            idle_pareto_scale: 2.0,
+            idle_pareto_shape: 1.5,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// The idle-period distribution used to solve stochastic DPM
+    /// policies: a short-gap/session-gap mixture.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the mixture parameters are invalid.
+    pub fn idle_model(&self) -> Result<IdleMixture, PmError> {
+        Ok(IdleMixture::new(
+            self.idle_short_weight,
+            self.idle_short_rate,
+            self.idle_pareto_scale,
+            self.idle_pareto_shape,
+        )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hardware::SmartBadge;
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            GovernorKind::Ideal.label(),
+            GovernorKind::change_point().label(),
+            GovernorKind::ExpAverage { gain: 0.3 }.label(),
+            GovernorKind::MaxPerformance.label(),
+        ];
+        let set: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(set.len(), labels.len());
+    }
+
+    #[test]
+    fn all_dpm_kinds_build() {
+        let costs = DpmCosts::managed_subsystem(&SmartBadge::new());
+        let idle = IdleMixture::streaming_default().unwrap();
+        let kinds = [
+            DpmKind::None,
+            DpmKind::FixedTimeout {
+                timeout_s: 1.0,
+                state: SleepState::Standby,
+            },
+            DpmKind::BreakEven {
+                state: SleepState::Standby,
+            },
+            DpmKind::Adaptive {
+                state: SleepState::Standby,
+            },
+            DpmKind::Predictive {
+                state: SleepState::Standby,
+                gain: 0.3,
+            },
+            DpmKind::Renewal {
+                state: SleepState::Standby,
+                delay_budget_s: 0.05,
+            },
+            DpmKind::Tismdp { delay_weight: 2.0 },
+        ];
+        for k in kinds {
+            let policy = k.build(&costs, &idle).unwrap();
+            assert!(!policy.name().is_empty(), "{:?}", k.label());
+        }
+    }
+
+    #[test]
+    fn bad_dpm_parameters_error() {
+        let costs = DpmCosts::managed_subsystem(&SmartBadge::new());
+        let idle = IdleMixture::streaming_default().unwrap();
+        let bad = DpmKind::FixedTimeout {
+            timeout_s: 0.0,
+            state: SleepState::Standby,
+        };
+        assert!(bad.build(&costs, &idle).is_err());
+        let bad = DpmKind::Predictive {
+            state: SleepState::Standby,
+            gain: 2.0,
+        };
+        assert!(bad.build(&costs, &idle).is_err());
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = SystemConfig::default();
+        assert_eq!(c.governor.label(), "change-point");
+        assert_eq!(c.dpm.label(), "none");
+        assert!(c.idle_model().is_ok());
+        assert!(c.mp3_target_delay_s > c.mpeg_target_delay_s);
+    }
+}

@@ -1,0 +1,337 @@
+//! The merged power manager (paper Section 3, Figure 8).
+//!
+//! [`PowerManager`] is the component the paper adds: one entity that
+//! observes "request arrivals and service completion times …, the number
+//! of jobs in the queue … and the time elapsed since last entry into idle
+//! state", and controls **both** the CPU operating point while active and
+//! the sleep transitions while idle.
+
+use crate::config::SystemConfig;
+use crate::dvs::DvsPolicy;
+use crate::governor::Governor;
+use crate::PmError;
+use dpm::costs::DpmCosts;
+use dpm::policy::{DpmPolicy, IdlePlan, SleepState};
+use hardware::cpu::OperatingPoint;
+use hardware::SmartBadge;
+use simcore::rng::SimRng;
+use simcore::time::SimDuration;
+use workload::MediaKind;
+
+/// The combined DVS + DPM power manager.
+pub struct PowerManager {
+    governor: Governor,
+    dvs: DvsPolicy,
+    dpm: Box<dyn DpmPolicy>,
+    current_op: OperatingPoint,
+    current_kind: MediaKind,
+    boost_depth: Option<usize>,
+    boosted: bool,
+}
+
+impl PowerManager {
+    /// Builds the manager from an experiment configuration.
+    ///
+    /// `initial_arrival` / `initial_service` seed the governor's rate
+    /// estimates (frames/second at maximum frequency for the service
+    /// rate).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any sub-policy rejects its parameters.
+    pub fn build(
+        badge: &SmartBadge,
+        config: &SystemConfig,
+        initial_arrival: f64,
+        initial_service: f64,
+    ) -> Result<Self, PmError> {
+        let governor = Governor::build(&config.governor, initial_arrival, initial_service)?;
+        let dvs = DvsPolicy::smartbadge(config.mp3_target_delay_s, config.mpeg_target_delay_s)?
+            .with_queue_model(config.queue_model)?;
+        let costs = DpmCosts::managed_subsystem(badge);
+        let dpm = config.dpm.build(&costs, &config.idle_model()?)?;
+        let current_op = badge.cpu().max_operating_point();
+        Ok(PowerManager {
+            governor,
+            dvs,
+            dpm,
+            current_op,
+            current_kind: MediaKind::Mp3Audio,
+            boost_depth: config.overload_boost_depth,
+            boosted: false,
+        })
+    }
+
+    /// The operating point currently selected.
+    #[must_use]
+    pub fn operating_point(&self) -> OperatingPoint {
+        self.current_op
+    }
+
+    /// The DVS policy (performance curves, target delays).
+    #[must_use]
+    pub fn dvs(&self) -> &DvsPolicy {
+        &self.dvs
+    }
+
+    /// The governor's label for reports.
+    #[must_use]
+    pub fn governor_label(&self) -> &'static str {
+        self.governor.label()
+    }
+
+    /// The DPM policy's label for reports.
+    #[must_use]
+    pub fn dpm_label(&self) -> &'static str {
+        self.dpm.name()
+    }
+
+    /// Rate changes signalled so far.
+    #[must_use]
+    pub fn rate_changes(&self) -> u64 {
+        self.governor.rate_changes()
+    }
+
+    /// Reports the current buffer occupancy. When overload boost is
+    /// configured and the queue has backed up past the threshold, the
+    /// manager jumps to the maximum operating point regardless of the
+    /// rate estimates, and returns to rate-driven selection (with
+    /// hysteresis at half the threshold) once the backlog drains.
+    ///
+    /// Returns the new operating point if this observation changed it.
+    pub fn note_queue_depth(&mut self, depth: usize) -> Option<OperatingPoint> {
+        let threshold = self.boost_depth?;
+        if !self.boosted && depth >= threshold {
+            self.boosted = true;
+            self.reselect()
+        } else if self.boosted && depth <= threshold / 2 {
+            self.boosted = false;
+            self.reselect()
+        } else {
+            None
+        }
+    }
+
+    /// `true` while the overload boost holds the maximum operating point.
+    #[must_use]
+    pub fn is_boosted(&self) -> bool {
+        self.boosted
+    }
+
+    fn reselect(&mut self) -> Option<OperatingPoint> {
+        let new_op = if self.governor.wants_max() || self.boosted {
+            self.dvs.cpu().max_operating_point()
+        } else {
+            self.dvs
+                .select(
+                    self.current_kind,
+                    self.governor.arrival_rate(),
+                    self.governor.service_rate(),
+                )
+                .unwrap_or_else(|_| self.dvs.cpu().max_operating_point())
+        };
+        if (new_op.freq_mhz - self.current_op.freq_mhz).abs() > 1e-9 {
+            self.current_op = new_op;
+            Some(new_op)
+        } else {
+            None
+        }
+    }
+
+    /// Notifies the manager of a frame arrival. `gap` is the interarrival
+    /// time, `None` when the previous frame ended an idle period; `truth`
+    /// is the generator's true arrival rate (used only by the ideal
+    /// governor).
+    ///
+    /// Returns the new operating point if the DVS policy changed it.
+    pub fn on_arrival(
+        &mut self,
+        kind: MediaKind,
+        gap: Option<SimDuration>,
+        truth: f64,
+    ) -> Option<OperatingPoint> {
+        self.current_kind = kind;
+        if self
+            .governor
+            .on_arrival(gap.map(SimDuration::as_secs_f64), truth)
+        {
+            self.reselect()
+        } else {
+            None
+        }
+    }
+
+    /// Notifies the manager of a completed decode: `work_at_max` is the
+    /// frame's decode time at the maximum frequency, `truth` the true
+    /// decode rate at maximum frequency.
+    ///
+    /// Returns the new operating point if the DVS policy changed it.
+    pub fn on_decode_complete(
+        &mut self,
+        kind: MediaKind,
+        work_at_max: f64,
+        truth: f64,
+    ) -> Option<OperatingPoint> {
+        self.current_kind = kind;
+        if self.governor.on_decode(work_at_max, truth) {
+            self.reselect()
+        } else {
+            None
+        }
+    }
+
+    /// Asks the DPM policy for this idle period's sleep schedule.
+    pub fn plan_idle(&mut self, rng: &mut SimRng) -> IdlePlan {
+        self.dpm.plan_idle(rng)
+    }
+
+    /// Reports the end of an idle period to the DPM policy.
+    pub fn on_idle_end(&mut self, idle_len: SimDuration, deepest: Option<SleepState>) {
+        self.dpm.on_idle_end(idle_len, deepest);
+    }
+}
+
+impl std::fmt::Debug for PowerManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PowerManager")
+            .field("governor", &self.governor.label())
+            .field("dpm", &self.dpm.name())
+            .field("operating_point", &self.current_op)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DpmKind, GovernorKind};
+
+    fn manager(kind: GovernorKind) -> PowerManager {
+        let badge = SmartBadge::new();
+        let config = SystemConfig {
+            governor: kind,
+            dpm: DpmKind::BreakEven {
+                state: SleepState::Standby,
+            },
+            ..SystemConfig::default()
+        };
+        PowerManager::build(&badge, &config, 25.0, 100.0).unwrap()
+    }
+
+    #[test]
+    fn starts_at_max_operating_point() {
+        let m = manager(GovernorKind::Ideal);
+        assert!((m.operating_point().freq_mhz - 221.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ideal_manager_lowers_frequency_for_light_load() {
+        let mut m = manager(GovernorKind::Ideal);
+        // Truth: 14 fr/s arrivals, 215 fr/s decode capability.
+        let op = m.on_arrival(
+            MediaKind::Mp3Audio,
+            Some(SimDuration::from_millis(70)),
+            14.0,
+        );
+        let op2 = m.on_decode_complete(MediaKind::Mp3Audio, 0.005, 215.0);
+        let final_op = op2.or(op).expect("truth changed, op must change");
+        assert!(final_op.freq_mhz < 221.2);
+        assert_eq!(m.operating_point(), final_op);
+    }
+
+    #[test]
+    fn max_perf_manager_never_moves() {
+        let mut m = manager(GovernorKind::MaxPerformance);
+        assert!(m
+            .on_arrival(
+                MediaKind::MpegVideo,
+                Some(SimDuration::from_millis(50)),
+                20.0
+            )
+            .is_none());
+        assert!(m
+            .on_decode_complete(MediaKind::MpegVideo, 0.01, 90.0)
+            .is_none());
+        assert!((m.operating_point().freq_mhz - 221.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overload_keeps_max_frequency() {
+        let mut m = manager(GovernorKind::Ideal);
+        // Arrivals faster than the decoder can ever manage.
+        m.on_arrival(
+            MediaKind::MpegVideo,
+            Some(SimDuration::from_millis(30)),
+            32.0,
+        );
+        m.on_decode_complete(MediaKind::MpegVideo, 0.03, 33.0);
+        assert!((m.operating_point().freq_mhz - 221.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_plan_comes_from_dpm_policy() {
+        let mut m = manager(GovernorKind::Ideal);
+        let plan = m.plan_idle(&mut SimRng::seed_from(0));
+        assert_eq!(
+            plan.transitions.len(),
+            1,
+            "break-even timeout plans one step"
+        );
+        m.on_idle_end(SimDuration::from_secs(10), Some(SleepState::Standby));
+        assert_eq!(m.dpm_label(), "fixed-timeout");
+    }
+
+    #[test]
+    fn overload_boost_engages_and_releases_with_hysteresis() {
+        let badge = SmartBadge::new();
+        let config = SystemConfig {
+            governor: GovernorKind::Ideal,
+            dpm: DpmKind::None,
+            overload_boost_depth: Some(8),
+            ..SystemConfig::default()
+        };
+        let mut m = PowerManager::build(&badge, &config, 25.0, 100.0).unwrap();
+        // Light load: DVS picks a low point.
+        m.on_arrival(
+            MediaKind::Mp3Audio,
+            Some(SimDuration::from_millis(70)),
+            14.0,
+        );
+        m.on_decode_complete(MediaKind::Mp3Audio, 0.005, 215.0);
+        let low = m.operating_point();
+        assert!(low.freq_mhz < 221.2);
+        // Backlog crosses the threshold: boost to max.
+        assert!(m.note_queue_depth(7).is_none());
+        let boosted = m.note_queue_depth(8).expect("boost engages at threshold");
+        assert!((boosted.freq_mhz - 221.2).abs() < 1e-9);
+        assert!(m.is_boosted());
+        // Stays boosted through the hysteresis band…
+        assert!(m.note_queue_depth(5).is_none());
+        assert!(m.is_boosted());
+        // …and rate changes cannot pull it down while boosted.
+        m.on_arrival(
+            MediaKind::Mp3Audio,
+            Some(SimDuration::from_millis(70)),
+            14.0,
+        );
+        assert!((m.operating_point().freq_mhz - 221.2).abs() < 1e-9);
+        // Drains to half the threshold: release and re-select low.
+        let released = m.note_queue_depth(4).expect("boost releases");
+        assert!(released.freq_mhz < 221.2);
+        assert!(!m.is_boosted());
+    }
+
+    #[test]
+    fn boost_disabled_by_default() {
+        let mut m = manager(GovernorKind::Ideal);
+        assert!(m.note_queue_depth(1000).is_none());
+        assert!(!m.is_boosted());
+    }
+
+    #[test]
+    fn labels_surface_config() {
+        let m = manager(GovernorKind::ExpAverage { gain: 0.3 });
+        assert_eq!(m.governor_label(), "exp-average");
+        assert!(format!("{m:?}").contains("exp-average"));
+    }
+}

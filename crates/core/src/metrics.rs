@@ -1,0 +1,292 @@
+//! Experiment reports.
+//!
+//! Every simulation run produces a [`SimReport`] carrying exactly the
+//! quantities the paper's tables print — energy (kJ) and mean total
+//! frame delay (s) — plus the diagnostic detail a systems reader wants:
+//! per-component energy, time per system mode, switch/sleep counts.
+
+use hardware::energy::EnergyMeter;
+use serde::ser::SerializeMap;
+use serde::{Serialize, Serializer};
+use simcore::stats::OnlineStats;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The system modes time is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum ModeKey {
+    /// Actively decoding frames.
+    Decoding,
+    /// Powered but idle.
+    Idle,
+    /// In standby.
+    Standby,
+    /// Powered off.
+    Off,
+    /// Waking from a sleep state.
+    Waking,
+}
+
+impl ModeKey {
+    /// All modes.
+    pub const ALL: [ModeKey; 5] = [
+        ModeKey::Decoding,
+        ModeKey::Idle,
+        ModeKey::Standby,
+        ModeKey::Off,
+        ModeKey::Waking,
+    ];
+}
+
+impl fmt::Display for ModeKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ModeKey::Decoding => "decoding",
+            ModeKey::Idle => "idle",
+            ModeKey::Standby => "standby",
+            ModeKey::Off => "off",
+            ModeKey::Waking => "waking",
+        };
+        f.write_str(s)
+    }
+}
+
+fn serialize_mode_secs<S: Serializer>(
+    map: &BTreeMap<ModeKey, f64>,
+    serializer: S,
+) -> Result<S::Ok, S::Error> {
+    let mut m = serializer.serialize_map(Some(map.len()))?;
+    for (k, v) in map {
+        m.serialize_entry(&k.to_string(), v)?;
+    }
+    m.end()
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct SimReport {
+    /// Per-component energy accounting.
+    pub energy: EnergyMeter,
+    /// Per-frame total delay (arrival → decode completion), seconds.
+    pub frame_delays: OnlineStats,
+    /// Frames decoded.
+    pub frames_completed: u64,
+    /// CPU frequency switches performed.
+    pub freq_switches: u64,
+    /// Rate changes signalled by the governor.
+    pub rate_changes: u64,
+    /// Sleep-state entries commanded by the DPM policy.
+    pub sleeps: u64,
+    /// Wake-up transitions performed.
+    pub wakes: u64,
+    /// Seconds spent in each mode.
+    #[serde(serialize_with = "serialize_mode_secs")]
+    pub mode_secs: BTreeMap<ModeKey, f64>,
+    /// Seconds spent decoding at each CPU frequency, keyed by the
+    /// frequency in tenths of a MHz (so the map key is exact).
+    pub freq_residency: BTreeMap<u32, f64>,
+    /// Simulated wall-clock length, seconds.
+    pub duration_secs: f64,
+    /// The governor's table label.
+    pub governor: &'static str,
+    /// The DPM policy's table label.
+    pub dpm: &'static str,
+}
+
+impl SimReport {
+    /// Total energy, joules.
+    #[must_use]
+    pub fn total_energy_j(&self) -> f64 {
+        self.energy.total_joules()
+    }
+
+    /// Total energy, kilojoules (the paper's unit).
+    #[must_use]
+    pub fn total_energy_kj(&self) -> f64 {
+        self.energy.total_kilojoules()
+    }
+
+    /// Mean total frame delay, seconds (the paper's "Fr. Delay").
+    #[must_use]
+    pub fn mean_frame_delay_s(&self) -> f64 {
+        self.frame_delays.mean()
+    }
+
+    /// Average system power over the run, milliwatts.
+    #[must_use]
+    pub fn average_power_mw(&self) -> f64 {
+        if self.duration_secs == 0.0 {
+            0.0
+        } else {
+            self.total_energy_j() / self.duration_secs * 1e3
+        }
+    }
+
+    /// Seconds attributed to one mode.
+    #[must_use]
+    pub fn mode_secs(&self, mode: ModeKey) -> f64 {
+        self.mode_secs.get(&mode).copied().unwrap_or(0.0)
+    }
+
+    /// Seconds spent decoding at `freq_mhz` (tolerance 0.05 MHz).
+    #[must_use]
+    pub fn freq_secs(&self, freq_mhz: f64) -> f64 {
+        let key = (freq_mhz * 10.0).round() as u32;
+        self.freq_residency.get(&key).copied().unwrap_or(0.0)
+    }
+
+    /// The decoding-time-weighted mean CPU frequency, MHz; `0.0` if the
+    /// device never decoded.
+    #[must_use]
+    pub fn mean_decode_frequency_mhz(&self) -> f64 {
+        let total: f64 = self.freq_residency.values().sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.freq_residency
+            .iter()
+            .map(|(&k, &secs)| k as f64 / 10.0 * secs)
+            .sum::<f64>()
+            / total
+    }
+
+    /// A one-line table row: `governor dpm energy_kJ delay_s`.
+    #[must_use]
+    pub fn summary_row(&self) -> String {
+        format!(
+            "{gov:<13} {dpm:<16} {kj:>9.3} kJ {delay:>8.3} s",
+            gov = self.governor,
+            dpm = self.dpm,
+            kj = self.total_energy_kj(),
+            delay = self.mean_frame_delay_s()
+        )
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "run: governor={} dpm={} duration={:.1}s frames={}",
+            self.governor, self.dpm, self.duration_secs, self.frames_completed
+        )?;
+        writeln!(
+            f,
+            "  energy: {:.3} kJ (avg {:.0} mW)",
+            self.total_energy_kj(),
+            self.average_power_mw()
+        )?;
+        writeln!(
+            f,
+            "  frame delay: mean {:.3} s, max {:.3} s",
+            self.mean_frame_delay_s(),
+            self.frame_delays.max()
+        )?;
+        writeln!(
+            f,
+            "  activity: {} freq switches, {} rate changes, {} sleeps, {} wakes",
+            self.freq_switches, self.rate_changes, self.sleeps, self.wakes
+        )?;
+        write!(f, "  time:")?;
+        for mode in ModeKey::ALL {
+            write!(f, " {}={:.1}s", mode, self.mode_secs(mode))?;
+        }
+        if !self.freq_residency.is_empty() {
+            write!(
+                f,
+                "\n  mean decode frequency: {:.1} MHz",
+                self.mean_decode_frequency_mhz()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        let mut energy = EnergyMeter::new();
+        energy.accumulate(
+            hardware::component::ComponentId::Cpu,
+            400.0,
+            simcore::time::SimDuration::from_secs(100),
+        );
+        let mut delays = OnlineStats::new();
+        delays.push(0.1);
+        delays.push(0.3);
+        let mut mode_secs = BTreeMap::new();
+        mode_secs.insert(ModeKey::Decoding, 80.0);
+        mode_secs.insert(ModeKey::Idle, 20.0);
+        let mut freq_residency = BTreeMap::new();
+        freq_residency.insert(2212, 60.0); // 221.2 MHz for 60 s
+        freq_residency.insert(1032, 20.0); // 103.2 MHz for 20 s
+        SimReport {
+            energy,
+            frame_delays: delays,
+            frames_completed: 2,
+            freq_switches: 3,
+            rate_changes: 4,
+            sleeps: 1,
+            wakes: 1,
+            mode_secs,
+            freq_residency,
+            duration_secs: 100.0,
+            governor: "ideal",
+            dpm: "none",
+        }
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let r = report();
+        assert!((r.total_energy_j() - 40.0).abs() < 1e-9);
+        assert!((r.total_energy_kj() - 0.04).abs() < 1e-12);
+        assert!((r.average_power_mw() - 400.0).abs() < 1e-9);
+        assert!((r.mean_frame_delay_s() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_lookup_defaults_to_zero() {
+        let r = report();
+        assert_eq!(r.mode_secs(ModeKey::Off), 0.0);
+        assert_eq!(r.mode_secs(ModeKey::Decoding), 80.0);
+    }
+
+    #[test]
+    fn freq_residency_lookup_and_mean() {
+        let r = report();
+        assert_eq!(r.freq_secs(221.2), 60.0);
+        assert_eq!(r.freq_secs(103.2), 20.0);
+        assert_eq!(r.freq_secs(59.0), 0.0);
+        let expected = (221.2 * 60.0 + 103.2 * 20.0) / 80.0;
+        assert!((r.mean_decode_frequency_mhz() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_row_contains_labels_and_units() {
+        let row = report().summary_row();
+        assert!(row.contains("ideal"));
+        assert!(row.contains("none"));
+        assert!(row.contains("kJ"));
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let r = report();
+        let json = serde_json::to_value(&r).unwrap();
+        assert_eq!(json["frames_completed"], 2);
+        assert_eq!(json["mode_secs"]["decoding"], 80.0);
+        assert!(json["freq_residency"]["2212"].as_f64().unwrap() > 0.0);
+        assert_eq!(json["governor"], "ideal");
+    }
+
+    #[test]
+    fn display_is_multiline_and_complete() {
+        let text = report().to_string();
+        assert!(text.contains("energy"));
+        assert!(text.contains("frame delay"));
+        assert!(text.contains("decoding=80.0s"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Canned paper scenarios.
+//!
+//! One function per experiment family, so tests, examples and the bench
+//! harness all run the *same* code paths:
+//!
+//! * [`run_mp3_sequence`] — a Table 3 cell (one MP3 sequence under one
+//!   governor),
+//! * [`run_mpeg_clip`] — a Table 4 cell,
+//! * [`run_session`] — a Table 5 cell (the mixed audio/video session
+//!   with idle gaps, under DVS and/or DPM).
+
+use crate::config::SystemConfig;
+use crate::metrics::SimReport;
+use crate::system::SystemSimulator;
+use crate::PmError;
+use simcore::rng::SimRng;
+use workload::session::Session;
+use workload::{mp3, MpegClip, Trace};
+
+/// Runs one MP3 listening sequence (e.g. `"ACEFBD"`) under `config`.
+///
+/// # Errors
+///
+/// Returns an error for unknown clip labels or invalid configuration.
+pub fn run_mp3_sequence(
+    labels: &str,
+    config: &SystemConfig,
+    seed: u64,
+) -> Result<SimReport, PmError> {
+    let mut rng = SimRng::seed_from(seed).fork("mp3-sequence");
+    let trace = mp3::sequence(labels, &mut rng)?;
+    run_trace(&trace, config, seed)
+}
+
+/// Runs one MPEG clip (`"football"` or `"terminator2"`) under `config`.
+///
+/// # Errors
+///
+/// Returns an error for unknown clip names or invalid configuration.
+pub fn run_mpeg_clip(name: &str, config: &SystemConfig, seed: u64) -> Result<SimReport, PmError> {
+    let clip = match name {
+        "football" => MpegClip::football(),
+        "terminator2" => MpegClip::terminator2(),
+        _ => {
+            return Err(PmError::InvalidParameter {
+                name: "clip name (expected football|terminator2)",
+                value: f64::NAN,
+            })
+        }
+    };
+    let mut rng = SimRng::seed_from(seed).fork("mpeg-clip");
+    let trace = clip.generate(&mut rng);
+    run_trace(&trace, config, seed)
+}
+
+/// Runs the canonical Table 5 mixed session under `config`.
+///
+/// # Errors
+///
+/// Returns an error for invalid configuration.
+pub fn run_session(config: &SystemConfig, seed: u64) -> Result<SimReport, PmError> {
+    let mut rng = SimRng::seed_from(seed).fork("session");
+    let session = Session::table5(&mut rng);
+    let trace = session.generate(&mut rng)?;
+    run_trace(&trace, config, seed)
+}
+
+/// Runs an arbitrary prepared trace under `config`.
+///
+/// # Errors
+///
+/// Returns an error for invalid configuration.
+pub fn run_trace(trace: &Trace, config: &SystemConfig, seed: u64) -> Result<SimReport, PmError> {
+    SystemSimulator::new(trace, config.clone(), seed)?.run(trace.end())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DpmKind, GovernorKind};
+    use dpm::policy::SleepState;
+
+    fn cfg(governor: GovernorKind, dpm: DpmKind) -> SystemConfig {
+        SystemConfig {
+            governor,
+            dpm,
+            ..SystemConfig::default()
+        }
+    }
+
+    #[test]
+    fn mp3_sequence_runs_and_labels_match() {
+        let report =
+            run_mp3_sequence("AF", &cfg(GovernorKind::MaxPerformance, DpmKind::None), 11).unwrap();
+        assert_eq!(report.governor, "max");
+        assert_eq!(report.dpm, "none");
+        assert!(report.frames_completed > 1000);
+    }
+
+    #[test]
+    fn unknown_clip_is_rejected() {
+        assert!(run_mpeg_clip("matrix", &SystemConfig::default(), 0).is_err());
+        assert!(run_mp3_sequence("XYZ", &SystemConfig::default(), 0).is_err());
+    }
+
+    #[test]
+    fn ideal_beats_max_on_mp3_sequence() {
+        let max =
+            run_mp3_sequence("AF", &cfg(GovernorKind::MaxPerformance, DpmKind::None), 12).unwrap();
+        let ideal = run_mp3_sequence("AF", &cfg(GovernorKind::Ideal, DpmKind::None), 12).unwrap();
+        assert!(ideal.total_energy_j() < max.total_energy_j());
+    }
+
+    #[test]
+    fn session_with_both_beats_either_alone() {
+        let neither = run_session(&cfg(GovernorKind::MaxPerformance, DpmKind::None), 13).unwrap();
+        let dvs_only = run_session(&cfg(GovernorKind::Ideal, DpmKind::None), 13).unwrap();
+        let dpm_only = run_session(
+            &cfg(
+                GovernorKind::MaxPerformance,
+                DpmKind::BreakEven {
+                    state: SleepState::Standby,
+                },
+            ),
+            13,
+        )
+        .unwrap();
+        let both = run_session(
+            &cfg(
+                GovernorKind::Ideal,
+                DpmKind::BreakEven {
+                    state: SleepState::Standby,
+                },
+            ),
+            13,
+        )
+        .unwrap();
+        assert!(dvs_only.total_energy_j() < neither.total_energy_j());
+        assert!(dpm_only.total_energy_j() < neither.total_energy_j());
+        assert!(both.total_energy_j() < dvs_only.total_energy_j());
+        assert!(both.total_energy_j() < dpm_only.total_energy_j());
+    }
+}

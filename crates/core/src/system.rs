@@ -1,0 +1,612 @@
+//! The event-driven full-system simulator.
+//!
+//! [`SystemSimulator`] plays a workload [`Trace`] against the SmartBadge
+//! model under a [`PowerManager`], reproducing the paper's measurement
+//! loop in simulation:
+//!
+//! * frames arrive from the (simulated) WLAN into the frame buffer,
+//! * the decoder services them at the speed of the current operating
+//!   point (decode time = `work_at_fmax / perf(f)` through the
+//!   application's performance curve),
+//! * on every arrival and decode completion the power manager updates its
+//!   rate estimates and may re-select the frequency/voltage (a switch
+//!   costs the SA-1100's 150 µs),
+//! * when the buffer drains, the device idles and the DPM policy's sleep
+//!   schedule takes over; an arriving frame wakes the system, paying the
+//!   component wake-up latency (uniformly distributed, per Section 2.1),
+//! * every mode interval is integrated into the per-component
+//!   [`EnergyMeter`](hardware::energy::EnergyMeter "hardware energy meter").
+
+use crate::config::SystemConfig;
+use crate::manager::PowerManager;
+use crate::metrics::{ModeKey, SimReport};
+use crate::power::PowerProfile;
+use crate::PmError;
+use dpm::costs::DpmCosts;
+use dpm::policy::SleepState;
+use framequeue::FrameBuffer;
+use hardware::energy::EnergyMeter;
+use hardware::{PowerState, SmartBadge};
+use simcore::event::EventQueue;
+use simcore::rng::SimRng;
+use simcore::stats::OnlineStats;
+use simcore::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use workload::{FrameRecord, Trace};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Event {
+    /// Frame `index` of the trace arrives.
+    Arrival(usize),
+    /// The frame currently decoding completes.
+    DecodeDone,
+    /// The DPM plan commands a sleep state (valid only for `epoch`).
+    SleepCmd { epoch: u64, state: SleepState },
+    /// A wake-up transition completes (valid only for `epoch`).
+    WakeDone { epoch: u64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    Decoding,
+    Idle,
+    Sleeping(SleepState),
+    Waking,
+}
+
+impl Mode {
+    fn key(self) -> ModeKey {
+        match self {
+            Mode::Decoding => ModeKey::Decoding,
+            Mode::Idle => ModeKey::Idle,
+            Mode::Sleeping(SleepState::Standby) => ModeKey::Standby,
+            Mode::Sleeping(SleepState::Off) => ModeKey::Off,
+            Mode::Waking => ModeKey::Waking,
+        }
+    }
+}
+
+/// Simulates one workload trace under one configuration.
+pub struct SystemSimulator {
+    badge: SmartBadge,
+    costs: DpmCosts,
+    config: SystemConfig,
+    manager: PowerManager,
+    rng: SimRng,
+
+    queue: EventQueue<Event>,
+    frames: Vec<FrameRecord>,
+    buffer: FrameBuffer<FrameRecord>,
+    mode: Mode,
+    profile: PowerProfile,
+    last_account: SimTime,
+    idle_epoch: u64,
+    idle_since: SimTime,
+    deepest_this_idle: Option<SleepState>,
+    decoding_frame: Option<FrameRecord>,
+    last_arrival: Option<SimTime>,
+    next_arrival_scheduled: bool,
+    pending_switch: bool,
+
+    meter: EnergyMeter,
+    delays: OnlineStats,
+    mode_secs: BTreeMap<ModeKey, f64>,
+    freq_residency: BTreeMap<u32, f64>,
+    frames_completed: u64,
+    freq_switches: u64,
+    sleeps: u64,
+    wakes: u64,
+}
+
+impl SystemSimulator {
+    /// Creates a simulator for `trace` under `config`, seeding all
+    /// stochastic elements (wake-up latencies, randomized DPM timeouts)
+    /// from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the power manager rejects the configuration.
+    pub fn new(trace: &Trace, config: SystemConfig, seed: u64) -> Result<Self, PmError> {
+        let badge = SmartBadge::new();
+        let costs = DpmCosts::managed_subsystem(&badge);
+        // Neutral initial estimates: typical media rates; the governor
+        // warm-up replaces them with data-driven values within 20 frames.
+        let manager = PowerManager::build(&badge, &config, 25.0, 100.0)?;
+        let profile = PowerProfile::uniform(&badge, PowerState::Idle);
+        Ok(SystemSimulator {
+            badge,
+            costs,
+            config,
+            manager,
+            rng: SimRng::seed_from(seed).fork("system"),
+            queue: EventQueue::new(),
+            frames: trace.frames().to_vec(),
+            buffer: FrameBuffer::new(),
+            mode: Mode::Idle,
+            profile,
+            last_account: SimTime::ZERO,
+            idle_epoch: 0,
+            idle_since: SimTime::ZERO,
+            deepest_this_idle: None,
+            decoding_frame: None,
+            last_arrival: None,
+            next_arrival_scheduled: false,
+            pending_switch: false,
+            meter: EnergyMeter::new(),
+            delays: OnlineStats::new(),
+            mode_secs: BTreeMap::new(),
+            freq_residency: BTreeMap::new(),
+            frames_completed: 0,
+            freq_switches: 0,
+            sleeps: 0,
+            wakes: 0,
+        })
+    }
+
+    /// Runs the trace to completion and returns the report.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after construction; the `Result` reserves
+    /// room for workload-validation failures.
+    pub fn run(mut self, trace_end: SimTime) -> Result<SimReport, PmError> {
+        // Device starts idle with a DPM plan, waiting for the stream.
+        self.enter_idle(SimTime::ZERO);
+        if !self.frames.is_empty() {
+            self.queue.push(self.frames[0].arrival, Event::Arrival(0));
+            self.next_arrival_scheduled = true;
+        }
+
+        while let Some(scheduled) = self.queue.pop() {
+            let now = scheduled.at;
+            self.account(now);
+            match scheduled.event {
+                Event::Arrival(i) => self.handle_arrival(now, i),
+                Event::DecodeDone => self.handle_decode_done(now),
+                Event::SleepCmd { epoch, state } => self.handle_sleep_cmd(now, epoch, state),
+                Event::WakeDone { epoch } => self.handle_wake_done(now, epoch),
+            }
+            // Once the stream is exhausted and drained, account the tail
+            // and stop — remaining queue entries are stale sleep commands.
+            if self.stream_drained() {
+                self.finish(trace_end);
+                break;
+            }
+        }
+        // If the event queue ran dry without hitting the drain check
+        // (e.g. an empty trace under a no-sleep plan), account the tail
+        // now; a second call after an in-loop finish is a no-op.
+        self.finish(trace_end);
+
+        let duration_secs = self
+            .mode_secs
+            .values()
+            .sum::<f64>()
+            .max(trace_end.as_secs_f64());
+        Ok(SimReport {
+            energy: self.meter,
+            frame_delays: self.delays,
+            frames_completed: self.frames_completed,
+            freq_switches: self.freq_switches,
+            rate_changes: self.manager.rate_changes(),
+            sleeps: self.sleeps,
+            wakes: self.wakes,
+            mode_secs: self.mode_secs,
+            freq_residency: self.freq_residency,
+            duration_secs,
+            governor: self.manager.governor_label(),
+            dpm: self.manager.dpm_label(),
+        })
+    }
+
+    fn stream_drained(&self) -> bool {
+        self.decoding_frame.is_none() && self.buffer.is_empty() && !self.next_arrival_scheduled
+    }
+
+    fn account(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_account);
+        if !dt.is_zero() {
+            self.profile.accumulate_into(&mut self.meter, dt);
+            *self.mode_secs.entry(self.mode.key()).or_insert(0.0) += dt.as_secs_f64();
+            if matches!(self.mode, Mode::Decoding) {
+                let key = (self.manager.operating_point().freq_mhz * 10.0).round() as u32;
+                *self.freq_residency.entry(key).or_insert(0.0) += dt.as_secs_f64();
+            }
+            self.last_account = now;
+        }
+    }
+
+    fn set_mode(&mut self, mode: Mode) {
+        self.mode = mode;
+        self.profile = match mode {
+            Mode::Decoding => {
+                let kind = self
+                    .decoding_frame
+                    .map(|f| f.kind)
+                    .unwrap_or(workload::MediaKind::Mp3Audio);
+                let op = self.manager.operating_point();
+                let activity = self.manager.dvs().curve(kind).performance_at(op.freq_mhz);
+                PowerProfile::decode(&self.badge, op, kind, activity)
+            }
+            Mode::Idle => PowerProfile::uniform(&self.badge, PowerState::Idle),
+            Mode::Sleeping(s) => PowerProfile::uniform(&self.badge, s.to_power_state()),
+            Mode::Waking => PowerProfile::waking(&self.badge),
+        };
+    }
+
+    fn handle_arrival(&mut self, now: SimTime, index: usize) {
+        let frame = self.frames[index];
+        // Interarrival gap, gated by the streaming threshold: long gaps
+        // are idle periods, not samples of the streaming distribution.
+        let gap = self.last_arrival.and_then(|prev| {
+            let g = now - prev;
+            (g.as_secs_f64() <= self.config.streaming_gap_threshold_s).then_some(g)
+        });
+        self.last_arrival = Some(now);
+        if self
+            .manager
+            .on_arrival(frame.kind, gap, frame.true_arrival_rate)
+            .is_some()
+        {
+            // A new operating point applies from the next decode start;
+            // any in-flight frame finishes at its old speed, and the
+            // 150 µs switch is folded into the next decode start.
+            self.pending_switch = true;
+        }
+        self.buffer.push(now, frame);
+        if self.manager.note_queue_depth(self.buffer.len()).is_some() {
+            self.pending_switch = true;
+        }
+
+        // Schedule the next arrival.
+        if index + 1 < self.frames.len() {
+            self.queue
+                .push(self.frames[index + 1].arrival, Event::Arrival(index + 1));
+            self.next_arrival_scheduled = true;
+        } else {
+            self.next_arrival_scheduled = false;
+        }
+
+        match self.mode {
+            Mode::Idle => {
+                self.leave_idle(now);
+                self.start_decode(now);
+            }
+            Mode::Sleeping(state) => {
+                self.leave_idle(now);
+                self.begin_wake(now, state);
+            }
+            Mode::Decoding | Mode::Waking => {}
+        }
+    }
+
+    fn leave_idle(&mut self, now: SimTime) {
+        let idle_len = now.saturating_since(self.idle_since);
+        self.manager.on_idle_end(idle_len, self.deepest_this_idle);
+        self.idle_epoch += 1; // invalidates pending SleepCmds
+        self.deepest_this_idle = None;
+    }
+
+    fn begin_wake(&mut self, now: SimTime, state: SleepState) {
+        let nominal = self.costs.wake_latency(state).as_secs_f64();
+        // Uniform [0.5, 1.5]x around the nominal latency (Section 2.1).
+        let latency = SimDuration::from_secs_f64(nominal * (0.5 + self.rng.next_f64()));
+        self.wakes += 1;
+        self.set_mode(Mode::Waking);
+        self.queue.push(
+            now + latency,
+            Event::WakeDone {
+                epoch: self.idle_epoch,
+            },
+        );
+    }
+
+    fn handle_wake_done(&mut self, now: SimTime, epoch: u64) {
+        if epoch != self.idle_epoch || !matches!(self.mode, Mode::Waking) {
+            return;
+        }
+        if self.buffer.is_empty() {
+            // Defensive: a wake with nothing to do returns to idle.
+            self.enter_idle(now);
+        } else {
+            self.start_decode(now);
+        }
+    }
+
+    fn start_decode(&mut self, now: SimTime) {
+        let (frame, _waited) = self
+            .buffer
+            .pop(now)
+            .expect("start_decode requires a buffered frame");
+        let op_before = self.manager.operating_point();
+        self.decoding_frame = Some(frame);
+        self.set_mode(Mode::Decoding);
+        let stretch = self.manager.dvs().stretch(frame.kind, op_before);
+        let mut decode = frame.work * stretch;
+        if self.pending_switch {
+            // The frequency switch is paid at the next decode start.
+            decode += self.badge.cpu().switch_latency().as_secs_f64();
+            self.freq_switches += 1;
+            self.pending_switch = false;
+        }
+        self.queue
+            .push(now + SimDuration::from_secs_f64(decode), Event::DecodeDone);
+    }
+
+    fn handle_decode_done(&mut self, now: SimTime) {
+        let frame = self
+            .decoding_frame
+            .take()
+            .expect("decode completion without a frame");
+        self.frames_completed += 1;
+        self.delays
+            .push(now.saturating_since(frame.arrival).as_secs_f64());
+        if self
+            .manager
+            .on_decode_complete(frame.kind, frame.work, frame.true_service_rate)
+            .is_some()
+        {
+            self.pending_switch = true;
+        }
+        if self.manager.note_queue_depth(self.buffer.len()).is_some() {
+            self.pending_switch = true;
+        }
+        if self.buffer.is_empty() {
+            self.enter_idle(now);
+        } else {
+            self.start_decode(now);
+        }
+    }
+
+    fn enter_idle(&mut self, now: SimTime) {
+        self.idle_epoch += 1;
+        self.idle_since = now;
+        self.deepest_this_idle = None;
+        self.set_mode(Mode::Idle);
+        let plan = self.manager.plan_idle(&mut self.rng);
+        for (after, state) in plan.transitions {
+            self.queue.push(
+                now.saturating_add(after),
+                Event::SleepCmd {
+                    epoch: self.idle_epoch,
+                    state,
+                },
+            );
+        }
+    }
+
+    fn handle_sleep_cmd(&mut self, now: SimTime, epoch: u64, state: SleepState) {
+        if epoch != self.idle_epoch {
+            return;
+        }
+        let allowed = match self.mode {
+            Mode::Idle => true,
+            Mode::Sleeping(current) => state > current,
+            Mode::Decoding | Mode::Waking => false,
+        };
+        if allowed {
+            let _ = now;
+            self.sleeps += 1;
+            self.deepest_this_idle =
+                Some(
+                    self.deepest_this_idle
+                        .map_or(state, |d| if state > d { state } else { d }),
+                );
+            self.set_mode(Mode::Sleeping(state));
+        }
+    }
+
+    /// Accounts the trailing interval after the last frame: the device
+    /// follows its final idle plan until the trace end.
+    fn finish(&mut self, trace_end: SimTime) {
+        let now = self.queue.now();
+        if !matches!(self.mode, Mode::Idle | Mode::Sleeping(_)) || trace_end <= now {
+            self.account(now.max(trace_end));
+            return;
+        }
+        // Walk the remaining queued sleep commands up to the end.
+        let mut pending: Vec<(SimTime, SleepState)> = Vec::new();
+        while let Some(s) = self.queue.pop() {
+            if let Event::SleepCmd { epoch, state } = s.event {
+                if epoch == self.idle_epoch && s.at <= trace_end {
+                    pending.push((s.at, state));
+                }
+            }
+        }
+        pending.sort_by_key(|&(t, _)| t);
+        for (at, state) in pending {
+            self.account(at);
+            let allowed = match self.mode {
+                Mode::Idle => true,
+                Mode::Sleeping(current) => state > current,
+                _ => false,
+            };
+            if allowed {
+                self.sleeps += 1;
+                self.set_mode(Mode::Sleeping(state));
+            }
+        }
+        self.account(trace_end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DpmKind, GovernorKind};
+    use workload::Mp3Clip;
+
+    fn run(config: SystemConfig, seed: u64) -> SimReport {
+        let mut rng = SimRng::seed_from(seed);
+        let trace = Mp3Clip::table2()[0].generate(&mut rng);
+        let end = trace.end();
+        SystemSimulator::new(&trace, config, seed)
+            .unwrap()
+            .run(end)
+            .unwrap()
+    }
+
+    fn max_config() -> SystemConfig {
+        SystemConfig {
+            governor: GovernorKind::MaxPerformance,
+            dpm: DpmKind::None,
+            ..SystemConfig::default()
+        }
+    }
+
+    #[test]
+    fn completes_every_frame() {
+        let report = run(max_config(), 1);
+        let mut rng = SimRng::seed_from(1);
+        let trace = Mp3Clip::table2()[0].generate(&mut rng);
+        assert_eq!(report.frames_completed, trace.frames().len() as u64);
+    }
+
+    #[test]
+    fn energy_and_delay_are_positive_and_sane() {
+        let report = run(max_config(), 2);
+        assert!(report.total_energy_j() > 0.0);
+        // 100 s clip; the managed subsystem peaks at ~0.53 W for MP3.
+        assert!(report.total_energy_j() < 60.0);
+        assert!(report.mean_frame_delay_s() > 0.0);
+        assert!(report.mean_frame_delay_s() < 0.5);
+    }
+
+    #[test]
+    fn max_governor_mostly_idles_on_easy_audio() {
+        let report = run(max_config(), 3);
+        // Clip A: 38 fr/s arrivals, 80 fr/s decode: device is idle roughly
+        // half the time.
+        assert!(report.mode_secs(ModeKey::Idle) > 20.0);
+        assert!(report.mode_secs(ModeKey::Decoding) > 20.0);
+    }
+
+    #[test]
+    fn ideal_dvs_saves_energy_vs_max() {
+        let max = run(max_config(), 4);
+        let ideal = run(
+            SystemConfig {
+                governor: GovernorKind::Ideal,
+                dpm: DpmKind::None,
+                ..SystemConfig::default()
+            },
+            4,
+        );
+        assert!(
+            ideal.total_energy_j() < max.total_energy_j(),
+            "ideal {} vs max {}",
+            ideal.total_energy_j(),
+            max.total_energy_j()
+        );
+    }
+
+    #[test]
+    fn dvs_keeps_delay_near_target() {
+        let ideal = run(
+            SystemConfig {
+                governor: GovernorKind::Ideal,
+                dpm: DpmKind::None,
+                ..SystemConfig::default()
+            },
+            5,
+        );
+        // Target 0.2 s for MP3: observed mean should be within a factor.
+        assert!(
+            ideal.mean_frame_delay_s() < 0.5,
+            "delay {}",
+            ideal.mean_frame_delay_s()
+        );
+    }
+
+    #[test]
+    fn dpm_sleeps_during_long_tail() {
+        // A trace whose end is long after the last frame: the DPM policy
+        // should park the device.
+        let mut rng = SimRng::seed_from(6);
+        let trace = Mp3Clip::table2()[0].generate(&mut rng);
+        let end = trace.end() + SimDuration::from_secs(120);
+        let config = SystemConfig {
+            governor: GovernorKind::MaxPerformance,
+            dpm: DpmKind::BreakEven {
+                state: SleepState::Standby,
+            },
+            ..SystemConfig::default()
+        };
+        let report = SystemSimulator::new(&trace, config, 6)
+            .unwrap()
+            .run(end)
+            .unwrap();
+        assert!(report.mode_secs(ModeKey::Standby) > 100.0, "{report}");
+        assert!(report.sleeps > 0);
+    }
+
+    #[test]
+    fn dpm_reduces_energy_on_gappy_workload() {
+        let mut rng = SimRng::seed_from(7);
+        let a = Mp3Clip::table2()[0].generate(&mut rng);
+        let b = Mp3Clip::table2()[5].generate(&mut rng);
+        let trace = workload::Trace::sequence(&[a, b], SimDuration::from_secs(60));
+        let end = trace.end();
+        let no_dpm = SystemSimulator::new(&trace, max_config(), 7)
+            .unwrap()
+            .run(end)
+            .unwrap();
+        let with_dpm = SystemSimulator::new(
+            &trace,
+            SystemConfig {
+                governor: GovernorKind::MaxPerformance,
+                dpm: DpmKind::BreakEven {
+                    state: SleepState::Standby,
+                },
+                ..SystemConfig::default()
+            },
+            7,
+        )
+        .unwrap()
+        .run(end)
+        .unwrap();
+        assert!(with_dpm.total_energy_j() < no_dpm.total_energy_j());
+        assert!(with_dpm.wakes >= 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run(max_config(), 8);
+        let b = run(max_config(), 8);
+        assert_eq!(a.total_energy_j(), b.total_energy_j());
+        assert_eq!(a.frames_completed, b.frames_completed);
+    }
+
+    #[test]
+    fn frequency_residency_tracks_decode_time() {
+        // Max-performance: all decode time at 221.2 MHz.
+        let report = run(max_config(), 10);
+        let decode_secs = report.mode_secs(ModeKey::Decoding);
+        assert!((report.freq_secs(221.2) - decode_secs).abs() < 1e-6);
+        assert!((report.mean_decode_frequency_mhz() - 221.2).abs() < 1e-6);
+        // Ideal DVS on easy audio: most decode time below max frequency.
+        let ideal = run(
+            SystemConfig {
+                governor: GovernorKind::Ideal,
+                dpm: DpmKind::None,
+                ..SystemConfig::default()
+            },
+            10,
+        );
+        assert!(ideal.mean_decode_frequency_mhz() < 200.0);
+        let total: f64 = ideal.freq_residency.values().sum();
+        assert!((total - ideal.mode_secs(ModeKey::Decoding)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn energy_is_conserved_across_modes() {
+        // Total metered time ≈ trace duration.
+        let report = run(max_config(), 9);
+        let total_mode_secs: f64 = ModeKey::ALL.iter().map(|&m| report.mode_secs(m)).sum();
+        assert!(
+            (total_mode_secs - report.duration_secs).abs() < 1.0,
+            "mode {total_mode_secs} vs duration {}",
+            report.duration_secs
+        );
+    }
+}

@@ -1,0 +1,333 @@
+//! Offline threshold characterization (paper Section 3.1).
+//!
+//! "Off-line characterization is done using stochastic simulation of a set
+//! of possible rates to obtain the value of ln P_max that is sufficient to
+//! detect the change in rate. The results are accumulated in a histogram,
+//! and then the value of maximum likelihood ratio that gives very high
+//! probability that the rate has changed is chosen for every pair of rates
+//! under consideration. In our work we selected 99.5 % likelihood."
+//!
+//! Thanks to the scale invariance documented at the crate root, the
+//! statistic's null distribution depends only on the candidate-to-current
+//! rate **ratio** `r = λn/λo`, so we characterize once per ratio with
+//! standard-exponential windows. This is an exact reformulation of the
+//! per-pair histograms (any pair with the same ratio has the identical
+//! distribution), with the practical benefit that the online detector can
+//! track arbitrary absolute rates without re-calibration.
+
+use crate::likelihood::maximize_ln_p;
+use crate::window::SampleWindow;
+use crate::DetectError;
+use serde::{Deserialize, Serialize};
+use simcore::dist::{Exponential, Sample};
+use simcore::rng::SimRng;
+use simcore::stats::Histogram;
+
+/// Calibration parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationConfig {
+    /// Sliding-window length `m` (paper: 100).
+    pub window: usize,
+    /// Change-index grid step `k` (paper: "checked every k points").
+    pub k_step: usize,
+    /// Detection confidence (paper: 0.995).
+    pub confidence: f64,
+    /// Monte-Carlo trials per ratio.
+    pub trials: usize,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        CalibrationConfig {
+            window: 100,
+            k_step: 10,
+            confidence: 0.995,
+            trials: 2000,
+        }
+    }
+}
+
+impl CalibrationConfig {
+    fn validate(&self) -> Result<(), DetectError> {
+        if self.window < 2 * self.k_step || self.k_step == 0 {
+            return Err(DetectError::InvalidParameter {
+                name: "window/k_step",
+                value: self.window as f64,
+            });
+        }
+        if !(self.confidence.is_finite() && (0.5..1.0).contains(&self.confidence)) {
+            return Err(DetectError::InvalidParameter {
+                name: "confidence",
+                value: self.confidence,
+            });
+        }
+        if self.trials < 100 {
+            return Err(DetectError::InvalidParameter {
+                name: "trials",
+                value: self.trials as f64,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Calibrated detection thresholds, one per candidate rate ratio.
+///
+/// # Example
+///
+/// ```
+/// use detect::calibrate::{CalibrationConfig, ThresholdTable};
+/// use simcore::rng::SimRng;
+///
+/// # fn main() -> Result<(), detect::DetectError> {
+/// let config = CalibrationConfig { trials: 400, ..CalibrationConfig::default() };
+/// let table = ThresholdTable::calibrate(&[0.5, 2.0], config, &mut SimRng::seed_from(0))?;
+/// // A doubling of the rate needs a statistic above its 99.5% null quantile:
+/// assert!(table.threshold(2.0)? > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdTable {
+    config: CalibrationConfig,
+    /// `(ratio, threshold)` pairs, sorted by ratio.
+    entries: Vec<(f64, f64)>,
+}
+
+impl ThresholdTable {
+    /// Runs the offline Monte-Carlo characterization for each ratio in
+    /// `ratios` (each must be positive, finite and ≠ 1): simulates
+    /// no-change windows of Exp(1) samples, accumulates the `ln P_max`
+    /// statistic in a histogram, and stores its `confidence` quantile as
+    /// the detection threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `ratios` is empty, contains an invalid ratio,
+    /// or the configuration is invalid.
+    pub fn calibrate(
+        ratios: &[f64],
+        config: CalibrationConfig,
+        rng: &mut SimRng,
+    ) -> Result<Self, DetectError> {
+        config.validate()?;
+        if ratios.is_empty() {
+            return Err(DetectError::Empty { name: "ratios" });
+        }
+        let unit = Exponential::new(1.0).expect("rate 1 is valid");
+        let mut entries = Vec::with_capacity(ratios.len());
+        for (i, &ratio) in ratios.iter().enumerate() {
+            if !(ratio.is_finite() && ratio > 0.0 && (ratio - 1.0).abs() > 1e-9) {
+                return Err(DetectError::InvalidParameter {
+                    name: "ratio",
+                    value: ratio,
+                });
+            }
+            let mut trial_rng = rng.fork_indexed("calibration-ratio", i as u64);
+            // ln P_max under H0 is usually ≤ a few tens; histogram over a
+            // generous range with quantile resolution ~0.05.
+            let mut hist = Histogram::new(-50.0, 200.0, 5000).expect("static bounds are valid");
+            let mut window = SampleWindow::new(config.window);
+            for _ in 0..config.trials {
+                window.clear();
+                for _ in 0..config.window {
+                    window.push(unit.sample(&mut trial_rng));
+                }
+                let best = maximize_ln_p(&window, 1.0, ratio, config.k_step);
+                hist.record(best.ln_p_max);
+            }
+            entries.push((ratio, hist.quantile(config.confidence)));
+        }
+        entries.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("ratios are finite"));
+        Ok(ThresholdTable { config, entries })
+    }
+
+    /// The calibration configuration this table was built with.
+    #[must_use]
+    pub fn config(&self) -> CalibrationConfig {
+        self.config
+    }
+
+    /// The calibrated `(ratio, threshold)` entries, sorted by ratio.
+    #[must_use]
+    pub fn entries(&self) -> &[(f64, f64)] {
+        &self.entries
+    }
+
+    /// The candidate ratios.
+    #[must_use]
+    pub fn ratios(&self) -> Vec<f64> {
+        self.entries.iter().map(|&(r, _)| r).collect()
+    }
+
+    /// The detection threshold for a candidate ratio.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `ratio` was not calibrated (tolerance 1e−9).
+    pub fn threshold(&self, ratio: f64) -> Result<f64, DetectError> {
+        self.entries
+            .iter()
+            .find(|&&(r, _)| (r - ratio).abs() < 1e-9)
+            .map(|&(_, t)| t)
+            .ok_or(DetectError::InvalidParameter {
+                name: "ratio (not calibrated)",
+                value: ratio,
+            })
+    }
+}
+
+/// The default candidate-ratio grid used by the experiments: geometric
+/// steps covering 4× decreases through 4× increases, dense enough that
+/// any realistic media rate step lands near a candidate.
+#[must_use]
+pub fn default_ratios() -> Vec<f64> {
+    vec![0.25, 0.33, 0.5, 0.67, 0.8, 1.25, 1.5, 2.0, 3.0, 4.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> CalibrationConfig {
+        CalibrationConfig {
+            window: 50,
+            k_step: 5,
+            confidence: 0.99,
+            trials: 400,
+        }
+    }
+
+    #[test]
+    fn thresholds_are_positive_and_finite() {
+        let mut rng = SimRng::seed_from(1);
+        let table = ThresholdTable::calibrate(&[0.5, 2.0, 4.0], quick_config(), &mut rng).unwrap();
+        for &(r, t) in table.entries() {
+            assert!(t.is_finite(), "ratio {r}");
+            assert!(
+                t > 0.0,
+                "ratio {r}: threshold {t} should exceed the ln P ≈ 0 null mode"
+            );
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_matches_confidence() {
+        // Generate fresh H0 windows and check the exceedance rate is near
+        // 1 − confidence.
+        let config = quick_config();
+        let mut rng = SimRng::seed_from(2);
+        let table = ThresholdTable::calibrate(&[2.0], config, &mut rng).unwrap();
+        let thr = table.threshold(2.0).unwrap();
+        let unit = Exponential::new(1.0).unwrap();
+        let mut exceed = 0usize;
+        let n = 2000;
+        let mut w = SampleWindow::new(config.window);
+        for _ in 0..n {
+            w.clear();
+            for _ in 0..config.window {
+                w.push(unit.sample(&mut rng));
+            }
+            if maximize_ln_p(&w, 1.0, 2.0, config.k_step).ln_p_max > thr {
+                exceed += 1;
+            }
+        }
+        let rate = exceed as f64 / n as f64;
+        assert!(
+            rate < 0.03,
+            "false positive rate {rate} should be ≈ 1% at 99% confidence"
+        );
+    }
+
+    #[test]
+    fn true_change_exceeds_threshold() {
+        let config = quick_config();
+        let mut rng = SimRng::seed_from(3);
+        let table = ThresholdTable::calibrate(&[2.0], config, &mut rng).unwrap();
+        let thr = table.threshold(2.0).unwrap();
+        // Window whose second half really runs at double rate.
+        let slow = Exponential::new(1.0).unwrap();
+        let fast = Exponential::new(2.0).unwrap();
+        let mut detected = 0usize;
+        let n = 200;
+        for trial in 0..n {
+            let mut w = SampleWindow::new(config.window);
+            let mut r = SimRng::seed_from(1000 + trial);
+            for _ in 0..config.window / 2 {
+                w.push(slow.sample(&mut r));
+            }
+            for _ in 0..config.window / 2 {
+                w.push(fast.sample(&mut r));
+            }
+            if maximize_ln_p(&w, 1.0, 2.0, config.k_step).ln_p_max > thr {
+                detected += 1;
+            }
+        }
+        assert!(
+            detected as f64 / n as f64 > 0.5,
+            "detection power {detected}/{n} too low"
+        );
+    }
+
+    #[test]
+    fn scale_invariance_holds_empirically() {
+        // The same windows scaled by 1/λ give identical statistics against
+        // (λ, r·λ) — the core of the per-ratio calibration.
+        let unit = Exponential::new(1.0).unwrap();
+        let mut rng = SimRng::seed_from(4);
+        let samples: Vec<f64> = (0..60).map(|_| unit.sample(&mut rng)).collect();
+        let mut w1 = SampleWindow::new(60);
+        let mut w2 = SampleWindow::new(60);
+        let lambda = 37.0;
+        for &x in &samples {
+            w1.push(x);
+            w2.push(x / lambda);
+        }
+        let a = maximize_ln_p(&w1, 1.0, 2.0, 5);
+        let b = maximize_ln_p(&w2, lambda, 2.0 * lambda, 5);
+        assert!((a.ln_p_max - b.ln_p_max).abs() < 1e-9);
+        assert_eq!(a.change_index, b.change_index);
+    }
+
+    #[test]
+    fn bigger_ratio_jumps_are_not_harder_to_clear() {
+        // Thresholds exist for every calibrated ratio and lookups validate.
+        let mut rng = SimRng::seed_from(5);
+        let table = ThresholdTable::calibrate(&default_ratios(), quick_config(), &mut rng).unwrap();
+        assert_eq!(table.ratios().len(), default_ratios().len());
+        assert!(table.threshold(9.0).is_err());
+    }
+
+    #[test]
+    fn calibration_validates_input() {
+        let mut rng = SimRng::seed_from(6);
+        assert!(ThresholdTable::calibrate(&[], quick_config(), &mut rng).is_err());
+        assert!(ThresholdTable::calibrate(&[1.0], quick_config(), &mut rng).is_err());
+        assert!(ThresholdTable::calibrate(&[-2.0], quick_config(), &mut rng).is_err());
+        let bad = CalibrationConfig {
+            window: 5,
+            k_step: 5,
+            ..quick_config()
+        };
+        assert!(ThresholdTable::calibrate(&[2.0], bad, &mut rng).is_err());
+        let bad = CalibrationConfig {
+            confidence: 1.5,
+            ..quick_config()
+        };
+        assert!(ThresholdTable::calibrate(&[2.0], bad, &mut rng).is_err());
+        let bad = CalibrationConfig {
+            trials: 10,
+            ..quick_config()
+        };
+        assert!(ThresholdTable::calibrate(&[2.0], bad, &mut rng).is_err());
+    }
+
+    #[test]
+    fn calibration_is_deterministic_per_seed() {
+        let a =
+            ThresholdTable::calibrate(&[2.0], quick_config(), &mut SimRng::seed_from(7)).unwrap();
+        let b =
+            ThresholdTable::calibrate(&[2.0], quick_config(), &mut SimRng::seed_from(7)).unwrap();
+        assert_eq!(a, b);
+    }
+}

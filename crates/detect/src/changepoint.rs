@@ -1,0 +1,323 @@
+//! The online change-point detector (the paper's detection algorithm).
+//!
+//! [`ChangePointDetector`] keeps a sliding window of the last `m` samples
+//! and, every `check_interval` samples, evaluates the maximum-likelihood
+//! ratio statistic (Eq. 4) for each candidate rate `λn = r · λo`, `r ∈ Λ`.
+//! If any candidate's statistic exceeds its calibrated 99.5 % threshold,
+//! the detector declares a rate change, re-estimates the rate from the
+//! post-change tail of the window (maximum likelihood), and restarts with
+//! those samples.
+
+use crate::calibrate::{default_ratios, CalibrationConfig, ThresholdTable};
+use crate::estimator::{RateChange, RateEstimator};
+use crate::likelihood::maximize_ln_p;
+use crate::window::SampleWindow;
+use crate::DetectError;
+use serde::{Deserialize, Serialize};
+use simcore::rng::SimRng;
+
+/// Configuration of the online change-point detector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChangePointConfig {
+    /// Sliding-window length `m`. The paper found m = 100 "large enough";
+    /// larger windows cost computation, much shorter ones are
+    /// statistically unstable.
+    pub window: usize,
+    /// Run the test every this many new samples (the paper's "checked
+    /// every k points" trade-off between latency and computation).
+    pub check_interval: usize,
+    /// Grid step for the change index inside the window.
+    pub k_step: usize,
+    /// Candidate rate ratios `λn/λo`.
+    pub ratios: Vec<f64>,
+    /// Detection confidence for threshold calibration (paper: 0.995).
+    pub confidence: f64,
+    /// Monte-Carlo trials per ratio during calibration.
+    pub calibration_trials: usize,
+    /// Seed for the calibration random stream, so identically configured
+    /// detectors behave identically.
+    pub calibration_seed: u64,
+}
+
+impl Default for ChangePointConfig {
+    fn default() -> Self {
+        ChangePointConfig {
+            window: 100,
+            check_interval: 10,
+            k_step: 10,
+            ratios: default_ratios(),
+            confidence: 0.995,
+            calibration_trials: 2000,
+            calibration_seed: 0x5EED,
+        }
+    }
+}
+
+/// Online rate-change detector driven by the maximum-likelihood ratio
+/// test with offline-calibrated thresholds.
+///
+/// See the crate-level docs for a complete usage example.
+#[derive(Debug, Clone)]
+pub struct ChangePointDetector {
+    rate: f64,
+    window: SampleWindow,
+    table: ThresholdTable,
+    check_interval: usize,
+    k_step: usize,
+    since_check: usize,
+}
+
+impl ChangePointDetector {
+    /// Creates a detector with the given initial rate estimate, running
+    /// the offline threshold calibration internally.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the initial rate or any configuration value is
+    /// invalid.
+    pub fn new(initial_rate: f64, config: ChangePointConfig) -> Result<Self, DetectError> {
+        let calibration = CalibrationConfig {
+            window: config.window,
+            k_step: config.k_step,
+            confidence: config.confidence,
+            trials: config.calibration_trials,
+        };
+        let mut rng = SimRng::seed_from(config.calibration_seed);
+        let table = ThresholdTable::calibrate(&config.ratios, calibration, &mut rng)?;
+        Self::with_table(initial_rate, table, config.check_interval)
+    }
+
+    /// Creates a detector reusing an existing (possibly shared)
+    /// threshold table — calibration is the expensive part, so experiment
+    /// harnesses calibrate once and clone.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the initial rate or `check_interval` is
+    /// invalid.
+    pub fn with_table(
+        initial_rate: f64,
+        table: ThresholdTable,
+        check_interval: usize,
+    ) -> Result<Self, DetectError> {
+        if !(initial_rate.is_finite() && initial_rate > 0.0) {
+            return Err(DetectError::InvalidParameter {
+                name: "initial_rate",
+                value: initial_rate,
+            });
+        }
+        if check_interval == 0 {
+            return Err(DetectError::InvalidParameter {
+                name: "check_interval",
+                value: 0.0,
+            });
+        }
+        let window = SampleWindow::new(table.config().window);
+        Ok(ChangePointDetector {
+            rate: initial_rate,
+            k_step: table.config().k_step,
+            table,
+            check_interval,
+            since_check: 0,
+            window,
+        })
+    }
+
+    /// The calibrated threshold table in use.
+    #[must_use]
+    pub fn table(&self) -> &ThresholdTable {
+        &self.table
+    }
+
+    /// Number of samples currently buffered in the window.
+    #[must_use]
+    pub fn window_fill(&self) -> usize {
+        self.window.len()
+    }
+
+    fn run_test(&mut self) -> Option<RateChange> {
+        let mut best: Option<(f64, usize)> = None; // (margin, tail_len)
+        for &(ratio, threshold) in self.table.entries() {
+            let candidate = maximize_ln_p(&self.window, self.rate, self.rate * ratio, self.k_step);
+            let margin = candidate.ln_p_max - threshold;
+            if margin > 0.0 && best.is_none_or(|(m, _)| margin > m) {
+                best = Some((margin, candidate.tail_len));
+            }
+        }
+        let (_, tail_len) = best?;
+        // Maximum-likelihood re-estimate from the post-change samples; the
+        // candidate grid located the change, the tail MLE refines the rate.
+        let new_rate = self.window.suffix_rate(tail_len);
+        self.window.retain_last(tail_len);
+        self.rate = new_rate;
+        Some(RateChange {
+            new_rate,
+            samples_since_change: tail_len,
+        })
+    }
+}
+
+impl RateEstimator for ChangePointDetector {
+    fn observe(&mut self, sample: f64) -> Option<RateChange> {
+        if !(sample.is_finite() && sample > 0.0) {
+            return None; // zero-length gaps carry no rate information
+        }
+        self.window.push(sample);
+        self.since_check += 1;
+        if self.window.is_full() && self.since_check >= self.check_interval {
+            self.since_check = 0;
+            return self.run_test();
+        }
+        None
+    }
+
+    fn current_rate(&self) -> f64 {
+        self.rate
+    }
+
+    fn reset(&mut self, initial_rate: f64) {
+        assert!(
+            initial_rate.is_finite() && initial_rate > 0.0,
+            "initial rate must be positive"
+        );
+        self.rate = initial_rate;
+        self.window.clear();
+        self.since_check = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "change-point"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::dist::{Exponential, Sample};
+
+    fn quick_config() -> ChangePointConfig {
+        ChangePointConfig {
+            window: 60,
+            check_interval: 5,
+            k_step: 6,
+            calibration_trials: 500,
+            ..ChangePointConfig::default()
+        }
+    }
+
+    fn feed_exponential(
+        det: &mut ChangePointDetector,
+        rate: f64,
+        n: usize,
+        rng: &mut SimRng,
+    ) -> Vec<(usize, RateChange)> {
+        let dist = Exponential::new(rate).unwrap();
+        let mut changes = Vec::new();
+        for i in 0..n {
+            if let Some(c) = det.observe(dist.sample(rng)) {
+                changes.push((i, c));
+            }
+        }
+        changes
+    }
+
+    #[test]
+    fn stable_rate_rarely_fires() {
+        let mut det = ChangePointDetector::new(30.0, quick_config()).unwrap();
+        let mut rng = SimRng::seed_from(1);
+        let changes = feed_exponential(&mut det, 30.0, 2000, &mut rng);
+        // 99.5% confidence per candidate ratio, ~10 candidates, checked
+        // every 5 samples over overlapping windows → a small number of
+        // false alarms is expected; runaway firing is not.
+        assert!(changes.len() <= 15, "{} false alarms", changes.len());
+        assert!((det.current_rate() - 30.0).abs() / 30.0 < 0.35);
+    }
+
+    #[test]
+    fn detects_step_up_quickly_and_accurately() {
+        let mut det = ChangePointDetector::new(10.0, quick_config()).unwrap();
+        let mut rng = SimRng::seed_from(2);
+        feed_exponential(&mut det, 10.0, 300, &mut rng);
+        let changes = feed_exponential(&mut det, 60.0, 120, &mut rng);
+        assert!(!changes.is_empty(), "step 10→60 must be detected");
+        let (when, _) = changes[0];
+        // Paper Fig. 10: detects "within 10 frames of the ideal detection".
+        assert!(when <= 40, "detected after {when} samples");
+        assert!(
+            (det.current_rate() - 60.0).abs() / 60.0 < 0.3,
+            "final rate {}",
+            det.current_rate()
+        );
+    }
+
+    #[test]
+    fn detects_step_down() {
+        let mut det = ChangePointDetector::new(60.0, quick_config()).unwrap();
+        let mut rng = SimRng::seed_from(3);
+        feed_exponential(&mut det, 60.0, 300, &mut rng);
+        let changes = feed_exponential(&mut det, 10.0, 200, &mut rng);
+        assert!(!changes.is_empty());
+        assert!((det.current_rate() - 10.0).abs() / 10.0 < 0.3);
+    }
+
+    #[test]
+    fn tracks_multiple_steps() {
+        let mut det = ChangePointDetector::new(20.0, quick_config()).unwrap();
+        let mut rng = SimRng::seed_from(4);
+        for &rate in &[20.0, 40.0, 15.0, 30.0] {
+            feed_exponential(&mut det, rate, 400, &mut rng);
+            assert!(
+                (det.current_rate() - rate).abs() / rate < 0.35,
+                "after {rate}: estimate {}",
+                det.current_rate()
+            );
+        }
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut det = ChangePointDetector::new(10.0, quick_config()).unwrap();
+        let mut rng = SimRng::seed_from(5);
+        feed_exponential(&mut det, 50.0, 500, &mut rng);
+        det.reset(25.0);
+        assert_eq!(det.current_rate(), 25.0);
+        assert_eq!(det.window_fill(), 0);
+    }
+
+    #[test]
+    fn non_positive_samples_are_ignored() {
+        let mut det = ChangePointDetector::new(10.0, quick_config()).unwrap();
+        assert_eq!(det.observe(0.0), None);
+        assert_eq!(det.observe(f64::NAN), None);
+        assert_eq!(det.window_fill(), 0);
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(ChangePointDetector::new(0.0, quick_config()).is_err());
+        let bad = ChangePointConfig {
+            check_interval: 0,
+            ..quick_config()
+        };
+        assert!(ChangePointDetector::new(10.0, bad).is_err());
+        let bad = ChangePointConfig {
+            ratios: vec![],
+            ..quick_config()
+        };
+        assert!(ChangePointDetector::new(10.0, bad).is_err());
+    }
+
+    #[test]
+    fn shared_table_reuse() {
+        let det = ChangePointDetector::new(10.0, quick_config()).unwrap();
+        let table = det.table().clone();
+        let det2 = ChangePointDetector::with_table(20.0, table, 5).unwrap();
+        assert_eq!(det2.current_rate(), 20.0);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        let det = ChangePointDetector::new(10.0, quick_config()).unwrap();
+        assert_eq!(det.name(), "change-point");
+    }
+}

@@ -1,0 +1,200 @@
+//! Exponential-moving-average rate estimation (paper Eq. 6).
+//!
+//! The baseline the paper compares against (from the earlier DVS
+//! literature) smooths the *instantaneous* rate of each sample:
+//!
+//! ```text
+//! Rate_new_avg = (1 − g) · Rate_old_avg + g · Rate_cur
+//! ```
+//!
+//! where `Rate_cur = 1/x` for the latest gap `x` and `g` is the gain.
+//! Because `1/x` for exponential samples has unbounded variance, the
+//! estimate oscillates — the instability visible in the paper's Figure 10
+//! and the cause of the EMA policy's higher energy *and* higher delay in
+//! Tables 3 and 4.
+
+use crate::estimator::{RateChange, RateEstimator};
+use crate::DetectError;
+
+/// Exponential moving average of instantaneous rates.
+///
+/// # Example
+///
+/// ```
+/// use detect::ema::EmaEstimator;
+/// use detect::estimator::RateEstimator;
+///
+/// # fn main() -> Result<(), detect::DetectError> {
+/// let mut ema = EmaEstimator::new(10.0, 0.3)?;
+/// ema.observe(0.05); // a 20 ev/s gap pulls the estimate up
+/// assert!(ema.current_rate() > 10.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmaEstimator {
+    rate: f64,
+    gain: f64,
+}
+
+impl EmaEstimator {
+    /// Creates an estimator with an initial rate and gain `g ∈ (0, 1]`.
+    ///
+    /// The paper's Figure 10 plots gains 0.3 and 0.5.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the rate is not positive/finite or the gain is
+    /// outside `(0, 1]`.
+    pub fn new(initial_rate: f64, gain: f64) -> Result<Self, DetectError> {
+        if !(initial_rate.is_finite() && initial_rate > 0.0) {
+            return Err(DetectError::InvalidParameter {
+                name: "initial_rate",
+                value: initial_rate,
+            });
+        }
+        if !(gain.is_finite() && gain > 0.0 && gain <= 1.0) {
+            return Err(DetectError::InvalidParameter {
+                name: "gain",
+                value: gain,
+            });
+        }
+        Ok(EmaEstimator {
+            rate: initial_rate,
+            gain,
+        })
+    }
+
+    /// The smoothing gain.
+    #[must_use]
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+}
+
+impl RateEstimator for EmaEstimator {
+    fn observe(&mut self, sample: f64) -> Option<RateChange> {
+        if !(sample.is_finite() && sample > 0.0) {
+            return None;
+        }
+        let instantaneous = 1.0 / sample;
+        self.rate = (1.0 - self.gain) * self.rate + self.gain * instantaneous;
+        // The EMA revises its estimate on every sample — the resulting
+        // continuous frequency re-adjustment is exactly its weakness.
+        Some(RateChange {
+            new_rate: self.rate,
+            samples_since_change: 1,
+        })
+    }
+
+    fn current_rate(&self) -> f64 {
+        self.rate
+    }
+
+    fn reset(&mut self, initial_rate: f64) {
+        assert!(
+            initial_rate.is_finite() && initial_rate > 0.0,
+            "initial rate must be positive"
+        );
+        self.rate = initial_rate;
+    }
+
+    fn name(&self) -> &'static str {
+        "exp-average"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::dist::{Exponential, Sample};
+    use simcore::rng::SimRng;
+
+    #[test]
+    fn converges_toward_true_rate_on_average() {
+        let mut ema = EmaEstimator::new(10.0, 0.3).unwrap();
+        let dist = Exponential::new(60.0).unwrap();
+        let mut rng = SimRng::seed_from(1);
+        let n = 5000;
+        let mut estimates = Vec::with_capacity(n);
+        for _ in 0..n {
+            ema.observe(dist.sample(&mut rng));
+            estimates.push(ema.current_rate());
+        }
+        // E[1/x] diverges, so the long-run *mean* is unbounded; the median
+        // of the estimate should still track the true rate's ballpark.
+        let median = simcore::stats::exact_quantile(&estimates, 0.5);
+        assert!((30.0..300.0).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn is_unstable_compared_to_the_truth() {
+        // The paper's core criticism: EMA with the Fig. 10 gains swings
+        // wildly around the true rate.
+        let mut ema = EmaEstimator::new(60.0, 0.5).unwrap();
+        let dist = Exponential::new(60.0).unwrap();
+        let mut rng = SimRng::seed_from(2);
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        for _ in 0..2000 {
+            ema.observe(dist.sample(&mut rng));
+            min = min.min(ema.current_rate());
+            max = max.max(ema.current_rate());
+        }
+        assert!(
+            max / min > 5.0,
+            "EMA should oscillate: range {min:.1}..{max:.1}"
+        );
+    }
+
+    #[test]
+    fn lower_gain_is_smoother() {
+        let dist = Exponential::new(30.0).unwrap();
+        let spread = |gain: f64| {
+            let mut ema = EmaEstimator::new(30.0, gain).unwrap();
+            let mut rng = SimRng::seed_from(3);
+            let mut lo = f64::INFINITY;
+            let mut hi = 0.0f64;
+            for _ in 0..2000 {
+                ema.observe(dist.sample(&mut rng));
+                lo = lo.min(ema.current_rate());
+                hi = hi.max(ema.current_rate());
+            }
+            hi - lo
+        };
+        assert!(spread(0.05) < spread(0.5));
+    }
+
+    #[test]
+    fn reports_every_sample() {
+        let mut ema = EmaEstimator::new(10.0, 0.3).unwrap();
+        assert!(ema.observe(0.1).is_some());
+        assert!(ema.observe(0.1).is_some());
+    }
+
+    #[test]
+    fn ignores_degenerate_samples() {
+        let mut ema = EmaEstimator::new(10.0, 0.3).unwrap();
+        assert!(ema.observe(0.0).is_none());
+        assert!(ema.observe(-1.0).is_none());
+        assert_eq!(ema.current_rate(), 10.0);
+    }
+
+    #[test]
+    fn validates_parameters() {
+        assert!(EmaEstimator::new(0.0, 0.3).is_err());
+        assert!(EmaEstimator::new(10.0, 0.0).is_err());
+        assert!(EmaEstimator::new(10.0, 1.5).is_err());
+        assert!(EmaEstimator::new(10.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn reset_and_name() {
+        let mut ema = EmaEstimator::new(10.0, 0.3).unwrap();
+        ema.observe(0.001);
+        ema.reset(42.0);
+        assert_eq!(ema.current_rate(), 42.0);
+        assert_eq!(ema.name(), "exp-average");
+        assert_eq!(ema.gain(), 0.3);
+    }
+}

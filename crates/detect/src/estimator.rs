@@ -1,0 +1,71 @@
+//! The common interface of all rate estimators.
+//!
+//! Every detection strategy the paper compares — ideal, exponential
+//! moving average, change-point — consumes a stream of non-negative
+//! samples (interarrival times or decode times) and maintains a current
+//! rate estimate. The power manager is generic over this trait, so
+//! swapping strategies is a one-line change in experiment configs.
+
+use serde::{Deserialize, Serialize};
+
+/// A detected (or updated) rate, reported by an estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateChange {
+    /// The new rate estimate, events/second.
+    pub new_rate: f64,
+    /// How many of the most recent samples are believed to come from the
+    /// new rate (the window tail after the estimated change index).
+    pub samples_since_change: usize,
+}
+
+/// An online rate estimator over a stream of positive samples.
+///
+/// Object safe: the power manager stores `Box<dyn RateEstimator>`.
+pub trait RateEstimator {
+    /// Feeds one sample (seconds). Returns `Some(RateChange)` when the
+    /// estimator decides the underlying rate has changed (for the
+    /// change-point detector) or produces a materially new estimate (for
+    /// smoothing estimators).
+    fn observe(&mut self, sample: f64) -> Option<RateChange>;
+
+    /// The current rate estimate, events/second.
+    fn current_rate(&self) -> f64;
+
+    /// Resets the estimator to a fresh state with the given initial rate.
+    fn reset(&mut self, initial_rate: f64);
+
+    /// A short human-readable name for experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(f64);
+
+    impl RateEstimator for Fixed {
+        fn observe(&mut self, _sample: f64) -> Option<RateChange> {
+            None
+        }
+        fn current_rate(&self) -> f64 {
+            self.0
+        }
+        fn reset(&mut self, initial_rate: f64) {
+            self.0 = initial_rate;
+        }
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut est: Box<dyn RateEstimator> = Box::new(Fixed(10.0));
+        assert_eq!(est.observe(0.1), None);
+        assert_eq!(est.current_rate(), 10.0);
+        est.reset(20.0);
+        assert_eq!(est.current_rate(), 20.0);
+        assert_eq!(est.name(), "fixed");
+    }
+}

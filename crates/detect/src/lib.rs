@@ -1,0 +1,155 @@
+#![warn(missing_docs)]
+//! Rate-change detection — the first half of the paper's contribution.
+//!
+//! A DVS policy is only as good as its knowledge of the current frame
+//! arrival and decode rates. The paper (Section 3) detects rate changes
+//! with a **maximum-likelihood ratio test** over a sliding window of the
+//! last `m` interarrival (or decode-time) samples:
+//!
+//! ```text
+//!           Π_{j≤k} λo e^{−λo xⱼ} · Π_{k<j≤m} λn e^{−λn xⱼ}
+//! P_max = ─────────────────────────────────────────────────────
+//!                     Π_{j≤m} λo e^{−λo xⱼ}
+//!
+//! ln P_max = (m−k) ln(λn/λo) − (λn−λo) Σ_{j=k+1..m} xⱼ     (Eq. 4)
+//! ```
+//!
+//! maximized over the change index `k` and candidate new rates `λn ∈ Λ`.
+//! Detection fires when `ln P_max` exceeds a threshold calibrated
+//! **offline** by stochastic simulation so that a firing implies 99.5 %
+//! likelihood that the rate really changed (paper Section 3.1).
+//!
+//! ## Scale invariance
+//!
+//! For exponential samples the statistic under the no-change hypothesis
+//! depends only on the **ratio** `r = λn/λo`: substituting `u = λo·x`
+//! (which is Exp(1)) gives `ln P_max = (m−k) ln r − (r−1) Σ u_j`. The
+//! calibration in [`calibrate`] therefore simulates standard-exponential
+//! windows once per ratio, instead of once per absolute rate pair — an
+//! exact reformulation of the paper's per-pair histograms that makes the
+//! offline characterization cheap and rate-grid independent.
+//!
+//! ## What lives where
+//!
+//! * [`window`] — the sliding sample window with suffix sums,
+//! * [`likelihood`] — the `ln P_max` statistic (Eq. 4),
+//! * [`calibrate`] — offline Monte-Carlo threshold characterization,
+//! * [`changepoint`] — the online [`ChangePointDetector`],
+//! * [`ema`] — the exponential-moving-average estimator the paper
+//!   compares against (Eq. 6),
+//! * [`oracle`] — ideal detection with ground-truth knowledge,
+//! * [`cusum`] — a CUSUM variant (paper ref.\[17\]) for the ablation bench,
+//! * [`estimator`] — the common [`RateEstimator`] trait.
+//!
+//! # Example
+//!
+//! ```
+//! use detect::changepoint::{ChangePointConfig, ChangePointDetector};
+//! use detect::estimator::RateEstimator;
+//! use simcore::dist::{Exponential, Sample};
+//! use simcore::rng::SimRng;
+//!
+//! # fn main() -> Result<(), detect::DetectError> {
+//! let config = ChangePointConfig::default();
+//! let mut det = ChangePointDetector::new(10.0, config)?;
+//! let mut rng = SimRng::seed_from(1);
+//!
+//! // 300 samples at 10 ev/s, then a jump to 60 ev/s (the Fig. 10 case).
+//! let slow = Exponential::new(10.0)?;
+//! let fast = Exponential::new(60.0)?;
+//! for _ in 0..300 {
+//!     det.observe(slow.sample(&mut rng));
+//! }
+//! assert!((det.current_rate() - 10.0).abs() < 2.5);
+//! let mut detected = false;
+//! for _ in 0..200 {
+//!     if det.observe(fast.sample(&mut rng)).is_some() {
+//!         detected = true;
+//!         break;
+//!     }
+//! }
+//! assert!(detected, "rate jump must be detected");
+//! assert!((det.current_rate() - 60.0).abs() < 15.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod calibrate;
+pub mod changepoint;
+pub mod cusum;
+pub mod ema;
+pub mod estimator;
+pub mod likelihood;
+pub mod oracle;
+pub mod window;
+
+pub use changepoint::{ChangePointConfig, ChangePointDetector};
+pub use ema::EmaEstimator;
+pub use estimator::{RateChange, RateEstimator};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from detector construction and calibration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DetectError {
+    /// A numeric parameter was out of its legal domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// An empty candidate set or sample collection.
+    Empty {
+        /// Name of the offending argument.
+        name: &'static str,
+    },
+}
+
+impl fmt::Display for DetectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectError::InvalidParameter { name, value } => {
+                write!(f, "invalid detector parameter `{name}` = {value}")
+            }
+            DetectError::Empty { name } => write!(f, "`{name}` must not be empty"),
+        }
+    }
+}
+
+impl Error for DetectError {}
+
+impl From<simcore::SimError> for DetectError {
+    fn from(e: simcore::SimError) -> Self {
+        match e {
+            simcore::SimError::InvalidParameter { name, value, .. } => {
+                DetectError::InvalidParameter { name, value }
+            }
+            simcore::SimError::Empty { name } => DetectError::Empty { name },
+            simcore::SimError::LengthMismatch { name, .. } => DetectError::Empty { name },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_traits() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DetectError>();
+        let e = DetectError::InvalidParameter {
+            name: "window",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("window"));
+    }
+
+    #[test]
+    fn sim_error_converts() {
+        let e: DetectError = simcore::SimError::Empty { name: "samples" }.into();
+        assert_eq!(e, DetectError::Empty { name: "samples" });
+    }
+}

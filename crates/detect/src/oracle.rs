@@ -1,0 +1,120 @@
+//! Ideal (oracle) detection.
+//!
+//! The paper's comparison baseline "assumes knowledge of the future; thus
+//! the system detects the change in rate exactly when the change occurs".
+//! [`OracleEstimator`] is fed the ground-truth rate alongside each sample
+//! (the workload traces carry it) and reports a change at the precise
+//! sample where the truth steps.
+
+use crate::estimator::{RateChange, RateEstimator};
+use crate::DetectError;
+
+/// An estimator that simply mirrors externally supplied ground truth.
+///
+/// Use [`OracleEstimator::observe_truth`] when the true rate is known per
+/// sample; the plain [`RateEstimator::observe`] path is a no-op so the
+/// oracle can still be used behind the common trait object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleEstimator {
+    rate: f64,
+}
+
+impl OracleEstimator {
+    /// Creates an oracle with an initial rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless the rate is finite and positive.
+    pub fn new(initial_rate: f64) -> Result<Self, DetectError> {
+        if !(initial_rate.is_finite() && initial_rate > 0.0) {
+            return Err(DetectError::InvalidParameter {
+                name: "initial_rate",
+                value: initial_rate,
+            });
+        }
+        Ok(OracleEstimator { rate: initial_rate })
+    }
+
+    /// Feeds the ground-truth rate for the current sample. Returns a
+    /// change exactly when the truth differs from the held rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `true_rate` is not finite and positive.
+    pub fn observe_truth(&mut self, true_rate: f64) -> Option<RateChange> {
+        assert!(
+            true_rate.is_finite() && true_rate > 0.0,
+            "true rate must be positive"
+        );
+        if (true_rate - self.rate).abs() > 1e-9 {
+            self.rate = true_rate;
+            Some(RateChange {
+                new_rate: true_rate,
+                samples_since_change: 0,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+impl RateEstimator for OracleEstimator {
+    fn observe(&mut self, _sample: f64) -> Option<RateChange> {
+        // The oracle learns from truth, not from samples.
+        None
+    }
+
+    fn current_rate(&self) -> f64 {
+        self.rate
+    }
+
+    fn reset(&mut self, initial_rate: f64) {
+        assert!(
+            initial_rate.is_finite() && initial_rate > 0.0,
+            "initial rate must be positive"
+        );
+        self.rate = initial_rate;
+    }
+
+    fn name(&self) -> &'static str {
+        "ideal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_exactly_on_truth_steps() {
+        let mut oracle = OracleEstimator::new(10.0).unwrap();
+        assert!(oracle.observe_truth(10.0).is_none());
+        let change = oracle.observe_truth(60.0).unwrap();
+        assert_eq!(change.new_rate, 60.0);
+        assert_eq!(change.samples_since_change, 0);
+        assert!(oracle.observe_truth(60.0).is_none());
+        assert_eq!(oracle.current_rate(), 60.0);
+    }
+
+    #[test]
+    fn samples_are_ignored() {
+        let mut oracle = OracleEstimator::new(10.0).unwrap();
+        assert!(oracle.observe(123.0).is_none());
+        assert_eq!(oracle.current_rate(), 10.0);
+    }
+
+    #[test]
+    fn validation_and_reset() {
+        assert!(OracleEstimator::new(-1.0).is_err());
+        let mut oracle = OracleEstimator::new(10.0).unwrap();
+        oracle.reset(5.0);
+        assert_eq!(oracle.current_rate(), 5.0);
+        assert_eq!(oracle.name(), "ideal");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_truth_panics() {
+        let _ = OracleEstimator::new(10.0).unwrap().observe_truth(0.0);
+    }
+}

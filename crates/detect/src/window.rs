@@ -1,0 +1,261 @@
+//! Sliding sample window with O(1) suffix sums.
+//!
+//! The `ln P_max` statistic needs, for every candidate change index `k`,
+//! the sum of the **last** `m − k` samples. [`SampleWindow`] keeps the
+//! window in a ring buffer together with a running prefix-sum offset so
+//! any suffix sum is answered from two subtractions, and the paper's note
+//! that "only the sum of interarrival times needs to be updated upon
+//! every arrival" holds in the implementation too.
+
+use std::collections::VecDeque;
+
+/// A fixed-capacity sliding window of positive samples.
+///
+/// # Example
+///
+/// ```
+/// use detect::window::SampleWindow;
+///
+/// let mut w = SampleWindow::new(3);
+/// w.push(1.0);
+/// w.push(2.0);
+/// w.push(3.0);
+/// w.push(4.0); // evicts 1.0
+/// assert_eq!(w.len(), 3);
+/// assert_eq!(w.suffix_sum(2), 7.0); // last two samples: 3 + 4
+/// assert_eq!(w.total(), 9.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SampleWindow {
+    samples: VecDeque<f64>,
+    /// Cumulative sums aligned with `samples`: `cumsum[i]` is the sum of
+    /// `samples[0..=i]` plus an arbitrary base offset.
+    cumsum: VecDeque<f64>,
+    capacity: usize,
+}
+
+impl SampleWindow {
+    /// Creates a window holding at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        SampleWindow {
+            samples: VecDeque::with_capacity(capacity),
+            cumsum: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Maximum number of samples retained.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no samples are held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// `true` when the window holds `capacity` samples.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.samples.len() == self.capacity
+    }
+
+    /// Appends a sample, evicting the oldest if full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample` is negative or not finite.
+    pub fn push(&mut self, sample: f64) {
+        assert!(
+            sample.is_finite() && sample >= 0.0,
+            "samples must be finite and non-negative, got {sample}"
+        );
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+            self.cumsum.pop_front();
+        }
+        let base = self.cumsum.back().copied().unwrap_or(0.0);
+        self.samples.push_back(sample);
+        self.cumsum.push_back(base + sample);
+    }
+
+    /// Sum of the most recent `n` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the current length.
+    #[must_use]
+    pub fn suffix_sum(&self, n: usize) -> f64 {
+        assert!(n <= self.samples.len(), "suffix longer than window");
+        if n == 0 {
+            return 0.0;
+        }
+        let last = *self.cumsum.back().expect("n > 0 implies non-empty");
+        let cut = self.samples.len() - n;
+        if cut == 0 {
+            last - (self.cumsum.front().expect("non-empty")
+                - self.samples.front().expect("non-empty"))
+        } else {
+            last - self.cumsum[cut - 1]
+        }
+    }
+
+    /// Sum of all samples in the window.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.suffix_sum(self.samples.len())
+    }
+
+    /// Mean of all samples; `0.0` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.total() / self.samples.len() as f64
+        }
+    }
+
+    /// Maximum-likelihood exponential rate of the most recent `n`
+    /// samples: `n / suffix_sum(n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero, exceeds the length, or the suffix sum is
+    /// zero.
+    #[must_use]
+    pub fn suffix_rate(&self, n: usize) -> f64 {
+        assert!(n > 0, "rate of zero samples");
+        let s = self.suffix_sum(n);
+        assert!(s > 0.0, "rate undefined for all-zero samples");
+        n as f64 / s
+    }
+
+    /// Keeps only the most recent `n` samples, discarding the rest. Used
+    /// after a detected change so the window contains post-change samples
+    /// only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the current length.
+    pub fn retain_last(&mut self, n: usize) {
+        assert!(n <= self.samples.len(), "cannot retain more than held");
+        while self.samples.len() > n {
+            self.samples.pop_front();
+            self.cumsum.pop_front();
+        }
+    }
+
+    /// Clears all samples.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.cumsum.clear();
+    }
+
+    /// Iterates the samples oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.samples.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_evict() {
+        let mut w = SampleWindow::new(2);
+        w.push(1.0);
+        assert!(!w.is_full());
+        w.push(2.0);
+        assert!(w.is_full());
+        w.push(3.0);
+        let v: Vec<f64> = w.iter().collect();
+        assert_eq!(v, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn suffix_sums_match_naive() {
+        let mut w = SampleWindow::new(5);
+        let data = [0.5, 1.5, 2.0, 0.25, 3.0, 1.0, 0.75];
+        for &x in &data {
+            w.push(x);
+        }
+        let held: Vec<f64> = w.iter().collect();
+        for n in 0..=held.len() {
+            let naive: f64 = held[held.len() - n..].iter().sum();
+            assert!((w.suffix_sum(n) - naive).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn suffix_sums_stay_accurate_after_many_evictions() {
+        let mut w = SampleWindow::new(10);
+        for i in 0..100_000 {
+            w.push((i % 7) as f64 * 0.1);
+        }
+        let held: Vec<f64> = w.iter().collect();
+        let naive: f64 = held.iter().sum();
+        assert!((w.total() - naive).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_and_rate() {
+        let mut w = SampleWindow::new(4);
+        for x in [0.1, 0.1, 0.1, 0.1] {
+            w.push(x);
+        }
+        assert!((w.mean() - 0.1).abs() < 1e-12);
+        assert!((w.suffix_rate(4) - 10.0).abs() < 1e-9);
+        assert!((w.suffix_rate(2) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retain_last_keeps_tail() {
+        let mut w = SampleWindow::new(5);
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            w.push(x);
+        }
+        w.retain_last(2);
+        let v: Vec<f64> = w.iter().collect();
+        assert_eq!(v, vec![4.0, 5.0]);
+        assert_eq!(w.total(), 9.0);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.suffix_sum(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = SampleWindow::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_sample_panics() {
+        SampleWindow::new(2).push(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "suffix longer")]
+    fn oversized_suffix_panics() {
+        let mut w = SampleWindow::new(3);
+        w.push(1.0);
+        let _ = w.suffix_sum(2);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the detection stack.
+
+use detect::calibrate::{CalibrationConfig, ThresholdTable};
+use detect::likelihood::{ln_p_at, maximize_ln_p};
+use detect::window::SampleWindow;
+use proptest::prelude::*;
+use simcore::dist::{Exponential, Sample};
+use simcore::rng::SimRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Window suffix sums match naive recomputation for any push
+    /// sequence and any suffix length.
+    #[test]
+    fn suffix_sums_match_naive(
+        samples in prop::collection::vec(0.0f64..1e3, 1..200),
+        capacity in 1usize..64,
+    ) {
+        let mut w = SampleWindow::new(capacity);
+        for &x in &samples {
+            w.push(x);
+        }
+        let held: Vec<f64> = w.iter().collect();
+        prop_assert_eq!(held.len(), samples.len().min(capacity));
+        for n in 0..=held.len() {
+            let naive: f64 = held[held.len() - n..].iter().sum();
+            let fast = w.suffix_sum(n);
+            prop_assert!(
+                (fast - naive).abs() <= 1e-9 * (1.0 + naive.abs()),
+                "n={n}: {fast} vs {naive}"
+            );
+        }
+    }
+
+    /// The exact scale invariance behind per-ratio calibration: the
+    /// statistic of (λo, r·λo) on samples x equals the statistic of
+    /// (1, r) on λo·x, for arbitrary windows.
+    #[test]
+    fn statistic_is_scale_invariant(
+        seed in 0u64..10_000,
+        lambda in 0.01f64..1e3,
+        ratio in 0.1f64..10.0,
+    ) {
+        prop_assume!((ratio - 1.0).abs() > 1e-6);
+        let unit = Exponential::new(1.0).expect("valid");
+        let mut rng = SimRng::seed_from(seed);
+        let mut w_unit = SampleWindow::new(40);
+        let mut w_scaled = SampleWindow::new(40);
+        for _ in 0..40 {
+            let u = unit.sample(&mut rng);
+            w_unit.push(u);
+            w_scaled.push(u / lambda);
+        }
+        let a = maximize_ln_p(&w_unit, 1.0, ratio, 5);
+        let b = maximize_ln_p(&w_scaled, lambda, ratio * lambda, 5);
+        prop_assert!((a.ln_p_max - b.ln_p_max).abs() < 1e-6 * (1.0 + a.ln_p_max.abs()));
+        prop_assert_eq!(a.change_index, b.change_index);
+    }
+
+    /// ln P(k) is zero iff the candidate equals the current rate, and
+    /// its sign flips consistently with whether the tail mean supports
+    /// the candidate.
+    #[test]
+    fn ln_p_sign_structure(
+        rate in 0.1f64..100.0,
+        tail_len in 1usize..200,
+        tail_mean in 0.001f64..10.0,
+    ) {
+        let tail_sum = tail_mean * tail_len as f64;
+        prop_assert_eq!(ln_p_at(rate, rate, tail_len, tail_sum), 0.0);
+        // The likelihood-ratio is maximized over λn at the tail MLE
+        // 1/tail_mean; a candidate exactly there is never negative.
+        let mle = 1.0 / tail_mean;
+        if (mle - rate).abs() > 1e-9 {
+            prop_assert!(ln_p_at(rate, mle, tail_len, tail_sum) > 0.0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Calibrated thresholds increase with the confidence level for a
+    /// fixed ratio (they are quantiles of one distribution).
+    #[test]
+    fn thresholds_monotone_in_confidence(seed in 0u64..50) {
+        let base = CalibrationConfig {
+            window: 50,
+            k_step: 5,
+            trials: 400,
+            confidence: 0.9,
+        };
+        let mut last = f64::NEG_INFINITY;
+        for conf in [0.9, 0.95, 0.99, 0.995] {
+            let config = CalibrationConfig {
+                confidence: conf,
+                ..base
+            };
+            let mut rng = SimRng::seed_from(seed);
+            let table = ThresholdTable::calibrate(&[2.0], config, &mut rng)
+                .expect("valid calibration");
+            let t = table.threshold(2.0).expect("calibrated ratio");
+            prop_assert!(t >= last, "confidence {conf}: {t} < {last}");
+            last = t;
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Operational FIFO frame buffer with delay and occupancy statistics.
+//!
+//! The SmartBadge buffers arriving frames until the decoder pulls them
+//! (paper Section 2.3: frames "do not have priority", so the queue is a
+//! plain FIFO of frames awaiting service). [`FrameBuffer`] additionally
+//! records the statistics the experiments report: per-frame queueing
+//! delay and the time-weighted mean/peak occupancy.
+
+use simcore::stats::{OnlineStats, TimeWeighted};
+use simcore::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// A FIFO buffer of frames with built-in statistics.
+///
+/// Generic over the frame payload so any crate can use it without
+/// circular dependencies.
+///
+/// # Example
+///
+/// ```
+/// use framequeue::FrameBuffer;
+/// use simcore::time::{SimDuration, SimTime};
+///
+/// let mut buf: FrameBuffer<u32> = FrameBuffer::new();
+/// let t0 = SimTime::ZERO;
+/// buf.push(t0, 7);
+/// let t1 = t0 + SimDuration::from_millis(40);
+/// let (frame, waited) = buf.pop(t1).expect("one frame queued");
+/// assert_eq!(frame, 7);
+/// assert_eq!(waited, SimDuration::from_millis(40));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameBuffer<T> {
+    queue: VecDeque<(SimTime, T)>,
+    delays: OnlineStats,
+    occupancy: TimeWeighted,
+    last_change: SimTime,
+    peak: usize,
+    total_pushed: u64,
+    total_popped: u64,
+}
+
+impl<T> FrameBuffer<T> {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        FrameBuffer {
+            queue: VecDeque::new(),
+            delays: OnlineStats::new(),
+            occupancy: TimeWeighted::new(),
+            last_change: SimTime::ZERO,
+            peak: 0,
+            total_pushed: 0,
+            total_popped: 0,
+        }
+    }
+
+    /// Enqueues a frame arriving at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the buffer's last recorded event (time
+    /// must move forward).
+    pub fn push(&mut self, now: SimTime, frame: T) {
+        self.advance(now);
+        self.queue.push_back((now, frame));
+        self.peak = self.peak.max(self.queue.len());
+        self.total_pushed += 1;
+    }
+
+    /// Dequeues the oldest frame at `now`, returning it with the time it
+    /// spent waiting. Returns `None` if the buffer is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the buffer's last recorded event.
+    pub fn pop(&mut self, now: SimTime) -> Option<(T, SimDuration)> {
+        self.advance(now);
+        let (arrived, frame) = self.queue.pop_front()?;
+        let waited = now.saturating_since(arrived);
+        self.delays.push(waited.as_secs_f64());
+        self.total_popped += 1;
+        Some((frame, waited))
+    }
+
+    /// Arrival time of the oldest queued frame, if any.
+    #[must_use]
+    pub fn peek_arrival(&self) -> Option<SimTime> {
+        self.queue.front().map(|(t, _)| *t)
+    }
+
+    /// Number of frames currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` if no frames are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Largest occupancy seen so far.
+    #[must_use]
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak
+    }
+
+    /// Total frames ever pushed.
+    #[must_use]
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// Total frames ever popped.
+    #[must_use]
+    pub fn total_popped(&self) -> u64 {
+        self.total_popped
+    }
+
+    /// Statistics of per-frame queueing delays (seconds), over popped
+    /// frames.
+    #[must_use]
+    pub fn delay_stats(&self) -> &OnlineStats {
+        &self.delays
+    }
+
+    /// Time-weighted mean occupancy up to the last recorded event.
+    #[must_use]
+    pub fn mean_occupancy(&self) -> f64 {
+        self.occupancy.mean()
+    }
+
+    /// Folds the elapsed interval into the occupancy integral; called
+    /// automatically by `push`/`pop`, and callable at the end of a run to
+    /// account for the final quiet interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the last recorded event.
+    pub fn advance(&mut self, now: SimTime) {
+        assert!(
+            now >= self.last_change,
+            "buffer time must not go backwards: {now} < {last}",
+            last = self.last_change
+        );
+        let dt = now - self.last_change;
+        if !dt.is_zero() {
+            self.occupancy.add(self.queue.len() as f64, dt);
+            self.last_change = now;
+        }
+    }
+}
+
+impl<T> Default for FrameBuffer<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut b = FrameBuffer::new();
+        b.push(t(0), 'a');
+        b.push(t(1), 'b');
+        b.push(t(2), 'c');
+        assert_eq!(b.pop(t(3)).unwrap().0, 'a');
+        assert_eq!(b.pop(t(4)).unwrap().0, 'b');
+        assert_eq!(b.pop(t(5)).unwrap().0, 'c');
+        assert!(b.pop(t(6)).is_none());
+    }
+
+    #[test]
+    fn waiting_time_measured() {
+        let mut b = FrameBuffer::new();
+        b.push(t(10), 1u8);
+        let (_, waited) = b.pop(t(25)).unwrap();
+        assert_eq!(waited, SimDuration::from_millis(15));
+        assert!((b.delay_stats().mean() - 0.015).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_statistics() {
+        let mut b = FrameBuffer::new();
+        b.push(t(0), 0u8); // 1 frame from 0..10
+        b.push(t(10), 1); // 2 frames from 10..20
+        b.pop(t(20)); // 1 frame from 20..40
+        b.pop(t(40)); // 0 frames afterwards
+        b.advance(t(50));
+        // integral = 1*10 + 2*10 + 1*20 + 0*10 = 50 frame·ms over 50 ms
+        assert!((b.mean_occupancy() - 1.0).abs() < 1e-9);
+        assert_eq!(b.peak_occupancy(), 2);
+    }
+
+    #[test]
+    fn counters_track_totals() {
+        let mut b = FrameBuffer::new();
+        for i in 0..5 {
+            b.push(t(i), i);
+        }
+        for i in 5..8 {
+            b.pop(t(i));
+        }
+        assert_eq!(b.total_pushed(), 5);
+        assert_eq!(b.total_popped(), 3);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn peek_arrival_sees_oldest() {
+        let mut b = FrameBuffer::new();
+        assert_eq!(b.peek_arrival(), None);
+        b.push(t(3), ());
+        b.push(t(7), ());
+        assert_eq!(b.peek_arrival(), Some(t(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn time_cannot_go_backwards() {
+        let mut b = FrameBuffer::new();
+        b.push(t(10), ());
+        b.push(t(5), ());
+    }
+
+    #[test]
+    fn zero_wait_pop() {
+        let mut b = FrameBuffer::new();
+        b.push(t(4), ());
+        let (_, waited) = b.pop(t(4)).unwrap();
+        assert_eq!(waited, SimDuration::ZERO);
+    }
+}

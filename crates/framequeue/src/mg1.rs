@@ -1,0 +1,145 @@
+//! M/G/1 queue (Pollaczek–Khinchine) extension.
+//!
+//! The paper's frequency-setting policy assumes exponential service times
+//! so the M/M/1 Eq. 5 applies, and notes that "when general distributions
+//! are used, M/M/1 queue model is not applicable, so another method of
+//! frequency and voltage adjustment is needed". This module supplies that
+//! other method: for Poisson arrivals and a *general* service-time
+//! distribution with mean `1/λ_D` and squared coefficient of variation
+//! `c²`, the Pollaczek–Khinchine formula gives the mean total delay
+//!
+//! ```text
+//! W = 1/λ_D + ρ (1 + c²) / (2 λ_D (1 − ρ)),   ρ = λ_U/λ_D
+//! ```
+//!
+//! For `c² = 1` (exponential service) this reduces exactly to the M/M/1
+//! result, which the tests verify. The `ablation_queue_model` bench
+//! compares DVS driven by each model on the high-variance MPEG workload.
+
+use crate::{check_rate, QueueError};
+
+/// Mean total time in system for an M/G/1 queue with arrival rate
+/// `arrival_rate`, service rate `service_rate` (1/mean service time) and
+/// squared coefficient of variation `scv` of the service time.
+///
+/// # Errors
+///
+/// Returns an error if a rate is invalid, `scv` is negative or
+/// non-finite, or the queue is unstable.
+pub fn mean_delay(arrival_rate: f64, service_rate: f64, scv: f64) -> Result<f64, QueueError> {
+    let lu = check_rate("arrival_rate", arrival_rate)?;
+    let ld = check_rate("service_rate", service_rate)?;
+    if !(scv.is_finite() && scv >= 0.0) {
+        return Err(QueueError::InvalidParameter {
+            name: "scv",
+            value: scv,
+        });
+    }
+    if lu >= ld {
+        return Err(QueueError::Unstable {
+            arrival_rate: lu,
+            service_rate: ld,
+        });
+    }
+    let rho = lu / ld;
+    Ok(1.0 / ld + rho * (1.0 + scv) / (2.0 * ld * (1.0 - rho)))
+}
+
+/// The minimum service rate holding the M/G/1 mean total delay at
+/// `target_delay`, found by bisection (the delay is strictly decreasing
+/// in the service rate).
+///
+/// # Errors
+///
+/// Returns an error if a parameter is invalid.
+pub fn service_rate_for_delay(
+    arrival_rate: f64,
+    target_delay: f64,
+    scv: f64,
+) -> Result<f64, QueueError> {
+    let lu = check_rate("arrival_rate", arrival_rate)?;
+    let w = check_rate("target_delay", target_delay)?;
+    if !(scv.is_finite() && scv >= 0.0) {
+        return Err(QueueError::InvalidParameter {
+            name: "scv",
+            value: scv,
+        });
+    }
+    // Bracket: delay → ∞ as λ_D → λ_U⁺, and delay → 0 as λ_D → ∞.
+    let mut lo = lu * (1.0 + 1e-9);
+    let mut hi = lu + 2.0 / w + lu * (1.0 + scv); // generous upper bound
+    debug_assert!(mean_delay(lu, hi, scv)? <= w);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if mean_delay(lu, mid, scv)? > w {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mm1;
+
+    #[test]
+    fn reduces_to_mm1_when_scv_is_one() {
+        for (lu, ld) in [(20.0, 30.0), (5.0, 6.0), (40.0, 100.0)] {
+            let mg1 = mean_delay(lu, ld, 1.0).unwrap();
+            let mm1 = mm1::mean_delay(lu, ld).unwrap();
+            assert!((mg1 - mm1).abs() < 1e-12, "{lu}/{ld}: {mg1} vs {mm1}");
+        }
+    }
+
+    #[test]
+    fn deterministic_service_halves_waiting() {
+        // c² = 0 halves the waiting component relative to exponential.
+        let (lu, ld) = (20.0, 30.0);
+        let w_exp = mean_delay(lu, ld, 1.0).unwrap() - 1.0 / ld;
+        let w_det = mean_delay(lu, ld, 0.0).unwrap() - 1.0 / ld;
+        assert!((w_det - 0.5 * w_exp).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_variance_means_longer_delay() {
+        let (lu, ld) = (20.0, 30.0);
+        let w1 = mean_delay(lu, ld, 1.0).unwrap();
+        let w3 = mean_delay(lu, ld, 3.0).unwrap();
+        assert!(w3 > w1);
+    }
+
+    #[test]
+    fn inversion_achieves_target() {
+        for scv in [0.0, 1.0, 2.5] {
+            let ld = service_rate_for_delay(24.0, 0.1, scv).unwrap();
+            let w = mean_delay(24.0, ld, scv).unwrap();
+            assert!((w - 0.1).abs() < 1e-6, "scv {scv}: got {w}");
+        }
+    }
+
+    #[test]
+    fn inversion_matches_mm1_closed_form() {
+        let ld_pk = service_rate_for_delay(24.0, 0.1, 1.0).unwrap();
+        let ld_mm1 = mm1::service_rate_for_delay(24.0, 0.1).unwrap();
+        assert!((ld_pk - ld_mm1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn high_variance_requires_faster_service() {
+        let ld_low = service_rate_for_delay(24.0, 0.1, 0.5).unwrap();
+        let ld_high = service_rate_for_delay(24.0, 0.1, 3.0).unwrap();
+        assert!(ld_high > ld_low);
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        assert!(mean_delay(0.0, 10.0, 1.0).is_err());
+        assert!(mean_delay(10.0, 10.0, 1.0).is_err());
+        assert!(mean_delay(5.0, 10.0, -1.0).is_err());
+        assert!(service_rate_for_delay(5.0, 0.0, 1.0).is_err());
+        assert!(service_rate_for_delay(5.0, 0.1, f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! M/M/1 queue formulas.
+//!
+//! With exponential interarrivals (rate `λ_U`) and exponential service
+//! times (rate `λ_D`), the frame buffer behaves as an M/M/1 queue (paper
+//! Section 2.3). The paper's Eq. 5 gives the mean **total** frame delay
+//! (waiting + decoding):
+//!
+//! ```text
+//! W = 1 / (λ_D − λ_U)
+//! ```
+//!
+//! The DVS policy inverts this: to hold `W` constant when `λ_U` changes,
+//! it needs `λ_D = λ_U + 1/W`, then maps that decode rate back onto a CPU
+//! frequency through the application performance curve.
+
+use crate::{check_rate, QueueError};
+
+/// Server utilization `ρ = λ_U / λ_D`.
+///
+/// # Errors
+///
+/// Returns an error if either rate is invalid or the queue is unstable
+/// (`λ_U ≥ λ_D`).
+pub fn utilization(arrival_rate: f64, service_rate: f64) -> Result<f64, QueueError> {
+    let (lu, ld) = check_stable(arrival_rate, service_rate)?;
+    Ok(lu / ld)
+}
+
+/// Mean total time a frame spends in the system (waiting + decoding):
+/// `W = 1/(λ_D − λ_U)` (paper Eq. 5).
+///
+/// # Errors
+///
+/// Returns an error if either rate is invalid or the queue is unstable.
+pub fn mean_delay(arrival_rate: f64, service_rate: f64) -> Result<f64, QueueError> {
+    let (lu, ld) = check_stable(arrival_rate, service_rate)?;
+    Ok(1.0 / (ld - lu))
+}
+
+/// Mean number of frames in the system: `L = ρ/(1−ρ) = λ_U·W`
+/// (Little's law).
+///
+/// # Errors
+///
+/// Returns an error if either rate is invalid or the queue is unstable.
+pub fn mean_in_system(arrival_rate: f64, service_rate: f64) -> Result<f64, QueueError> {
+    let (lu, ld) = check_stable(arrival_rate, service_rate)?;
+    Ok(lu / (ld - lu))
+}
+
+/// Mean number of frames waiting (excluding the one in service):
+/// `L_q = ρ²/(1−ρ)`.
+///
+/// # Errors
+///
+/// Returns an error if either rate is invalid or the queue is unstable.
+pub fn mean_waiting(arrival_rate: f64, service_rate: f64) -> Result<f64, QueueError> {
+    let (lu, ld) = check_stable(arrival_rate, service_rate)?;
+    let rho = lu / ld;
+    Ok(rho * rho / (1.0 - rho))
+}
+
+/// The service (decode) rate needed to hold the mean total delay at
+/// `target_delay` seconds for arrival rate `λ_U`: `λ_D = λ_U + 1/W`.
+///
+/// This is the core DVS inversion of paper Eq. 5.
+///
+/// # Errors
+///
+/// Returns an error if `arrival_rate` or `target_delay` is non-positive
+/// or non-finite.
+pub fn service_rate_for_delay(arrival_rate: f64, target_delay: f64) -> Result<f64, QueueError> {
+    let lu = check_rate("arrival_rate", arrival_rate)?;
+    let w = check_rate("target_delay", target_delay)?;
+    Ok(lu + 1.0 / w)
+}
+
+/// Probability that the system holds more than `n` frames:
+/// `P(N > n) = ρ^{n+1}`. Useful for sizing the frame buffer.
+///
+/// # Errors
+///
+/// Returns an error if either rate is invalid or the queue is unstable.
+pub fn prob_more_than(arrival_rate: f64, service_rate: f64, n: usize) -> Result<f64, QueueError> {
+    let rho = utilization(arrival_rate, service_rate)?;
+    Ok(rho.powi(n as i32 + 1))
+}
+
+fn check_stable(arrival_rate: f64, service_rate: f64) -> Result<(f64, f64), QueueError> {
+    let lu = check_rate("arrival_rate", arrival_rate)?;
+    let ld = check_rate("service_rate", service_rate)?;
+    if lu >= ld {
+        return Err(QueueError::Unstable {
+            arrival_rate: lu,
+            service_rate: ld,
+        });
+    }
+    Ok((lu, ld))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq5_delay() {
+        // Paper's Figure 9 working point: 0.1 s delay at ~2 extra frames.
+        let w = mean_delay(20.0, 30.0).unwrap();
+        assert!((w - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inversion_roundtrips() {
+        for lu in [6.0, 16.0, 24.0, 44.0] {
+            for w in [0.05, 0.1, 1.0] {
+                let ld = service_rate_for_delay(lu, w).unwrap();
+                assert!((mean_delay(lu, ld).unwrap() - w).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn littles_law_holds() {
+        let (lu, ld) = (18.0, 25.0);
+        let l = mean_in_system(lu, ld).unwrap();
+        let w = mean_delay(lu, ld).unwrap();
+        assert!((l - lu * w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waiting_plus_in_service_equals_total() {
+        let (lu, ld) = (18.0, 25.0);
+        let l = mean_in_system(lu, ld).unwrap();
+        let lq = mean_waiting(lu, ld).unwrap();
+        let rho = utilization(lu, ld).unwrap();
+        assert!((l - (lq + rho)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ten_fr_delay_means_buffered_frames() {
+        // Paper: "average buffered frame delay of 0.1 seconds ... corresponds
+        // to an average of 2 extra frames of video buffered" — at ~20 fr/s,
+        // L = λ·W = 2.
+        let lu = 20.0;
+        let ld = service_rate_for_delay(lu, 0.1).unwrap();
+        let frames = mean_in_system(lu, ld).unwrap();
+        assert!((frames - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unstable_queue_is_rejected() {
+        assert!(matches!(
+            mean_delay(30.0, 30.0),
+            Err(QueueError::Unstable { .. })
+        ));
+        assert!(matches!(
+            mean_delay(31.0, 30.0),
+            Err(QueueError::Unstable { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_rates_are_rejected() {
+        assert!(mean_delay(0.0, 30.0).is_err());
+        assert!(mean_delay(20.0, f64::NAN).is_err());
+        assert!(service_rate_for_delay(-5.0, 0.1).is_err());
+        assert!(service_rate_for_delay(5.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn occupancy_tail_decays_geometrically() {
+        let p1 = prob_more_than(20.0, 30.0, 1).unwrap();
+        let p2 = prob_more_than(20.0, 30.0, 2).unwrap();
+        let rho = utilization(20.0, 30.0).unwrap();
+        assert!((p2 / p1 - rho).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_service_rate_lowers_delay() {
+        let w1 = mean_delay(20.0, 25.0).unwrap();
+        let w2 = mean_delay(20.0, 40.0).unwrap();
+        assert!(w2 < w1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Validation of the analytical queue models against a discrete-event
+//! simulation of the actual queue — the ground truth behind the DVS
+//! policy's Eq. 5 inversion.
+
+use framequeue::{mg1, mm1};
+use proptest::prelude::*;
+use simcore::dist::{Exponential, Sample, Uniform};
+use simcore::rng::SimRng;
+use simcore::stats::BatchMeans;
+
+/// Simulates a single-server FIFO queue via the Lindley recursion:
+/// `depart_i = max(arrive_i, depart_{i−1}) + service_i`. Returns the
+/// batch-means accumulator over the per-job times in system (batch size
+/// 1000, so autocorrelation is absorbed into the CI machinery).
+fn simulate_queue_bm<A: Sample, S: Sample>(
+    arrivals: &A,
+    services: &S,
+    n: usize,
+    seed: u64,
+) -> BatchMeans {
+    let mut rng_a = SimRng::seed_from(seed).fork("arrivals");
+    let mut rng_s = SimRng::seed_from(seed).fork("services");
+    let mut bm = BatchMeans::new(1000);
+    let mut t_arrive = 0.0f64;
+    let mut depart = 0.0f64;
+    for _ in 0..n {
+        t_arrive += arrivals.sample(&mut rng_a);
+        depart = t_arrive.max(depart) + services.sample(&mut rng_s);
+        bm.push(depart - t_arrive);
+    }
+    bm
+}
+
+/// Mean time in system over `n` jobs.
+fn simulate_queue<A: Sample, S: Sample>(arrivals: &A, services: &S, n: usize, seed: u64) -> f64 {
+    simulate_queue_bm(arrivals, services, n, seed).mean()
+}
+
+#[test]
+fn mm1_formula_matches_simulation() {
+    for &(lam, mu) in &[(20.0, 30.0), (10.0, 40.0), (25.0, 28.0)] {
+        let arrivals = Exponential::new(lam).expect("valid");
+        let services = Exponential::new(mu).expect("valid");
+        let bm = simulate_queue_bm(&arrivals, &services, 200_000, 7);
+        let analytical = mm1::mean_delay(lam, mu).expect("stable");
+        let rel = (bm.mean() - analytical).abs() / analytical;
+        assert!(
+            rel < 0.05,
+            "λ={lam}, μ={mu}: simulated {:.4} vs analytical {analytical:.4}",
+            bm.mean()
+        );
+        // Statistically principled check: the analytical value sits
+        // within (a small multiple of) the batch-means 95% interval.
+        let half = bm.ci95_halfwidth().expect("many batches");
+        assert!(
+            (bm.mean() - analytical).abs() < 4.0 * half,
+            "λ={lam}, μ={mu}: |{:.4} − {analytical:.4}| > 4×{half:.4}",
+            bm.mean()
+        );
+    }
+}
+
+#[test]
+fn mg1_formula_matches_simulation_for_uniform_service() {
+    // Uniform service on [a, b]: mean (a+b)/2, SCV = (b−a)²/12 / mean².
+    let (lam, a, b) = (20.0, 0.02, 0.04);
+    let mean = 0.5 * (a + b);
+    let scv = (b - a) * (b - a) / 12.0 / (mean * mean);
+    let arrivals = Exponential::new(lam).expect("valid");
+    let services = Uniform::new(a, b).expect("valid");
+    let simulated = simulate_queue(&arrivals, &services, 200_000, 8);
+    let analytical = mg1::mean_delay(lam, 1.0 / mean, scv).expect("stable");
+    let rel = (simulated - analytical).abs() / analytical;
+    assert!(
+        rel < 0.05,
+        "simulated {simulated:.4} vs P-K {analytical:.4} (scv {scv:.3})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The M/M/1 formula tracks simulation across random stable
+    /// parameter choices.
+    #[test]
+    fn mm1_tracks_simulation_everywhere(
+        lam in 5.0f64..40.0,
+        headroom in 1.2f64..4.0,
+        seed in 0u64..100,
+    ) {
+        let mu = lam * headroom;
+        let arrivals = Exponential::new(lam).expect("valid");
+        let services = Exponential::new(mu).expect("valid");
+        let simulated = simulate_queue(&arrivals, &services, 60_000, seed);
+        let analytical = mm1::mean_delay(lam, mu).expect("stable");
+        let rel = (simulated - analytical).abs() / analytical;
+        prop_assert!(rel < 0.15, "λ={lam:.1}, μ={mu:.1}: {simulated:.4} vs {analytical:.4}");
+    }
+}

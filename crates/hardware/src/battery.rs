@@ -1,0 +1,144 @@
+//! Battery model and lifetime estimation.
+//!
+//! The headline motivation of the paper is battery lifetime: "Portable
+//! systems require long battery lifetime while still delivering high
+//! performance." This module turns the energy totals from the experiments
+//! into the lifetime numbers a product designer would quote, including the
+//! DC-DC conversion loss.
+
+use crate::dcdc::DcDcConverter;
+use crate::HwError;
+use serde::{Deserialize, Serialize};
+
+/// An ideal-capacity battery (no rate-dependent capacity fade).
+///
+/// # Example
+///
+/// ```
+/// use hardware::battery::Battery;
+///
+/// # fn main() -> Result<(), hardware::HwError> {
+/// let batt = Battery::new(5.0)?; // 5 Wh, a small Li-Ion cell
+/// // A 3.5 W system drains it in under 1.5 hours…
+/// let hours_full = batt.lifetime_hours(3500.0);
+/// assert!(hours_full < 1.5);
+/// // …a 3x energy saving triples the lifetime.
+/// assert!((batt.lifetime_hours(3500.0 / 3.0) - 3.0 * hours_full).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    capacity_wh: f64,
+}
+
+impl Battery {
+    /// Creates a battery with the given capacity in watt-hours.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless the capacity is finite and positive.
+    pub fn new(capacity_wh: f64) -> Result<Self, HwError> {
+        if !(capacity_wh.is_finite() && capacity_wh > 0.0) {
+            return Err(HwError::InvalidParameter {
+                name: "capacity_wh",
+                value: capacity_wh,
+            });
+        }
+        Ok(Battery { capacity_wh })
+    }
+
+    /// Capacity in watt-hours.
+    #[must_use]
+    pub fn capacity_wh(&self) -> f64 {
+        self.capacity_wh
+    }
+
+    /// Capacity in joules.
+    #[must_use]
+    pub fn capacity_joules(&self) -> f64 {
+        self.capacity_wh * 3600.0
+    }
+
+    /// Lifetime in hours at a constant average drain of `avg_power_mw`
+    /// measured **at the battery terminals**.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `avg_power_mw` is not finite and positive.
+    #[must_use]
+    pub fn lifetime_hours(&self, avg_power_mw: f64) -> f64 {
+        assert!(
+            avg_power_mw.is_finite() && avg_power_mw > 0.0,
+            "average power must be positive"
+        );
+        self.capacity_wh / (avg_power_mw * 1e-3)
+    }
+
+    /// Lifetime in hours when the system draws `rail_power_mw` at the
+    /// rails through `converter`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rail_power_mw` is not finite and positive.
+    #[must_use]
+    pub fn lifetime_hours_through(&self, rail_power_mw: f64, converter: &DcDcConverter) -> f64 {
+        self.lifetime_hours(converter.battery_draw_mw(rail_power_mw))
+    }
+
+    /// Fraction of the battery consumed by `energy_joules` delivered at
+    /// the terminals (may exceed 1.0 if the budget is blown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `energy_joules` is negative or not finite.
+    #[must_use]
+    pub fn drained_fraction(&self, energy_joules: f64) -> f64 {
+        assert!(
+            energy_joules.is_finite() && energy_joules >= 0.0,
+            "energy must be finite and non-negative"
+        );
+        energy_joules / self.capacity_joules()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifetime_scales_inversely_with_power() {
+        let b = Battery::new(10.0).unwrap();
+        assert!((b.lifetime_hours(1000.0) - 10.0).abs() < 1e-12);
+        assert!((b.lifetime_hours(2000.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_units() {
+        let b = Battery::new(2.0).unwrap();
+        assert!((b.capacity_joules() - 7200.0).abs() < 1e-9);
+        assert!((b.drained_fraction(3600.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn converter_losses_shorten_lifetime() {
+        let b = Battery::new(5.0).unwrap();
+        let conv = DcDcConverter::smartbadge();
+        let ideal = b.lifetime_hours(2000.0);
+        let real = b.lifetime_hours_through(2000.0, &conv);
+        assert!(real < ideal);
+    }
+
+    #[test]
+    fn rejects_bad_capacity() {
+        for c in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(Battery::new(c).is_err());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_power_lifetime_panics() {
+        let _ = Battery::new(1.0).unwrap().lifetime_hours(0.0);
+    }
+}

@@ -1,0 +1,312 @@
+//! Per-component power specification and runtime state machine.
+//!
+//! A [`ComponentSpec`] captures one row of the paper's Table 1: power draw
+//! in active / idle / standby (off draws nothing), and the wake-up
+//! latencies `t_sby` and `t_off` back to active. A [`Component`] is a live
+//! instance tracking its current state, with transitions validated against
+//! [`PowerState::can_transition_to`].
+//!
+//! Wake-up latency is stochastic: the paper models the transition from
+//! standby or off into active with a **uniform distribution** (Section
+//! 2.1). [`Component::wakeup_latency`] draws from
+//! `U[0.5·t, 1.5·t]` around the nominal latency.
+
+use crate::state::PowerState;
+use crate::HwError;
+use serde::{Deserialize, Serialize};
+use simcore::rng::SimRng;
+use simcore::time::SimDuration;
+use std::fmt;
+
+/// Identifies one of the six SmartBadge components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ComponentId {
+    /// Sharp display.
+    Display,
+    /// Lucent WLAN RF link.
+    WlanRf,
+    /// StrongARM SA-1100 processor.
+    Cpu,
+    /// FLASH memory.
+    Flash,
+    /// Toshiba SRAM (1 MB, 80 ns) — used by MP3 decode.
+    Sram,
+    /// Micron SDRAM (4 MB, 15 ns) — used by MPEG video decode.
+    Dram,
+}
+
+impl ComponentId {
+    /// All components in Table 1 order.
+    pub const ALL: [ComponentId; 6] = [
+        ComponentId::Display,
+        ComponentId::WlanRf,
+        ComponentId::Cpu,
+        ComponentId::Flash,
+        ComponentId::Sram,
+        ComponentId::Dram,
+    ];
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ComponentId::Display => "display",
+            ComponentId::WlanRf => "wlan-rf",
+            ComponentId::Cpu => "sa-1100",
+            ComponentId::Flash => "flash",
+            ComponentId::Sram => "sram",
+            ComponentId::Dram => "dram",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Static power/latency specification of one component (one Table 1 row).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComponentSpec {
+    /// Which component this describes.
+    pub id: ComponentId,
+    /// Power draw in the active state, milliwatts.
+    pub active_mw: f64,
+    /// Power draw in the idle state, milliwatts.
+    pub idle_mw: f64,
+    /// Power draw in the standby state, milliwatts.
+    pub standby_mw: f64,
+    /// Nominal wake-up latency from standby to active.
+    pub t_standby: SimDuration,
+    /// Nominal wake-up latency from off to active.
+    pub t_off: SimDuration,
+}
+
+impl ComponentSpec {
+    /// Power draw in `state`, milliwatts. Off draws zero.
+    #[must_use]
+    pub fn power_mw(&self, state: PowerState) -> f64 {
+        match state {
+            PowerState::Active => self.active_mw,
+            PowerState::Idle => self.idle_mw,
+            PowerState::Standby => self.standby_mw,
+            PowerState::Off => 0.0,
+        }
+    }
+
+    /// Nominal latency to wake from `state` back to active.
+    /// Zero for active and idle (idle → active is immediate).
+    #[must_use]
+    pub fn nominal_wakeup(&self, state: PowerState) -> SimDuration {
+        match state {
+            PowerState::Active | PowerState::Idle => SimDuration::ZERO,
+            PowerState::Standby => self.t_standby,
+            PowerState::Off => self.t_off,
+        }
+    }
+
+    /// The break-even time of a sleep state: the shortest idle period for
+    /// which transitioning into `state` (and back on the next request)
+    /// saves energy compared to staying idle, assuming the wake-up is
+    /// performed at active power.
+    ///
+    /// Returns `None` for active/idle (no transition involved) or when the
+    /// sleep state never pays off (its power exceeds idle power).
+    #[must_use]
+    pub fn break_even(&self, state: PowerState) -> Option<SimDuration> {
+        if !state.is_sleep_state() {
+            return None;
+        }
+        let p_sleep = self.power_mw(state);
+        let p_idle = self.idle_mw;
+        if p_sleep >= p_idle {
+            return None;
+        }
+        // Energy staying idle for T: p_idle·T.
+        // Energy sleeping: p_sleep·T + (p_active − p_sleep)·t_wake
+        // (the wake-up burns active power for t_wake that idling avoids).
+        // Break-even: T = (p_active − p_sleep)·t_wake / (p_idle − p_sleep).
+        let t_wake = self.nominal_wakeup(state).as_secs_f64();
+        let t = (self.active_mw - p_sleep) * t_wake / (p_idle - p_sleep);
+        Some(SimDuration::from_secs_f64(t.max(0.0)))
+    }
+}
+
+/// A live component instance: spec plus current power state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    spec: ComponentSpec,
+    state: PowerState,
+}
+
+impl Component {
+    /// Creates a component in the active state.
+    #[must_use]
+    pub fn new(spec: ComponentSpec) -> Self {
+        Component {
+            spec,
+            state: PowerState::Active,
+        }
+    }
+
+    /// The component's static specification.
+    #[must_use]
+    pub fn spec(&self) -> &ComponentSpec {
+        &self.spec
+    }
+
+    /// The current power state.
+    #[must_use]
+    pub fn state(&self) -> PowerState {
+        self.state
+    }
+
+    /// Current power draw, milliwatts.
+    #[must_use]
+    pub fn power_mw(&self) -> f64 {
+        self.spec.power_mw(self.state)
+    }
+
+    /// Commands a transition to `to`.
+    ///
+    /// Returns the nominal latency of the transition (non-zero only when
+    /// waking from standby or off).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::IllegalTransition`] if the SmartBadge state
+    /// machine does not permit `self.state() → to`.
+    pub fn transition(&mut self, to: PowerState) -> Result<SimDuration, HwError> {
+        if !self.state.can_transition_to(to) {
+            return Err(HwError::IllegalTransition {
+                from: self.state,
+                to,
+            });
+        }
+        let latency = if to == PowerState::Active {
+            self.spec.nominal_wakeup(self.state)
+        } else {
+            SimDuration::ZERO
+        };
+        self.state = to;
+        Ok(latency)
+    }
+
+    /// Draws a stochastic wake-up latency for returning to active from the
+    /// current state: uniform on `[0.5·t, 1.5·t]` around the nominal
+    /// latency `t` (paper Section 2.1), zero if already active/idle.
+    #[must_use]
+    pub fn wakeup_latency(&self, rng: &mut SimRng) -> SimDuration {
+        let nominal = self.spec.nominal_wakeup(self.state).as_secs_f64();
+        if nominal == 0.0 {
+            return SimDuration::ZERO;
+        }
+        let u = rng.next_f64();
+        SimDuration::from_secs_f64(nominal * (0.5 + u))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ComponentSpec {
+        ComponentSpec {
+            id: ComponentId::Cpu,
+            active_mw: 400.0,
+            idle_mw: 170.0,
+            standby_mw: 0.1,
+            t_standby: SimDuration::from_millis(10),
+            t_off: SimDuration::from_millis(35),
+        }
+    }
+
+    #[test]
+    fn power_per_state() {
+        let s = spec();
+        assert_eq!(s.power_mw(PowerState::Active), 400.0);
+        assert_eq!(s.power_mw(PowerState::Idle), 170.0);
+        assert_eq!(s.power_mw(PowerState::Standby), 0.1);
+        assert_eq!(s.power_mw(PowerState::Off), 0.0);
+    }
+
+    #[test]
+    fn nominal_wakeup_latencies() {
+        let s = spec();
+        assert_eq!(s.nominal_wakeup(PowerState::Active), SimDuration::ZERO);
+        assert_eq!(s.nominal_wakeup(PowerState::Idle), SimDuration::ZERO);
+        assert_eq!(
+            s.nominal_wakeup(PowerState::Standby),
+            SimDuration::from_millis(10)
+        );
+        assert_eq!(
+            s.nominal_wakeup(PowerState::Off),
+            SimDuration::from_millis(35)
+        );
+    }
+
+    #[test]
+    fn break_even_is_positive_and_deeper_is_longer() {
+        let s = spec();
+        let sby = s.break_even(PowerState::Standby).unwrap();
+        let off = s.break_even(PowerState::Off).unwrap();
+        assert!(sby > SimDuration::ZERO);
+        assert!(off > sby, "off has longer wake-up so longer break-even");
+        assert_eq!(s.break_even(PowerState::Idle), None);
+    }
+
+    #[test]
+    fn break_even_none_when_sleep_draws_more_than_idle() {
+        let mut s = spec();
+        s.standby_mw = 500.0;
+        assert_eq!(s.break_even(PowerState::Standby), None);
+    }
+
+    #[test]
+    fn component_transitions_follow_state_machine() {
+        let mut c = Component::new(spec());
+        assert_eq!(c.state(), PowerState::Active);
+        c.transition(PowerState::Idle).unwrap();
+        c.transition(PowerState::Standby).unwrap();
+        let latency = c.transition(PowerState::Active).unwrap();
+        assert_eq!(latency, SimDuration::from_millis(10));
+        // Illegal: active → standby directly.
+        assert!(c.transition(PowerState::Standby).is_err());
+        assert_eq!(
+            c.state(),
+            PowerState::Active,
+            "failed transition leaves state unchanged"
+        );
+    }
+
+    #[test]
+    fn wake_from_off_has_longer_latency() {
+        let mut c = Component::new(spec());
+        c.transition(PowerState::Idle).unwrap();
+        c.transition(PowerState::Off).unwrap();
+        let latency = c.transition(PowerState::Active).unwrap();
+        assert_eq!(latency, SimDuration::from_millis(35));
+    }
+
+    #[test]
+    fn stochastic_wakeup_within_uniform_bounds() {
+        let mut c = Component::new(spec());
+        c.transition(PowerState::Idle).unwrap();
+        c.transition(PowerState::Standby).unwrap();
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..1000 {
+            let w = c.wakeup_latency(&mut rng).as_secs_f64();
+            assert!((0.005..=0.015).contains(&w), "latency {w}");
+        }
+    }
+
+    #[test]
+    fn wakeup_latency_zero_when_awake() {
+        let c = Component::new(spec());
+        let mut rng = SimRng::seed_from(2);
+        assert_eq!(c.wakeup_latency(&mut rng), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn component_id_display_names_unique() {
+        let names: std::collections::HashSet<String> =
+            ComponentId::ALL.iter().map(|c| c.to_string()).collect();
+        assert_eq!(names.len(), ComponentId::ALL.len());
+    }
+}

@@ -1,0 +1,349 @@
+//! SA-1100 CPU operating points and CMOS power scaling.
+//!
+//! The StrongARM SA-1100 on the SmartBadge can be reconfigured at run time,
+//! "by a simple write to a hardware register", to execute at one of a fixed
+//! set of clock frequencies; for each frequency there is a minimum voltage
+//! at which the part still runs correctly (paper Section 2.1.1, Figure 3).
+//! Running at the minimum frequency/voltage that sustains the required
+//! performance saves power even while active — the core rationale of DVS.
+//!
+//! Dynamic CMOS power scales as `P ∝ f · V²`, so the active power at an
+//! operating point `(f, V)` relative to the maximum point `(f_max, V_max)`
+//! is `(f/f_max) · (V/V_max)²`.
+
+use crate::HwError;
+use serde::{Deserialize, Serialize};
+use simcore::time::SimDuration;
+
+/// One CPU operating point: a clock frequency and its minimum voltage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Core clock frequency, MHz.
+    pub freq_mhz: f64,
+    /// Minimum supply voltage at this frequency, volts.
+    pub voltage_v: f64,
+}
+
+impl OperatingPoint {
+    /// Relative dynamic power of this point versus a reference point:
+    /// `(f/f_ref) · (V/V_ref)²`.
+    #[must_use]
+    pub fn power_ratio_vs(&self, reference: &OperatingPoint) -> f64 {
+        (self.freq_mhz / reference.freq_mhz)
+            * (self.voltage_v / reference.voltage_v)
+            * (self.voltage_v / reference.voltage_v)
+    }
+}
+
+/// The set of discrete operating points of a DVS-capable CPU, with its
+/// active/idle power at the maximum point.
+///
+/// # Example
+///
+/// ```
+/// use hardware::cpu::CpuModel;
+///
+/// let cpu = CpuModel::sa1100();
+/// assert_eq!(cpu.operating_points().len(), 12);
+/// let lowest = cpu.min_operating_point();
+/// let highest = cpu.max_operating_point();
+/// // Scaling down frequency and voltage cuts active power superlinearly:
+/// assert!(cpu.active_power_mw(lowest) < 0.3 * cpu.active_power_mw(highest));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuModel {
+    points: Vec<OperatingPoint>,
+    /// Active power at the maximum operating point, milliwatts.
+    active_mw_at_max: f64,
+    /// Idle power (clock gated, independent of the DVS setting), milliwatts.
+    idle_mw: f64,
+    /// Latency of changing between any two frequency settings.
+    switch_latency: SimDuration,
+}
+
+impl CpuModel {
+    /// The StrongARM SA-1100 as configured on the SmartBadge.
+    ///
+    /// Twelve clock steps from 59.0 to 221.2 MHz (the SA-1100 PLL grid).
+    /// The minimum-voltage curve reproduces the convex shape of the
+    /// paper's Figure 3: roughly 0.8 V at the lowest step rising to 1.5 V
+    /// at 221.2 MHz. Active power at the top point is 400 mW and idle
+    /// power 170 mW (Table 1). The frequency-switch latency is 150 µs —
+    /// far below any frame decode time, which is why the paper can change
+    /// frequency "without perceivable overhead".
+    #[must_use]
+    pub fn sa1100() -> Self {
+        // SA-1100 core-clock PLL steps, MHz.
+        const FREQS: [f64; 12] = [
+            59.0, 73.7, 88.5, 103.2, 118.0, 132.7, 147.5, 162.2, 176.9, 191.7, 206.4, 221.2,
+        ];
+        let f_lo = FREQS[0];
+        let f_hi = FREQS[11];
+        let points = FREQS
+            .iter()
+            .map(|&f| {
+                // Mildly convex minimum-voltage curve (Figure 3 shape):
+                // V(f) = 0.8 + 0.7 · ((f − f_lo)/(f_hi − f_lo))^1.25
+                let x = (f - f_lo) / (f_hi - f_lo);
+                OperatingPoint {
+                    freq_mhz: f,
+                    voltage_v: 0.8 + 0.7 * x.powf(1.25),
+                }
+            })
+            .collect();
+        CpuModel {
+            points,
+            active_mw_at_max: 400.0,
+            idle_mw: 170.0,
+            switch_latency: SimDuration::from_micros(150),
+        }
+    }
+
+    /// Builds a custom CPU model from explicit operating points.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `points` is empty, not strictly increasing in
+    /// frequency, non-increasing in voltage, or if a power is non-positive.
+    pub fn from_points(
+        points: Vec<OperatingPoint>,
+        active_mw_at_max: f64,
+        idle_mw: f64,
+        switch_latency: SimDuration,
+    ) -> Result<Self, HwError> {
+        if points.is_empty() {
+            return Err(HwError::InvalidParameter {
+                name: "points",
+                value: 0.0,
+            });
+        }
+        for w in points.windows(2) {
+            if w[1].freq_mhz <= w[0].freq_mhz {
+                return Err(HwError::InvalidParameter {
+                    name: "points (frequency order)",
+                    value: w[1].freq_mhz,
+                });
+            }
+            if w[1].voltage_v < w[0].voltage_v {
+                return Err(HwError::InvalidParameter {
+                    name: "points (voltage monotonicity)",
+                    value: w[1].voltage_v,
+                });
+            }
+        }
+        if !(active_mw_at_max.is_finite() && active_mw_at_max > 0.0) {
+            return Err(HwError::InvalidParameter {
+                name: "active_mw_at_max",
+                value: active_mw_at_max,
+            });
+        }
+        if !(idle_mw.is_finite() && idle_mw >= 0.0) {
+            return Err(HwError::InvalidParameter {
+                name: "idle_mw",
+                value: idle_mw,
+            });
+        }
+        Ok(CpuModel {
+            points,
+            active_mw_at_max,
+            idle_mw,
+            switch_latency,
+        })
+    }
+
+    /// The discrete operating points, in increasing frequency order.
+    #[must_use]
+    pub fn operating_points(&self) -> &[OperatingPoint] {
+        &self.points
+    }
+
+    /// The slowest (lowest-power) operating point.
+    #[must_use]
+    pub fn min_operating_point(&self) -> OperatingPoint {
+        self.points[0]
+    }
+
+    /// The fastest operating point.
+    #[must_use]
+    pub fn max_operating_point(&self) -> OperatingPoint {
+        *self.points.last().expect("validated non-empty")
+    }
+
+    /// Latency of switching between two frequency settings.
+    #[must_use]
+    pub fn switch_latency(&self) -> SimDuration {
+        self.switch_latency
+    }
+
+    /// Idle power (independent of the DVS setting), milliwatts.
+    #[must_use]
+    pub fn idle_mw(&self) -> f64 {
+        self.idle_mw
+    }
+
+    /// Looks up the operating point with exactly this frequency
+    /// (tolerance 0.05 MHz).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::UnknownFrequency`] if `freq_mhz` is not a
+    /// supported step.
+    pub fn operating_point_for_frequency(&self, freq_mhz: f64) -> Result<OperatingPoint, HwError> {
+        self.points
+            .iter()
+            .find(|p| (p.freq_mhz - freq_mhz).abs() < 0.05)
+            .copied()
+            .ok_or(HwError::UnknownFrequency { freq_mhz })
+    }
+
+    /// The slowest operating point with frequency ≥ `freq_mhz`, or the
+    /// maximum point if the request exceeds every step. This is how the
+    /// DVS policy quantizes a continuous frequency requirement onto the
+    /// hardware grid without violating the performance constraint.
+    #[must_use]
+    pub fn lowest_point_at_least(&self, freq_mhz: f64) -> OperatingPoint {
+        self.points
+            .iter()
+            .find(|p| p.freq_mhz >= freq_mhz - 1e-9)
+            .copied()
+            .unwrap_or_else(|| self.max_operating_point())
+    }
+
+    /// Active power at `point`, milliwatts, via CMOS `f·V²` scaling from
+    /// the maximum point.
+    #[must_use]
+    pub fn active_power_mw(&self, point: OperatingPoint) -> f64 {
+        self.active_mw_at_max * point.power_ratio_vs(&self.max_operating_point())
+    }
+
+    /// Energy ratio per unit of work at `point` versus the maximum point,
+    /// for CPU-bound work: time stretches by `f_max/f` while power shrinks
+    /// by `(f/f_max)(V/V_max)²`, so energy per work unit scales as
+    /// `(V/V_max)²`.
+    #[must_use]
+    pub fn energy_per_work_ratio(&self, point: OperatingPoint) -> f64 {
+        let v = point.voltage_v / self.max_operating_point().voltage_v;
+        v * v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sa1100_has_twelve_increasing_points() {
+        let cpu = CpuModel::sa1100();
+        let pts = cpu.operating_points();
+        assert_eq!(pts.len(), 12);
+        for w in pts.windows(2) {
+            assert!(w[1].freq_mhz > w[0].freq_mhz);
+            assert!(w[1].voltage_v >= w[0].voltage_v);
+        }
+        assert!((pts[0].freq_mhz - 59.0).abs() < 1e-9);
+        assert!((pts[11].freq_mhz - 221.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn voltage_range_matches_figure3_shape() {
+        let cpu = CpuModel::sa1100();
+        assert!((cpu.min_operating_point().voltage_v - 0.8).abs() < 1e-9);
+        assert!((cpu.max_operating_point().voltage_v - 1.5).abs() < 1e-9);
+        // Convex: midpoint voltage below linear interpolation.
+        let mid = cpu.operating_point_for_frequency(132.7).unwrap();
+        let linear = 0.8 + 0.7 * (132.7 - 59.0) / (221.2 - 59.0);
+        assert!(mid.voltage_v < linear);
+    }
+
+    #[test]
+    fn power_scaling_is_f_v_squared() {
+        let cpu = CpuModel::sa1100();
+        let max = cpu.max_operating_point();
+        assert!((cpu.active_power_mw(max) - 400.0).abs() < 1e-9);
+        let min = cpu.min_operating_point();
+        let expected = 400.0 * (59.0 / 221.2) * (0.8 / 1.5_f64).powi(2);
+        assert!((cpu.active_power_mw(min) - expected).abs() < 1e-9);
+        // Over 5x reduction at the lowest point.
+        assert!(cpu.active_power_mw(min) < 400.0 / 5.0);
+    }
+
+    #[test]
+    fn energy_per_work_falls_with_voltage() {
+        let cpu = CpuModel::sa1100();
+        let min = cpu.min_operating_point();
+        let e = cpu.energy_per_work_ratio(min);
+        assert!((e - (0.8f64 / 1.5).powi(2)).abs() < 1e-12);
+        assert!(e < 0.3);
+        assert!((cpu.energy_per_work_ratio(cpu.max_operating_point()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequency_lookup_exact_and_unknown() {
+        let cpu = CpuModel::sa1100();
+        assert!(cpu.operating_point_for_frequency(103.2).is_ok());
+        assert!(matches!(
+            cpu.operating_point_for_frequency(100.0),
+            Err(HwError::UnknownFrequency { .. })
+        ));
+    }
+
+    #[test]
+    fn lowest_point_at_least_quantizes_up() {
+        let cpu = CpuModel::sa1100();
+        let p = cpu.lowest_point_at_least(100.0);
+        assert!((p.freq_mhz - 103.2).abs() < 1e-9);
+        let p = cpu.lowest_point_at_least(59.0);
+        assert!((p.freq_mhz - 59.0).abs() < 1e-9);
+        // Beyond the top step: clamp to max.
+        let p = cpu.lowest_point_at_least(500.0);
+        assert!((p.freq_mhz - 221.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn switch_latency_is_small() {
+        let cpu = CpuModel::sa1100();
+        assert_eq!(cpu.switch_latency(), SimDuration::from_micros(150));
+        // Much shorter than a 30 fr/s frame period.
+        assert!(cpu.switch_latency().as_secs_f64() < (1.0 / 30.0) / 100.0);
+    }
+
+    #[test]
+    fn from_points_validates() {
+        let good = vec![
+            OperatingPoint {
+                freq_mhz: 100.0,
+                voltage_v: 1.0,
+            },
+            OperatingPoint {
+                freq_mhz: 200.0,
+                voltage_v: 1.4,
+            },
+        ];
+        assert!(CpuModel::from_points(good.clone(), 400.0, 100.0, SimDuration::ZERO).is_ok());
+        assert!(CpuModel::from_points(vec![], 400.0, 100.0, SimDuration::ZERO).is_err());
+        let bad_freq = vec![good[1], good[0]];
+        assert!(CpuModel::from_points(bad_freq, 400.0, 100.0, SimDuration::ZERO).is_err());
+        let bad_volt = vec![
+            OperatingPoint {
+                freq_mhz: 100.0,
+                voltage_v: 1.4,
+            },
+            OperatingPoint {
+                freq_mhz: 200.0,
+                voltage_v: 1.0,
+            },
+        ];
+        assert!(CpuModel::from_points(bad_volt, 400.0, 100.0, SimDuration::ZERO).is_err());
+        assert!(CpuModel::from_points(good.clone(), -1.0, 100.0, SimDuration::ZERO).is_err());
+        assert!(CpuModel::from_points(good, 400.0, f64::NAN, SimDuration::ZERO).is_err());
+    }
+
+    #[test]
+    fn power_ratio_reference_identity() {
+        let p = OperatingPoint {
+            freq_mhz: 150.0,
+            voltage_v: 1.2,
+        };
+        assert!((p.power_ratio_vs(&p) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,189 @@
+//! DC-DC converter efficiency model.
+//!
+//! The SmartBadge is "powered by the batteries through a DC-DC converter"
+//! (paper Section 2.1). Converter efficiency is load dependent: poor at
+//! very light loads (fixed switching losses dominate) and slightly reduced
+//! at full load (conduction losses). Battery drain is the delivered power
+//! divided by the efficiency at that load, so deep power-down states save
+//! slightly less at the battery terminals than at the rails — a
+//! second-order effect worth modeling when estimating battery lifetime.
+
+use crate::HwError;
+use serde::{Deserialize, Serialize};
+
+/// A load-dependent DC-DC converter efficiency curve
+/// (piecewise linear in the load fraction of rated output power).
+///
+/// # Example
+///
+/// ```
+/// use hardware::dcdc::DcDcConverter;
+///
+/// let conv = DcDcConverter::smartbadge();
+/// // Drawing 1 W from a ~4 W-rated converter:
+/// let battery_mw = conv.battery_draw_mw(1000.0);
+/// assert!(battery_mw > 1000.0, "conversion always loses something");
+/// assert!(battery_mw < 1400.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DcDcConverter {
+    rated_mw: f64,
+    /// `(load_fraction, efficiency)` points, increasing in load fraction.
+    curve: Vec<(f64, f64)>,
+}
+
+impl DcDcConverter {
+    /// A converter sized for the SmartBadge: 4 W rated, peak efficiency
+    /// 90 % at mid load, 60 % at 1 % load, 85 % at full load.
+    #[must_use]
+    pub fn smartbadge() -> Self {
+        DcDcConverter {
+            rated_mw: 4000.0,
+            curve: vec![(0.0, 0.4), (0.01, 0.6), (0.1, 0.8), (0.5, 0.9), (1.0, 0.85)],
+        }
+    }
+
+    /// Builds a converter from a rated power and an efficiency curve.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the rated power is non-positive, the curve has
+    /// fewer than two points, load fractions are not strictly increasing
+    /// from ≥ 0, or an efficiency is outside `(0, 1]`.
+    pub fn from_curve(rated_mw: f64, curve: Vec<(f64, f64)>) -> Result<Self, HwError> {
+        if !(rated_mw.is_finite() && rated_mw > 0.0) {
+            return Err(HwError::InvalidParameter {
+                name: "rated_mw",
+                value: rated_mw,
+            });
+        }
+        if curve.len() < 2 {
+            return Err(HwError::InvalidParameter {
+                name: "curve",
+                value: curve.len() as f64,
+            });
+        }
+        let mut last = -1.0;
+        for &(load, eff) in &curve {
+            if !(load.is_finite() && load >= 0.0 && load > last) {
+                return Err(HwError::InvalidParameter {
+                    name: "curve (load fraction)",
+                    value: load,
+                });
+            }
+            if !(eff.is_finite() && eff > 0.0 && eff <= 1.0) {
+                return Err(HwError::InvalidParameter {
+                    name: "curve (efficiency)",
+                    value: eff,
+                });
+            }
+            last = load;
+        }
+        Ok(DcDcConverter { rated_mw, curve })
+    }
+
+    /// Rated output power, milliwatts.
+    #[must_use]
+    pub fn rated_mw(&self) -> f64 {
+        self.rated_mw
+    }
+
+    /// Conversion efficiency when delivering `load_mw` to the rails.
+    /// Clamped to the curve's endpoints outside the sampled range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load_mw` is negative or not finite.
+    #[must_use]
+    pub fn efficiency(&self, load_mw: f64) -> f64 {
+        assert!(
+            load_mw.is_finite() && load_mw >= 0.0,
+            "load must be finite and non-negative"
+        );
+        let x = load_mw / self.rated_mw;
+        let first = self.curve[0];
+        let last = *self.curve.last().expect("validated non-empty");
+        if x <= first.0 {
+            return first.1;
+        }
+        if x >= last.0 {
+            return last.1;
+        }
+        for w in self.curve.windows(2) {
+            let (x0, e0) = w[0];
+            let (x1, e1) = w[1];
+            if x <= x1 {
+                let t = (x - x0) / (x1 - x0);
+                return e0 + t * (e1 - e0);
+            }
+        }
+        last.1
+    }
+
+    /// Power drawn from the battery to deliver `load_mw` at the rails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load_mw` is negative or not finite.
+    #[must_use]
+    pub fn battery_draw_mw(&self, load_mw: f64) -> f64 {
+        if load_mw == 0.0 {
+            return 0.0;
+        }
+        load_mw / self.efficiency(load_mw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_peaks_at_mid_load() {
+        let c = DcDcConverter::smartbadge();
+        let low = c.efficiency(40.0); // 1% load
+        let mid = c.efficiency(2000.0); // 50% load
+        let full = c.efficiency(4000.0);
+        assert!(mid > low);
+        assert!(mid > full);
+        assert!((mid - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn battery_draw_exceeds_load() {
+        let c = DcDcConverter::smartbadge();
+        for load in [10.0, 100.0, 1000.0, 3500.0] {
+            assert!(c.battery_draw_mw(load) > load);
+        }
+        assert_eq!(c.battery_draw_mw(0.0), 0.0);
+    }
+
+    #[test]
+    fn interpolation_is_continuous() {
+        let c = DcDcConverter::smartbadge();
+        let e1 = c.efficiency(399.9);
+        let e2 = c.efficiency(400.1);
+        assert!((e1 - e2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn clamps_beyond_rated() {
+        let c = DcDcConverter::smartbadge();
+        assert!((c.efficiency(8000.0) - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_curve_validates() {
+        assert!(DcDcConverter::from_curve(0.0, vec![(0.0, 0.5), (1.0, 0.9)]).is_err());
+        assert!(DcDcConverter::from_curve(1000.0, vec![(0.0, 0.5)]).is_err());
+        assert!(DcDcConverter::from_curve(1000.0, vec![(0.5, 0.5), (0.2, 0.9)]).is_err());
+        assert!(DcDcConverter::from_curve(1000.0, vec![(0.0, 0.5), (1.0, 1.5)]).is_err());
+        assert!(DcDcConverter::from_curve(1000.0, vec![(0.0, 0.5), (1.0, 0.9)]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_load_panics() {
+        let _ = DcDcConverter::smartbadge().efficiency(-1.0);
+    }
+}

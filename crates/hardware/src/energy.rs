@@ -1,0 +1,171 @@
+//! Energy accounting.
+//!
+//! [`EnergyMeter`] integrates per-component power over simulation time,
+//! producing the joule totals the experiment tables report. Power is fed
+//! in milliwatts (matching Table 1) and accumulated in joules.
+
+use crate::component::ComponentId;
+use serde::{Deserialize, Serialize};
+use simcore::time::SimDuration;
+use std::collections::BTreeMap;
+
+/// Integrates component power draws over time.
+///
+/// # Example
+///
+/// ```
+/// use hardware::component::ComponentId;
+/// use hardware::energy::EnergyMeter;
+/// use simcore::time::SimDuration;
+///
+/// let mut meter = EnergyMeter::new();
+/// meter.accumulate(ComponentId::Cpu, 400.0, SimDuration::from_secs(10));
+/// meter.accumulate(ComponentId::Display, 1000.0, SimDuration::from_secs(10));
+/// assert!((meter.component_joules(ComponentId::Cpu) - 4.0).abs() < 1e-9);
+/// assert!((meter.total_joules() - 14.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    joules: BTreeMap<ComponentId, f64>,
+    elapsed_secs: f64,
+}
+
+impl EnergyMeter {
+    /// Creates a meter with all totals at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        EnergyMeter::default()
+    }
+
+    /// Adds `power_mw` milliwatts drawn by `id` for duration `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power_mw` is negative or not finite.
+    pub fn accumulate(&mut self, id: ComponentId, power_mw: f64, dt: SimDuration) {
+        assert!(
+            power_mw.is_finite() && power_mw >= 0.0,
+            "power must be finite and non-negative, got {power_mw}"
+        );
+        *self.joules.entry(id).or_insert(0.0) += power_mw * 1e-3 * dt.as_secs_f64();
+    }
+
+    /// Records wall-clock progress without attributing energy; used so the
+    /// meter can report average power over the full run.
+    pub fn advance_time(&mut self, dt: SimDuration) {
+        self.elapsed_secs += dt.as_secs_f64();
+    }
+
+    /// Joules attributed to `id` so far.
+    #[must_use]
+    pub fn component_joules(&self, id: ComponentId) -> f64 {
+        self.joules.get(&id).copied().unwrap_or(0.0)
+    }
+
+    /// Total joules across all components.
+    #[must_use]
+    pub fn total_joules(&self) -> f64 {
+        self.joules.values().sum()
+    }
+
+    /// Total energy in kilojoules, the unit the paper's tables use.
+    #[must_use]
+    pub fn total_kilojoules(&self) -> f64 {
+        self.total_joules() * 1e-3
+    }
+
+    /// Seconds of simulated time recorded via [`advance_time`].
+    ///
+    /// [`advance_time`]: EnergyMeter::advance_time
+    #[must_use]
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed_secs
+    }
+
+    /// Average total power in milliwatts over the recorded elapsed time;
+    /// `0.0` if no time has elapsed.
+    #[must_use]
+    pub fn average_power_mw(&self) -> f64 {
+        if self.elapsed_secs == 0.0 {
+            0.0
+        } else {
+            self.total_joules() / self.elapsed_secs * 1e3
+        }
+    }
+
+    /// Per-component totals in joules, in [`ComponentId`] order.
+    #[must_use]
+    pub fn breakdown(&self) -> Vec<(ComponentId, f64)> {
+        self.joules.iter().map(|(&id, &j)| (id, j)).collect()
+    }
+
+    /// Merges another meter's totals into this one.
+    pub fn merge(&mut self, other: &EnergyMeter) {
+        for (&id, &j) in &other.joules {
+            *self.joules.entry(id).or_insert(0.0) += j;
+        }
+        self.elapsed_secs += other.elapsed_secs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_component() {
+        let mut m = EnergyMeter::new();
+        m.accumulate(ComponentId::Cpu, 100.0, SimDuration::from_secs(2));
+        m.accumulate(ComponentId::Cpu, 200.0, SimDuration::from_secs(1));
+        assert!((m.component_joules(ComponentId::Cpu) - 0.4).abs() < 1e-12);
+        assert_eq!(m.component_joules(ComponentId::Dram), 0.0);
+    }
+
+    #[test]
+    fn totals_and_units() {
+        let mut m = EnergyMeter::new();
+        m.accumulate(ComponentId::Display, 1000.0, SimDuration::from_secs(3600));
+        assert!((m.total_joules() - 3600.0).abs() < 1e-9);
+        assert!((m.total_kilojoules() - 3.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_power() {
+        let mut m = EnergyMeter::new();
+        assert_eq!(m.average_power_mw(), 0.0);
+        m.accumulate(ComponentId::Cpu, 400.0, SimDuration::from_secs(5));
+        m.accumulate(ComponentId::Cpu, 0.0, SimDuration::from_secs(5));
+        m.advance_time(SimDuration::from_secs(10));
+        assert!((m.average_power_mw() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = EnergyMeter::new();
+        a.accumulate(ComponentId::Sram, 115.0, SimDuration::from_secs(1));
+        a.advance_time(SimDuration::from_secs(1));
+        let mut b = EnergyMeter::new();
+        b.accumulate(ComponentId::Sram, 115.0, SimDuration::from_secs(2));
+        b.accumulate(ComponentId::Flash, 75.0, SimDuration::from_secs(2));
+        b.advance_time(SimDuration::from_secs(2));
+        a.merge(&b);
+        assert!((a.component_joules(ComponentId::Sram) - 0.345).abs() < 1e-12);
+        assert!((a.component_joules(ComponentId::Flash) - 0.15).abs() < 1e-12);
+        assert!((a.elapsed_secs() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_is_ordered() {
+        let mut m = EnergyMeter::new();
+        m.accumulate(ComponentId::Dram, 1.0, SimDuration::from_secs(1));
+        m.accumulate(ComponentId::Display, 1.0, SimDuration::from_secs(1));
+        let ids: Vec<ComponentId> = m.breakdown().iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![ComponentId::Display, ComponentId::Dram]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_power_panics() {
+        EnergyMeter::new().accumulate(ComponentId::Cpu, -1.0, SimDuration::from_secs(1));
+    }
+}

@@ -1,0 +1,125 @@
+#![warn(missing_docs)]
+//! SmartBadge portable-device hardware model.
+//!
+//! The SmartBadge (paper Section 2.1, Figure 2) is an embedded system built
+//! around a StrongARM SA-1100 processor with a display, a WLAN RF link,
+//! FLASH, SRAM and DRAM, powered through a DC-DC converter. This crate
+//! models every piece the power manager can observe or control:
+//!
+//! * [`state`] — the four power states (active / idle / standby / off) and
+//!   legal transitions,
+//! * [`component`] — per-component power draw and wake-up latencies
+//!   (paper Table 1),
+//! * [`cpu`] — the SA-1100 operating points: 12 clock frequencies with
+//!   their minimum supply voltages (paper Figure 3) and CMOS `f·V²` power
+//!   scaling,
+//! * [`perf`] — application performance vs. CPU frequency, including the
+//!   memory-bound saturation of MP3-on-SRAM and the near-linear scaling of
+//!   MPEG-on-SDRAM (paper Figures 4 and 5),
+//! * [`smartbadge`] — the assembled device with per-component energy
+//!   metering,
+//! * [`energy`] — energy accounting,
+//! * [`dcdc`] — DC-DC converter efficiency,
+//! * [`battery`] — battery-lifetime estimation.
+//!
+//! ## Fidelity note
+//!
+//! Table 1 of the paper scan is OCR-garbled; the numbers in
+//! [`smartbadge::SmartBadge::table1`] are reconstructed from the values the
+//! same authors published for the same platform (ISLPED'00 / MobiCom'00)
+//! and are marked as such in `DESIGN.md`. All policies consume them through
+//! the same interfaces they would consume measured values.
+//!
+//! # Example
+//!
+//! ```
+//! use hardware::cpu::CpuModel;
+//! use hardware::perf::PerformanceCurve;
+//!
+//! let cpu = CpuModel::sa1100();
+//! let op = cpu.operating_point_for_frequency(103.2).expect("valid SA-1100 step");
+//! assert!(op.voltage_v < cpu.max_operating_point().voltage_v);
+//!
+//! // MP3 decode is memory bound: halving the clock does not halve throughput.
+//! let mp3 = PerformanceCurve::mp3_on_sram(&cpu);
+//! let perf_half = mp3.performance_at(110.6);
+//! assert!(perf_half > 0.5);
+//! ```
+
+pub mod battery;
+pub mod component;
+pub mod cpu;
+pub mod dcdc;
+pub mod energy;
+pub mod perf;
+pub mod smartbadge;
+pub mod state;
+
+pub use component::{ComponentId, ComponentSpec};
+pub use cpu::{CpuModel, OperatingPoint};
+pub use energy::EnergyMeter;
+pub use perf::PerformanceCurve;
+pub use smartbadge::SmartBadge;
+pub use state::PowerState;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the hardware model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HwError {
+    /// A requested CPU frequency is not one of the device's discrete
+    /// operating points.
+    UnknownFrequency {
+        /// The requested frequency in MHz.
+        freq_mhz: f64,
+    },
+    /// A power-state transition that the hardware does not support.
+    IllegalTransition {
+        /// State the component is currently in.
+        from: state::PowerState,
+        /// Requested destination state.
+        to: state::PowerState,
+    },
+    /// A numeric model parameter was out of range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::UnknownFrequency { freq_mhz } => {
+                write!(
+                    f,
+                    "frequency {freq_mhz} MHz is not a supported operating point"
+                )
+            }
+            HwError::IllegalTransition { from, to } => {
+                write!(f, "illegal power-state transition from {from} to {to}")
+            }
+            HwError::InvalidParameter { name, value } => {
+                write!(f, "invalid hardware parameter `{name}` = {value}")
+            }
+        }
+    }
+}
+
+impl Error for HwError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync_and_display() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HwError>();
+        let e = HwError::UnknownFrequency { freq_mhz: 42.0 };
+        assert!(e.to_string().contains("42"));
+    }
+}

@@ -1,0 +1,326 @@
+//! Application performance versus CPU frequency.
+//!
+//! The paper (Figures 4 and 5) measures normalized decode performance and
+//! energy against the CPU frequency setting and observes that **the shape
+//! depends on which memory the application uses**:
+//!
+//! * MP3 audio decodes out of the slower SRAM. Memory access time does not
+//!   scale with the core clock, so performance saturates at high
+//!   frequencies — the workload becomes memory bound.
+//! * MPEG video decodes out of the much faster SDRAM, so its performance
+//!   curve is almost linear in frequency.
+//!
+//! We model a frame's decode time at frequency `f` as
+//!
+//! ```text
+//! t(f) = t_cpu(f_max) · (f_max / f) + t_mem
+//! ```
+//!
+//! where `t_mem` is the frequency-independent memory-stall time. With
+//! `β = t_mem / t(f_max)` the normalized performance is
+//!
+//! ```text
+//! perf(f) = t(f_max) / t(f) = 1 / ((1 − β) · f_max/f + β)
+//! ```
+//!
+//! The DVS policy inverts this curve: given a required decode rate it finds
+//! the minimum frequency that sustains it, exactly as the paper uses
+//! "piece-wise linear approximation based on the application
+//! frequency-performance tradeoff curve" (Section 3.1).
+
+use crate::cpu::CpuModel;
+use crate::HwError;
+use serde::{Deserialize, Serialize};
+
+/// A monotone normalized performance curve sampled at the CPU's discrete
+/// operating points, with piecewise-linear interpolation between them.
+///
+/// Performance is normalized to `1.0` at the maximum frequency.
+///
+/// # Example
+///
+/// ```
+/// use hardware::cpu::CpuModel;
+/// use hardware::perf::PerformanceCurve;
+///
+/// let cpu = CpuModel::sa1100();
+/// let mpeg = PerformanceCurve::mpeg_on_sdram(&cpu);
+/// // Nearly linear: at ~half the clock, ~half the performance.
+/// let p = mpeg.performance_at(110.6);
+/// assert!((p - 0.5).abs() < 0.05);
+///
+/// // Inversion: the frequency needed for 80% performance.
+/// let f = mpeg.frequency_for_performance(0.8);
+/// assert!((mpeg.performance_at(f) - 0.8).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerformanceCurve {
+    /// `(freq_mhz, normalized_performance)`, strictly increasing in both.
+    points: Vec<(f64, f64)>,
+}
+
+impl PerformanceCurve {
+    /// Builds a curve from the memory-stall model with stall fraction
+    /// `mem_fraction` (`β`) at the maximum frequency, sampled at the CPU's
+    /// operating points.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `0 ≤ mem_fraction < 1`.
+    pub fn from_memory_model(cpu: &CpuModel, mem_fraction: f64) -> Result<Self, HwError> {
+        if !(mem_fraction.is_finite() && (0.0..1.0).contains(&mem_fraction)) {
+            return Err(HwError::InvalidParameter {
+                name: "mem_fraction",
+                value: mem_fraction,
+            });
+        }
+        let f_max = cpu.max_operating_point().freq_mhz;
+        let points = cpu
+            .operating_points()
+            .iter()
+            .map(|p| {
+                let perf = 1.0 / ((1.0 - mem_fraction) * f_max / p.freq_mhz + mem_fraction);
+                (p.freq_mhz, perf)
+            })
+            .collect();
+        Ok(PerformanceCurve { points })
+    }
+
+    /// MP3 audio decoding out of SRAM: strongly memory bound
+    /// (stall fraction 0.35), so the curve saturates at high frequency
+    /// (paper Figure 4).
+    #[must_use]
+    pub fn mp3_on_sram(cpu: &CpuModel) -> Self {
+        Self::from_memory_model(cpu, 0.35).expect("0.35 is a valid stall fraction")
+    }
+
+    /// MPEG video decoding out of SDRAM: almost CPU bound
+    /// (stall fraction 0.05), so the curve is nearly linear
+    /// (paper Figure 5).
+    #[must_use]
+    pub fn mpeg_on_sdram(cpu: &CpuModel) -> Self {
+        Self::from_memory_model(cpu, 0.05).expect("0.05 is a valid stall fraction")
+    }
+
+    /// Builds a curve from explicit `(freq_mhz, performance)` samples, as
+    /// one would from hardware measurements.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if fewer than two points are given or the samples
+    /// are not strictly increasing in both coordinates.
+    pub fn from_points(points: Vec<(f64, f64)>) -> Result<Self, HwError> {
+        if points.len() < 2 {
+            return Err(HwError::InvalidParameter {
+                name: "points",
+                value: points.len() as f64,
+            });
+        }
+        for w in points.windows(2) {
+            if w[1].0 <= w[0].0 || w[1].1 <= w[0].1 {
+                return Err(HwError::InvalidParameter {
+                    name: "points (monotonicity)",
+                    value: w[1].0,
+                });
+            }
+        }
+        Ok(PerformanceCurve { points })
+    }
+
+    /// The sampled `(freq_mhz, performance)` points.
+    #[must_use]
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Normalized performance at frequency `freq_mhz`, interpolating
+    /// piecewise-linearly and clamping outside the sampled range.
+    #[must_use]
+    pub fn performance_at(&self, freq_mhz: f64) -> f64 {
+        let first = self.points[0];
+        let last = *self.points.last().expect("validated non-empty");
+        if freq_mhz <= first.0 {
+            return first.1;
+        }
+        if freq_mhz >= last.0 {
+            return last.1;
+        }
+        for w in self.points.windows(2) {
+            let (f0, p0) = w[0];
+            let (f1, p1) = w[1];
+            if freq_mhz <= f1 {
+                let t = (freq_mhz - f0) / (f1 - f0);
+                return p0 + t * (p1 - p0);
+            }
+        }
+        last.1
+    }
+
+    /// The minimum frequency achieving normalized performance `perf`
+    /// (inverse piecewise-linear interpolation). Clamps to the sampled
+    /// frequency range: requests below the lowest sampled performance
+    /// return the lowest frequency; requests above the highest return the
+    /// highest frequency.
+    #[must_use]
+    pub fn frequency_for_performance(&self, perf: f64) -> f64 {
+        let first = self.points[0];
+        let last = *self.points.last().expect("validated non-empty");
+        if perf <= first.1 {
+            return first.0;
+        }
+        if perf >= last.1 {
+            return last.0;
+        }
+        for w in self.points.windows(2) {
+            let (f0, p0) = w[0];
+            let (f1, p1) = w[1];
+            if perf <= p1 {
+                let t = (perf - p0) / (p1 - p0);
+                return f0 + t * (f1 - f0);
+            }
+        }
+        last.0
+    }
+
+    /// Decode rate (frames/s) at `freq_mhz` for an application that
+    /// decodes `rate_at_max` frames/s at the maximum frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_at_max` is not finite and positive.
+    #[must_use]
+    pub fn decode_rate(&self, freq_mhz: f64, rate_at_max: f64) -> f64 {
+        assert!(
+            rate_at_max.is_finite() && rate_at_max > 0.0,
+            "rate_at_max must be positive"
+        );
+        rate_at_max * self.performance_at(freq_mhz)
+    }
+
+    /// The minimum (continuous) frequency sustaining `required_rate`
+    /// frames/s for an application decoding `rate_at_max` frames/s at the
+    /// maximum frequency. Clamps to the sampled range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_at_max` is not finite and positive.
+    #[must_use]
+    pub fn frequency_for_rate(&self, required_rate: f64, rate_at_max: f64) -> f64 {
+        assert!(
+            rate_at_max.is_finite() && rate_at_max > 0.0,
+            "rate_at_max must be positive"
+        );
+        self.frequency_for_performance(required_rate / rate_at_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu() -> CpuModel {
+        CpuModel::sa1100()
+    }
+
+    #[test]
+    fn performance_is_one_at_max_frequency() {
+        for curve in [
+            PerformanceCurve::mp3_on_sram(&cpu()),
+            PerformanceCurve::mpeg_on_sdram(&cpu()),
+        ] {
+            assert!((curve.performance_at(221.2) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mp3_is_memory_bound_mpeg_is_not() {
+        let c = cpu();
+        let mp3 = PerformanceCurve::mp3_on_sram(&c);
+        let mpeg = PerformanceCurve::mpeg_on_sdram(&c);
+        let f = 110.6; // about half the top clock
+        let linear = f / 221.2;
+        // MP3 retains much more than linear performance at half clock...
+        assert!(mp3.performance_at(f) > linear + 0.1);
+        // ...while MPEG is within a few percent of linear.
+        assert!((mpeg.performance_at(f) - linear).abs() < 0.05);
+    }
+
+    #[test]
+    fn curve_is_monotone_increasing() {
+        let mp3 = PerformanceCurve::mp3_on_sram(&cpu());
+        let mut last = 0.0;
+        for f in (59..=221).step_by(2) {
+            let p = mp3.performance_at(f as f64);
+            assert!(p >= last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn inversion_roundtrips() {
+        let mpeg = PerformanceCurve::mpeg_on_sdram(&cpu());
+        for perf in [0.35, 0.5, 0.75, 0.9, 0.99] {
+            let f = mpeg.frequency_for_performance(perf);
+            assert!(
+                (mpeg.performance_at(f) - perf).abs() < 1e-9,
+                "perf {perf} roundtrip"
+            );
+        }
+    }
+
+    #[test]
+    fn inversion_clamps_out_of_range() {
+        let mp3 = PerformanceCurve::mp3_on_sram(&cpu());
+        assert!((mp3.frequency_for_performance(0.0) - 59.0).abs() < 1e-9);
+        assert!((mp3.frequency_for_performance(2.0) - 221.2).abs() < 1e-9);
+        assert!((mp3.performance_at(10.0) - mp3.performance_at(59.0)).abs() < 1e-12);
+        assert!((mp3.performance_at(500.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decode_rate_and_inverse_agree() {
+        let mpeg = PerformanceCurve::mpeg_on_sdram(&cpu());
+        let rate_at_max = 44.0;
+        let f = mpeg.frequency_for_rate(22.0, rate_at_max);
+        let achieved = mpeg.decode_rate(f, rate_at_max);
+        assert!((achieved - 22.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn from_points_validates_monotonicity() {
+        assert!(PerformanceCurve::from_points(vec![(59.0, 0.3)]).is_err());
+        assert!(
+            PerformanceCurve::from_points(vec![(59.0, 0.3), (100.0, 0.2)]).is_err(),
+            "performance must increase"
+        );
+        assert!(
+            PerformanceCurve::from_points(vec![(100.0, 0.3), (59.0, 0.5)]).is_err(),
+            "frequency must increase"
+        );
+        assert!(PerformanceCurve::from_points(vec![(59.0, 0.3), (221.2, 1.0)]).is_ok());
+    }
+
+    #[test]
+    fn memory_model_validates_fraction() {
+        let c = cpu();
+        assert!(PerformanceCurve::from_memory_model(&c, -0.1).is_err());
+        assert!(PerformanceCurve::from_memory_model(&c, 1.0).is_err());
+        assert!(PerformanceCurve::from_memory_model(&c, 0.0).is_ok());
+    }
+
+    #[test]
+    fn zero_stall_fraction_is_exactly_linear() {
+        let c = cpu();
+        let curve = PerformanceCurve::from_memory_model(&c, 0.0).unwrap();
+        for p in c.operating_points() {
+            assert!((curve.performance_at(p.freq_mhz) - p.freq_mhz / 221.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn decode_rate_rejects_bad_max_rate() {
+        let curve = PerformanceCurve::mp3_on_sram(&cpu());
+        let _ = curve.decode_rate(100.0, 0.0);
+    }
+}

@@ -1,0 +1,290 @@
+//! The assembled SmartBadge device.
+//!
+//! Combines the component table (paper Table 1), the SA-1100 CPU model
+//! (Figure 3) and the application performance curves (Figures 4/5) into
+//! one queriable device description, plus helpers for the aggregate system
+//! power in the operating modes the experiments use.
+
+use crate::component::{ComponentId, ComponentSpec};
+use crate::cpu::{CpuModel, OperatingPoint};
+use crate::state::PowerState;
+use serde::{Deserialize, Serialize};
+use simcore::time::SimDuration;
+
+/// Which data memory the running application decodes from.
+///
+/// MP3 audio uses the slower SRAM; MPEG video uses the faster SDRAM
+/// (paper Section 2.1). The unused memory bank sits idle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DecodeMemory {
+    /// Toshiba SRAM — MP3 audio.
+    Sram,
+    /// Micron SDRAM — MPEG video.
+    Dram,
+}
+
+/// The SmartBadge: CPU model plus the Table 1 component inventory.
+///
+/// # Example
+///
+/// ```
+/// use hardware::smartbadge::{DecodeMemory, SmartBadge};
+///
+/// let badge = SmartBadge::new();
+/// // Decoding MPEG at the top operating point draws the full system power…
+/// let top = badge.cpu().max_operating_point();
+/// let p_full = badge.decode_power_mw(top, DecodeMemory::Dram);
+/// // …while dropping to the lowest point saves hundreds of milliwatts.
+/// let low = badge.cpu().min_operating_point();
+/// assert!(badge.decode_power_mw(low, DecodeMemory::Dram) < p_full - 250.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SmartBadge {
+    cpu: CpuModel,
+    components: Vec<ComponentSpec>,
+}
+
+impl SmartBadge {
+    /// Creates the SmartBadge with the reconstructed Table 1 values and
+    /// the SA-1100 CPU model.
+    #[must_use]
+    pub fn new() -> Self {
+        SmartBadge {
+            cpu: CpuModel::sa1100(),
+            components: Self::table1(),
+        }
+    }
+
+    /// The component inventory (paper Table 1).
+    ///
+    /// The scan of Table 1 is OCR-garbled; these values are reconstructed
+    /// from the same authors' ISLPED'00/MobiCom'00 descriptions of the
+    /// identical platform (see `DESIGN.md`): power in mW for
+    /// active/idle/standby and wake-up latencies from standby/off.
+    #[must_use]
+    pub fn table1() -> Vec<ComponentSpec> {
+        use ComponentId::*;
+        let ms = SimDuration::from_millis;
+        vec![
+            ComponentSpec {
+                id: Display,
+                active_mw: 1000.0,
+                idle_mw: 1000.0,
+                standby_mw: 100.0,
+                t_standby: ms(100),
+                t_off: ms(240),
+            },
+            ComponentSpec {
+                id: WlanRf,
+                active_mw: 1500.0,
+                idle_mw: 1000.0,
+                standby_mw: 100.0,
+                t_standby: ms(40),
+                t_off: ms(160),
+            },
+            ComponentSpec {
+                id: Cpu,
+                active_mw: 400.0,
+                idle_mw: 170.0,
+                standby_mw: 0.1,
+                t_standby: ms(10),
+                t_off: ms(35),
+            },
+            ComponentSpec {
+                id: Flash,
+                active_mw: 75.0,
+                idle_mw: 5.0,
+                standby_mw: 0.023,
+                t_standby: ms(1),
+                t_off: ms(5),
+            },
+            ComponentSpec {
+                id: Sram,
+                active_mw: 115.0,
+                idle_mw: 17.0,
+                standby_mw: 0.13,
+                t_standby: ms(1),
+                t_off: ms(5),
+            },
+            ComponentSpec {
+                id: Dram,
+                active_mw: 400.0,
+                idle_mw: 10.0,
+                standby_mw: 0.4,
+                t_standby: ms(4),
+                t_off: ms(8),
+            },
+        ]
+    }
+
+    /// The CPU model.
+    #[must_use]
+    pub fn cpu(&self) -> &CpuModel {
+        &self.cpu
+    }
+
+    /// All component specifications, in Table 1 order.
+    #[must_use]
+    pub fn components(&self) -> &[ComponentSpec] {
+        &self.components
+    }
+
+    /// The specification for one component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is missing from the inventory (cannot happen for
+    /// devices built with [`SmartBadge::new`]).
+    #[must_use]
+    pub fn component(&self, id: ComponentId) -> &ComponentSpec {
+        self.components
+            .iter()
+            .find(|c| c.id == id)
+            .expect("component present in inventory")
+    }
+
+    /// Total system power while decoding at operating point `op` with the
+    /// given decode memory active: CPU active (frequency-scaled), display
+    /// and WLAN active (frames stream in over the RF link), FLASH idle,
+    /// the decode memory active and the other memory bank idle.
+    #[must_use]
+    pub fn decode_power_mw(&self, op: OperatingPoint, memory: DecodeMemory) -> f64 {
+        let (decode_mem, other_mem) = match memory {
+            DecodeMemory::Sram => (ComponentId::Sram, ComponentId::Dram),
+            DecodeMemory::Dram => (ComponentId::Dram, ComponentId::Sram),
+        };
+        self.cpu.active_power_mw(op)
+            + self.component(ComponentId::Display).active_mw
+            + self.component(ComponentId::WlanRf).active_mw
+            + self.component(ComponentId::Flash).idle_mw
+            + self.component(decode_mem).active_mw
+            + self.component(other_mem).idle_mw
+    }
+
+    /// Total system power with every component in `state` (the CPU
+    /// contributes its Table 1 row, not the DVS-scaled value, since DVS
+    /// only applies while actively executing).
+    #[must_use]
+    pub fn uniform_power_mw(&self, state: PowerState) -> f64 {
+        self.components.iter().map(|c| c.power_mw(state)).sum()
+    }
+
+    /// The Table 1 "Total" row: sum of active powers, milliwatts.
+    #[must_use]
+    pub fn total_active_mw(&self) -> f64 {
+        self.uniform_power_mw(PowerState::Active)
+    }
+
+    /// The longest wake-up latency among all components from `state` —
+    /// the system is ready only when its slowest component is.
+    #[must_use]
+    pub fn system_wakeup(&self, state: PowerState) -> SimDuration {
+        self.components
+            .iter()
+            .map(|c| c.nominal_wakeup(state))
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+}
+
+impl Default for SmartBadge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_has_all_six_components() {
+        let badge = SmartBadge::new();
+        assert_eq!(badge.components().len(), 6);
+        for id in ComponentId::ALL {
+            assert_eq!(badge.component(id).id, id);
+        }
+    }
+
+    #[test]
+    fn total_active_power_near_3_5_watts() {
+        let badge = SmartBadge::new();
+        let total = badge.total_active_mw();
+        assert!(
+            (3000.0..4000.0).contains(&total),
+            "total active power {total} mW should be ~3.5 W"
+        );
+    }
+
+    #[test]
+    fn power_ordering_across_states() {
+        let badge = SmartBadge::new();
+        let active = badge.uniform_power_mw(PowerState::Active);
+        let idle = badge.uniform_power_mw(PowerState::Idle);
+        let standby = badge.uniform_power_mw(PowerState::Standby);
+        let off = badge.uniform_power_mw(PowerState::Off);
+        assert!(active > idle && idle > standby && standby > off);
+        assert_eq!(off, 0.0);
+    }
+
+    #[test]
+    fn decode_power_depends_on_memory_bank() {
+        let badge = SmartBadge::new();
+        let top = badge.cpu().max_operating_point();
+        let mpeg = badge.decode_power_mw(top, DecodeMemory::Dram);
+        let mp3 = badge.decode_power_mw(top, DecodeMemory::Sram);
+        // DRAM active draws more than SRAM active (400 vs 115 mW), the idle
+        // swap is 10 vs 17 mW.
+        assert!(mpeg > mp3);
+    }
+
+    #[test]
+    fn decode_power_scales_with_operating_point() {
+        let badge = SmartBadge::new();
+        let hi = badge.decode_power_mw(badge.cpu().max_operating_point(), DecodeMemory::Sram);
+        let lo = badge.decode_power_mw(badge.cpu().min_operating_point(), DecodeMemory::Sram);
+        let cpu_hi = badge
+            .cpu()
+            .active_power_mw(badge.cpu().max_operating_point());
+        let cpu_lo = badge
+            .cpu()
+            .active_power_mw(badge.cpu().min_operating_point());
+        assert!(
+            (hi - lo - (cpu_hi - cpu_lo)).abs() < 1e-9,
+            "only CPU power varies"
+        );
+    }
+
+    #[test]
+    fn system_wakeup_is_dominated_by_slowest_component() {
+        let badge = SmartBadge::new();
+        // Display has the longest latencies in the inventory.
+        assert_eq!(
+            badge.system_wakeup(PowerState::Standby),
+            badge.component(ComponentId::Display).t_standby
+        );
+        assert_eq!(
+            badge.system_wakeup(PowerState::Off),
+            badge.component(ComponentId::Display).t_off
+        );
+        assert_eq!(badge.system_wakeup(PowerState::Idle), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn cpu_row_matches_cpu_model() {
+        let badge = SmartBadge::new();
+        let row = badge.component(ComponentId::Cpu);
+        assert_eq!(
+            badge
+                .cpu()
+                .active_power_mw(badge.cpu().max_operating_point()),
+            row.active_mw
+        );
+        assert_eq!(badge.cpu().idle_mw(), row.idle_mw);
+    }
+
+    #[test]
+    fn default_equals_new() {
+        assert_eq!(SmartBadge::default(), SmartBadge::new());
+    }
+}

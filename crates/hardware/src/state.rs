@@ -1,0 +1,147 @@
+//! Power states and the legal transition structure.
+//!
+//! Every SmartBadge component has four main power states (paper Section 1):
+//! **active**, **idle**, **standby** and **off**. Idle is entered
+//! autonomously by a component as soon as it is not accessed; standby and
+//! off are entered only on command from the power manager; any request for
+//! service returns the component to active after a wake-up latency.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the four component power states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PowerState {
+    /// Servicing requests (decoding frames, driving the display, …).
+    Active,
+    /// Powered but not accessed; entered automatically when not in use.
+    Idle,
+    /// Low-power state with state retention; wake-up costs `t_sby`.
+    Standby,
+    /// Deepest state; wake-up costs `t_off`.
+    Off,
+}
+
+impl PowerState {
+    /// All states, ordered from shallowest to deepest.
+    pub const ALL: [PowerState; 4] = [
+        PowerState::Active,
+        PowerState::Idle,
+        PowerState::Standby,
+        PowerState::Off,
+    ];
+
+    /// `true` for the states the power manager may command a component
+    /// into during an idle period (standby and off). Active is reached by
+    /// servicing a request and idle is entered autonomously, so neither is
+    /// a power-manager command target.
+    #[must_use]
+    pub fn is_sleep_state(self) -> bool {
+        matches!(self, PowerState::Standby | PowerState::Off)
+    }
+
+    /// `true` if moving from `self` to `to` is a legal transition in the
+    /// SmartBadge model:
+    ///
+    /// * active ↔ idle (autonomous),
+    /// * idle → standby/off (power-manager command),
+    /// * standby → off (deepening, power-manager command),
+    /// * standby/off → active (wake-up on request arrival),
+    /// * any state → itself (no-op).
+    #[must_use]
+    pub fn can_transition_to(self, to: PowerState) -> bool {
+        use PowerState::*;
+        if self == to {
+            return true;
+        }
+        matches!(
+            (self, to),
+            (Active, Idle)
+                | (Idle, Active)
+                | (Idle, Standby)
+                | (Idle, Off)
+                | (Standby, Off)
+                | (Standby, Active)
+                | (Off, Active)
+        )
+    }
+
+    /// Depth of the state for ordering comparisons: deeper states save
+    /// more power but cost more to leave.
+    #[must_use]
+    pub fn depth(self) -> u8 {
+        match self {
+            PowerState::Active => 0,
+            PowerState::Idle => 1,
+            PowerState::Standby => 2,
+            PowerState::Off => 3,
+        }
+    }
+}
+
+impl fmt::Display for PowerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PowerState::Active => "active",
+            PowerState::Idle => "idle",
+            PowerState::Standby => "standby",
+            PowerState::Off => "off",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sleep_states() {
+        assert!(!PowerState::Active.is_sleep_state());
+        assert!(!PowerState::Idle.is_sleep_state());
+        assert!(PowerState::Standby.is_sleep_state());
+        assert!(PowerState::Off.is_sleep_state());
+    }
+
+    #[test]
+    fn depth_orders_states() {
+        let depths: Vec<u8> = PowerState::ALL.iter().map(|s| s.depth()).collect();
+        assert_eq!(depths, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn self_transitions_allowed() {
+        for s in PowerState::ALL {
+            assert!(s.can_transition_to(s));
+        }
+    }
+
+    #[test]
+    fn legal_transitions() {
+        use PowerState::*;
+        assert!(Active.can_transition_to(Idle));
+        assert!(Idle.can_transition_to(Active));
+        assert!(Idle.can_transition_to(Standby));
+        assert!(Idle.can_transition_to(Off));
+        assert!(Standby.can_transition_to(Active));
+        assert!(Standby.can_transition_to(Off));
+        assert!(Off.can_transition_to(Active));
+    }
+
+    #[test]
+    fn illegal_transitions() {
+        use PowerState::*;
+        // Cannot sleep directly from active: idle is entered first.
+        assert!(!Active.can_transition_to(Standby));
+        assert!(!Active.can_transition_to(Off));
+        // Cannot resurface to idle from a sleep state: a request wakes to active.
+        assert!(!Standby.can_transition_to(Idle));
+        assert!(!Off.can_transition_to(Idle));
+        assert!(!Off.can_transition_to(Standby));
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(PowerState::Standby.to_string(), "standby");
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests for the hardware model.
+
+use hardware::battery::Battery;
+use hardware::cpu::CpuModel;
+use hardware::dcdc::DcDcConverter;
+use hardware::perf::PerformanceCurve;
+use hardware::{PowerState, SmartBadge};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// CPU active power is strictly increasing across operating points
+    /// and quantization never under-delivers frequency.
+    #[test]
+    fn cpu_power_monotone_and_quantization_sound(freq in 0.0f64..400.0) {
+        let cpu = CpuModel::sa1100();
+        let mut last = 0.0;
+        for op in cpu.operating_points() {
+            let p = cpu.active_power_mw(*op);
+            prop_assert!(p > last);
+            last = p;
+        }
+        let q = cpu.lowest_point_at_least(freq);
+        if freq <= 221.2 {
+            prop_assert!(q.freq_mhz >= freq - 1e-9);
+            // Tight: the next step down (if any) is below the request.
+            if let Some(below) = cpu
+                .operating_points()
+                .iter()
+                .rev()
+                .find(|p| p.freq_mhz < q.freq_mhz - 1e-9)
+            {
+                prop_assert!(below.freq_mhz < freq);
+            }
+        } else {
+            prop_assert!((q.freq_mhz - 221.2).abs() < 1e-9);
+        }
+    }
+
+    /// Performance curves from any stall fraction are monotone, bounded
+    /// by (0, 1], and their inversion is a true inverse on the curve's
+    /// range.
+    #[test]
+    fn perf_curves_monotone_and_invertible(
+        mem_fraction in 0.0f64..0.95,
+        f in 59.0f64..221.2,
+    ) {
+        let cpu = CpuModel::sa1100();
+        let curve = PerformanceCurve::from_memory_model(&cpu, mem_fraction)
+            .expect("valid fraction");
+        let p = curve.performance_at(f);
+        prop_assert!(p > 0.0 && p <= 1.0);
+        let f_back = curve.frequency_for_performance(p);
+        prop_assert!((curve.performance_at(f_back) - p).abs() < 1e-9);
+        // Higher stall fraction keeps more performance at low clocks.
+        let flat = PerformanceCurve::from_memory_model(&cpu, 0.0).expect("valid");
+        prop_assert!(p + 1e-12 >= flat.performance_at(f));
+    }
+
+    /// System power strictly decreases with deeper uniform states, for
+    /// the stock badge.
+    #[test]
+    fn power_states_strictly_ordered(_x in 0..1i32) {
+        let badge = SmartBadge::new();
+        let seq = [
+            PowerState::Active,
+            PowerState::Idle,
+            PowerState::Standby,
+            PowerState::Off,
+        ];
+        for w in seq.windows(2) {
+            prop_assert!(badge.uniform_power_mw(w[0]) > badge.uniform_power_mw(w[1]));
+        }
+    }
+
+    /// DC-DC battery draw is monotone in load and efficiency stays in
+    /// (0, 1].
+    #[test]
+    fn dcdc_monotone(load1 in 0.1f64..8_000.0, load2 in 0.1f64..8_000.0) {
+        let c = DcDcConverter::smartbadge();
+        let (lo, hi) = if load1 <= load2 { (load1, load2) } else { (load2, load1) };
+        prop_assert!(c.battery_draw_mw(lo) <= c.battery_draw_mw(hi) + 1e-9);
+        let e = c.efficiency(lo);
+        prop_assert!(e > 0.0 && e <= 1.0);
+        prop_assert!(c.battery_draw_mw(lo) >= lo);
+    }
+
+    /// Battery lifetime scales exactly inversely with power.
+    #[test]
+    fn battery_lifetime_inverse(capacity in 0.1f64..100.0, power in 1.0f64..10_000.0, k in 1.1f64..10.0) {
+        let b = Battery::new(capacity).expect("valid capacity");
+        let l1 = b.lifetime_hours(power);
+        let l2 = b.lifetime_hours(power * k);
+        prop_assert!((l1 / l2 - k).abs() < 1e-9);
+    }
+
+    /// Break-even times, when they exist, satisfy the defining equality:
+    /// idling for exactly the break-even time costs the same energy as
+    /// sleeping and waking.
+    #[test]
+    fn break_even_balances_energies(idx in 0usize..6) {
+        let badge = SmartBadge::new();
+        let spec = badge.components()[idx];
+        for state in [PowerState::Standby, PowerState::Off] {
+            if let Some(be) = spec.break_even(state) {
+                let t = be.as_secs_f64();
+                let idle_energy = spec.idle_mw * t;
+                let sleep_energy = spec.power_mw(state) * t
+                    + (spec.active_mw - spec.power_mw(state))
+                        * spec.nominal_wakeup(state).as_secs_f64();
+                prop_assert!(
+                    (idle_energy - sleep_energy).abs() <= 1e-6 * idle_energy.max(1.0),
+                    "{}: idle {idle_energy} vs sleep {sleep_energy}",
+                    spec.id
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The component power-state machine never reaches an illegal state
+    /// under arbitrary command sequences: failed transitions leave the
+    /// state untouched, and every reachable state is one of the four.
+    #[test]
+    fn component_state_machine_is_closed(commands in prop::collection::vec(0u8..4, 1..60)) {
+        use hardware::component::Component;
+        let badge = SmartBadge::new();
+        let mut c = Component::new(*badge.component(hardware::component::ComponentId::Cpu));
+        for cmd in commands {
+            let target = match cmd {
+                0 => PowerState::Active,
+                1 => PowerState::Idle,
+                2 => PowerState::Standby,
+                _ => PowerState::Off,
+            };
+            let before = c.state();
+            match c.transition(target) {
+                Ok(latency) => {
+                    prop_assert_eq!(c.state(), target);
+                    // Latency is only paid when waking from a sleep state.
+                    if target == PowerState::Active && before.is_sleep_state() {
+                        prop_assert!(latency > simcore::time::SimDuration::ZERO);
+                    } else {
+                        prop_assert_eq!(latency, simcore::time::SimDuration::ZERO);
+                    }
+                }
+                Err(_) => prop_assert_eq!(c.state(), before),
+            }
+            // Power is always the spec's value for the current state.
+            prop_assert_eq!(c.power_mw(), c.spec().power_mw(c.state()));
+        }
+    }
+
+    /// Wake-up latencies are always within the uniform [0.5, 1.5]x band
+    /// of the nominal value, for every component and sleep state.
+    #[test]
+    fn wakeup_latencies_within_uniform_band(idx in 0usize..6, deep in 0u8..2, seed in 0u64..500) {
+        use hardware::component::Component;
+        let badge = SmartBadge::new();
+        let spec = badge.components()[idx];
+        let mut c = Component::new(spec);
+        c.transition(PowerState::Idle).expect("active -> idle");
+        let state = if deep == 0 { PowerState::Standby } else { PowerState::Off };
+        c.transition(state).expect("idle -> sleep");
+        let nominal = spec.nominal_wakeup(state).as_secs_f64();
+        let mut rng = simcore::rng::SimRng::seed_from(seed);
+        for _ in 0..20 {
+            let w = c.wakeup_latency(&mut rng).as_secs_f64();
+            prop_assert!(w >= 0.5 * nominal - 1e-12 && w <= 1.5 * nominal + 1e-12);
+        }
+    }
+}

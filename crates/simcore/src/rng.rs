@@ -1,0 +1,209 @@
+//! Reproducible random-number streams.
+//!
+//! Every stochastic element of an experiment (arrival process, decode-time
+//! sampling, Monte-Carlo calibration, …) draws from its own [`SimRng`]
+//! stream, obtained by [forking](SimRng::fork) a root stream with a textual
+//! label. Forking hashes the label into the child seed, so:
+//!
+//! * the same `(seed, label)` pair always produces the same stream, and
+//! * adding a new sampling site (a new label) does not perturb existing
+//!   streams — experiments stay comparable across code changes.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// A deterministic random-number generator stream.
+///
+/// Wraps a fixed, portable PRNG so results do not depend on `rand`'s
+/// platform-varying defaults.
+///
+/// # Example
+///
+/// ```
+/// use simcore::rng::SimRng;
+///
+/// let mut root = SimRng::seed_from(7);
+/// let mut arrivals = root.fork("arrivals");
+/// let mut service = root.fork("service");
+///
+/// // Streams are independent and reproducible:
+/// let a1 = arrivals.next_f64();
+/// let s1 = service.next_f64();
+/// let mut root2 = SimRng::seed_from(7);
+/// assert_eq!(root2.fork("arrivals").next_f64(), a1);
+/// assert_eq!(root2.fork("service").next_f64(), s1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Creates a stream from a 64-bit seed.
+    #[must_use]
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this stream was created with.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child stream from this stream's seed and a
+    /// textual label.
+    ///
+    /// The child depends only on `(self.seed(), label)` — not on how much
+    /// of this stream has already been consumed — so fork order does not
+    /// matter.
+    #[must_use]
+    pub fn fork(&self, label: &str) -> SimRng {
+        SimRng::seed_from(mix(self.seed, label))
+    }
+
+    /// Derives an independent child stream from an integer index, for
+    /// replicated experiments (`fork_indexed("replica", i)`).
+    #[must_use]
+    pub fn fork_indexed(&self, label: &str, index: u64) -> SimRng {
+        SimRng::seed_from(
+            mix(self.seed, label).wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        )
+    }
+
+    /// The next random `f64` uniformly distributed in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits, the standard uniform-double construction.
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// The next random `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniformly random index in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn next_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "next_index requires n > 0");
+        // Multiply-shift bounded sampling; bias is < 2^-53 for realistic n.
+        (self.next_f64() * n as f64) as usize % n
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest);
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+/// Mixes a seed and a label into a child seed (FNV-1a over the label, then
+/// a SplitMix64 finalizer against the parent seed).
+fn mix(seed: u64, label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    splitmix64(seed ^ h)
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(123);
+        let mut b = SimRng::seed_from(123);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_is_independent_of_consumption() {
+        let mut a = SimRng::seed_from(99);
+        let _ = a.next_u64(); // consume some of the parent
+        let child_after = a.fork("x").next_u64();
+        let child_fresh = SimRng::seed_from(99).fork("x").next_u64();
+        assert_eq!(child_after, child_fresh);
+    }
+
+    #[test]
+    fn fork_labels_are_distinct() {
+        let root = SimRng::seed_from(5);
+        assert_ne!(root.fork("a").next_u64(), root.fork("b").next_u64());
+        assert_ne!(
+            root.fork_indexed("r", 0).next_u64(),
+            root.fork_indexed("r", 1).next_u64()
+        );
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = SimRng::seed_from(77);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_f64_mean_near_half() {
+        let mut r = SimRng::seed_from(4242);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn next_index_in_range() {
+        let mut r = SimRng::seed_from(8);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[r.next_index(5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all indices should occur");
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 0")]
+    fn next_index_zero_panics() {
+        SimRng::seed_from(0).next_index(0);
+    }
+}

@@ -1,0 +1,665 @@
+//! Online statistics: running moments, histograms, quantiles, and
+//! time-weighted averages.
+//!
+//! These accumulators are used throughout the workspace: frame delays,
+//! queue occupancy, energy per component, and the Monte-Carlo calibration
+//! histograms of the change-point detector all flow through this module.
+
+use serde::{Deserialize, Serialize};
+
+/// Running mean/variance/min/max accumulator (Welford's algorithm).
+///
+/// Numerically stable for long simulations; constant memory.
+///
+/// # Example
+///
+/// ```
+/// use simcore::stats::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean; `0.0` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divides by `n`); `0.0` when fewer than one
+    /// observation.
+    #[must_use]
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divides by `n − 1`); `0.0` when fewer than two
+    /// observations.
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest observation; `+∞` when empty.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `−∞` when empty.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Fixed-range uniform-bin histogram with overflow/underflow buckets and
+/// quantile queries.
+///
+/// Used for the offline change-point threshold characterization, where the
+/// 99.5 % quantile of the log-likelihood-ratio statistic under the no-change
+/// hypothesis becomes the detection threshold.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), simcore::SimError> {
+/// use simcore::stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 100)?;
+/// for i in 0..1000 {
+///     h.record(i as f64 % 10.0);
+/// }
+/// let median = h.quantile(0.5);
+/// assert!((4.0..=6.0).contains(&median));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[lo, hi)` with `bins` uniform buckets.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `lo >= hi`, either bound is non-finite, or
+    /// `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, crate::SimError> {
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(crate::SimError::InvalidParameter {
+                name: "lo..hi",
+                value: hi - lo,
+                expected: "finite bounds with lo < hi",
+            });
+        }
+        if bins == 0 {
+            return Err(crate::SimError::Empty { name: "bins" });
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        })
+    }
+
+    /// Records one observation. Values below `lo` land in the underflow
+    /// bucket; values at or above `hi` land in the overflow bucket. NaN is
+    /// counted as overflow.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi || x.is_nan() {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total number of recorded observations, including under/overflow.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations below the histogram range.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the histogram range.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The per-bin counts.
+    #[must_use]
+    pub fn bin_counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// The inclusive lower edge of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bin_lower_edge(&self, i: usize) -> f64 {
+        assert!(i < self.bins.len(), "bin index out of range");
+        self.lo + (self.hi - self.lo) * i as f64 / self.bins.len() as f64
+    }
+
+    /// Estimates the `q`-quantile (0 ≤ q ≤ 1) by scanning the cumulative
+    /// counts; returns the upper edge of the bucket where the quantile
+    /// falls. Underflow maps to `lo`; overflow to `hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1]` or the histogram is empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile requires q in [0, 1]");
+        assert!(self.count > 0, "quantile of an empty histogram");
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut cum = self.underflow;
+        if cum >= target {
+            return self.lo;
+        }
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return self.lo + w * (i + 1) as f64;
+            }
+        }
+        self.hi
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal, e.g. queue
+/// occupancy or instantaneous power draw.
+///
+/// Feed it `(value, duration)` segments; it reports the duration-weighted
+/// mean and the total accumulated `value × time` integral.
+///
+/// # Example
+///
+/// ```
+/// use simcore::stats::TimeWeighted;
+/// use simcore::time::SimDuration;
+///
+/// let mut occupancy = TimeWeighted::new();
+/// occupancy.add(2.0, SimDuration::from_secs(3)); // 2 frames for 3 s
+/// occupancy.add(0.0, SimDuration::from_secs(1)); // empty for 1 s
+/// assert!((occupancy.mean() - 1.5).abs() < 1e-12);
+/// assert!((occupancy.integral() - 6.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    integral: f64,
+    total_secs: f64,
+}
+
+impl TimeWeighted {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        TimeWeighted::default()
+    }
+
+    /// Accumulates `value` held constant for `dt`.
+    pub fn add(&mut self, value: f64, dt: crate::time::SimDuration) {
+        let secs = dt.as_secs_f64();
+        self.integral += value * secs;
+        self.total_secs += secs;
+    }
+
+    /// The integral `∫ value dt` in value-seconds (e.g. joules if `value`
+    /// is watts).
+    #[must_use]
+    pub fn integral(&self) -> f64 {
+        self.integral
+    }
+
+    /// Total observed time in seconds.
+    #[must_use]
+    pub fn total_secs(&self) -> f64 {
+        self.total_secs
+    }
+
+    /// Duration-weighted mean; `0.0` if no time has been observed.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total_secs == 0.0 {
+            0.0
+        } else {
+            self.integral / self.total_secs
+        }
+    }
+}
+
+/// Batch-means estimator for steady-state simulation output analysis.
+///
+/// Correlated per-event observations (queue delays, power samples) are
+/// grouped into fixed-size batches; the batch means are approximately
+/// independent, so their spread yields an honest confidence interval for
+/// the long-run mean — the standard method for discrete-event
+/// simulation output.
+///
+/// # Example
+///
+/// ```
+/// use simcore::stats::BatchMeans;
+///
+/// let mut bm = BatchMeans::new(100);
+/// for i in 0..10_000 {
+///     bm.push((i % 7) as f64);
+/// }
+/// let mean = bm.mean();
+/// let half = bm.ci95_halfwidth().expect("enough batches");
+/// assert!((mean - 3.0).abs() < half + 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchMeans {
+    batch_size: usize,
+    current_sum: f64,
+    current_count: usize,
+    batch_means: Vec<f64>,
+    overall: OnlineStats,
+}
+
+impl BatchMeans {
+    /// Creates an estimator with the given batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    #[must_use]
+    pub fn new(batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchMeans {
+            batch_size,
+            current_sum: 0.0,
+            current_count: 0,
+            batch_means: Vec::new(),
+            overall: OnlineStats::new(),
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.overall.push(x);
+        self.current_sum += x;
+        self.current_count += 1;
+        if self.current_count == self.batch_size {
+            self.batch_means
+                .push(self.current_sum / self.batch_size as f64);
+            self.current_sum = 0.0;
+            self.current_count = 0;
+        }
+    }
+
+    /// Number of completed batches.
+    #[must_use]
+    pub fn batches(&self) -> usize {
+        self.batch_means.len()
+    }
+
+    /// Overall sample mean (all observations, including the partial
+    /// batch).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.overall.mean()
+    }
+
+    /// Standard error of the mean estimated from the batch means;
+    /// `None` with fewer than two completed batches.
+    #[must_use]
+    pub fn std_error(&self) -> Option<f64> {
+        let k = self.batch_means.len();
+        if k < 2 {
+            return None;
+        }
+        let mut s = OnlineStats::new();
+        for &m in &self.batch_means {
+            s.push(m);
+        }
+        Some((s.sample_variance() / k as f64).sqrt())
+    }
+
+    /// Half-width of the 95 % confidence interval for the long-run mean
+    /// (Student's t on the batch means); `None` with fewer than two
+    /// completed batches.
+    #[must_use]
+    pub fn ci95_halfwidth(&self) -> Option<f64> {
+        let k = self.batch_means.len();
+        let se = self.std_error()?;
+        Some(se * t_quantile_975(k - 1))
+    }
+}
+
+/// Two-sided 95 % Student-t quantile for `df` degrees of freedom
+/// (tabulated for small df, 1.96 asymptote beyond 30).
+fn t_quantile_975(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= 30 {
+        TABLE[df - 1]
+    } else {
+        1.96
+    }
+}
+
+/// Computes the `q`-quantile of a slice by sorting a copy (linear
+/// interpolation between order statistics).
+///
+/// Convenient for small sample sets such as per-clip decode-time summaries.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `q` is outside `[0, 1]`.
+#[must_use]
+pub fn exact_quantile(data: &[f64], q: f64) -> f64 {
+    assert!(!data.is_empty(), "quantile of empty data");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0, 1]");
+    let mut v: Vec<f64> = data.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile data"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = pos - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        s.push(1.0);
+        s.push(3.0);
+        assert_eq!(s.count(), 2);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+        assert!((s.sample_variance() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 3.0);
+        assert!((s.sum() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn online_stats_merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = OnlineStats::new();
+        for &x in &data {
+            all.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &data[..37] {
+            a.push(x);
+        }
+        for &x in &data[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-10);
+        assert!((a.sample_variance() - all.sample_variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(5.0);
+        let before = a.clone();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn histogram_records_and_counts() {
+        let mut h = Histogram::new(0.0, 1.0, 10).unwrap();
+        h.record(-0.5);
+        h.record(0.05);
+        h.record(0.95);
+        h.record(1.5);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.bin_counts()[0], 1);
+        assert_eq!(h.bin_counts()[9], 1);
+    }
+
+    #[test]
+    fn histogram_quantile_uniform() {
+        let mut h = Histogram::new(0.0, 100.0, 1000).unwrap();
+        for i in 0..10_000 {
+            h.record(i as f64 / 100.0);
+        }
+        assert!((h.quantile(0.5) - 50.0).abs() < 1.0);
+        assert!((h.quantile(0.995) - 99.5).abs() < 1.0);
+        assert!(h.quantile(0.0) <= h.quantile(1.0));
+    }
+
+    #[test]
+    fn histogram_rejects_bad_bounds() {
+        assert!(Histogram::new(1.0, 1.0, 10).is_err());
+        assert!(Histogram::new(2.0, 1.0, 10).is_err());
+        assert!(Histogram::new(0.0, f64::INFINITY, 10).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn histogram_bin_edges() {
+        let h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert_eq!(h.bin_lower_edge(0), 0.0);
+        assert_eq!(h.bin_lower_edge(4), 8.0);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut tw = TimeWeighted::new();
+        assert_eq!(tw.mean(), 0.0);
+        tw.add(10.0, SimDuration::from_secs(1));
+        tw.add(0.0, SimDuration::from_secs(4));
+        assert!((tw.mean() - 2.0).abs() < 1e-12);
+        assert!((tw.integral() - 10.0).abs() < 1e-12);
+        assert!((tw.total_secs() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_means_mean_matches_overall() {
+        let mut bm = BatchMeans::new(10);
+        for i in 0..105 {
+            bm.push(i as f64);
+        }
+        assert_eq!(bm.batches(), 10);
+        assert!((bm.mean() - 52.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_means_ci_covers_iid_mean() {
+        // IID uniform noise: the CI should bracket the true mean 0.5.
+        let mut rng = crate::rng::SimRng::seed_from(5);
+        let mut bm = BatchMeans::new(50);
+        for _ in 0..5000 {
+            bm.push(rng.next_f64());
+        }
+        let half = bm.ci95_halfwidth().unwrap();
+        assert!(half > 0.0);
+        assert!(
+            (bm.mean() - 0.5).abs() < 3.0 * half,
+            "mean {} ± {half}",
+            bm.mean()
+        );
+    }
+
+    #[test]
+    fn batch_means_needs_two_batches() {
+        let mut bm = BatchMeans::new(100);
+        for i in 0..150 {
+            bm.push(i as f64);
+        }
+        assert_eq!(bm.batches(), 1);
+        assert_eq!(bm.std_error(), None);
+        assert_eq!(bm.ci95_halfwidth(), None);
+        for i in 0..50 {
+            bm.push(i as f64);
+        }
+        assert!(bm.ci95_halfwidth().is_some());
+    }
+
+    #[test]
+    fn t_quantiles_decrease_toward_normal() {
+        let mut bm1 = BatchMeans::new(1);
+        bm1.push(0.0);
+        bm1.push(1.0);
+        bm1.push(2.0);
+        // df = 2 → 4.303; wide but finite.
+        let se = bm1.std_error().unwrap();
+        let half = bm1.ci95_halfwidth().unwrap();
+        assert!((half / se - 4.303).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_panics() {
+        let _ = BatchMeans::new(0);
+    }
+
+    #[test]
+    fn exact_quantile_interpolates() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(exact_quantile(&data, 0.0), 1.0);
+        assert_eq!(exact_quantile(&data, 1.0), 4.0);
+        assert!((exact_quantile(&data, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn exact_quantile_empty_panics() {
+        let _ = exact_quantile(&[], 0.5);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the simulation kernel.
+
+use proptest::prelude::*;
+use simcore::dist::{Continuous, Exponential, HyperExponential, Pareto, Sample, Uniform};
+use simcore::event::EventQueue;
+use simcore::rng::SimRng;
+use simcore::stats::Histogram;
+use simcore::time::{SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// CDFs are monotone non-decreasing and bounded in [0, 1] for every
+    /// distribution family at random parameters.
+    #[test]
+    fn cdfs_are_monotone_and_bounded(
+        rate in 0.01f64..1e3,
+        scale in 0.01f64..1e2,
+        shape in 0.1f64..10.0,
+        xs in prop::collection::vec(0.0f64..1e4, 2..40),
+    ) {
+        let dists: Vec<Box<dyn Continuous>> = vec![
+            Box::new(Exponential::new(rate).expect("valid rate")),
+            Box::new(Pareto::new(scale, shape).expect("valid pareto")),
+            Box::new(Uniform::new(0.0, scale + 1.0).expect("valid uniform")),
+            Box::new(
+                HyperExponential::new(&[(0.5, rate), (0.5, rate * 2.0)]).expect("valid mix"),
+            ),
+        ];
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        for d in &dists {
+            let mut last = 0.0f64;
+            for &x in &sorted {
+                let c = d.cdf(x);
+                prop_assert!((0.0..=1.0).contains(&c));
+                prop_assert!(c + 1e-12 >= last);
+                last = c;
+            }
+        }
+    }
+
+    /// Samples always land in the distribution's support.
+    #[test]
+    fn samples_respect_support(seed in 0u64..10_000, rate in 0.01f64..1e3, scale in 0.01f64..1e2) {
+        let mut rng = SimRng::seed_from(seed);
+        let exp = Exponential::new(rate).expect("valid");
+        let par = Pareto::new(scale, 1.5).expect("valid");
+        let uni = Uniform::new(scale, scale * 2.0).expect("valid");
+        for _ in 0..50 {
+            prop_assert!(exp.sample(&mut rng) >= 0.0);
+            prop_assert!(par.sample(&mut rng) >= scale);
+            let u = uni.sample(&mut rng);
+            prop_assert!((scale..=scale * 2.0).contains(&u));
+        }
+    }
+
+    /// Exponential MLE is scale-equivariant: fitting c·x gives rate/c.
+    #[test]
+    fn exponential_mle_scale_equivariant(
+        seed in 0u64..1_000,
+        rate in 0.1f64..100.0,
+        c in 0.1f64..10.0,
+    ) {
+        let mut rng = SimRng::seed_from(seed);
+        let d = Exponential::new(rate).expect("valid");
+        let xs: Vec<f64> = (0..200).map(|_| d.sample(&mut rng)).collect();
+        let scaled: Vec<f64> = xs.iter().map(|&x| x * c).collect();
+        let f1 = Exponential::fit_mle(&xs).expect("non-empty");
+        let f2 = Exponential::fit_mle(&scaled).expect("non-empty");
+        prop_assert!((f1.rate() / c - f2.rate()).abs() / f2.rate() < 1e-9);
+    }
+
+    /// Event queues pop any random schedule in non-decreasing time order
+    /// with FIFO ties.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0u64..1_000, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some(s) = q.pop() {
+            popped.push((s.at, s.event));
+        }
+        prop_assert!(popped.windows(2).all(|w| w[0].0 <= w[1].0));
+        // FIFO among ties: for equal times, payload indices increase.
+        prop_assert!(popped
+            .windows(2)
+            .all(|w| w[0].0 < w[1].0 || w[0].1 < w[1].1));
+        prop_assert_eq!(popped.len(), times.len());
+    }
+
+    /// Histogram quantiles are monotone in q and bracket the data range.
+    #[test]
+    fn histogram_quantiles_monotone(
+        data in prop::collection::vec(0.0f64..100.0, 1..300),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let mut h = Histogram::new(0.0, 100.0, 64).expect("valid bounds");
+        for &x in &data {
+            h.record(x);
+        }
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(h.quantile(lo) <= h.quantile(hi) + 1e-12);
+        prop_assert!(h.quantile(0.0) >= 0.0);
+        prop_assert!(h.quantile(1.0) <= 100.0);
+    }
+
+    /// SimTime arithmetic: (t + a) + b == (t + b) + a and subtraction
+    /// inverts addition.
+    #[test]
+    fn time_arithmetic_laws(t in 0u64..1_000_000, a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let t = SimTime::from_nanos(t);
+        let a = SimDuration::from_nanos(a);
+        let b = SimDuration::from_nanos(b);
+        prop_assert_eq!((t + a) + b, (t + b) + a);
+        prop_assert_eq!((t + a) - a, t);
+        prop_assert_eq!((t + a) - t, a);
+    }
+
+    /// Forked RNG streams with different labels are (statistically)
+    /// uncorrelated: equal leading values are vanishingly rare.
+    #[test]
+    fn forked_streams_differ(seed in 0u64..100_000) {
+        let root = SimRng::seed_from(seed);
+        let a = root.fork("alpha").next_u64();
+        let b = root.fork("beta").next_u64();
+        prop_assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,214 @@
+//! User sessions: clips separated by idle periods.
+//!
+//! The combined DVS+DPM experiment (paper Table 5) plays "a sequence of
+//! audio and video clips, separated by idle time. During longer idle
+//! times, the power manager has the opportunity to place the SmartBadge in
+//! the standby state." A [`Session`] describes such a day-in-the-life
+//! workload; idle-gap lengths are drawn from a heavy-tailed Pareto
+//! distribution, matching the observation (from the authors' earlier DPM
+//! work) that real idle-time tails are not exponential.
+
+use crate::mp3::Mp3Clip;
+use crate::mpeg::MpegClip;
+use crate::trace::Trace;
+use crate::WorkloadError;
+use serde::{Deserialize, Serialize};
+use simcore::dist::{Pareto, Sample};
+use simcore::rng::SimRng;
+use simcore::time::SimDuration;
+
+/// One clip choice in a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClipChoice {
+    /// An MP3 clip from Table 2, by label A–F.
+    Mp3(char),
+    /// The football video clip (875 s).
+    Football,
+    /// The Terminator 2 video clip (1200 s).
+    Terminator2,
+}
+
+/// One session entry: an idle gap followed by a clip.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionEntry {
+    /// Idle time before the clip starts.
+    pub idle_before: SimDuration,
+    /// The clip to play.
+    pub clip: ClipChoice,
+}
+
+/// A user session: an ordered list of entries.
+///
+/// # Example
+///
+/// ```
+/// use simcore::rng::SimRng;
+/// use workload::session::Session;
+///
+/// let mut rng = SimRng::seed_from(17);
+/// let session = Session::table5(&mut rng);
+/// let trace = session.generate(&mut rng).expect("valid canonical session");
+/// assert!(trace.duration_secs() > 1000.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Session {
+    entries: Vec<SessionEntry>,
+}
+
+impl Session {
+    /// Creates a session from explicit entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `entries` is empty.
+    pub fn new(entries: Vec<SessionEntry>) -> Result<Self, WorkloadError> {
+        if entries.is_empty() {
+            return Err(WorkloadError::Empty { name: "entries" });
+        }
+        Ok(Session { entries })
+    }
+
+    /// The canonical Table 5 session: all six MP3 clips and both video
+    /// clips, interleaved, with heavy-tailed user-absence gaps (Pareto,
+    /// scale 300 s, shape 1.5, clamped to 60–1800 s) — the "longer idle
+    /// times" during which "the power manager has the opportunity to
+    /// place the SmartBadge in the standby state". Idle dominates the
+    /// session (a PDA spends most of its day waiting), which is what
+    /// gives DPM its leverage in the paper's Table 5.
+    #[must_use]
+    pub fn table5(rng: &mut SimRng) -> Self {
+        let order = [
+            ClipChoice::Mp3('A'),
+            ClipChoice::Football,
+            ClipChoice::Mp3('C'),
+            ClipChoice::Mp3('E'),
+            ClipChoice::Terminator2,
+            ClipChoice::Mp3('B'),
+            ClipChoice::Mp3('D'),
+            ClipChoice::Mp3('F'),
+        ];
+        let gaps = Pareto::new(300.0, 1.5).expect("static parameters are valid");
+        let mut gap_rng = rng.fork("session-gaps");
+        let entries = order
+            .iter()
+            .map(|&clip| SessionEntry {
+                idle_before: SimDuration::from_secs_f64(
+                    gaps.sample(&mut gap_rng).clamp(60.0, 1800.0),
+                ),
+                clip,
+            })
+            .collect();
+        Session { entries }
+    }
+
+    /// The entries in order.
+    #[must_use]
+    pub fn entries(&self) -> &[SessionEntry] {
+        &self.entries
+    }
+
+    /// Total idle time across all gaps.
+    #[must_use]
+    pub fn total_idle(&self) -> SimDuration {
+        self.entries.iter().map(|e| e.idle_before).sum()
+    }
+
+    /// Generates the session's full frame trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an MP3 label is unknown.
+    pub fn generate(&self, rng: &mut SimRng) -> Result<Trace, WorkloadError> {
+        let mut items = Vec::with_capacity(self.entries.len());
+        for e in &self.entries {
+            let trace = match e.clip {
+                ClipChoice::Mp3(label) => Mp3Clip::by_label(label)?.generate(rng),
+                ClipChoice::Football => MpegClip::football().generate(rng),
+                ClipChoice::Terminator2 => MpegClip::terminator2().generate(rng),
+            };
+            items.push((e.idle_before, trace));
+        }
+        Ok(Trace::sequence_with_gaps(&items))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::MediaKind;
+
+    #[test]
+    fn table5_contains_audio_and_video() {
+        let mut rng = SimRng::seed_from(8);
+        let s = Session::table5(&mut rng);
+        let has_audio = s
+            .entries()
+            .iter()
+            .any(|e| matches!(e.clip, ClipChoice::Mp3(_)));
+        let has_video = s
+            .entries()
+            .iter()
+            .any(|e| matches!(e.clip, ClipChoice::Football | ClipChoice::Terminator2));
+        assert!(has_audio && has_video);
+    }
+
+    #[test]
+    fn gaps_are_clamped_and_heavy_tailed() {
+        let mut rng = SimRng::seed_from(8);
+        let s = Session::table5(&mut rng);
+        for e in s.entries() {
+            let g = e.idle_before.as_secs_f64();
+            assert!((60.0..=1800.0).contains(&g), "gap {g}");
+        }
+        assert!(s.total_idle() > SimDuration::from_secs(480));
+    }
+
+    #[test]
+    fn generated_trace_covers_clips_and_gaps() {
+        let mut rng = SimRng::seed_from(8);
+        let s = Session::table5(&mut rng);
+        let trace = s.generate(&mut rng).unwrap();
+        let clip_secs = 653.0 + 875.0 + 1200.0;
+        let idle_secs = s.total_idle().as_secs_f64();
+        assert!((trace.duration_secs() - (clip_secs + idle_secs)).abs() < 1e-6);
+        // Both media kinds present.
+        let kinds: std::collections::HashSet<MediaKind> =
+            trace.frames().iter().map(|f| f.kind).collect();
+        assert_eq!(kinds.len(), 2);
+    }
+
+    #[test]
+    fn frames_in_order_and_indexed() {
+        let mut rng = SimRng::seed_from(9);
+        let s = Session::table5(&mut rng);
+        let trace = s.generate(&mut rng).unwrap();
+        for (i, f) in trace.frames().iter().enumerate() {
+            assert_eq!(f.index, i as u64);
+        }
+        assert!(trace
+            .frames()
+            .windows(2)
+            .all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn custom_session_validation() {
+        assert!(Session::new(vec![]).is_err());
+        let s = Session::new(vec![SessionEntry {
+            idle_before: SimDuration::from_secs(10),
+            clip: ClipChoice::Mp3('Z'),
+        }])
+        .unwrap();
+        assert!(s.generate(&mut SimRng::seed_from(0)).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let build = |seed| {
+            let mut rng = SimRng::seed_from(seed);
+            let s = Session::table5(&mut rng);
+            s.generate(&mut rng).unwrap()
+        };
+        assert_eq!(build(33), build(33));
+    }
+}

@@ -1,0 +1,294 @@
+//! `dvsdpm` — command-line front end to the DVS+DPM reproduction.
+//!
+//! Run any paper scenario without writing Rust:
+//!
+//! ```text
+//! dvsdpm run --workload mp3:ACEFBD --governor change-point --dpm tismdp --seed 42
+//! dvsdpm run --workload mpeg:football --governor ideal --dpm none --json report.json
+//! dvsdpm run --workload session --governor max --dpm renewal
+//! dvsdpm list
+//! ```
+//!
+//! `list` prints the available workloads, governors and DPM policies.
+
+use dpm::policy::SleepState;
+use powermgr::config::{DpmKind, GovernorKind, SystemConfig};
+use powermgr::scenario;
+use powermgr::SimReport;
+use std::process::ExitCode;
+
+/// Parsed command-line request.
+#[derive(Debug, Clone, PartialEq)]
+struct RunArgs {
+    workload: Workload,
+    governor: GovernorKind,
+    dpm: DpmKind,
+    seed: u64,
+    json: Option<String>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Workload {
+    Mp3(String),
+    Mpeg(String),
+    Session,
+}
+
+fn parse_governor(s: &str) -> Result<GovernorKind, String> {
+    match s {
+        "ideal" => Ok(GovernorKind::Ideal),
+        "change-point" => Ok(GovernorKind::change_point()),
+        "max" => Ok(GovernorKind::MaxPerformance),
+        other => {
+            if let Some(gain) = other.strip_prefix("ema:") {
+                let gain: f64 = gain
+                    .parse()
+                    .map_err(|_| format!("invalid EMA gain `{gain}`"))?;
+                Ok(GovernorKind::ExpAverage { gain })
+            } else {
+                Err(format!(
+                    "unknown governor `{other}` (expected ideal|change-point|ema:<gain>|max)"
+                ))
+            }
+        }
+    }
+}
+
+fn parse_dpm(s: &str) -> Result<DpmKind, String> {
+    match s {
+        "none" => Ok(DpmKind::None),
+        "break-even" => Ok(DpmKind::BreakEven {
+            state: SleepState::Standby,
+        }),
+        "adaptive" => Ok(DpmKind::Adaptive {
+            state: SleepState::Standby,
+        }),
+        "predictive" => Ok(DpmKind::Predictive {
+            state: SleepState::Standby,
+            gain: 0.3,
+        }),
+        "renewal" => Ok(DpmKind::Renewal {
+            state: SleepState::Standby,
+            delay_budget_s: 0.05,
+        }),
+        "tismdp" => Ok(DpmKind::Tismdp { delay_weight: 2.0 }),
+        other => {
+            if let Some(t) = other.strip_prefix("timeout:") {
+                let timeout_s: f64 = t.parse().map_err(|_| format!("invalid timeout `{t}`"))?;
+                Ok(DpmKind::FixedTimeout {
+                    timeout_s,
+                    state: SleepState::Standby,
+                })
+            } else {
+                Err(format!(
+                    "unknown dpm `{other}` \
+                     (expected none|timeout:<s>|break-even|adaptive|predictive|renewal|tismdp)"
+                ))
+            }
+        }
+    }
+}
+
+fn parse_workload(s: &str) -> Result<Workload, String> {
+    if let Some(labels) = s.strip_prefix("mp3:") {
+        if labels.is_empty() {
+            return Err("mp3 workload needs clip labels, e.g. mp3:ACEFBD".to_owned());
+        }
+        Ok(Workload::Mp3(labels.to_owned()))
+    } else if let Some(clip) = s.strip_prefix("mpeg:") {
+        match clip {
+            "football" | "terminator2" => Ok(Workload::Mpeg(clip.to_owned())),
+            other => Err(format!(
+                "unknown MPEG clip `{other}` (expected football|terminator2)"
+            )),
+        }
+    } else if s == "session" {
+        Ok(Workload::Session)
+    } else {
+        Err(format!(
+            "unknown workload `{s}` (expected mp3:<labels>|mpeg:<clip>|session)"
+        ))
+    }
+}
+
+fn parse_run(args: &[String]) -> Result<RunArgs, String> {
+    let mut workload = None;
+    let mut governor = GovernorKind::change_point();
+    let mut dpm = DpmKind::None;
+    let mut seed = 42u64;
+    let mut json = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--workload" => workload = Some(parse_workload(&value("--workload")?)?),
+            "--governor" => governor = parse_governor(&value("--governor")?)?,
+            "--dpm" => dpm = parse_dpm(&value("--dpm")?)?,
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "invalid seed".to_owned())?;
+            }
+            "--json" => json = Some(value("--json")?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(RunArgs {
+        workload: workload.ok_or("missing --workload")?,
+        governor,
+        dpm,
+        seed,
+        json,
+    })
+}
+
+fn execute(run: &RunArgs) -> Result<SimReport, String> {
+    let config = SystemConfig {
+        governor: run.governor.clone(),
+        dpm: run.dpm.clone(),
+        ..SystemConfig::default()
+    };
+    let report = match &run.workload {
+        Workload::Mp3(labels) => scenario::run_mp3_sequence(labels, &config, run.seed),
+        Workload::Mpeg(clip) => scenario::run_mpeg_clip(clip, &config, run.seed),
+        Workload::Session => scenario::run_session(&config, run.seed),
+    };
+    report.map_err(|e| e.to_string())
+}
+
+fn print_list() {
+    println!("workloads:");
+    println!("  mp3:<labels>      MP3 clip sequence over A-F, e.g. mp3:ACEFBD (Table 3)");
+    println!("  mpeg:football     875 s MPEG video clip (Table 4)");
+    println!("  mpeg:terminator2  1200 s MPEG video clip (Table 4)");
+    println!("  session           mixed audio/video session with idle gaps (Table 5)");
+    println!("governors: ideal | change-point | ema:<gain> | max");
+    println!("dpm      : none | timeout:<secs> | break-even | adaptive | predictive");
+    println!("           | renewal | tismdp");
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => match parse_run(&args[1..]) {
+            Ok(run) => match execute(&run) {
+                Ok(report) => {
+                    println!("{report}");
+                    if let Some(path) = &run.json {
+                        match serde_json::to_string_pretty(&report) {
+                            Ok(json) => {
+                                if let Err(e) = std::fs::write(path, json) {
+                                    eprintln!("cannot write {path}: {e}");
+                                    return ExitCode::FAILURE;
+                                }
+                                println!("\n[json written to {path}]");
+                            }
+                            Err(e) => {
+                                eprintln!("serialization failed: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("error: {e}\n");
+                print_list();
+                ExitCode::FAILURE
+            }
+        },
+        Some("list") => {
+            print_list();
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: dvsdpm run --workload <w> [--governor <g>] [--dpm <d>] [--seed <n>] [--json <path>]");
+            eprintln!("       dvsdpm list");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_full_run() {
+        let run = parse_run(&strs(&[
+            "--workload",
+            "mp3:ACE",
+            "--governor",
+            "ideal",
+            "--dpm",
+            "tismdp",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        assert_eq!(run.workload, Workload::Mp3("ACE".to_owned()));
+        assert_eq!(run.governor.label(), "ideal");
+        assert_eq!(run.dpm.label(), "tismdp");
+        assert_eq!(run.seed, 7);
+        assert!(run.json.is_none());
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let run = parse_run(&strs(&["--workload", "session"])).unwrap();
+        assert_eq!(run.workload, Workload::Session);
+        assert_eq!(run.governor.label(), "change-point");
+        assert_eq!(run.dpm.label(), "none");
+        assert_eq!(run.seed, 42);
+    }
+
+    #[test]
+    fn parses_parameterized_forms() {
+        assert_eq!(parse_governor("ema:0.3").unwrap().label(), "exp-average");
+        assert_eq!(parse_dpm("timeout:2.5").unwrap().label(), "fixed-timeout");
+        assert_eq!(
+            parse_workload("mpeg:terminator2").unwrap(),
+            Workload::Mpeg("terminator2".to_owned())
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_run(&strs(&[])).is_err());
+        assert!(parse_run(&strs(&["--workload"])).is_err());
+        assert!(parse_run(&strs(&["--workload", "vhs:ghostbusters"])).is_err());
+        assert!(parse_governor("turbo").is_err());
+        assert!(parse_governor("ema:fast").is_err());
+        assert!(parse_dpm("sleepy").is_err());
+        assert!(parse_dpm("timeout:soon").is_err());
+        assert!(parse_workload("mp3:").is_err());
+        assert!(parse_workload("mpeg:matrix").is_err());
+        assert!(parse_run(&strs(&["--workload", "session", "--frobnicate", "1"])).is_err());
+    }
+
+    #[test]
+    fn executes_a_small_run() {
+        let run = RunArgs {
+            workload: Workload::Mp3("A".to_owned()),
+            governor: GovernorKind::MaxPerformance,
+            dpm: DpmKind::None,
+            seed: 1,
+            json: None,
+        };
+        let report = execute(&run).unwrap();
+        assert!(report.frames_completed > 1000);
+    }
+}

@@ -1,0 +1,93 @@
+//! Integration tests of the `dvsdpm` command-line binary: spawn the real
+//! executable and check its output and exit codes.
+
+use std::process::Command;
+
+fn dvsdpm() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dvsdpm"))
+}
+
+#[test]
+fn list_prints_catalog() {
+    let out = dvsdpm().arg("list").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    for needle in ["mp3:", "mpeg:football", "session", "change-point", "tismdp"] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+}
+
+#[test]
+fn run_produces_report_and_json() {
+    let dir = std::env::temp_dir().join("dvsdpm-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let json_path = dir.join("report.json");
+    let out = dvsdpm()
+        .args([
+            "run",
+            "--workload",
+            "mp3:A",
+            "--governor",
+            "ideal",
+            "--dpm",
+            "none",
+            "--seed",
+            "3",
+            "--json",
+        ])
+        .arg(&json_path)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("governor=ideal"), "{text}");
+    assert!(text.contains("energy:"), "{text}");
+    let json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&json_path).expect("json written"))
+            .expect("valid json");
+    assert!(json["frames_completed"].as_u64().expect("field") > 1000);
+    assert_eq!(json["governor"], "ideal");
+}
+
+#[test]
+fn run_is_deterministic_across_invocations() {
+    let run = || {
+        let out = dvsdpm()
+            .args([
+                "run",
+                "--workload",
+                "mp3:F",
+                "--governor",
+                "max",
+                "--dpm",
+                "none",
+                "--seed",
+                "11",
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success());
+        String::from_utf8(out.stdout).expect("utf8")
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn bad_arguments_fail_with_guidance() {
+    let out = dvsdpm()
+        .args(["run", "--workload", "cassette:mixtape"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("unknown workload"), "{err}");
+
+    let out = dvsdpm().output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("usage:"), "{err}");
+}

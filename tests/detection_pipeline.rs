@@ -1,0 +1,112 @@
+//! Cross-crate detection tests: the change-point detector applied to
+//! *generated media traces* (not synthetic exponential streams), checking
+//! it recovers the ground-truth rate structure that the workload crate
+//! encodes.
+
+use detect::changepoint::{ChangePointConfig, ChangePointDetector};
+use detect::estimator::RateEstimator;
+use simcore::rng::SimRng;
+use workload::{mp3, Mp3Clip, MpegClip};
+
+fn quick_config() -> ChangePointConfig {
+    ChangePointConfig {
+        calibration_trials: 800,
+        ..ChangePointConfig::default()
+    }
+}
+
+/// Clip boundaries in an MP3 sequence are arrival-rate change points;
+/// the detector should find each within a fraction of a clip.
+#[test]
+fn detects_mp3_clip_boundaries() {
+    let mut rng = SimRng::seed_from(41);
+    let trace = mp3::sequence("AF", &mut rng).expect("valid labels");
+    let boundary = Mp3Clip::by_label('A').expect("valid").duration_secs;
+
+    let mut det = ChangePointDetector::new(trace.frames()[0].true_arrival_rate, quick_config())
+        .expect("valid config");
+    let mut detected_at = None;
+    for w in trace.frames().windows(2) {
+        let gap = (w[1].arrival - w[0].arrival).as_secs_f64();
+        if det.observe(gap).is_some() && w[1].arrival.as_secs_f64() > boundary {
+            detected_at = Some(w[1].arrival.as_secs_f64());
+            break;
+        }
+    }
+    let t = detected_at.expect("38 -> 14 fr/s boundary must be detected");
+    assert!(
+        t - boundary < 20.0,
+        "boundary at {boundary:.0}s detected only at {t:.1}s"
+    );
+    // Final estimate near clip F's arrival rate.
+    let f_rate = Mp3Clip::by_label('F').expect("valid").arrival_rate();
+    // Run the remainder to let the estimate settle.
+    assert!(
+        (det.current_rate() - f_rate).abs() / f_rate < 0.5,
+        "estimate {:.1} vs truth {f_rate:.1}",
+        det.current_rate()
+    );
+}
+
+/// On the decode-time stream, the detector tracks inter-clip decode-rate
+/// jumps (the Table 2 "variation in decoding rate between clips").
+#[test]
+fn detects_decode_rate_change_between_clips() {
+    let mut rng = SimRng::seed_from(42);
+    let trace = mp3::sequence("AD", &mut rng).expect("valid labels");
+    let mut det = ChangePointDetector::new(trace.frames()[0].true_service_rate, quick_config())
+        .expect("valid config");
+    for f in trace.frames() {
+        det.observe(f.work);
+    }
+    let d_rate = Mp3Clip::by_label('D').expect("valid").decode_rate;
+    assert!(
+        (det.current_rate() - d_rate).abs() / d_rate < 0.25,
+        "final decode-rate estimate {:.0} vs truth {d_rate:.0}",
+        det.current_rate()
+    );
+}
+
+/// On MPEG video the detector follows the scene-level arrival schedule:
+/// its running estimate stays within a reasonable band of the truth for
+/// most of the clip.
+#[test]
+fn tracks_mpeg_scene_schedule() {
+    let clip = MpegClip::football();
+    let mut rng = SimRng::seed_from(43);
+    let trace = clip.generate(&mut rng);
+    let mut det = ChangePointDetector::new(trace.frames()[0].true_arrival_rate, quick_config())
+        .expect("valid config");
+
+    let mut within = 0usize;
+    let mut total = 0usize;
+    for w in trace.frames().windows(2) {
+        let gap = (w[1].arrival - w[0].arrival).as_secs_f64();
+        det.observe(gap);
+        total += 1;
+        let truth = w[1].true_arrival_rate;
+        if (det.current_rate() - truth).abs() / truth < 0.5 {
+            within += 1;
+        }
+    }
+    let frac = within as f64 / total as f64;
+    assert!(
+        frac > 0.7,
+        "estimate within 50% of truth only {:.0}% of the time",
+        frac * 100.0
+    );
+}
+
+/// The oracle view: frame records carry the exact generator rates, so an
+/// ideal policy driven by them always sees zero estimation error.
+#[test]
+fn trace_ground_truth_is_self_consistent() {
+    let clip = MpegClip::terminator2();
+    let mut rng = SimRng::seed_from(44);
+    let trace = clip.generate(&mut rng);
+    for f in trace.frames().iter().step_by(211) {
+        let t = f.arrival.as_secs_f64();
+        assert_eq!(f.true_arrival_rate, clip.arrival_schedule().rate_at(t));
+        assert_eq!(f.true_service_rate, clip.service_schedule().rate_at(t));
+    }
+}
