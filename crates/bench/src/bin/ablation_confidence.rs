@@ -7,17 +7,22 @@
 
 use detect::changepoint::{ChangePointConfig, ChangePointDetector};
 use detect::estimator::RateEstimator;
-use serde::Serialize;
 use simcore::dist::{Exponential, Sample};
 use simcore::rng::SimRng;
 
-#[derive(Serialize)]
 struct Row {
     confidence: f64,
     false_alarms_per_1k: f64,
     mean_latency_frames: f64,
     missed: usize,
 }
+
+simcore::impl_to_json!(Row {
+    confidence,
+    false_alarms_per_1k,
+    mean_latency_frames,
+    missed,
+});
 
 fn main() {
     bench::header("Ablation", "detection confidence (false alarms vs latency)");

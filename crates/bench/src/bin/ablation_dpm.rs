@@ -9,9 +9,7 @@
 use dpm::policy::SleepState;
 use powermgr::config::{DpmKind, SystemConfig};
 use powermgr::scenario;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     policy: String,
     energy_kj: f64,
@@ -21,6 +19,16 @@ struct Row {
     standby_secs: f64,
     off_secs: f64,
 }
+
+simcore::impl_to_json!(Row {
+    policy,
+    energy_kj,
+    frame_delay_s,
+    sleeps,
+    wakes,
+    standby_secs,
+    off_secs,
+});
 
 fn main() {
     bench::header(

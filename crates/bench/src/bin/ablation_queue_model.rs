@@ -10,16 +10,20 @@
 use powermgr::config::{DpmKind, SystemConfig};
 use powermgr::dvs::QueueModel;
 use powermgr::scenario;
-use serde::Serialize;
 use simcore::rng::SimRng;
 use workload::MpegClip;
 
-#[derive(Serialize)]
 struct Row {
     model: String,
     energy_kj: f64,
     frame_delay_s: f64,
 }
+
+simcore::impl_to_json!(Row {
+    model,
+    energy_kj,
+    frame_delay_s,
+});
 
 fn measured_scv() -> f64 {
     // Estimate the decode-time SCV from a generated football trace,

@@ -10,11 +10,9 @@
 use detect::changepoint::{ChangePointConfig, ChangePointDetector};
 use detect::cusum::CusumDetector;
 use detect::estimator::RateEstimator;
-use serde::Serialize;
 use simcore::dist::{Exponential, Sample};
 use simcore::rng::SimRng;
 
-#[derive(Serialize)]
 struct Row {
     detector: String,
     candidates: usize,
@@ -22,6 +20,14 @@ struct Row {
     missed: usize,
     rate_error_pct: f64,
 }
+
+simcore::impl_to_json!(Row {
+    detector,
+    candidates,
+    mean_latency_frames,
+    missed,
+    rate_error_pct,
+});
 
 fn measure(mut build: impl FnMut() -> Box<dyn RateEstimator>, trials: usize) -> (f64, usize, f64) {
     let slow = Exponential::new(10.0).expect("static rate");

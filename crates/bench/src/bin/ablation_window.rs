@@ -9,11 +9,9 @@
 
 use detect::changepoint::{ChangePointConfig, ChangePointDetector};
 use detect::estimator::RateEstimator;
-use serde::Serialize;
 use simcore::dist::{Exponential, Sample};
 use simcore::rng::SimRng;
 
-#[derive(Serialize)]
 struct Row {
     window: usize,
     mean_latency_frames: f64,
@@ -21,6 +19,14 @@ struct Row {
     false_alarms_per_1k: f64,
     rate_error_pct: f64,
 }
+
+simcore::impl_to_json!(Row {
+    window,
+    mean_latency_frames,
+    missed,
+    false_alarms_per_1k,
+    rate_error_pct,
+});
 
 fn main() {
     bench::header("Ablation", "change-point window size m (step 10 → 60 fr/s)");

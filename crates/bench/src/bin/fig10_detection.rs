@@ -10,11 +10,9 @@
 use detect::changepoint::{ChangePointConfig, ChangePointDetector};
 use detect::ema::EmaEstimator;
 use detect::estimator::RateEstimator;
-use serde::Serialize;
 use simcore::dist::{Exponential, Sample};
 use simcore::rng::SimRng;
 
-#[derive(Serialize)]
 struct Row {
     frame: usize,
     ideal: f64,
@@ -22,6 +20,14 @@ struct Row {
     ema_05: f64,
     change_point: f64,
 }
+
+simcore::impl_to_json!(Row {
+    frame,
+    ideal,
+    ema_03,
+    ema_05,
+    change_point,
+});
 
 fn main() {
     bench::header(

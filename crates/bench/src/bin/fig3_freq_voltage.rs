@@ -3,15 +3,20 @@
 //! point (`f·V²` scaling).
 
 use hardware::CpuModel;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     freq_mhz: f64,
     voltage_v: f64,
     power_ratio: f64,
     active_mw: f64,
 }
+
+simcore::impl_to_json!(Row {
+    freq_mhz,
+    voltage_v,
+    power_ratio,
+    active_mw,
+});
 
 fn main() {
     bench::header("Figure 3", "frequency vs voltage for the SA-1100");

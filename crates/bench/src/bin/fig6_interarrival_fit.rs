@@ -3,18 +3,22 @@
 //! vs the fitted exponential, with the average CDF fitting error the
 //! paper quotes (≈ 8 %).
 
-use serde::Serialize;
 use simcore::dist::{fit, Continuous, Exponential};
 use simcore::rng::SimRng;
 use workload::schedule::RateSchedule;
 use workload::{arrivals, MpegClip};
 
-#[derive(Serialize)]
 struct Row {
     interarrival_s: f64,
     empirical_cdf: f64,
     exponential_cdf: f64,
 }
+
+simcore::impl_to_json!(Row {
+    interarrival_s,
+    empirical_cdf,
+    exponential_cdf,
+});
 
 fn main() {
     bench::header(

@@ -9,15 +9,20 @@ use dpm::costs::DpmCosts;
 use dpm::idle::IdleMixture;
 use dpm::tismdp::{TismdpConfig, TismdpPolicy};
 use hardware::SmartBadge;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     model: String,
     first_standby_s: Option<f64>,
     first_off_s: Option<f64>,
     expected_cost_j: f64,
 }
+
+simcore::impl_to_json!(Row {
+    model,
+    first_standby_s,
+    first_off_s,
+    expected_cost_j,
+});
 
 fn describe(name: &str, policy: &TismdpPolicy) -> Row {
     use dpm::policy::SleepState;

@@ -6,14 +6,18 @@
 //! governor on the ACEFBD audio sequence.
 
 use powermgr::scenario;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     governor: String,
     freq_mhz: f64,
     decode_secs: f64,
 }
+
+simcore::impl_to_json!(Row {
+    governor,
+    freq_mhz,
+    decode_secs,
+});
 
 fn main() {
     bench::header(

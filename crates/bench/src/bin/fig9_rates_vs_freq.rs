@@ -6,15 +6,19 @@
 
 use hardware::perf::PerformanceCurve;
 use hardware::SmartBadge;
-use serde::Serialize;
 use workload::MpegClip;
 
-#[derive(Serialize)]
 struct Row {
     freq_mhz: f64,
     cpu_rate: f64,
     wlan_rate: f64,
 }
+
+simcore::impl_to_json!(Row {
+    freq_mhz,
+    cpu_rate,
+    wlan_rate,
+});
 
 fn main() {
     bench::header(

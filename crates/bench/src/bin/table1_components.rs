@@ -5,9 +5,7 @@
 use dpm::costs::DpmCosts;
 use dpm::policy::SleepState;
 use hardware::{PowerState, SmartBadge};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     component: String,
     active_mw: f64,
@@ -16,6 +14,15 @@ struct Row {
     t_standby_ms: f64,
     t_off_ms: f64,
 }
+
+simcore::impl_to_json!(Row {
+    component,
+    active_mw,
+    idle_mw,
+    standby_mw,
+    t_standby_ms,
+    t_off_ms,
+});
 
 fn main() {
     bench::header(

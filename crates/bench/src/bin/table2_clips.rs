@@ -2,11 +2,9 @@
 //! sample rate and decode rate, plus measured statistics from a
 //! generated trace of each clip.
 
-use serde::Serialize;
 use simcore::rng::SimRng;
 use workload::Mp3Clip;
 
-#[derive(Serialize)]
 struct Row {
     label: char,
     bit_rate_kbps: f64,
@@ -16,6 +14,16 @@ struct Row {
     duration_secs: f64,
     measured_arrival_rate: f64,
 }
+
+simcore::impl_to_json!(Row {
+    label,
+    bit_rate_kbps,
+    sample_rate_khz,
+    decode_rate,
+    arrival_rate,
+    duration_secs,
+    measured_arrival_rate,
+});
 
 fn main() {
     bench::header("Table 2", "MP3 audio clips (A–F)");

@@ -7,9 +7,7 @@
 //! performance the most energy with the least delay.
 
 use powermgr::scenario;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     sequence: String,
     algorithm: String,
@@ -17,6 +15,14 @@ struct Row {
     frame_delay_s: f64,
     freq_switches: u64,
 }
+
+simcore::impl_to_json!(Row {
+    sequence,
+    algorithm,
+    energy_kj,
+    frame_delay_s,
+    freq_switches,
+});
 
 fn main() {
     bench::header("Table 3", "MP3 audio DVS (energy kJ / mean frame delay s)");

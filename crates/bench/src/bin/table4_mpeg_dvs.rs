@@ -8,9 +8,7 @@
 //! small delay penalty.
 
 use powermgr::scenario;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     clip: String,
     algorithm: String,
@@ -18,6 +16,14 @@ struct Row {
     frame_delay_s: f64,
     freq_switches: u64,
 }
+
+simcore::impl_to_json!(Row {
+    clip,
+    algorithm,
+    energy_kj,
+    frame_delay_s,
+    freq_switches,
+});
 
 fn main() {
     bench::header("Table 4", "MPEG video DVS (energy kJ / mean frame delay s)");

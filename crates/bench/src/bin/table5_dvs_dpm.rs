@@ -8,9 +8,7 @@
 
 use powermgr::config::{DpmKind, GovernorKind, SystemConfig};
 use powermgr::scenario;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     algorithm: String,
     energy_kj: f64,
@@ -18,6 +16,14 @@ struct Row {
     frame_delay_s: f64,
     sleeps: u64,
 }
+
+simcore::impl_to_json!(Row {
+    algorithm,
+    energy_kj,
+    factor,
+    frame_delay_s,
+    sleeps,
+});
 
 fn main() {
     bench::header(

@@ -11,12 +11,10 @@ use hardware::perf::PerformanceCurve;
 use hardware::CpuModel;
 use powermgr::config::{DpmKind, GovernorKind, SystemConfig};
 use powermgr::scenario;
-use serde::Serialize;
 use simcore::rng::SimRng;
 use workload::schedule::RateSchedule;
 use workload::MpegClip;
 
-#[derive(Serialize)]
 struct Row {
     arrival_rate: f64,
     service_rate: f64,
@@ -25,6 +23,15 @@ struct Row {
     simulated_delay_s: f64,
     rel_error_pct: f64,
 }
+
+simcore::impl_to_json!(Row {
+    arrival_rate,
+    service_rate,
+    utilization,
+    analytical_delay_s,
+    simulated_delay_s,
+    rel_error_pct,
+});
 
 fn main() {
     bench::header(

@@ -6,7 +6,7 @@
 //! passed, also write machine-readable rows for `EXPERIMENTS.md`.
 
 use powermgr::config::{DpmKind, GovernorKind, SystemConfig};
-use serde::Serialize;
+use simcore::json::ToJson;
 use std::io::Write;
 use std::path::Path;
 
@@ -57,8 +57,8 @@ pub fn header(id: &str, caption: &str) {
 ///
 /// Panics if the file cannot be written — experiment binaries want loud
 /// failures, not silent truncation.
-pub fn write_json<T: Serialize>(path: &Path, rows: &T) {
-    let json = serde_json::to_string_pretty(rows).expect("experiment rows serialize");
+pub fn write_json<T: ToJson + ?Sized>(path: &Path, rows: &T) {
+    let json = rows.to_json().pretty();
     let mut f = std::fs::File::create(path)
         .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
     f.write_all(json.as_bytes())
@@ -84,11 +84,10 @@ pub mod perf_energy {
     use hardware::perf::PerformanceCurve;
     use hardware::SmartBadge;
     use powermgr::power::PowerProfile;
-    use serde::Serialize;
     use workload::MediaKind;
 
     /// One operating point's performance/energy pair.
-    #[derive(Debug, Clone, Copy, Serialize)]
+    #[derive(Debug, Clone, Copy)]
     pub struct Row {
         /// CPU frequency, MHz.
         pub freq_mhz: f64,
@@ -98,6 +97,12 @@ pub mod perf_energy {
         /// `(P(f)·t(f)) / (P(f_max)·t(f_max))`.
         pub energy_ratio: f64,
     }
+
+    simcore::impl_to_json!(Row {
+        freq_mhz,
+        performance,
+        energy_ratio,
+    });
 
     /// Computes the rows for one application curve.
     #[must_use]
@@ -169,8 +174,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("rows.json");
         write_json(&path, &vec![1, 2, 3]);
-        let back: Vec<i32> =
-            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
-        assert_eq!(back, vec![1, 2, 3]);
+        let back = simcore::Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back, simcore::Json::parse("[1,2,3]").unwrap());
     }
 }

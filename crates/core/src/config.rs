@@ -175,6 +175,92 @@ impl DpmKind {
     }
 }
 
+/// Graceful-degradation supervisor: the watchdog half of the fault
+/// model.
+///
+/// The supervisor watches two health signals — the deadline-miss ratio
+/// over a rolling window of completed frames, and the instantaneous
+/// buffer occupancy. When either crosses its threshold it forces the
+/// maximum operating point ("degraded mode", the paper's
+/// max-performance column), and it re-enters rate-driven governing only
+/// after the miss ratio has decayed below the exit threshold, the
+/// backlog has drained, and a minimum dwell time has elapsed
+/// (hysteresis, so a flapping fault cannot make the manager thrash).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisorConfig {
+    /// Rolling window of completed frames over which the deadline-miss
+    /// ratio is computed.
+    pub miss_window: usize,
+    /// Enter degraded mode when the windowed miss ratio reaches this
+    /// (evaluated only once the window is full).
+    pub miss_ratio_enter: f64,
+    /// Leave degraded mode when the windowed miss ratio has decayed to
+    /// this or below.
+    pub miss_ratio_exit: f64,
+    /// Enter degraded mode when the buffer occupancy reaches this many
+    /// frames; the exit path requires it to drain below half of this.
+    pub occupancy_enter: usize,
+    /// Minimum time to stay degraded once entered, seconds.
+    pub min_dwell_s: f64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            miss_window: 50,
+            miss_ratio_enter: 0.25,
+            miss_ratio_exit: 0.05,
+            occupancy_enter: 64,
+            min_dwell_s: 2.0,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// Validates the thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the window is empty, a ratio is outside
+    /// `[0, 1]`, the exit ratio exceeds the enter ratio, the occupancy
+    /// threshold is zero, or the dwell is negative/non-finite.
+    pub fn validate(&self) -> Result<(), PmError> {
+        if self.miss_window == 0 {
+            return Err(PmError::InvalidParameter {
+                name: "supervisor.miss_window",
+                value: 0.0,
+            });
+        }
+        if self.occupancy_enter == 0 {
+            return Err(PmError::InvalidParameter {
+                name: "supervisor.occupancy_enter",
+                value: 0.0,
+            });
+        }
+        for (name, v) in [
+            ("supervisor.miss_ratio_enter", self.miss_ratio_enter),
+            ("supervisor.miss_ratio_exit", self.miss_ratio_exit),
+        ] {
+            if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+                return Err(PmError::InvalidParameter { name, value: v });
+            }
+        }
+        if self.miss_ratio_exit > self.miss_ratio_enter {
+            return Err(PmError::InvalidParameter {
+                name: "supervisor.miss_ratio_exit",
+                value: self.miss_ratio_exit,
+            });
+        }
+        if !(self.min_dwell_s.is_finite() && self.min_dwell_s >= 0.0) {
+            return Err(PmError::InvalidParameter {
+                name: "supervisor.min_dwell_s",
+                value: self.min_dwell_s,
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Full experiment configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
@@ -209,6 +295,22 @@ pub struct SystemConfig {
     pub idle_pareto_scale: f64,
     /// Pareto shape of the long idle component.
     pub idle_pareto_shape: f64,
+    /// Fault models to inject (`None` = the paper's clean runs).
+    pub faults: Option<faults::FaultSpec>,
+    /// Graceful-degradation supervisor (`None` = disabled; clean runs
+    /// behave exactly as before).
+    pub supervisor: Option<SupervisorConfig>,
+    /// Frame-buffer capacity in frames (`None` = unbounded, the paper's
+    /// idealization). Arrivals beyond the bound resolve via
+    /// [`drop_policy`](Self::drop_policy) and are counted in the report.
+    pub buffer_capacity: Option<usize>,
+    /// What a full bounded buffer does with an arriving frame.
+    pub drop_policy: framequeue::DropPolicy,
+    /// A completed frame misses its deadline when its total delay
+    /// exceeds `deadline_factor ×` the media kind's target mean delay.
+    /// Deadlines are only tracked when faults or the supervisor are
+    /// enabled, so baseline reports stay byte-identical.
+    pub deadline_factor: f64,
 }
 
 impl Default for SystemConfig {
@@ -225,6 +327,11 @@ impl Default for SystemConfig {
             idle_short_rate: 25.0,
             idle_pareto_scale: 2.0,
             idle_pareto_shape: 1.5,
+            faults: None,
+            supervisor: None,
+            buffer_capacity: None,
+            drop_policy: framequeue::DropPolicy::DropNewest,
+            deadline_factor: 4.0,
         }
     }
 }
@@ -318,5 +425,50 @@ mod tests {
         assert_eq!(c.dpm.label(), "none");
         assert!(c.idle_model().is_ok());
         assert!(c.mp3_target_delay_s > c.mpeg_target_delay_s);
+        assert!(c.faults.is_none());
+        assert!(c.supervisor.is_none());
+        assert!(c.buffer_capacity.is_none());
+        assert!(c.deadline_factor > 1.0);
+    }
+
+    #[test]
+    fn default_supervisor_validates() {
+        let s = SupervisorConfig::default();
+        assert!(s.validate().is_ok());
+        assert!(s.miss_ratio_exit < s.miss_ratio_enter);
+    }
+
+    #[test]
+    fn supervisor_rejects_bad_thresholds() {
+        let ok = SupervisorConfig::default();
+        for bad in [
+            SupervisorConfig {
+                miss_window: 0,
+                ..ok.clone()
+            },
+            SupervisorConfig {
+                occupancy_enter: 0,
+                ..ok.clone()
+            },
+            SupervisorConfig {
+                miss_ratio_enter: 1.5,
+                ..ok.clone()
+            },
+            SupervisorConfig {
+                miss_ratio_exit: f64::NAN,
+                ..ok.clone()
+            },
+            SupervisorConfig {
+                miss_ratio_enter: 0.1,
+                miss_ratio_exit: 0.2,
+                ..ok.clone()
+            },
+            SupervisorConfig {
+                min_dwell_s: -1.0,
+                ..ok.clone()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
     }
 }

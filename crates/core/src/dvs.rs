@@ -14,7 +14,6 @@
 use crate::PmError;
 use hardware::cpu::{CpuModel, OperatingPoint};
 use hardware::perf::PerformanceCurve;
-use serde::{Deserialize, Serialize};
 use workload::MediaKind;
 
 /// Which analytical queue model inverts the delay constraint into a
@@ -25,7 +24,7 @@ use workload::MediaKind;
 /// another method of frequency and voltage adjustment is needed"; the
 /// M/G/1 variant is that other method, used by the `ablation_queue_model`
 /// bench.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub enum QueueModel {
     /// Exponential service assumption (paper Eq. 5).
     #[default]

@@ -44,6 +44,7 @@ struct Stream {
     inner: StreamImpl,
     warmup_count: usize,
     warmup_sum: f64,
+    rejected: u64,
 }
 
 impl Stream {
@@ -52,16 +53,19 @@ impl Stream {
             inner,
             warmup_count: 0,
             warmup_sum: 0.0,
+            rejected: 0,
         }
     }
 
     /// Feeds a sample; returns `true` when the rate estimate materially
-    /// changed.
+    /// changed. Degenerate samples (zero, negative, NaN, infinite) are
+    /// rejected and counted, never propagated to the estimator.
     fn observe(&mut self, sample: f64) -> bool {
         let StreamImpl::Estimated(estimator) = &mut self.inner else {
             return false;
         };
         if !(sample.is_finite() && sample > 0.0) {
+            self.rejected += 1;
             return false;
         }
         if self.warmup_count < WARMUP_SAMPLES {
@@ -232,6 +236,13 @@ impl Governor {
     pub fn rate_changes(&self) -> u64 {
         self.rate_changes
     }
+
+    /// How many degenerate samples (zero/negative/NaN/infinite) the two
+    /// streams rejected instead of propagating to their estimators.
+    #[must_use]
+    pub fn rejected_samples(&self) -> u64 {
+        self.arrival.rejected + self.service.rejected
+    }
 }
 
 #[cfg(test)]
@@ -326,5 +337,29 @@ mod tests {
     fn build_validates() {
         assert!(Governor::build(&GovernorKind::Ideal, 0.0, 10.0).is_err());
         assert!(Governor::build(&GovernorKind::ExpAverage { gain: 2.0 }, 10.0, 10.0).is_err());
+    }
+
+    #[test]
+    fn degenerate_samples_are_rejected_and_counted() {
+        let mut g = Governor::build(&GovernorKind::ExpAverage { gain: 0.3 }, 20.0, 80.0).unwrap();
+        for _ in 0..WARMUP_SAMPLES {
+            g.on_arrival(Some(0.05), 20.0);
+        }
+        let rate = g.arrival_rate();
+        assert!(!g.on_arrival(Some(0.0), 20.0));
+        assert!(!g.on_arrival(Some(f64::NAN), 20.0));
+        assert!(!g.on_arrival(Some(f64::INFINITY), 20.0));
+        assert!(!g.on_arrival(Some(-0.1), 20.0));
+        assert!(!g.on_decode(f64::NAN, 80.0));
+        assert_eq!(g.rejected_samples(), 5);
+        assert_eq!(g.arrival_rate(), rate, "estimate untouched by garbage");
+        assert!(g.arrival_rate().is_finite());
+    }
+
+    #[test]
+    fn oracle_streams_never_count_rejections() {
+        let mut g = Governor::build(&GovernorKind::Ideal, 20.0, 80.0).unwrap();
+        g.on_arrival(Some(f64::NAN), 20.0);
+        assert_eq!(g.rejected_samples(), 0, "oracle never consumes samples");
     }
 }

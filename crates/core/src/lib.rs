@@ -85,6 +85,14 @@ pub enum PmError {
     Workload(workload::WorkloadError),
     /// An error bubbled up from the queueing model.
     Queue(framequeue::QueueError),
+    /// An error bubbled up from the fault-injection layer.
+    Fault(faults::FaultError),
+    /// The simulator reached a state that violates its own invariants
+    /// (e.g. a decode completion with no frame in flight).
+    InvalidState {
+        /// What went wrong.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for PmError {
@@ -97,6 +105,8 @@ impl fmt::Display for PmError {
             PmError::Dpm(e) => write!(f, "dpm error: {e}"),
             PmError::Workload(e) => write!(f, "workload error: {e}"),
             PmError::Queue(e) => write!(f, "queue error: {e}"),
+            PmError::Fault(e) => write!(f, "fault-injection error: {e}"),
+            PmError::InvalidState { what } => write!(f, "invalid simulator state: {what}"),
         }
     }
 }
@@ -108,8 +118,15 @@ impl Error for PmError {
             PmError::Dpm(e) => Some(e),
             PmError::Workload(e) => Some(e),
             PmError::Queue(e) => Some(e),
-            PmError::InvalidParameter { .. } => None,
+            PmError::Fault(e) => Some(e),
+            PmError::InvalidParameter { .. } | PmError::InvalidState { .. } => None,
         }
+    }
+}
+
+impl From<faults::FaultError> for PmError {
+    fn from(e: faults::FaultError) -> Self {
+        PmError::Fault(e)
     }
 }
 

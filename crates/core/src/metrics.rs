@@ -6,14 +6,13 @@
 //! per-component energy, time per system mode, switch/sleep counts.
 
 use hardware::energy::EnergyMeter;
-use serde::ser::SerializeMap;
-use serde::{Serialize, Serializer};
+use simcore::json::{Json, ToJson};
 use simcore::stats::OnlineStats;
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// The system modes time is attributed to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum ModeKey {
     /// Actively decoding frames.
     Decoding,
@@ -51,19 +50,75 @@ impl fmt::Display for ModeKey {
     }
 }
 
-fn serialize_mode_secs<S: Serializer>(
-    map: &BTreeMap<ModeKey, f64>,
-    serializer: S,
-) -> Result<S::Ok, S::Error> {
-    let mut m = serializer.serialize_map(Some(map.len()))?;
-    for (k, v) in map {
-        m.serialize_entry(&k.to_string(), v)?;
+impl ToJson for ModeKey {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
     }
-    m.end()
 }
 
+/// Counters accumulated by the fault-injection layer and the
+/// graceful-degradation supervisor.
+///
+/// All-zero (`Default`) for a run with no faults injected and the
+/// supervisor disabled, so baseline reports are unchanged.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RobustnessReport {
+    /// Frames lost before reaching the buffer (WLAN burst loss).
+    pub arrivals_dropped: u64,
+    /// Frames dropped at the buffer because it was full.
+    pub frames_dropped: u64,
+    /// Completed frames that missed their delay deadline.
+    pub deadline_misses: u64,
+    /// Completed frames checked against a deadline.
+    pub deadlines_total: u64,
+    /// Decode jobs whose execution time was inflated by a fault.
+    pub decode_overruns: u64,
+    /// Frequency–voltage switch attempts that failed and were retried.
+    pub switch_retries: u64,
+    /// Switches abandoned after exhausting the retry budget.
+    pub switch_failures: u64,
+    /// Degenerate detector samples (zero/NaN interarrivals) rejected.
+    pub samples_rejected: u64,
+    /// Times the supervisor entered degraded (max-performance) mode.
+    pub degraded_entries: u64,
+    /// Seconds spent in degraded mode.
+    pub degraded_secs: f64,
+}
+
+impl RobustnessReport {
+    /// Fraction of deadline-checked frames that missed; `0.0` when no
+    /// deadlines were checked.
+    #[must_use]
+    pub fn deadline_miss_ratio(&self) -> f64 {
+        if self.deadlines_total == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.deadlines_total as f64
+        }
+    }
+
+    /// `true` when every counter is zero (no faults, no degradation).
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        *self == RobustnessReport::default()
+    }
+}
+
+simcore::impl_to_json!(RobustnessReport {
+    arrivals_dropped,
+    frames_dropped,
+    deadline_misses,
+    deadlines_total,
+    decode_overruns,
+    switch_retries,
+    switch_failures,
+    samples_rejected,
+    degraded_entries,
+    degraded_secs,
+});
+
 /// The result of one simulation run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// Per-component energy accounting.
     pub energy: EnergyMeter,
@@ -80,7 +135,6 @@ pub struct SimReport {
     /// Wake-up transitions performed.
     pub wakes: u64,
     /// Seconds spent in each mode.
-    #[serde(serialize_with = "serialize_mode_secs")]
     pub mode_secs: BTreeMap<ModeKey, f64>,
     /// Seconds spent decoding at each CPU frequency, keyed by the
     /// frequency in tenths of a MHz (so the map key is exact).
@@ -91,7 +145,25 @@ pub struct SimReport {
     pub governor: &'static str,
     /// The DPM policy's table label.
     pub dpm: &'static str,
+    /// Fault-injection and graceful-degradation counters.
+    pub robustness: RobustnessReport,
 }
+
+simcore::impl_to_json!(SimReport {
+    energy,
+    frame_delays,
+    frames_completed,
+    freq_switches,
+    rate_changes,
+    sleeps,
+    wakes,
+    mode_secs,
+    freq_residency,
+    duration_secs,
+    governor,
+    dpm,
+    robustness,
+});
 
 impl SimReport {
     /// Total energy, joules.
@@ -198,6 +270,24 @@ impl fmt::Display for SimReport {
                 self.mean_decode_frequency_mhz()
             )?;
         }
+        let r = &self.robustness;
+        if !r.is_quiet() {
+            write!(
+                f,
+                "\n  robustness: {} arrivals lost, {} frames dropped, \
+                 {}/{} deadlines missed, {} switch retries ({} abandoned), \
+                 {} samples rejected, degraded {:.1}s over {} entries",
+                r.arrivals_dropped,
+                r.frames_dropped,
+                r.deadline_misses,
+                r.deadlines_total,
+                r.switch_retries,
+                r.switch_failures,
+                r.samples_rejected,
+                r.degraded_secs,
+                r.degraded_entries
+            )?;
+        }
         Ok(())
     }
 }
@@ -235,6 +325,7 @@ mod tests {
             duration_secs: 100.0,
             governor: "ideal",
             dpm: "none",
+            robustness: RobustnessReport::default(),
         }
     }
 
@@ -275,11 +366,14 @@ mod tests {
     #[test]
     fn report_serializes_to_json() {
         let r = report();
-        let json = serde_json::to_value(&r).unwrap();
-        assert_eq!(json["frames_completed"], 2);
+        let json = r.to_json();
+        assert_eq!(json["frames_completed"], 2u64);
         assert_eq!(json["mode_secs"]["decoding"], 80.0);
         assert!(json["freq_residency"]["2212"].as_f64().unwrap() > 0.0);
         assert_eq!(json["governor"], "ideal");
+        assert_eq!(json["robustness"]["frames_dropped"], 0u64);
+        // The dump must parse back.
+        assert!(Json::parse(&json.dump()).is_ok());
     }
 
     #[test]
@@ -288,5 +382,30 @@ mod tests {
         assert!(text.contains("energy"));
         assert!(text.contains("frame delay"));
         assert!(text.contains("decoding=80.0s"));
+        // Quiet robustness counters stay out of the baseline summary.
+        assert!(!text.contains("robustness"));
+    }
+
+    #[test]
+    fn display_shows_robustness_when_faulted() {
+        let mut r = report();
+        r.robustness.frames_dropped = 3;
+        r.robustness.deadline_misses = 1;
+        r.robustness.deadlines_total = 2;
+        let text = r.to_string();
+        assert!(text.contains("robustness"));
+        assert!(text.contains("3 frames dropped"));
+        assert!(text.contains("1/2 deadlines missed"));
+    }
+
+    #[test]
+    fn deadline_miss_ratio_handles_empty() {
+        let mut r = RobustnessReport::default();
+        assert_eq!(r.deadline_miss_ratio(), 0.0);
+        assert!(r.is_quiet());
+        r.deadline_misses = 1;
+        r.deadlines_total = 4;
+        assert!((r.deadline_miss_ratio() - 0.25).abs() < 1e-12);
+        assert!(!r.is_quiet());
     }
 }

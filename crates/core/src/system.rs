@@ -19,12 +19,14 @@
 
 use crate::config::SystemConfig;
 use crate::manager::PowerManager;
-use crate::metrics::{ModeKey, SimReport};
+use crate::metrics::{ModeKey, RobustnessReport, SimReport};
 use crate::power::PowerProfile;
 use crate::PmError;
 use dpm::costs::DpmCosts;
 use dpm::policy::SleepState;
+use faults::{FaultInjector, FaultPlan};
 use framequeue::FrameBuffer;
+use hardware::cpu::OperatingPoint;
 use hardware::energy::EnergyMeter;
 use hardware::{PowerState, SmartBadge};
 use simcore::event::EventQueue;
@@ -73,6 +75,7 @@ pub struct SystemSimulator {
     config: SystemConfig,
     manager: PowerManager,
     rng: SimRng,
+    injector: FaultInjector,
 
     queue: EventQueue<Event>,
     frames: Vec<FrameRecord>,
@@ -86,7 +89,13 @@ pub struct SystemSimulator {
     decoding_frame: Option<FrameRecord>,
     last_arrival: Option<SimTime>,
     next_arrival_scheduled: bool,
-    pending_switch: bool,
+    /// The operating point the CPU is physically at; lags the manager's
+    /// selection until the switch lands at a decode start (and stays
+    /// behind it if a faulty switch is abandoned).
+    physical_op: OperatingPoint,
+    /// `true` when deadline misses are tracked (faults or supervisor
+    /// configured); clean paper runs skip it so reports stay identical.
+    track_deadlines: bool,
 
     meter: EnergyMeter,
     delays: OnlineStats,
@@ -96,6 +105,8 @@ pub struct SystemSimulator {
     freq_switches: u64,
     sleeps: u64,
     wakes: u64,
+    deadline_misses: u64,
+    deadlines_total: u64,
 }
 
 impl SystemSimulator {
@@ -113,15 +124,29 @@ impl SystemSimulator {
         // warm-up replaces them with data-driven values within 20 frames.
         let manager = PowerManager::build(&badge, &config, 25.0, 100.0)?;
         let profile = PowerProfile::uniform(&badge, PowerState::Idle);
+        // Forking is independent of consumption, so adding the injector
+        // stream does not perturb the clean-run event sequence.
+        let base_rng = SimRng::seed_from(seed);
+        let injector = match &config.faults {
+            Some(spec) => FaultPlan::new(spec.clone())?.injector(&base_rng),
+            None => FaultInjector::disabled(&base_rng),
+        };
+        let track_deadlines = config.faults.is_some() || config.supervisor.is_some();
+        let buffer = match config.buffer_capacity {
+            Some(cap) => FrameBuffer::bounded(cap, config.drop_policy),
+            None => FrameBuffer::new(),
+        };
+        let physical_op = badge.cpu().max_operating_point();
         Ok(SystemSimulator {
             badge,
             costs,
             config,
             manager,
-            rng: SimRng::seed_from(seed).fork("system"),
+            rng: base_rng.fork("system"),
+            injector,
             queue: EventQueue::new(),
             frames: trace.frames().to_vec(),
-            buffer: FrameBuffer::new(),
+            buffer,
             mode: Mode::Idle,
             profile,
             last_account: SimTime::ZERO,
@@ -131,7 +156,8 @@ impl SystemSimulator {
             decoding_frame: None,
             last_arrival: None,
             next_arrival_scheduled: false,
-            pending_switch: false,
+            physical_op,
+            track_deadlines,
             meter: EnergyMeter::new(),
             delays: OnlineStats::new(),
             mode_secs: BTreeMap::new(),
@@ -140,6 +166,8 @@ impl SystemSimulator {
             freq_switches: 0,
             sleeps: 0,
             wakes: 0,
+            deadline_misses: 0,
+            deadlines_total: 0,
         })
     }
 
@@ -147,24 +175,23 @@ impl SystemSimulator {
     ///
     /// # Errors
     ///
-    /// Currently infallible after construction; the `Result` reserves
-    /// room for workload-validation failures.
+    /// Returns [`PmError::InvalidState`] if an event handler observes a
+    /// state that violates the simulator's invariants (a decode
+    /// completion with no frame in flight, a decode start on an empty
+    /// buffer).
     pub fn run(mut self, trace_end: SimTime) -> Result<SimReport, PmError> {
         // Device starts idle with a DPM plan, waiting for the stream.
         self.enter_idle(SimTime::ZERO);
-        if !self.frames.is_empty() {
-            self.queue.push(self.frames[0].arrival, Event::Arrival(0));
-            self.next_arrival_scheduled = true;
-        }
+        self.schedule_arrival(0);
 
         while let Some(scheduled) = self.queue.pop() {
             let now = scheduled.at;
             self.account(now);
             match scheduled.event {
-                Event::Arrival(i) => self.handle_arrival(now, i),
-                Event::DecodeDone => self.handle_decode_done(now),
+                Event::Arrival(i) => self.handle_arrival(now, i)?,
+                Event::DecodeDone => self.handle_decode_done(now)?,
                 Event::SleepCmd { epoch, state } => self.handle_sleep_cmd(now, epoch, state),
-                Event::WakeDone { epoch } => self.handle_wake_done(now, epoch),
+                Event::WakeDone { epoch } => self.handle_wake_done(now, epoch)?,
             }
             // Once the stream is exhausted and drained, account the tail
             // and stop — remaining queue entries are stale sleep commands.
@@ -183,6 +210,21 @@ impl SystemSimulator {
             .values()
             .sum::<f64>()
             .max(trace_end.as_secs_f64());
+        let end_now = self.queue.now().max(trace_end);
+        let fc = self.injector.counters();
+        let (degraded_entries, degraded_secs) = self.manager.degraded_stats(end_now);
+        let robustness = RobustnessReport {
+            arrivals_dropped: fc.arrivals_dropped,
+            frames_dropped: self.buffer.total_dropped(),
+            deadline_misses: self.deadline_misses,
+            deadlines_total: self.deadlines_total,
+            decode_overruns: fc.overruns,
+            switch_retries: fc.switch_retries,
+            switch_failures: fc.switch_failures,
+            samples_rejected: self.manager.rejected_samples(),
+            degraded_entries,
+            degraded_secs,
+        };
         Ok(SimReport {
             energy: self.meter,
             frame_delays: self.delays,
@@ -196,7 +238,26 @@ impl SystemSimulator {
             duration_secs,
             governor: self.manager.governor_label(),
             dpm: self.manager.dpm_label(),
+            robustness,
         })
+    }
+
+    /// Schedules delivery of trace frame `index`, applying any jitter
+    /// spike to its nominal arrival time.
+    fn schedule_arrival(&mut self, index: usize) {
+        if index >= self.frames.len() {
+            self.next_arrival_scheduled = false;
+            return;
+        }
+        let nominal = self.frames[index].arrival;
+        // Clamp to the current clock: a heavily jittered predecessor may
+        // already have pushed simulation time past this frame's nominal
+        // arrival, in which case it is delivered back-to-back.
+        let at = nominal
+            .saturating_add(self.injector.arrival_jitter(nominal))
+            .max(self.queue.now());
+        self.queue.push(at, Event::Arrival(index));
+        self.next_arrival_scheduled = true;
     }
 
     fn stream_drained(&self) -> bool {
@@ -209,7 +270,7 @@ impl SystemSimulator {
             self.profile.accumulate_into(&mut self.meter, dt);
             *self.mode_secs.entry(self.mode.key()).or_insert(0.0) += dt.as_secs_f64();
             if matches!(self.mode, Mode::Decoding) {
-                let key = (self.manager.operating_point().freq_mhz * 10.0).round() as u32;
+                let key = (self.physical_op.freq_mhz * 10.0).round() as u32;
                 *self.freq_residency.entry(key).or_insert(0.0) += dt.as_secs_f64();
             }
             self.last_account = now;
@@ -224,8 +285,16 @@ impl SystemSimulator {
                     .decoding_frame
                     .map(|f| f.kind)
                     .unwrap_or(workload::MediaKind::Mp3Audio);
-                let op = self.manager.operating_point();
-                let activity = self.manager.dvs().curve(kind).performance_at(op.freq_mhz);
+                let op = self.physical_op;
+                // Clamp into PowerProfile::decode's (0, 1] domain so no
+                // curve corner case can panic the simulator mid-run
+                // (clamp alone would pass NaN through).
+                let raw = self.manager.dvs().curve(kind).performance_at(op.freq_mhz);
+                let activity = if raw.is_finite() {
+                    raw.clamp(f64::MIN_POSITIVE, 1.0)
+                } else {
+                    1.0
+                };
                 PowerProfile::decode(&self.badge, op, kind, activity)
             }
             Mode::Idle => PowerProfile::uniform(&self.badge, PowerState::Idle),
@@ -234,43 +303,52 @@ impl SystemSimulator {
         };
     }
 
-    fn handle_arrival(&mut self, now: SimTime, index: usize) {
-        let frame = self.frames[index];
-        // Interarrival gap, gated by the streaming threshold: long gaps
-        // are idle periods, not samples of the streaming distribution.
-        let gap = self.last_arrival.and_then(|prev| {
-            let g = now - prev;
-            (g.as_secs_f64() <= self.config.streaming_gap_threshold_s).then_some(g)
-        });
-        self.last_arrival = Some(now);
-        if self
-            .manager
-            .on_arrival(frame.kind, gap, frame.true_arrival_rate)
-            .is_some()
-        {
-            // A new operating point applies from the next decode start;
-            // any in-flight frame finishes at its old speed, and the
-            // 150 µs switch is folded into the next decode start.
-            self.pending_switch = true;
-        }
-        self.buffer.push(now, frame);
-        if self.manager.note_queue_depth(self.buffer.len()).is_some() {
-            self.pending_switch = true;
+    fn handle_arrival(&mut self, now: SimTime, index: usize) -> Result<(), PmError> {
+        // The next arrival is scheduled regardless of this frame's fate.
+        self.schedule_arrival(index + 1);
+
+        // The WLAN channel may lose the frame entirely: the device never
+        // sees it, so neither the buffer nor the governor is touched.
+        if self.injector.arrival_dropped(now) {
+            return Ok(());
         }
 
-        // Schedule the next arrival.
-        if index + 1 < self.frames.len() {
-            self.queue
-                .push(self.frames[index + 1].arrival, Event::Arrival(index + 1));
-            self.next_arrival_scheduled = true;
-        } else {
-            self.next_arrival_scheduled = false;
+        let frame = self.frames[index];
+        // Interarrival gap, gated by the streaming threshold: long gaps
+        // are idle periods, not samples of the streaming distribution. A
+        // faulty link may corrupt the observed gap into a degenerate
+        // value; the governor rejects (and counts) those.
+        let gap_s = self
+            .last_arrival
+            .and_then(|prev| {
+                let g = now - prev;
+                (g.as_secs_f64() <= self.config.streaming_gap_threshold_s).then_some(g)
+            })
+            .map(|g| self.injector.corrupt_sample(now, g.as_secs_f64()));
+        self.last_arrival = Some(now);
+        // A new operating point applies from the next decode start: any
+        // in-flight frame finishes at its old speed, and the switch cost
+        // (plus any faulty-switch retries) is paid when the decode starts.
+        self.manager
+            .on_arrival(frame.kind, gap_s, frame.true_arrival_rate);
+        if self.buffer.offer(now, frame).is_some() {
+            // Buffer overflow: the drop is counted by the buffer; the
+            // supervisor still sees the resulting occupancy below.
+            debug_assert!(self.buffer.capacity().is_some());
         }
+        self.manager.note_queue_depth(self.buffer.len());
+        self.manager.note_occupancy(now, self.buffer.len());
 
         match self.mode {
             Mode::Idle => {
                 self.leave_idle(now);
-                self.start_decode(now);
+                if !self.buffer.is_empty() {
+                    self.start_decode(now)?;
+                } else {
+                    // The only frame in flight was dropped by a
+                    // zero-capacity buffer; go straight back to idle.
+                    self.enter_idle(now);
+                }
             }
             Mode::Sleeping(state) => {
                 self.leave_idle(now);
@@ -278,6 +356,7 @@ impl SystemSimulator {
             }
             Mode::Decoding | Mode::Waking => {}
         }
+        Ok(())
     }
 
     fn leave_idle(&mut self, now: SimTime) {
@@ -301,60 +380,82 @@ impl SystemSimulator {
         );
     }
 
-    fn handle_wake_done(&mut self, now: SimTime, epoch: u64) {
+    fn handle_wake_done(&mut self, now: SimTime, epoch: u64) -> Result<(), PmError> {
         if epoch != self.idle_epoch || !matches!(self.mode, Mode::Waking) {
-            return;
+            return Ok(());
         }
         if self.buffer.is_empty() {
             // Defensive: a wake with nothing to do returns to idle.
             self.enter_idle(now);
+            Ok(())
         } else {
-            self.start_decode(now);
+            self.start_decode(now)
         }
     }
 
-    fn start_decode(&mut self, now: SimTime) {
-        let (frame, _waited) = self
-            .buffer
-            .pop(now)
-            .expect("start_decode requires a buffered frame");
-        let op_before = self.manager.operating_point();
+    fn start_decode(&mut self, now: SimTime) -> Result<(), PmError> {
+        let Some((frame, _waited)) = self.buffer.pop(now) else {
+            return Err(PmError::InvalidState {
+                what: "decode started on an empty buffer",
+            });
+        };
+        // A frequency switch pends whenever the manager's selection has
+        // moved away from the physical operating point; it is attempted
+        // (and under a switch-fault model possibly retried or abandoned)
+        // at the decode start.
+        let desired = self.manager.operating_point();
+        let mut switch_cost = 0.0;
+        if (desired.freq_mhz - self.physical_op.freq_mhz).abs() > 1e-9 {
+            let outcome = self
+                .injector
+                .switch_attempt(now, self.badge.cpu().switch_latency());
+            switch_cost = outcome.latency.as_secs_f64();
+            if outcome.abandoned {
+                // The CPU keeps its old point; the manager's selection
+                // stays pending and is retried at the next decode start.
+            } else {
+                self.physical_op = desired;
+                self.freq_switches += 1;
+            }
+        }
         self.decoding_frame = Some(frame);
         self.set_mode(Mode::Decoding);
-        let stretch = self.manager.dvs().stretch(frame.kind, op_before);
-        let mut decode = frame.work * stretch;
-        if self.pending_switch {
-            // The frequency switch is paid at the next decode start.
-            decode += self.badge.cpu().switch_latency().as_secs_f64();
-            self.freq_switches += 1;
-            self.pending_switch = false;
-        }
+        let stretch = self.manager.dvs().stretch(frame.kind, self.physical_op);
+        let overrun = self.injector.decode_overrun_factor(now);
+        let decode = frame.work * stretch * overrun + switch_cost;
         self.queue
             .push(now + SimDuration::from_secs_f64(decode), Event::DecodeDone);
+        Ok(())
     }
 
-    fn handle_decode_done(&mut self, now: SimTime) {
-        let frame = self
-            .decoding_frame
-            .take()
-            .expect("decode completion without a frame");
+    fn handle_decode_done(&mut self, now: SimTime) -> Result<(), PmError> {
+        let Some(frame) = self.decoding_frame.take() else {
+            return Err(PmError::InvalidState {
+                what: "decode completion without a frame in flight",
+            });
+        };
         self.frames_completed += 1;
-        self.delays
-            .push(now.saturating_since(frame.arrival).as_secs_f64());
-        if self
-            .manager
-            .on_decode_complete(frame.kind, frame.work, frame.true_service_rate)
-            .is_some()
-        {
-            self.pending_switch = true;
+        let delay_s = now.saturating_since(frame.arrival).as_secs_f64();
+        self.delays.push(delay_s);
+        if self.track_deadlines {
+            let deadline_s =
+                self.config.deadline_factor * self.manager.dvs().target_delay_s(frame.kind);
+            let missed = delay_s > deadline_s;
+            self.deadlines_total += 1;
+            if missed {
+                self.deadline_misses += 1;
+            }
+            self.manager.note_deadline(now, missed);
         }
-        if self.manager.note_queue_depth(self.buffer.len()).is_some() {
-            self.pending_switch = true;
-        }
+        self.manager
+            .on_decode_complete(frame.kind, frame.work, frame.true_service_rate);
+        self.manager.note_queue_depth(self.buffer.len());
+        self.manager.note_occupancy(now, self.buffer.len());
         if self.buffer.is_empty() {
             self.enter_idle(now);
+            Ok(())
         } else {
-            self.start_decode(now);
+            self.start_decode(now)
         }
     }
 
@@ -608,5 +709,176 @@ mod tests {
             "mode {total_mode_secs} vs duration {}",
             report.duration_secs
         );
+    }
+
+    #[test]
+    fn clean_run_robustness_is_quiet() {
+        let report = run(max_config(), 11);
+        assert!(report.robustness.is_quiet(), "{:?}", report.robustness);
+    }
+
+    #[test]
+    fn faulted_run_counts_and_still_completes() {
+        use faults::{BurstLossSpec, DegenerateSampleSpec, FaultSpec, JitterSpec, OverrunSpec};
+        let config = SystemConfig {
+            governor: GovernorKind::quick_change_point(),
+            dpm: DpmKind::None,
+            faults: Some(FaultSpec {
+                burst_loss: Some(BurstLossSpec {
+                    enter_prob: 0.05,
+                    exit_prob: 0.2,
+                    drop_prob: 0.8,
+                }),
+                jitter: Some(JitterSpec {
+                    prob: 0.1,
+                    max_secs: 0.1,
+                }),
+                overrun: Some(OverrunSpec {
+                    prob: 0.1,
+                    max_factor: 2.0,
+                }),
+                degenerate_samples: Some(DegenerateSampleSpec { prob: 0.1 }),
+                ..FaultSpec::default()
+            }),
+            ..SystemConfig::default()
+        };
+        let report = run(config, 12);
+        let r = &report.robustness;
+        assert!(!r.is_quiet());
+        assert!(r.arrivals_dropped > 0, "{r:?}");
+        assert!(r.decode_overruns > 0, "{r:?}");
+        assert!(r.samples_rejected > 0, "{r:?}");
+        assert!(r.deadlines_total > 0, "{r:?}");
+        assert!(report.total_energy_j() > 0.0);
+        // Dropped arrivals never reach the buffer, so completions account
+        // for exactly the surviving frames.
+        let mut rng = SimRng::seed_from(12);
+        let trace = Mp3Clip::table2()[0].generate(&mut rng);
+        assert_eq!(
+            report.frames_completed + r.arrivals_dropped,
+            trace.frames().len() as u64
+        );
+    }
+
+    #[test]
+    fn failed_switches_are_retried_and_counted() {
+        use faults::{FaultSpec, SwitchFaultSpec};
+        let config = SystemConfig {
+            governor: GovernorKind::Ideal,
+            dpm: DpmKind::None,
+            faults: Some(FaultSpec {
+                switch_fault: Some(SwitchFaultSpec {
+                    fail_prob: 0.95,
+                    max_retries: 2,
+                }),
+                ..FaultSpec::default()
+            }),
+            ..SystemConfig::default()
+        };
+        let report = run(config, 13);
+        assert!(
+            report.robustness.switch_retries > 0,
+            "{:?}",
+            report.robustness
+        );
+    }
+
+    #[test]
+    fn bounded_buffer_drops_are_counted() {
+        use faults::{FaultSpec, OverrunSpec};
+        // Heavy overruns push utilization past 1 so a 4-slot buffer must
+        // shed frames; the report has to account for every one.
+        let config = SystemConfig {
+            governor: GovernorKind::MaxPerformance,
+            dpm: DpmKind::None,
+            faults: Some(FaultSpec {
+                overrun: Some(OverrunSpec {
+                    prob: 1.0,
+                    max_factor: 6.0,
+                }),
+                ..FaultSpec::default()
+            }),
+            buffer_capacity: Some(4),
+            drop_policy: framequeue::DropPolicy::DropOldest,
+            ..SystemConfig::default()
+        };
+        let report = run(config, 14);
+        let r = &report.robustness;
+        assert!(r.frames_dropped > 0, "{r:?}");
+        let mut rng = SimRng::seed_from(14);
+        let trace = Mp3Clip::table2()[0].generate(&mut rng);
+        assert_eq!(
+            report.frames_completed + r.frames_dropped,
+            trace.frames().len() as u64
+        );
+    }
+
+    #[test]
+    fn supervisor_degrades_during_fault_window_and_recovers() {
+        use crate::config::SupervisorConfig;
+        use faults::{FaultSpec, FaultWindow, OverrunSpec};
+        // Saturating overruns confined to [10 s, 40 s): the supervisor must
+        // enter degraded mode inside the window and leave once the backlog
+        // drains, well before the 100 s clip ends.
+        let config = SystemConfig {
+            governor: GovernorKind::quick_change_point(),
+            dpm: DpmKind::None,
+            faults: Some(FaultSpec {
+                overrun: Some(OverrunSpec {
+                    prob: 1.0,
+                    max_factor: 6.0,
+                }),
+                windows: vec![FaultWindow {
+                    start_s: 10.0,
+                    end_s: 40.0,
+                }],
+                ..FaultSpec::default()
+            }),
+            supervisor: Some(SupervisorConfig {
+                miss_window: 10,
+                miss_ratio_enter: 0.5,
+                miss_ratio_exit: 0.1,
+                occupancy_enter: 8,
+                min_dwell_s: 1.0,
+            }),
+            ..SystemConfig::default()
+        };
+        let report = run(config, 15);
+        let r = &report.robustness;
+        assert!(r.degraded_entries >= 1, "{r:?}");
+        assert!(r.degraded_secs > 0.0, "{r:?}");
+        // Recovery: degraded time is a strict fraction of the run.
+        assert!(
+            r.degraded_secs < 0.8 * report.duration_secs,
+            "degraded {:.1} s of {:.1} s",
+            r.degraded_secs,
+            report.duration_secs
+        );
+        assert!(r.deadline_misses > 0, "{r:?}");
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_per_seed() {
+        use faults::{FaultSpec, JitterSpec, OverrunSpec};
+        let config = SystemConfig {
+            governor: GovernorKind::quick_change_point(),
+            dpm: DpmKind::None,
+            faults: Some(FaultSpec {
+                jitter: Some(JitterSpec {
+                    prob: 0.2,
+                    max_secs: 0.2,
+                }),
+                overrun: Some(OverrunSpec {
+                    prob: 0.2,
+                    max_factor: 3.0,
+                }),
+                ..FaultSpec::default()
+            }),
+            ..SystemConfig::default()
+        };
+        use simcore::json::ToJson;
+        let a = run(config.clone(), 16);
+        let b = run(config, 16);
+        assert_eq!(a.to_json().dump(), b.to_json().dump());
     }
 }

@@ -18,13 +18,12 @@
 use crate::likelihood::maximize_ln_p;
 use crate::window::SampleWindow;
 use crate::DetectError;
-use serde::{Deserialize, Serialize};
 use simcore::dist::{Exponential, Sample};
 use simcore::rng::SimRng;
 use simcore::stats::Histogram;
 
 /// Calibration parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CalibrationConfig {
     /// Sliding-window length `m` (paper: 100).
     pub window: usize,
@@ -87,7 +86,7 @@ impl CalibrationConfig {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThresholdTable {
     config: CalibrationConfig,
     /// `(ratio, threshold)` pairs, sorted by ratio.

@@ -6,10 +6,8 @@
 //! rate estimate. The power manager is generic over this trait, so
 //! swapping strategies is a one-line change in experiment configs.
 
-use serde::{Deserialize, Serialize};
-
 /// A detected (or updated) rate, reported by an estimator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RateChange {
     /// The new rate estimate, events/second.
     pub new_rate: f64,

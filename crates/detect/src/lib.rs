@@ -65,10 +65,10 @@
 //! for _ in 0..200 {
 //!     if det.observe(fast.sample(&mut rng)).is_some() {
 //!         detected = true;
-//!         break;
 //!     }
 //! }
 //! assert!(detected, "rate jump must be detected");
+//! // With the post-jump samples observed, the estimate has settled.
 //! assert!((det.current_rate() - 60.0).abs() < 15.0);
 //! # Ok(())
 //! # }

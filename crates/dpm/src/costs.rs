@@ -7,11 +7,10 @@
 
 use crate::policy::SleepState;
 use hardware::{PowerState, SmartBadge};
-use serde::{Deserialize, Serialize};
 use simcore::time::SimDuration;
 
 /// System-level power and wake-up costs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DpmCosts {
     /// System power while idle, milliwatts.
     pub idle_mw: f64,

@@ -6,13 +6,12 @@
 //! told afterwards how the idle period actually went, so adaptive
 //! policies can learn.
 
-use serde::{Deserialize, Serialize};
 use simcore::rng::SimRng;
 use simcore::time::SimDuration;
 
 /// The sleep states a DPM policy can command (active and idle are not
 /// commanded: requests wake the device, inactivity idles it).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SleepState {
     /// Standby: low power, fast wake-up.
     Standby,
@@ -36,7 +35,7 @@ impl SleepState {
 ///
 /// Transitions must be sorted by time and strictly deepening
 /// (standby before off).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct IdlePlan {
     /// `(time since idle entry, state to command)`.
     pub transitions: Vec<(SimDuration, SleepState)>,

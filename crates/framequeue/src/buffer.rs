@@ -10,6 +10,16 @@ use simcore::stats::{OnlineStats, TimeWeighted};
 use simcore::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
 
+/// What a bounded buffer does when a frame arrives while it is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropPolicy {
+    /// Reject the arriving frame; queued frames are untouched.
+    DropNewest,
+    /// Evict the oldest queued frame to make room for the arrival
+    /// (fresher data is worth more in a streaming decoder).
+    DropOldest,
+}
+
 /// A FIFO buffer of frames with built-in statistics.
 ///
 /// Generic over the frame payload so any crate can use it without
@@ -38,10 +48,13 @@ pub struct FrameBuffer<T> {
     peak: usize,
     total_pushed: u64,
     total_popped: u64,
+    capacity: Option<usize>,
+    policy: DropPolicy,
+    total_dropped: u64,
 }
 
 impl<T> FrameBuffer<T> {
-    /// Creates an empty buffer.
+    /// Creates an empty, unbounded buffer.
     #[must_use]
     pub fn new() -> Self {
         FrameBuffer {
@@ -52,10 +65,29 @@ impl<T> FrameBuffer<T> {
             peak: 0,
             total_pushed: 0,
             total_popped: 0,
+            capacity: None,
+            policy: DropPolicy::DropNewest,
+            total_dropped: 0,
+        }
+    }
+
+    /// Creates an empty buffer holding at most `capacity` frames; an
+    /// [`offer`](Self::offer) to a full buffer resolves via `policy`.
+    ///
+    /// A `capacity` of zero drops every offered frame.
+    #[must_use]
+    pub fn bounded(capacity: usize, policy: DropPolicy) -> Self {
+        FrameBuffer {
+            capacity: Some(capacity),
+            policy,
+            ..FrameBuffer::new()
         }
     }
 
     /// Enqueues a frame arriving at `now`.
+    ///
+    /// Unconditional: ignores any capacity bound (use
+    /// [`offer`](Self::offer) to respect it).
     ///
     /// # Panics
     ///
@@ -66,6 +98,52 @@ impl<T> FrameBuffer<T> {
         self.queue.push_back((now, frame));
         self.peak = self.peak.max(self.queue.len());
         self.total_pushed += 1;
+    }
+
+    /// Offers a frame arriving at `now`, respecting the capacity bound.
+    ///
+    /// Returns the frame that was dropped, if any: the offered frame
+    /// itself under [`DropPolicy::DropNewest`], or the evicted oldest
+    /// frame under [`DropPolicy::DropOldest`]. Unbounded buffers never
+    /// drop. Dropped frames are counted in
+    /// [`total_dropped`](Self::total_dropped) and do not enter the delay
+    /// statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the buffer's last recorded event.
+    pub fn offer(&mut self, now: SimTime, frame: T) -> Option<T> {
+        let Some(cap) = self.capacity else {
+            self.push(now, frame);
+            return None;
+        };
+        if self.queue.len() < cap {
+            self.push(now, frame);
+            return None;
+        }
+        self.advance(now);
+        self.total_dropped += 1;
+        match self.policy {
+            DropPolicy::DropNewest => Some(frame),
+            DropPolicy::DropOldest => {
+                let evicted = self.queue.pop_front().map(|(_, f)| f);
+                self.queue.push_back((now, frame));
+                self.total_pushed += 1;
+                evicted
+            }
+        }
+    }
+
+    /// The capacity bound, if any.
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Total frames dropped by [`offer`](Self::offer) on a full buffer.
+    #[must_use]
+    pub fn total_dropped(&self) -> u64 {
+        self.total_dropped
     }
 
     /// Dequeues the oldest frame at `now`, returning it with the time it
@@ -239,5 +317,61 @@ mod tests {
         b.push(t(4), ());
         let (_, waited) = b.pop(t(4)).unwrap();
         assert_eq!(waited, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn unbounded_offer_never_drops() {
+        let mut b = FrameBuffer::new();
+        for i in 0..100 {
+            assert_eq!(b.offer(t(i), i), None);
+        }
+        assert_eq!(b.total_dropped(), 0);
+        assert_eq!(b.capacity(), None);
+        assert_eq!(b.len(), 100);
+    }
+
+    #[test]
+    fn drop_newest_rejects_the_arrival() {
+        let mut b = FrameBuffer::bounded(2, DropPolicy::DropNewest);
+        assert_eq!(b.offer(t(0), 'a'), None);
+        assert_eq!(b.offer(t(1), 'b'), None);
+        assert_eq!(b.offer(t(2), 'c'), Some('c'));
+        assert_eq!(b.total_dropped(), 1);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.pop(t(3)).unwrap().0, 'a');
+        // Room again: the next offer is accepted.
+        assert_eq!(b.offer(t(4), 'd'), None);
+        assert_eq!(b.capacity(), Some(2));
+    }
+
+    #[test]
+    fn drop_oldest_evicts_the_queue_head() {
+        let mut b = FrameBuffer::bounded(2, DropPolicy::DropOldest);
+        b.offer(t(0), 'a');
+        b.offer(t(1), 'b');
+        assert_eq!(b.offer(t(2), 'c'), Some('a'));
+        assert_eq!(b.total_dropped(), 1);
+        assert_eq!(b.pop(t(3)).unwrap().0, 'b');
+        assert_eq!(b.pop(t(4)).unwrap().0, 'c');
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut b = FrameBuffer::bounded(0, DropPolicy::DropNewest);
+        assert_eq!(b.offer(t(0), 1u8), Some(1));
+        assert_eq!(b.offer(t(1), 2u8), Some(2));
+        assert_eq!(b.total_dropped(), 2);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn dropped_frames_skip_delay_statistics() {
+        let mut b = FrameBuffer::bounded(1, DropPolicy::DropNewest);
+        b.offer(t(0), 'a');
+        b.offer(t(1), 'b'); // dropped
+        b.pop(t(10));
+        assert_eq!(b.delay_stats().count(), 1);
+        assert_eq!(b.total_pushed(), 1);
+        assert_eq!(b.total_popped(), 1);
     }
 }

@@ -139,7 +139,11 @@ mod tests {
         assert!(mean_delay(0.0, 10.0, 1.0).is_err());
         assert!(mean_delay(10.0, 10.0, 1.0).is_err());
         assert!(mean_delay(5.0, 10.0, -1.0).is_err());
+        assert!(mean_delay(f64::INFINITY, 10.0, 1.0).is_err());
+        assert!(mean_delay(5.0, f64::NAN, 1.0).is_err());
         assert!(service_rate_for_delay(5.0, 0.0, 1.0).is_err());
         assert!(service_rate_for_delay(5.0, 0.1, f64::NAN).is_err());
+        assert!(service_rate_for_delay(f64::NEG_INFINITY, 0.1, 1.0).is_err());
+        assert!(service_rate_for_delay(5.0, f64::INFINITY, 1.0).is_err());
     }
 }

@@ -163,8 +163,12 @@ mod tests {
     fn invalid_rates_are_rejected() {
         assert!(mean_delay(0.0, 30.0).is_err());
         assert!(mean_delay(20.0, f64::NAN).is_err());
+        assert!(mean_delay(f64::INFINITY, 30.0).is_err());
         assert!(service_rate_for_delay(-5.0, 0.1).is_err());
         assert!(service_rate_for_delay(5.0, 0.0).is_err());
+        assert!(service_rate_for_delay(f64::NAN, 0.1).is_err());
+        assert!(service_rate_for_delay(5.0, f64::NEG_INFINITY).is_err());
+        assert!(prob_more_than(20.0, f64::NAN, 3).is_err());
     }
 
     #[test]

@@ -8,7 +8,6 @@
 
 use crate::dcdc::DcDcConverter;
 use crate::HwError;
-use serde::{Deserialize, Serialize};
 
 /// An ideal-capacity battery (no rate-dependent capacity fade).
 ///
@@ -27,7 +26,7 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Battery {
     capacity_wh: f64,
 }

@@ -13,13 +13,12 @@
 
 use crate::state::PowerState;
 use crate::HwError;
-use serde::{Deserialize, Serialize};
 use simcore::rng::SimRng;
 use simcore::time::SimDuration;
 use std::fmt;
 
 /// Identifies one of the six SmartBadge components.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ComponentId {
     /// Sharp display.
     Display,
@@ -62,7 +61,7 @@ impl fmt::Display for ComponentId {
 }
 
 /// Static power/latency specification of one component (one Table 1 row).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComponentSpec {
     /// Which component this describes.
     pub id: ComponentId,

@@ -12,11 +12,10 @@
 //! is `(f/f_max) · (V/V_max)²`.
 
 use crate::HwError;
-use serde::{Deserialize, Serialize};
 use simcore::time::SimDuration;
 
 /// One CPU operating point: a clock frequency and its minimum voltage.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OperatingPoint {
     /// Core clock frequency, MHz.
     pub freq_mhz: f64,
@@ -50,7 +49,7 @@ impl OperatingPoint {
 /// // Scaling down frequency and voltage cuts active power superlinearly:
 /// assert!(cpu.active_power_mw(lowest) < 0.3 * cpu.active_power_mw(highest));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpuModel {
     points: Vec<OperatingPoint>,
     /// Active power at the maximum operating point, milliwatts.

@@ -9,7 +9,6 @@
 //! second-order effect worth modeling when estimating battery lifetime.
 
 use crate::HwError;
-use serde::{Deserialize, Serialize};
 
 /// A load-dependent DC-DC converter efficiency curve
 /// (piecewise linear in the load fraction of rated output power).
@@ -25,7 +24,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(battery_mw > 1000.0, "conversion always loses something");
 /// assert!(battery_mw < 1400.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DcDcConverter {
     rated_mw: f64,
     /// `(load_fraction, efficiency)` points, increasing in load fraction.

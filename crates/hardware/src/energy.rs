@@ -5,7 +5,7 @@
 //! in milliwatts (matching Table 1) and accumulated in joules.
 
 use crate::component::ComponentId;
-use serde::{Deserialize, Serialize};
+use simcore::json::{Json, ToJson};
 use simcore::time::SimDuration;
 use std::collections::BTreeMap;
 
@@ -24,7 +24,7 @@ use std::collections::BTreeMap;
 /// assert!((meter.component_joules(ComponentId::Cpu) - 4.0).abs() < 1e-9);
 /// assert!((meter.total_joules() - 14.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EnergyMeter {
     joules: BTreeMap<ComponentId, f64>,
     elapsed_secs: f64,
@@ -105,6 +105,16 @@ impl EnergyMeter {
             *self.joules.entry(id).or_insert(0.0) += j;
         }
         self.elapsed_secs += other.elapsed_secs;
+    }
+}
+
+impl ToJson for EnergyMeter {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("joules".to_string(), self.joules.to_json()),
+            ("elapsed_secs".to_string(), self.elapsed_secs.to_json()),
+            ("total_joules".to_string(), self.total_joules().to_json()),
+        ])
     }
 }
 

@@ -30,7 +30,6 @@
 
 use crate::cpu::CpuModel;
 use crate::HwError;
-use serde::{Deserialize, Serialize};
 
 /// A monotone normalized performance curve sampled at the CPU's discrete
 /// operating points, with piecewise-linear interpolation between them.
@@ -53,7 +52,7 @@ use serde::{Deserialize, Serialize};
 /// let f = mpeg.frequency_for_performance(0.8);
 /// assert!((mpeg.performance_at(f) - 0.8).abs() < 1e-6);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PerformanceCurve {
     /// `(freq_mhz, normalized_performance)`, strictly increasing in both.
     points: Vec<(f64, f64)>,

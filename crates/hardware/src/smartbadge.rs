@@ -8,14 +8,13 @@
 use crate::component::{ComponentId, ComponentSpec};
 use crate::cpu::{CpuModel, OperatingPoint};
 use crate::state::PowerState;
-use serde::{Deserialize, Serialize};
 use simcore::time::SimDuration;
 
 /// Which data memory the running application decodes from.
 ///
 /// MP3 audio uses the slower SRAM; MPEG video uses the faster SDRAM
 /// (paper Section 2.1). The unused memory bank sits idle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DecodeMemory {
     /// Toshiba SRAM — MP3 audio.
     Sram,
@@ -38,7 +37,7 @@ pub enum DecodeMemory {
 /// let low = badge.cpu().min_operating_point();
 /// assert!(badge.decode_power_mw(low, DecodeMemory::Dram) < p_full - 250.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SmartBadge {
     cpu: CpuModel,
     components: Vec<ComponentSpec>,

@@ -6,11 +6,10 @@
 //! off are entered only on command from the power manager; any request for
 //! service returns the component to active after a wake-up latency.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One of the four component power states.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PowerState {
     /// Servicing requests (decoding frames, driving the display, …).
     Active,

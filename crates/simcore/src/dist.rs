@@ -12,7 +12,6 @@
 
 use crate::rng::SimRng;
 use crate::{ensure_positive, SimError};
-use serde::{Deserialize, Serialize};
 
 /// Types from which random samples can be drawn.
 ///
@@ -52,7 +51,7 @@ pub trait Continuous: Sample {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Exponential {
     rate: f64,
 }
@@ -130,7 +129,7 @@ impl Continuous for Exponential {
 /// The paper models the standby/off → active wake-up transition as uniform
 /// (Section 2.1: "can be best described using the uniform probability
 /// distribution").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Uniform {
     lo: f64,
     hi: f64,
@@ -200,7 +199,7 @@ impl Continuous for Uniform {
 /// Models the heavy tail of idle-period lengths that breaks the pure
 /// exponential assumption and motivates the time-indexed DPM policies
 /// (paper Section 3, following the authors' earlier renewal/TISMDP work).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Pareto {
     scale: f64,
     shape: f64,
@@ -309,7 +308,7 @@ impl Continuous for Pareto {
 /// Slightly over-dispersed relative to a single exponential; we use it to
 /// generate "approximately exponential" measured-like arrival processes for
 /// the Figure 6 fit-quality experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HyperExponential {
     weights: Vec<f64>,
     components: Vec<Exponential>,
@@ -408,7 +407,7 @@ impl Continuous for HyperExponential {
 ///
 /// Useful as a degenerate service-time model in tests and for deterministic
 /// replay.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Deterministic {
     value: f64,
 }

@@ -15,7 +15,9 @@
 //!   time-weighted averages, quantiles),
 //! * [`dist`] — probability distributions (exponential, uniform, Pareto,
 //!   hyper-exponential, deterministic) with sampling, CDF evaluation,
-//!   moments, and maximum-likelihood fitting.
+//!   moments, and maximum-likelihood fitting,
+//! * [`json`] — a self-contained JSON value type, parser, and writer
+//!   ([`Json`], [`ToJson`]) used for reports and traces.
 //!
 //! # Example
 //!
@@ -40,12 +42,14 @@
 
 pub mod dist;
 pub mod event;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use dist::{Exponential, Sample};
 pub use event::EventQueue;
+pub use json::{Json, ToJson};
 pub use rng::SimRng;
 pub use stats::{BatchMeans, Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime};

@@ -9,13 +9,12 @@
 //! * adding a new sampling site (a new label) does not perturb existing
 //!   streams — experiments stay comparable across code changes.
 
-use rand::rngs::SmallRng;
-use rand::{RngCore, SeedableRng};
-
 /// A deterministic random-number generator stream.
 ///
-/// Wraps a fixed, portable PRNG so results do not depend on `rand`'s
-/// platform-varying defaults.
+/// Implements xoshiro256++ directly (seeded through SplitMix64), so the
+/// stream is fixed and portable: results do not depend on any external
+/// crate's platform-varying defaults, and the workspace builds with no
+/// network access.
 ///
 /// # Example
 ///
@@ -35,7 +34,7 @@ use rand::{RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
     seed: u64,
 }
 
@@ -43,8 +42,18 @@ impl SimRng {
     /// Creates a stream from a 64-bit seed.
     #[must_use]
     pub fn seed_from(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro256++ state,
+        // the initialization recommended by the generator's authors.
+        let mut z = seed;
+        let mut next = || {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut x = z;
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        };
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            state: [next(), next(), next(), next()],
             seed,
         }
     }
@@ -78,12 +87,26 @@ impl SimRng {
     /// The next random `f64` uniformly distributed in `[0, 1)`.
     pub fn next_f64(&mut self) -> f64 {
         // 53 random mantissa bits, the standard uniform-double construction.
-        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
-    /// The next random `u64`.
+    /// The next random `u64` (one xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// The next random `u32`.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
     }
 
     /// A uniformly random index in `[0, n)`.
@@ -95,24 +118,6 @@ impl SimRng {
         assert!(n > 0, "next_index requires n > 0");
         // Multiply-shift bounded sampling; bias is < 2^-53 for realistic n.
         (self.next_f64() * n as f64) as usize % n
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest);
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 

@@ -5,8 +5,6 @@
 //! queue occupancy, energy per component, and the Monte-Carlo calibration
 //! histograms of the change-point detector all flow through this module.
 
-use serde::{Deserialize, Serialize};
-
 /// Running mean/variance/min/max accumulator (Welford's algorithm).
 ///
 /// Numerically stable for long simulations; constant memory.
@@ -24,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((s.mean() - 5.0).abs() < 1e-12);
 /// assert!((s.population_variance() - 4.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
@@ -143,6 +141,15 @@ impl OnlineStats {
     }
 }
 
+crate::impl_to_json!(OnlineStats {
+    count,
+    mean,
+    m2,
+    min,
+    max,
+    sum,
+});
+
 /// Fixed-range uniform-bin histogram with overflow/underflow buckets and
 /// quantile queries.
 ///
@@ -165,7 +172,7 @@ impl OnlineStats {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -300,7 +307,7 @@ impl Histogram {
 /// assert!((occupancy.mean() - 1.5).abs() < 1e-12);
 /// assert!((occupancy.integral() - 6.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TimeWeighted {
     integral: f64,
     total_secs: f64,
@@ -365,7 +372,7 @@ impl TimeWeighted {
 /// let half = bm.ci95_halfwidth().expect("enough batches");
 /// assert!((mean - 3.0).abs() < half + 0.1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BatchMeans {
     batch_size: usize,
     current_sum: f64,

@@ -9,7 +9,6 @@
 //! analytical layers (queueing formulas, rate estimation) that naturally
 //! work in seconds.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
@@ -32,9 +31,7 @@ pub const NANOS_PER_SEC: u64 = 1_000_000_000;
 /// assert_eq!(t1 - t0, SimDuration::from_millis(40));
 /// assert!((t1.as_secs_f64() - 0.040).abs() < 1e-12);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -105,9 +102,7 @@ impl fmt::Display for SimTime {
 /// assert!((frame.as_secs_f64() - 0.0333333).abs() < 1e-6);
 /// assert_eq!(frame * 3, SimDuration::from_nanos(99_999_999));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimDuration {

@@ -1,12 +1,12 @@
 //! Frame records: the unit of work flowing through the system.
 
-use serde::{Deserialize, Serialize};
+use simcore::json::{Json, ToJson};
 use simcore::time::SimTime;
 use std::fmt;
 
 /// The media type of a stream; determines which memory bank decodes it and
 /// which performance curve applies (paper Section 2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MediaKind {
     /// MP3 audio — decoded out of SRAM, memory-bound performance curve.
     Mp3Audio,
@@ -31,7 +31,7 @@ impl fmt::Display for MediaKind {
 /// generator rates are carried along so the *ideal* (oracle) detection
 /// policy of the paper's comparison can read them, and so experiments can
 /// verify detector output against ground truth.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FrameRecord {
     /// Zero-based frame index within its trace.
     pub index: u64,
@@ -49,6 +49,18 @@ pub struct FrameRecord {
     pub true_service_rate: f64,
 }
 
+impl MediaKind {
+    /// Parses the [`Display`](fmt::Display) form back into a kind.
+    #[must_use]
+    pub fn parse(text: &str) -> Option<MediaKind> {
+        match text {
+            "mp3-audio" => Some(MediaKind::Mp3Audio),
+            "mpeg-video" => Some(MediaKind::MpegVideo),
+            _ => None,
+        }
+    }
+}
+
 impl FrameRecord {
     /// Validates internal consistency: non-negative work and positive
     /// rates. Generator output is checked with this in tests.
@@ -59,7 +71,55 @@ impl FrameRecord {
             && self.true_arrival_rate > 0.0
             && self.true_service_rate > 0.0
     }
+
+    /// Reconstructs a record from the JSON object produced by
+    /// [`ToJson::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or missing field.
+    pub fn from_json(v: &Json) -> Result<FrameRecord, String> {
+        let nanos = |field: &str| {
+            v[field]
+                .as_u64()
+                .ok_or_else(|| format!("frame field `{field}` must be integer nanoseconds"))
+        };
+        let num = |field: &str| {
+            v[field]
+                .as_f64()
+                .ok_or_else(|| format!("frame field `{field}` must be a number"))
+        };
+        let kind = v["kind"]
+            .as_str()
+            .and_then(MediaKind::parse)
+            .ok_or_else(|| "frame field `kind` must be a media-kind string".to_string())?;
+        Ok(FrameRecord {
+            index: v["index"]
+                .as_u64()
+                .ok_or_else(|| "frame field `index` must be a non-negative integer".to_string())?,
+            kind,
+            arrival: SimTime::from_nanos(nanos("arrival")?),
+            work: num("work")?,
+            true_arrival_rate: num("true_arrival_rate")?,
+            true_service_rate: num("true_service_rate")?,
+        })
+    }
 }
+
+impl ToJson for MediaKind {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+simcore::impl_to_json!(FrameRecord {
+    index,
+    kind,
+    arrival,
+    work,
+    true_arrival_rate,
+    true_service_rate,
+});
 
 #[cfg(test)]
 mod tests {
@@ -92,7 +152,7 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let r = FrameRecord {
             index: 7,
             kind: MediaKind::MpegVideo,
@@ -101,8 +161,26 @@ mod tests {
             true_arrival_rate: 24.0,
             true_service_rate: 60.0,
         };
-        let json = serde_json::to_string(&r).unwrap();
-        let back: FrameRecord = serde_json::from_str(&json).unwrap();
+        let json = r.to_json().dump();
+        let back = FrameRecord::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(r, back);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_fields() {
+        let mut v = FrameRecord {
+            index: 0,
+            kind: MediaKind::Mp3Audio,
+            arrival: SimTime::ZERO,
+            work: 0.01,
+            true_arrival_rate: 10.0,
+            true_service_rate: 100.0,
+        }
+        .to_json();
+        v["kind"] = Json::Str("vorbis".to_string());
+        assert!(FrameRecord::from_json(&v).is_err());
+        v["kind"] = Json::Str("mp3-audio".to_string());
+        v["arrival"] = Json::Str("soon".to_string());
+        assert!(FrameRecord::from_json(&v).is_err());
     }
 }

@@ -20,7 +20,6 @@ use crate::frame::{FrameRecord, MediaKind};
 use crate::schedule::RateSchedule;
 use crate::trace::Trace;
 use crate::WorkloadError;
-use serde::{Deserialize, Serialize};
 use simcore::rng::SimRng;
 use simcore::time::SimTime;
 
@@ -32,7 +31,7 @@ pub const SAMPLES_PER_FRAME: f64 = 1152.0;
 pub const INTRA_CLIP_JITTER: f64 = 0.05;
 
 /// One MP3 audio clip (a row of paper Table 2).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Mp3Clip {
     /// Clip label A–F.
     pub label: char,

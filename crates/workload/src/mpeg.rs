@@ -19,7 +19,6 @@ use crate::arrivals;
 use crate::frame::{FrameRecord, MediaKind};
 use crate::schedule::RateSchedule;
 use crate::trace::Trace;
-use serde::{Deserialize, Serialize};
 use simcore::rng::SimRng;
 use simcore::time::SimTime;
 
@@ -34,7 +33,7 @@ pub const GOP_MULTIPLIERS: [f64; 12] = [
 pub const FRAME_JITTER: f64 = 0.15;
 
 /// One synthetic MPEG2 video clip.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MpegClip {
     name: String,
     arrival_schedule: RateSchedule,

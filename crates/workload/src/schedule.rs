@@ -7,10 +7,9 @@
 //! alone.
 
 use crate::WorkloadError;
-use serde::{Deserialize, Serialize};
 
 /// One constant-rate segment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Segment {
     /// Segment length, seconds.
     pub duration: f64,
@@ -34,7 +33,7 @@ pub struct Segment {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RateSchedule {
     segments: Vec<Segment>,
 }

@@ -12,13 +12,12 @@ use crate::mp3::Mp3Clip;
 use crate::mpeg::MpegClip;
 use crate::trace::Trace;
 use crate::WorkloadError;
-use serde::{Deserialize, Serialize};
 use simcore::dist::{Pareto, Sample};
 use simcore::rng::SimRng;
 use simcore::time::SimDuration;
 
 /// One clip choice in a session.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ClipChoice {
     /// An MP3 clip from Table 2, by label A–F.
     Mp3(char),
@@ -29,7 +28,7 @@ pub enum ClipChoice {
 }
 
 /// One session entry: an idle gap followed by a clip.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SessionEntry {
     /// Idle time before the clip starts.
     pub idle_before: SimDuration,
@@ -50,7 +49,7 @@ pub struct SessionEntry {
 /// let trace = session.generate(&mut rng).expect("valid canonical session");
 /// assert!(trace.duration_secs() > 1000.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Session {
     entries: Vec<SessionEntry>,
 }

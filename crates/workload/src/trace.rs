@@ -8,7 +8,7 @@
 
 use crate::frame::FrameRecord;
 use crate::WorkloadError;
-use serde::{Deserialize, Serialize};
+use simcore::json::{Json, ToJson};
 use simcore::time::{SimDuration, SimTime};
 
 /// An ordered sequence of frames with an explicit end-of-stream time.
@@ -29,7 +29,7 @@ use simcore::time::{SimDuration, SimTime};
 /// let combined = Trace::sequence(&[a.clone(), b], simcore::time::SimDuration::ZERO);
 /// assert!(combined.frames().len() > a.frames().len());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     frames: Vec<FrameRecord>,
     end: SimTime,
@@ -185,8 +185,29 @@ impl Trace {
     ///
     /// Returns an I/O error if the file cannot be written.
     pub fn save_json<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
-        let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
-        std::fs::write(path, json)
+        std::fs::write(path, self.to_json().dump())
+    }
+
+    /// Reconstructs a trace from the JSON produced by
+    /// [`ToJson::to_json`], without validation (see [`Trace::load_json`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or missing field.
+    pub fn from_json(v: &Json) -> Result<Trace, String> {
+        let frames = v["frames"]
+            .as_array()
+            .ok_or_else(|| "trace field `frames` must be an array".to_string())?
+            .iter()
+            .map(FrameRecord::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let end = v["end"]
+            .as_u64()
+            .ok_or_else(|| "trace field `end` must be integer nanoseconds".to_string())?;
+        Ok(Trace {
+            frames,
+            end: SimTime::from_nanos(end),
+        })
     }
 
     /// Loads a trace saved by [`Trace::save_json`], re-validating the
@@ -198,12 +219,15 @@ impl Trace {
     /// validation.
     pub fn load_json<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<Trace> {
         let text = std::fs::read_to_string(path)?;
-        let raw: Trace = serde_json::from_str(&text).map_err(std::io::Error::other)?;
+        let value = Json::parse(&text).map_err(std::io::Error::other)?;
+        let raw = Trace::from_json(&value).map_err(std::io::Error::other)?;
         // Re-run the construction-time validation on untrusted input.
         Trace::new(raw.frames, raw.end)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
     }
 }
+
+simcore::impl_to_json!(Trace { frames, end });
 
 #[cfg(test)]
 mod tests {
@@ -296,10 +320,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let t = Trace::new(vec![frame(0, 1.0)], SimTime::from_secs_f64(2.0)).unwrap();
-        let json = serde_json::to_string(&t).unwrap();
-        let back: Trace = serde_json::from_str(&json).unwrap();
+        let json = t.to_json().dump();
+        let back = Trace::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(t, back);
     }
 
@@ -332,9 +356,9 @@ mod tests {
             SimTime::from_secs_f64(2.0),
         )
         .unwrap();
-        let mut json = serde_json::to_value(&t).unwrap();
-        json["frames"][0]["arrival"] = serde_json::to_value(SimTime::from_secs_f64(1.9)).unwrap();
-        std::fs::write(&bad, serde_json::to_string(&json).unwrap()).unwrap();
+        let mut json = t.to_json();
+        json["frames"][0]["arrival"] = SimTime::from_secs_f64(1.9).to_json();
+        std::fs::write(&bad, json.dump()).unwrap();
         let err = Trace::load_json(&bad).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }

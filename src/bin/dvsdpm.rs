@@ -12,9 +12,13 @@
 //! `list` prints the available workloads, governors and DPM policies.
 
 use dpm::policy::SleepState;
-use powermgr::config::{DpmKind, GovernorKind, SystemConfig};
+use faults::{
+    BurstLossSpec, DegenerateSampleSpec, FaultSpec, JitterSpec, OverrunSpec, SwitchFaultSpec,
+};
+use powermgr::config::{DpmKind, GovernorKind, SupervisorConfig, SystemConfig};
 use powermgr::scenario;
 use powermgr::SimReport;
+use simcore::rng::SimRng;
 use std::process::ExitCode;
 
 /// Parsed command-line request.
@@ -24,7 +28,78 @@ struct RunArgs {
     governor: GovernorKind,
     dpm: DpmKind,
     seed: u64,
+    faults: FaultPreset,
     json: Option<String>,
+}
+
+/// Named fault-injection presets selectable from the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultPreset {
+    Off,
+    Wlan,
+    Decoder,
+    All,
+    Random,
+}
+
+impl FaultPreset {
+    /// Builds the fault spec for this preset; `seed` feeds the `random`
+    /// preset so `--faults random --seed N` is reproducible.
+    fn spec(self, seed: u64) -> Option<FaultSpec> {
+        match self {
+            FaultPreset::Off => None,
+            FaultPreset::Wlan => Some(FaultSpec {
+                burst_loss: Some(BurstLossSpec {
+                    enter_prob: 0.05,
+                    exit_prob: 0.2,
+                    drop_prob: 0.7,
+                }),
+                jitter: Some(JitterSpec {
+                    prob: 0.1,
+                    max_secs: 0.1,
+                }),
+                ..FaultSpec::default()
+            }),
+            FaultPreset::Decoder => Some(FaultSpec {
+                overrun: Some(OverrunSpec {
+                    prob: 0.2,
+                    max_factor: 3.0,
+                }),
+                switch_fault: Some(SwitchFaultSpec {
+                    fail_prob: 0.3,
+                    max_retries: 2,
+                }),
+                degenerate_samples: Some(DegenerateSampleSpec { prob: 0.05 }),
+                ..FaultSpec::default()
+            }),
+            FaultPreset::All => {
+                let wlan = FaultPreset::Wlan.spec(seed).expect("wlan preset");
+                let decoder = FaultPreset::Decoder.spec(seed).expect("decoder preset");
+                Some(FaultSpec {
+                    burst_loss: wlan.burst_loss,
+                    jitter: wlan.jitter,
+                    ..decoder
+                })
+            }
+            FaultPreset::Random => {
+                let mut rng = SimRng::seed_from(seed).fork("chaos-spec");
+                Some(FaultSpec::randomized(&mut rng))
+            }
+        }
+    }
+}
+
+fn parse_faults(s: &str) -> Result<FaultPreset, String> {
+    match s {
+        "off" => Ok(FaultPreset::Off),
+        "wlan" => Ok(FaultPreset::Wlan),
+        "decoder" => Ok(FaultPreset::Decoder),
+        "all" => Ok(FaultPreset::All),
+        "random" => Ok(FaultPreset::Random),
+        other => Err(format!(
+            "unknown fault preset `{other}` (expected off|wlan|decoder|all|random)"
+        )),
+    }
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -116,6 +191,7 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
     let mut governor = GovernorKind::change_point();
     let mut dpm = DpmKind::None;
     let mut seed = 42u64;
+    let mut faults = FaultPreset::Off;
     let mut json = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -133,6 +209,7 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
                     .parse()
                     .map_err(|_| "invalid seed".to_owned())?;
             }
+            "--faults" => faults = parse_faults(&value("--faults")?)?,
             "--json" => json = Some(value("--json")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -142,14 +219,26 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
         governor,
         dpm,
         seed,
+        faults,
         json,
     })
 }
 
 fn execute(run: &RunArgs) -> Result<SimReport, String> {
+    let faults = run.faults.spec(run.seed);
+    // Fault presets bring the graceful-degradation supervisor and a
+    // bounded frame buffer along, so the reaction side is exercised too.
+    let (supervisor, buffer_capacity) = if faults.is_some() {
+        (Some(SupervisorConfig::default()), Some(64))
+    } else {
+        (None, None)
+    };
     let config = SystemConfig {
         governor: run.governor.clone(),
         dpm: run.dpm.clone(),
+        faults,
+        supervisor,
+        buffer_capacity,
         ..SystemConfig::default()
     };
     let report = match &run.workload {
@@ -169,6 +258,8 @@ fn print_list() {
     println!("governors: ideal | change-point | ema:<gain> | max");
     println!("dpm      : none | timeout:<secs> | break-even | adaptive | predictive");
     println!("           | renewal | tismdp");
+    println!("faults   : off | wlan | decoder | all | random");
+    println!("           (presets enable the degradation supervisor + 64-frame buffer)");
 }
 
 fn main() -> ExitCode {
@@ -179,19 +270,12 @@ fn main() -> ExitCode {
                 Ok(report) => {
                     println!("{report}");
                     if let Some(path) = &run.json {
-                        match serde_json::to_string_pretty(&report) {
-                            Ok(json) => {
-                                if let Err(e) = std::fs::write(path, json) {
-                                    eprintln!("cannot write {path}: {e}");
-                                    return ExitCode::FAILURE;
-                                }
-                                println!("\n[json written to {path}]");
-                            }
-                            Err(e) => {
-                                eprintln!("serialization failed: {e}");
-                                return ExitCode::FAILURE;
-                            }
+                        let json = simcore::json::ToJson::to_json(&report).pretty();
+                        if let Err(e) = std::fs::write(path, json) {
+                            eprintln!("cannot write {path}: {e}");
+                            return ExitCode::FAILURE;
                         }
+                        println!("\n[json written to {path}]");
                     }
                     ExitCode::SUCCESS
                 }
@@ -211,7 +295,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: dvsdpm run --workload <w> [--governor <g>] [--dpm <d>] [--seed <n>] [--json <path>]");
+            eprintln!("usage: dvsdpm run --workload <w> [--governor <g>] [--dpm <d>] [--seed <n>] [--faults <preset>] [--json <path>]");
             eprintln!("       dvsdpm list");
             ExitCode::FAILURE
         }
@@ -243,7 +327,38 @@ mod tests {
         assert_eq!(run.governor.label(), "ideal");
         assert_eq!(run.dpm.label(), "tismdp");
         assert_eq!(run.seed, 7);
+        assert_eq!(run.faults, FaultPreset::Off);
         assert!(run.json.is_none());
+    }
+
+    #[test]
+    fn parses_fault_presets() {
+        assert_eq!(parse_faults("off").unwrap(), FaultPreset::Off);
+        assert_eq!(parse_faults("wlan").unwrap(), FaultPreset::Wlan);
+        assert_eq!(parse_faults("decoder").unwrap(), FaultPreset::Decoder);
+        assert_eq!(parse_faults("all").unwrap(), FaultPreset::All);
+        assert_eq!(parse_faults("random").unwrap(), FaultPreset::Random);
+        assert!(parse_faults("gremlins").is_err());
+        assert!(FaultPreset::Off.spec(1).is_none());
+        let all = FaultPreset::All.spec(1).expect("spec");
+        assert!(all.burst_loss.is_some() && all.overrun.is_some());
+        // The random preset is a pure function of the seed.
+        assert_eq!(FaultPreset::Random.spec(9), FaultPreset::Random.spec(9));
+    }
+
+    #[test]
+    fn faulted_execution_reports_robustness() {
+        let run = RunArgs {
+            workload: Workload::Mp3("A".to_owned()),
+            governor: GovernorKind::MaxPerformance,
+            dpm: DpmKind::None,
+            seed: 2,
+            faults: FaultPreset::Wlan,
+            json: None,
+        };
+        let report = execute(&run).unwrap();
+        assert!(!report.robustness.is_quiet());
+        assert!(report.robustness.arrivals_dropped > 0);
     }
 
     #[test]
@@ -286,6 +401,7 @@ mod tests {
             governor: GovernorKind::MaxPerformance,
             dpm: DpmKind::None,
             seed: 1,
+            faults: FaultPreset::Off,
             json: None,
         };
         let report = execute(&run).unwrap();

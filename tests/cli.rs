@@ -46,9 +46,8 @@ fn run_produces_report_and_json() {
     let text = String::from_utf8(out.stdout).expect("utf8");
     assert!(text.contains("governor=ideal"), "{text}");
     assert!(text.contains("energy:"), "{text}");
-    let json: serde_json::Value =
-        serde_json::from_str(&std::fs::read_to_string(&json_path).expect("json written"))
-            .expect("valid json");
+    let json = simcore::Json::parse(&std::fs::read_to_string(&json_path).expect("json written"))
+        .expect("valid json");
     assert!(json["frames_completed"].as_u64().expect("field") > 1000);
     assert_eq!(json["governor"], "ideal");
 }
@@ -90,4 +89,59 @@ fn bad_arguments_fail_with_guidance() {
     assert!(!out.status.success());
     let err = String::from_utf8(out.stderr).expect("utf8");
     assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn faulted_run_surfaces_robustness_summary() {
+    let out = dvsdpm()
+        .args([
+            "run",
+            "--workload",
+            "mp3:A",
+            "--governor",
+            "change-point",
+            "--dpm",
+            "none",
+            "--seed",
+            "2",
+            "--faults",
+            "wlan",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("robustness:"), "{text}");
+    assert!(text.contains("arrivals lost"), "{text}");
+
+    // The clean run stays clean: no robustness line.
+    let out = dvsdpm()
+        .args([
+            "run",
+            "--workload",
+            "mp3:A",
+            "--governor",
+            "change-point",
+            "--dpm",
+            "none",
+            "--seed",
+            "2",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(!text.contains("robustness:"), "{text}");
+
+    let out = dvsdpm()
+        .args(["run", "--workload", "mp3:A", "--faults", "gremlins"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("unknown fault preset"), "{err}");
 }

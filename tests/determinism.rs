@@ -49,6 +49,76 @@ fn full_simulation_is_bit_reproducible() {
 }
 
 #[test]
+fn fault_injected_simulation_is_bit_reproducible() {
+    use faults::{BurstLossSpec, FaultSpec, JitterSpec, OverrunSpec, SwitchFaultSpec};
+    use powermgr::config::SupervisorConfig;
+    use simcore::json::ToJson;
+    let config = SystemConfig {
+        governor: GovernorKind::quick_change_point(),
+        dpm: DpmKind::Tismdp { delay_weight: 2.0 },
+        faults: Some(FaultSpec {
+            burst_loss: Some(BurstLossSpec {
+                enter_prob: 0.05,
+                exit_prob: 0.2,
+                drop_prob: 0.7,
+            }),
+            jitter: Some(JitterSpec {
+                prob: 0.1,
+                max_secs: 0.1,
+            }),
+            overrun: Some(OverrunSpec {
+                prob: 0.2,
+                max_factor: 3.0,
+            }),
+            switch_fault: Some(SwitchFaultSpec {
+                fail_prob: 0.3,
+                max_retries: 2,
+            }),
+            ..FaultSpec::default()
+        }),
+        supervisor: Some(SupervisorConfig::default()),
+        buffer_capacity: Some(64),
+        ..SystemConfig::default()
+    };
+    let a = scenario::run_mp3_sequence("CEDAFB", &config, 78).expect("runs");
+    let b = scenario::run_mp3_sequence("CEDAFB", &config, 78).expect("runs");
+    // Byte-identical serialized reports, robustness counters included.
+    assert_eq!(a.to_json().dump(), b.to_json().dump());
+    assert!(!a.robustness.is_quiet(), "{:?}", a.robustness);
+}
+
+#[test]
+fn fault_injection_leaves_clean_runs_untouched() {
+    use faults::FaultSpec;
+    // A present-but-empty fault spec draws from its own forked RNG
+    // streams only, so a clean run's trajectory is identical with and
+    // without the (inactive) injector wired in.
+    let clean = SystemConfig {
+        governor: GovernorKind::quick_change_point(),
+        dpm: DpmKind::Tismdp { delay_weight: 2.0 },
+        ..SystemConfig::default()
+    };
+    let wired = SystemConfig {
+        faults: Some(FaultSpec::default()),
+        ..clean.clone()
+    };
+    let a = scenario::run_mp3_sequence("CEDAFB", &clean, 79).expect("runs");
+    let b = scenario::run_mp3_sequence("CEDAFB", &wired, 79).expect("runs");
+    assert_eq!(a.total_energy_j(), b.total_energy_j());
+    assert_eq!(a.mean_frame_delay_s(), b.mean_frame_delay_s());
+    assert_eq!(a.freq_switches, b.freq_switches);
+    assert_eq!(a.sleeps, b.sleeps);
+    assert_eq!(a.wakes, b.wakes);
+    // Robustness stays quiet apart from deadline bookkeeping, which is
+    // armed only when a fault spec or supervisor is configured.
+    assert_eq!(a.robustness.deadlines_total, 0);
+    assert!(b.robustness.deadlines_total > 0);
+    assert_eq!(b.robustness.deadline_misses, 0);
+    assert_eq!(b.robustness.frames_dropped, 0);
+    assert_eq!(b.robustness.arrivals_dropped, 0);
+}
+
+#[test]
 fn different_seeds_change_stochastic_outcomes() {
     let config = SystemConfig {
         governor: GovernorKind::Ideal,
