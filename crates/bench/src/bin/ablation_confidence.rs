@@ -4,10 +4,14 @@
 //! sweeps the confidence and reports the false-alarm rate under a stable
 //! rate against the detection latency after a real step — the classic
 //! ROC trade-off the 99.5 % point sits on.
+//!
+//! Trials run on the deterministic parallel engine (`--jobs N`); the
+//! printed table is bit-identical at any job count.
 
 use detect::changepoint::{ChangePointConfig, ChangePointDetector};
 use detect::estimator::RateEstimator;
 use simcore::dist::{Exponential, Sample};
+use simcore::par::{par_map_range, Jobs};
 use simcore::rng::SimRng;
 
 struct Row {
@@ -24,7 +28,14 @@ simcore::impl_to_json!(Row {
     missed,
 });
 
+struct Trial {
+    false_alarms: usize,
+    flat_samples: usize,
+    latency: Option<f64>,
+}
+
 fn main() {
+    bench::init_jobs_from_args();
     bench::header("Ablation", "detection confidence (false alarms vs latency)");
     let confidences = [0.90, 0.95, 0.99, 0.995, 0.999];
     let trials = 60;
@@ -41,45 +52,47 @@ fn main() {
         };
         let template =
             ChangePointDetector::new(20.0, config.clone()).expect("valid ablation config");
-        let table = template.table().clone();
+        let table = template.shared_table();
         let flat = Exponential::new(20.0).expect("static rate");
         let fast = Exponential::new(60.0).expect("static rate");
 
-        let mut false_alarms = 0usize;
-        let mut flat_samples = 0usize;
-        let mut latencies = Vec::new();
-        let mut missed = 0usize;
-        for trial in 0..trials {
+        let outcomes = par_map_range(Jobs::Auto, trials, |trial| {
             let mut rng = SimRng::seed_from(bench::EXPERIMENT_SEED).fork_indexed(
                 "ablation-confidence",
                 (trial as u64) * 1000 + (confidence * 1000.0) as u64,
             );
             let mut det =
-                ChangePointDetector::with_table(20.0, table.clone(), config.check_interval)
+                ChangePointDetector::with_shared_table(20.0, table.clone(), config.check_interval)
                     .expect("valid detector");
+            let mut out = Trial {
+                false_alarms: 0,
+                flat_samples: 0,
+                latency: None,
+            };
             for _ in 0..500 {
                 if det.observe(flat.sample(&mut rng)).is_some() {
-                    false_alarms += 1;
+                    out.false_alarms += 1;
                     det.reset(20.0);
                 }
-                flat_samples += 1;
+                out.flat_samples += 1;
             }
             det.reset(20.0);
             for _ in 0..200 {
                 det.observe(flat.sample(&mut rng));
             }
-            let mut found = false;
             for i in 0..600 {
                 if det.observe(fast.sample(&mut rng)).is_some() {
-                    latencies.push(i as f64);
-                    found = true;
+                    out.latency = Some(f64::from(i));
                     break;
                 }
             }
-            if !found {
-                missed += 1;
-            }
-        }
+            out
+        });
+
+        let false_alarms: usize = outcomes.iter().map(|t| t.false_alarms).sum();
+        let flat_samples: usize = outcomes.iter().map(|t| t.flat_samples).sum();
+        let latencies: Vec<f64> = outcomes.iter().filter_map(|t| t.latency).collect();
+        let missed = outcomes.len() - latencies.len();
         let fa = 1000.0 * false_alarms as f64 / flat_samples as f64;
         let latency = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
         println!("{confidence:>11.3} {fa:>18.2} {latency:>16.1} {missed:>8}");

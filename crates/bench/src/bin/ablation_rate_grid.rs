@@ -6,11 +6,15 @@
 //! accuracy; a fine grid detects off-grid steps slightly sooner. The
 //! two-sided CUSUM detector is included as the streaming baseline the
 //! windowed test descends from.
+//!
+//! Trials run on the deterministic parallel engine (`--jobs N`); the
+//! printed table is bit-identical at any job count.
 
 use detect::changepoint::{ChangePointConfig, ChangePointDetector};
 use detect::cusum::CusumDetector;
 use detect::estimator::RateEstimator;
 use simcore::dist::{Exponential, Sample};
+use simcore::par::{par_map_range, Jobs};
 use simcore::rng::SimRng;
 
 struct Row {
@@ -29,40 +33,35 @@ simcore::impl_to_json!(Row {
     rate_error_pct,
 });
 
-fn measure(mut build: impl FnMut() -> Box<dyn RateEstimator>, trials: usize) -> (f64, usize, f64) {
+fn measure(build: impl Fn() -> Box<dyn RateEstimator> + Sync, trials: usize) -> (f64, usize, f64) {
     let slow = Exponential::new(10.0).expect("static rate");
     let fast = Exponential::new(35.0).expect("off-grid step: 3.5x");
-    let mut latencies = Vec::new();
-    let mut missed = 0usize;
-    let mut rate_errors = Vec::new();
-    for trial in 0..trials {
+    let detections = par_map_range(Jobs::Auto, trials, |trial| {
         let mut rng =
             SimRng::seed_from(bench::EXPERIMENT_SEED).fork_indexed("ablation-grid", trial as u64);
         let mut det = build();
         for _ in 0..300 {
             det.observe(slow.sample(&mut rng));
         }
-        let mut found = false;
         for i in 0..600 {
             if det.observe(fast.sample(&mut rng)).is_some() {
-                latencies.push(i as f64);
-                rate_errors.push((det.current_rate() - 35.0).abs() / 35.0);
-                found = true;
-                break;
+                let err = (det.current_rate() - 35.0).abs() / 35.0;
+                return Some((f64::from(i), err));
             }
         }
-        if !found {
-            missed += 1;
-        }
-    }
+        None
+    });
+    let found: Vec<(f64, f64)> = detections.iter().filter_map(|&d| d).collect();
+    let missed = detections.len() - found.len();
     (
-        latencies.iter().sum::<f64>() / latencies.len().max(1) as f64,
+        found.iter().map(|&(l, _)| l).sum::<f64>() / found.len().max(1) as f64,
         missed,
-        100.0 * rate_errors.iter().sum::<f64>() / rate_errors.len().max(1) as f64,
+        100.0 * found.iter().map(|&(_, e)| e).sum::<f64>() / found.len().max(1) as f64,
     )
 }
 
 fn main() {
+    bench::init_jobs_from_args();
     bench::header(
         "Ablation",
         "candidate-rate grid granularity + CUSUM baseline (step 10 → 35 fr/s)",
@@ -91,12 +90,16 @@ fn main() {
         };
         let template =
             ChangePointDetector::new(10.0, config.clone()).expect("valid ablation config");
-        let table = template.table().clone();
+        let table = template.shared_table();
         let (latency, missed, err) = measure(
             || {
                 Box::new(
-                    ChangePointDetector::with_table(10.0, table.clone(), config.check_interval)
-                        .expect("valid detector"),
+                    ChangePointDetector::with_shared_table(
+                        10.0,
+                        table.clone(),
+                        config.check_interval,
+                    )
+                    .expect("valid detector"),
                 )
             },
             60,

@@ -6,10 +6,14 @@
 //! unstable results." This bench quantifies that trade-off: detection
 //! latency and false-alarm rate for a 10 → 60 fr/s step across window
 //! sizes.
+//!
+//! Trials run on the deterministic parallel engine (`--jobs N`); the
+//! printed table is bit-identical at any job count.
 
 use detect::changepoint::{ChangePointConfig, ChangePointDetector};
 use detect::estimator::RateEstimator;
 use simcore::dist::{Exponential, Sample};
+use simcore::par::{par_map_range, Jobs};
 use simcore::rng::SimRng;
 
 struct Row {
@@ -28,7 +32,17 @@ simcore::impl_to_json!(Row {
     rate_error_pct,
 });
 
+/// One trial's outcome: false alarms over the flat phase, flat samples
+/// observed, and the detection (latency, relative rate error) if the
+/// step was caught.
+struct Trial {
+    false_alarms: usize,
+    flat_samples: usize,
+    detection: Option<(f64, f64)>,
+}
+
 fn main() {
+    bench::init_jobs_from_args();
     bench::header("Ablation", "change-point window size m (step 10 → 60 fr/s)");
     let windows = [20usize, 50, 100, 200];
     let trials = 60;
@@ -45,52 +59,55 @@ fn main() {
             calibration_trials: 1000,
             ..ChangePointConfig::default()
         };
-        // Build once and clone the calibrated table per trial.
+        // Calibrate once (parallel, cached), share the table per trial.
         let template =
             ChangePointDetector::new(10.0, config.clone()).expect("ablation config is valid");
-        let table = template.table().clone();
+        let table = template.shared_table();
         let slow = Exponential::new(10.0).expect("static rate");
         let fast = Exponential::new(60.0).expect("static rate");
 
-        let mut latencies = Vec::new();
-        let mut missed = 0usize;
-        let mut false_alarms = 0usize;
-        let mut flat_samples = 0usize;
-        let mut rate_errors = Vec::new();
-        for trial in 0..trials {
+        let outcomes = par_map_range(Jobs::Auto, trials, |trial| {
             let mut rng = SimRng::seed_from(bench::EXPERIMENT_SEED)
                 .fork_indexed("ablation-window", (window * 1000 + trial) as u64);
             let mut det =
-                ChangePointDetector::with_table(10.0, table.clone(), config.check_interval)
+                ChangePointDetector::with_shared_table(10.0, table.clone(), config.check_interval)
                     .expect("valid detector");
+            let mut out = Trial {
+                false_alarms: 0,
+                flat_samples: 0,
+                detection: None,
+            };
             // Flat phase: count false alarms.
             for _ in 0..600 {
                 if det.observe(slow.sample(&mut rng)).is_some() {
-                    false_alarms += 1;
+                    out.false_alarms += 1;
                     det.reset(10.0);
                 }
-                flat_samples += 1;
+                out.flat_samples += 1;
             }
             det.reset(10.0);
             for _ in 0..2 * window {
                 det.observe(slow.sample(&mut rng));
             }
             // Step phase: measure latency.
-            let mut found = false;
             for i in 0..600 {
                 if det.observe(fast.sample(&mut rng)).is_some() {
-                    latencies.push(i as f64);
-                    rate_errors.push((det.current_rate() - 60.0).abs() / 60.0);
-                    found = true;
+                    let err = (det.current_rate() - 60.0).abs() / 60.0;
+                    out.detection = Some((f64::from(i), err));
                     break;
                 }
             }
-            if !found {
-                missed += 1;
-            }
-        }
-        let mean_latency = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
-        let rate_err = 100.0 * rate_errors.iter().sum::<f64>() / rate_errors.len().max(1) as f64;
+            out
+        });
+
+        let false_alarms: usize = outcomes.iter().map(|t| t.false_alarms).sum();
+        let flat_samples: usize = outcomes.iter().map(|t| t.flat_samples).sum();
+        let detections: Vec<(f64, f64)> = outcomes.iter().filter_map(|t| t.detection).collect();
+        let missed = outcomes.len() - detections.len();
+        let mean_latency =
+            detections.iter().map(|&(l, _)| l).sum::<f64>() / detections.len().max(1) as f64;
+        let rate_err = 100.0 * detections.iter().map(|&(_, e)| e).sum::<f64>()
+            / detections.len().max(1) as f64;
         let fa_rate = 1000.0 * false_alarms as f64 / flat_samples as f64;
         println!(
             "{:>7} {:>16.1} {:>8} {:>18.2} {:>14.1}",

@@ -1,0 +1,121 @@
+//! Calibration & chaos-sweep throughput benchmark.
+//!
+//! Times the two workloads the deterministic parallel engine was built
+//! for — Monte-Carlo threshold calibration and the chaos sweep — once
+//! sequentially (`jobs = 1`, the pre-engine baseline) and once at the
+//! requested parallelism, verifies the results are bit-identical, and
+//! writes the timings to `BENCH_calibration.json` (override with
+//! `--json PATH`).
+//!
+//! Usage: `bench_calibration [--jobs N] [--json PATH]`
+
+use detect::calibrate::{default_ratios, CalibrationConfig, ThresholdTable};
+use simcore::par::Jobs;
+use simcore::rng::SimRng;
+use std::time::Instant;
+
+struct Row {
+    workload: String,
+    jobs: u64,
+    cores: u64,
+    wall_ms: f64,
+    speedup: f64,
+}
+
+simcore::impl_to_json!(Row {
+    workload,
+    jobs,
+    cores,
+    wall_ms,
+    speedup,
+});
+
+fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let jobs = bench::init_jobs_from_args();
+    bench::header(
+        "Bench",
+        "parallel engine speedup: threshold calibration and chaos sweep",
+    );
+    let cores = simcore::par::available_jobs() as u64;
+    println!("[measuring jobs=1 baseline vs jobs={jobs} on {cores} core(s)]");
+    let mut rows = Vec::new();
+
+    // Threshold calibration: the paper's offline characterization at the
+    // full experiment parameters (10 ratios x 2000 trials).
+    let config = CalibrationConfig::default();
+    let ratios = default_ratios();
+    let calibrate = |n: usize| {
+        ThresholdTable::calibrate_jobs(
+            &ratios,
+            config,
+            &mut SimRng::seed_from(bench::EXPERIMENT_SEED),
+            Jobs::Count(n),
+        )
+        .expect("default calibration is valid")
+    };
+    let (seq_table, seq_ms) = time(|| calibrate(1));
+    let (par_table, par_ms) = time(|| calibrate(jobs));
+    assert_eq!(
+        seq_table, par_table,
+        "parallel calibration must be bit-identical"
+    );
+    rows.push(Row {
+        workload: "calibration".to_owned(),
+        jobs: 1,
+        cores,
+        wall_ms: seq_ms,
+        speedup: 1.0,
+    });
+    rows.push(Row {
+        workload: "calibration".to_owned(),
+        jobs: jobs as u64,
+        cores,
+        wall_ms: par_ms,
+        speedup: seq_ms / par_ms,
+    });
+
+    // Chaos sweep: whole-stack simulations, one per seed.
+    let n_seeds = 8;
+    let (seq_rows, seq_ms) = time(|| bench::chaos::sweep(n_seeds, Jobs::Count(1)));
+    let (par_rows, par_ms) = time(|| bench::chaos::sweep(n_seeds, Jobs::Count(jobs)));
+    assert_eq!(
+        seq_rows, par_rows,
+        "parallel chaos sweep must be bit-identical"
+    );
+    rows.push(Row {
+        workload: "chaos_sweep".to_owned(),
+        jobs: 1,
+        cores,
+        wall_ms: seq_ms,
+        speedup: 1.0,
+    });
+    rows.push(Row {
+        workload: "chaos_sweep".to_owned(),
+        jobs: jobs as u64,
+        cores,
+        wall_ms: par_ms,
+        speedup: seq_ms / par_ms,
+    });
+
+    println!(
+        "{:<14} {:>5} {:>12} {:>9}",
+        "workload", "jobs", "wall (ms)", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:>5} {:>12.1} {:>8.2}x",
+            r.workload, r.jobs, r.wall_ms, r.speedup
+        );
+    }
+    println!("\nResults verified bit-identical between jobs=1 and jobs={jobs}.");
+
+    let path = bench::json_path_from_args()
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_calibration.json"));
+    bench::write_json(&path, &rows);
+}

@@ -1,6 +1,6 @@
 //! Chaos sweep: randomized fault plans against the full stack.
 //!
-//! Each seed draws a randomized [`FaultSpec`], runs the change-point
+//! Each seed draws a randomized fault plan, runs the change-point
 //! governor with the graceful-degradation supervisor and a bounded frame
 //! buffer over an MP3 sequence, and checks the harness invariants: the
 //! run terminates, every generated frame is accounted for (completed,
@@ -8,67 +8,27 @@
 //! [0, 1], and a replay with the same seed reproduces the report
 //! byte-for-byte.
 //!
-//! Usage: `chaos_sweep [N_SEEDS] [--json PATH]` (default 25 seeds).
+//! Seeds run concurrently on the deterministic parallel engine; the
+//! output is bit-identical for every `--jobs` value.
+//!
+//! Usage: `chaos_sweep [N_SEEDS] [--jobs N] [--json PATH]`
+//! (default 25 seeds, all cores).
 
-use faults::FaultSpec;
-use powermgr::config::{DpmKind, GovernorKind, SupervisorConfig, SystemConfig};
-use powermgr::metrics::ModeKey;
-use powermgr::scenario;
-use simcore::json::ToJson;
-use simcore::rng::SimRng;
-
-const LABELS: &str = "ACE";
-
-struct Row {
-    seed: u64,
-    energy_kj: f64,
-    frames_completed: u64,
-    arrivals_dropped: u64,
-    frames_dropped: u64,
-    deadline_miss_ratio: f64,
-    switch_retries: u64,
-    switch_failures: u64,
-    samples_rejected: u64,
-    degraded_entries: u64,
-    degraded_secs: f64,
-    violations: u64,
-}
-
-simcore::impl_to_json!(Row {
-    seed,
-    energy_kj,
-    frames_completed,
-    arrivals_dropped,
-    frames_dropped,
-    deadline_miss_ratio,
-    switch_retries,
-    switch_failures,
-    samples_rejected,
-    degraded_entries,
-    degraded_secs,
-    violations,
-});
-
-fn chaos_config(spec: FaultSpec) -> SystemConfig {
-    SystemConfig {
-        governor: GovernorKind::quick_change_point(),
-        dpm: DpmKind::None,
-        faults: Some(spec),
-        supervisor: Some(SupervisorConfig::default()),
-        buffer_capacity: Some(64),
-        ..SystemConfig::default()
-    }
-}
+use bench::chaos;
+use simcore::par::Jobs;
 
 fn main() {
+    let jobs = bench::init_jobs_from_args();
     bench::header(
         "Chaos",
         "randomized fault sweeps: termination, accounting, reproducibility",
     );
-    let n_seeds: u64 = std::env::args()
-        .nth(1)
+    let n_seeds: u64 = bench::positional_arg(0)
         .and_then(|a| a.parse().ok())
         .unwrap_or(25);
+    println!("[{n_seeds} seeds, {jobs} jobs]");
+
+    let results = chaos::sweep(n_seeds, Jobs::Auto);
 
     println!(
         "{:>5} {:>10} {:>7} {:>9} {:>9} {:>7} {:>8} {:>8} {:>9} {:>7} {:>8} {:>5}",
@@ -88,76 +48,32 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut total_violations = 0u64;
-    for seed in 0..n_seeds {
-        let mut rng = SimRng::seed_from(seed).fork("chaos-spec");
-        let spec = FaultSpec::randomized(&mut rng);
-        let report = match scenario::run_mp3_sequence(LABELS, &chaos_config(spec.clone()), seed) {
-            Ok(r) => r,
+    for (seed, result) in results.into_iter().enumerate() {
+        match result {
             Err(e) => {
                 println!("{seed:>5} RUN FAILED: {e}");
                 total_violations += 1;
-                continue;
             }
-        };
-
-        // Invariant checks (mirrors tests/chaos.rs, but reported not
-        // asserted, so one bad seed doesn't hide the rest).
-        let mut violations = 0u64;
-        let mut trace_rng = SimRng::seed_from(seed).fork("mp3-sequence");
-        let generated = workload::mp3::sequence(LABELS, &mut trace_rng)
-            .expect("known labels")
-            .frames()
-            .len() as u64;
-        let r = report.robustness.clone();
-        if report.frames_completed + r.arrivals_dropped + r.frames_dropped != generated {
-            violations += 1;
+            Ok(row) => {
+                println!(
+                    "{:>5} {:>10.3} {:>7} {:>9} {:>9} {:>6.1}% {:>8} {:>8} {:>9} {:>7} {:>8.1} {:>5}",
+                    row.seed,
+                    row.energy_kj,
+                    row.frames_completed,
+                    row.arrivals_dropped,
+                    row.frames_dropped,
+                    100.0 * row.deadline_miss_ratio,
+                    row.switch_retries,
+                    row.switch_failures,
+                    row.samples_rejected,
+                    row.degraded_entries,
+                    row.degraded_secs,
+                    row.violations,
+                );
+                total_violations += row.violations;
+                rows.push(row);
+            }
         }
-        let mode_secs: f64 = ModeKey::ALL.iter().map(|&m| report.mode_secs(m)).sum();
-        if (mode_secs - report.duration_secs).abs() >= 1.0 {
-            violations += 1;
-        }
-        if !report.total_energy_j().is_finite() || report.total_energy_j() < 0.0 {
-            violations += 1;
-        }
-        if !(0.0..=1.0).contains(&r.deadline_miss_ratio()) {
-            violations += 1;
-        }
-        let replay = scenario::run_mp3_sequence(LABELS, &chaos_config(spec), seed);
-        match replay {
-            Ok(b) if b.to_json().dump() == report.to_json().dump() => {}
-            _ => violations += 1,
-        }
-        total_violations += violations;
-
-        println!(
-            "{:>5} {:>10.3} {:>7} {:>9} {:>9} {:>6.1}% {:>8} {:>8} {:>9} {:>7} {:>8.1} {:>5}",
-            seed,
-            report.total_energy_kj(),
-            report.frames_completed,
-            r.arrivals_dropped,
-            r.frames_dropped,
-            100.0 * r.deadline_miss_ratio(),
-            r.switch_retries,
-            r.switch_failures,
-            r.samples_rejected,
-            r.degraded_entries,
-            r.degraded_secs,
-            violations,
-        );
-        rows.push(Row {
-            seed,
-            energy_kj: report.total_energy_kj(),
-            frames_completed: report.frames_completed,
-            arrivals_dropped: r.arrivals_dropped,
-            frames_dropped: r.frames_dropped,
-            deadline_miss_ratio: r.deadline_miss_ratio(),
-            switch_retries: r.switch_retries,
-            switch_failures: r.switch_failures,
-            samples_rejected: r.samples_rejected,
-            degraded_entries: r.degraded_entries,
-            degraded_secs: r.degraded_secs,
-            violations,
-        });
     }
 
     println!("\nExpected: 0 violations on every seed; faulted seeds show dropped");

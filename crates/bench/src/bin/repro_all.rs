@@ -7,11 +7,13 @@
 //! ```
 //!
 //! Each individual experiment remains runnable on its own (see
-//! `DESIGN.md` § 4 for the index).
+//! `DESIGN.md` § 4 for the index). A `--jobs N` argument is forwarded
+//! to every child binary that understands it.
 
 use std::process::Command;
 
 fn main() {
+    let jobs = bench::flag_value("--jobs");
     let binaries = [
         "table1_components",
         "fig3_freq_voltage",
@@ -39,7 +41,11 @@ fn main() {
     for bin in binaries {
         println!("\n{:=^78}\n", format!(" {bin} "));
         let path = dir.join(bin);
-        let status = Command::new(&path).status();
+        let mut cmd = Command::new(&path);
+        if let Some(n) = &jobs {
+            cmd.args(["--jobs", n]);
+        }
+        let status = cmd.status();
         match status {
             Ok(s) if s.success() => {}
             Ok(s) => {

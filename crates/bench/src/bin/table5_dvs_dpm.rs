@@ -8,6 +8,7 @@
 
 use powermgr::config::{DpmKind, GovernorKind, SystemConfig};
 use powermgr::scenario;
+use simcore::par::{par_map_indexed, Jobs};
 
 struct Row {
     algorithm: String,
@@ -26,6 +27,7 @@ simcore::impl_to_json!(Row {
 });
 
 fn main() {
+    bench::init_jobs_from_args();
     bench::header(
         "Table 5",
         "DPM and DVS combined on the mixed session (energy kJ / factor)",
@@ -39,25 +41,28 @@ fn main() {
         ("Both", dvs, dpm),
     ];
 
-    let mut rows: Vec<Row> = Vec::new();
     println!(
         "{:<6} {:>11} {:>8} {:>12} {:>8}",
         "alg", "energy kJ", "factor", "delay s", "sleeps"
     );
-    let mut baseline = None;
-    for (name, governor, dpm) in cells {
+    // The four cells are independent simulations; run them concurrently
+    // and derive savings factors from the "None" baseline afterwards.
+    let reports = par_map_indexed(Jobs::Auto, &cells, |_, (_, governor, dpm)| {
         let config = SystemConfig {
-            governor,
-            dpm,
+            governor: governor.clone(),
+            dpm: dpm.clone(),
             ..SystemConfig::default()
         };
-        let report = scenario::run_session(&config, bench::EXPERIMENT_SEED).expect("table 5 runs");
+        scenario::run_session(&config, bench::EXPERIMENT_SEED).expect("table 5 runs")
+    });
+    let baseline = reports[0].total_energy_kj();
+    let mut rows: Vec<Row> = Vec::new();
+    for ((name, _, _), report) in cells.iter().zip(&reports) {
         let energy = report.total_energy_kj();
-        let base = *baseline.get_or_insert(energy);
         let row = Row {
-            algorithm: name.to_owned(),
+            algorithm: (*name).to_owned(),
             energy_kj: energy,
-            factor: base / energy,
+            factor: baseline / energy,
             frame_delay_s: report.mean_frame_delay_s(),
             sleeps: report.sleeps,
         };

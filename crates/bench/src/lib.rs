@@ -69,13 +69,201 @@ pub fn write_json<T: ToJson + ?Sized>(path: &Path, rows: &T) {
 /// Parses an optional `--json <path>` argument pair from `args`.
 #[must_use]
 pub fn json_path_from_args() -> Option<std::path::PathBuf> {
+    flag_value("--json").map(std::path::PathBuf::from)
+}
+
+/// Returns the value following `name` in the process arguments, if any.
+#[must_use]
+pub fn flag_value(name: &str) -> Option<String> {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--json" {
-            return args.next().map(std::path::PathBuf::from);
+        if a == name {
+            return args.next();
         }
     }
     None
+}
+
+/// The `n`-th positional (non-flag) process argument, skipping the
+/// `--json`/`--jobs` value pairs the harness binaries share.
+#[must_use]
+pub fn positional_arg(n: usize) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    let mut seen = 0usize;
+    while let Some(a) = args.next() {
+        if a == "--json" || a == "--jobs" {
+            let _ = args.next();
+            continue;
+        }
+        if a.starts_with("--") {
+            continue;
+        }
+        if seen == n {
+            return Some(a);
+        }
+        seen += 1;
+    }
+    None
+}
+
+/// Installs the `--jobs N` process argument (if present) as the
+/// process-wide parallelism default and returns the resolved job count.
+///
+/// Every experiment binary calls this first. Results are bit-identical
+/// at any job count — the deterministic parallel engine guarantees it —
+/// so `--jobs` only changes wall-clock time.
+///
+/// # Panics
+///
+/// Panics with a usage message if the `--jobs` value is not a positive
+/// integer.
+pub fn init_jobs_from_args() -> usize {
+    if let Some(v) = flag_value("--jobs") {
+        let n: usize = v
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| panic!("--jobs expects a positive integer, got `{v}`"));
+        simcore::par::set_default_jobs(n);
+    }
+    simcore::par::default_jobs()
+}
+
+/// The chaos-sweep harness: randomized fault plans against the full
+/// stack, one independent run per seed.
+pub mod chaos {
+    use faults::FaultSpec;
+    use powermgr::config::{DpmKind, GovernorKind, SupervisorConfig, SystemConfig};
+    use powermgr::metrics::ModeKey;
+    use powermgr::scenario;
+    use simcore::json::ToJson;
+    use simcore::par::{par_map_range, Jobs};
+    use simcore::rng::SimRng;
+
+    /// The MP3 clip sequence every chaos run decodes.
+    pub const LABELS: &str = "ACE";
+
+    /// One seed's sweep outcome.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct ChaosRow {
+        /// The sweep seed (fault plan and workload randomness).
+        pub seed: u64,
+        /// Total energy for the run, kJ.
+        pub energy_kj: f64,
+        /// Frames decoded to completion.
+        pub frames_completed: u64,
+        /// Frames lost to injected network faults.
+        pub arrivals_dropped: u64,
+        /// Frames shed by the bounded buffer.
+        pub frames_dropped: u64,
+        /// Fraction of completed frames that missed their deadline.
+        pub deadline_miss_ratio: f64,
+        /// Frequency-switch retries after injected switch faults.
+        pub switch_retries: u64,
+        /// Frequency switches abandoned after retry exhaustion.
+        pub switch_failures: u64,
+        /// Corrupted timing samples rejected by the supervisor.
+        pub samples_rejected: u64,
+        /// Times the supervisor entered degraded mode.
+        pub degraded_entries: u64,
+        /// Seconds spent in degraded mode.
+        pub degraded_secs: f64,
+        /// Invariant violations detected for this seed (0 = healthy).
+        pub violations: u64,
+    }
+
+    simcore::impl_to_json!(ChaosRow {
+        seed,
+        energy_kj,
+        frames_completed,
+        arrivals_dropped,
+        frames_dropped,
+        deadline_miss_ratio,
+        switch_retries,
+        switch_failures,
+        samples_rejected,
+        degraded_entries,
+        degraded_secs,
+        violations,
+    });
+
+    fn chaos_config(spec: FaultSpec) -> SystemConfig {
+        SystemConfig {
+            governor: GovernorKind::quick_change_point(),
+            dpm: DpmKind::None,
+            faults: Some(spec),
+            supervisor: Some(SupervisorConfig::default()),
+            buffer_capacity: Some(64),
+            ..SystemConfig::default()
+        }
+    }
+
+    /// Runs one chaos seed and checks the harness invariants: frame
+    /// accounting closes, mode residencies sum to the run duration,
+    /// energy is finite and non-negative, miss ratios stay in `[0, 1]`,
+    /// and a replay with the same seed reproduces the report
+    /// byte-for-byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns the simulation error message if the run itself fails.
+    pub fn run_seed(seed: u64) -> Result<ChaosRow, String> {
+        let mut rng = SimRng::seed_from(seed).fork("chaos-spec");
+        let spec = FaultSpec::randomized(&mut rng);
+        let report = scenario::run_mp3_sequence(LABELS, &chaos_config(spec.clone()), seed)
+            .map_err(|e| e.to_string())?;
+
+        // Invariant checks (mirrors tests/chaos.rs, but reported not
+        // asserted, so one bad seed doesn't hide the rest).
+        let mut violations = 0u64;
+        let mut trace_rng = SimRng::seed_from(seed).fork("mp3-sequence");
+        let generated = workload::mp3::sequence(LABELS, &mut trace_rng)
+            .expect("known labels")
+            .frames()
+            .len() as u64;
+        let r = report.robustness.clone();
+        if report.frames_completed + r.arrivals_dropped + r.frames_dropped != generated {
+            violations += 1;
+        }
+        let mode_secs: f64 = ModeKey::ALL.iter().map(|&m| report.mode_secs(m)).sum();
+        if (mode_secs - report.duration_secs).abs() >= 1.0 {
+            violations += 1;
+        }
+        if !report.total_energy_j().is_finite() || report.total_energy_j() < 0.0 {
+            violations += 1;
+        }
+        if !(0.0..=1.0).contains(&r.deadline_miss_ratio()) {
+            violations += 1;
+        }
+        let replay = scenario::run_mp3_sequence(LABELS, &chaos_config(spec), seed);
+        match replay {
+            Ok(b) if b.to_json().dump() == report.to_json().dump() => {}
+            _ => violations += 1,
+        }
+
+        Ok(ChaosRow {
+            seed,
+            energy_kj: report.total_energy_kj(),
+            frames_completed: report.frames_completed,
+            arrivals_dropped: r.arrivals_dropped,
+            frames_dropped: r.frames_dropped,
+            deadline_miss_ratio: r.deadline_miss_ratio(),
+            switch_retries: r.switch_retries,
+            switch_failures: r.switch_failures,
+            samples_rejected: r.samples_rejected,
+            degraded_entries: r.degraded_entries,
+            degraded_secs: r.degraded_secs,
+            violations,
+        })
+    }
+
+    /// Runs seeds `0..n_seeds` on the deterministic parallel engine.
+    /// Results are in seed order and bit-identical at any job count
+    /// (each seed's randomness is derived from the seed alone).
+    #[must_use]
+    pub fn sweep(n_seeds: u64, jobs: Jobs) -> Vec<Result<ChaosRow, String>> {
+        par_map_range(jobs, n_seeds as usize, |i| run_seed(i as u64))
+    }
 }
 
 /// Shared computation for Figures 4 and 5: normalized performance and

@@ -1,0 +1,38 @@
+//! The chaos sweep must be bit-identical at any job count: each seed's
+//! randomness derives from the seed alone, and the parallel engine
+//! assembles results by index.
+
+use simcore::json::ToJson;
+use simcore::par::Jobs;
+
+#[test]
+fn chaos_sweep_is_bit_identical_across_job_counts() {
+    let n_seeds = 3;
+    let sequential = bench::chaos::sweep(n_seeds, Jobs::Count(1));
+    for jobs in [2, 4] {
+        let parallel = bench::chaos::sweep(n_seeds, Jobs::Count(jobs));
+        assert_eq!(sequential, parallel, "jobs={jobs}");
+    }
+    // And the emitted JSON rows (what --json writes) match byte-for-byte.
+    let rows = |results: &[Result<bench::chaos::ChaosRow, String>]| {
+        results
+            .iter()
+            .filter_map(|r| r.as_ref().ok().cloned())
+            .collect::<Vec<_>>()
+            .to_json()
+            .dump()
+    };
+    assert_eq!(
+        rows(&sequential),
+        rows(&bench::chaos::sweep(n_seeds, Jobs::Count(8)))
+    );
+}
+
+#[test]
+fn chaos_rows_are_healthy_on_clean_seeds() {
+    for result in bench::chaos::sweep(2, Jobs::Count(2)) {
+        let row = result.expect("chaos seeds run to completion");
+        assert_eq!(row.violations, 0, "seed {}", row.seed);
+        assert!(row.energy_kj > 0.0);
+    }
+}

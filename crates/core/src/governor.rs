@@ -142,11 +142,14 @@ impl Governor {
                 StreamImpl::Oracle(OracleEstimator::new(initial_service)?),
             ),
             GovernorKind::ChangePoint(config) => {
-                // Calibrate once, share the table between the two streams.
+                // Calibrate once (through the process-wide threshold
+                // cache), share the table between the two streams.
                 let first = ChangePointDetector::new(initial_arrival, config.clone())?;
-                let table = first.table().clone();
-                let second =
-                    ChangePointDetector::with_table(initial_service, table, config.check_interval)?;
+                let second = ChangePointDetector::with_shared_table(
+                    initial_service,
+                    first.shared_table(),
+                    config.check_interval,
+                )?;
                 (
                     StreamImpl::Estimated(Box::new(first)),
                     StreamImpl::Estimated(Box::new(second)),

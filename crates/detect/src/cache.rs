@@ -1,0 +1,169 @@
+//! Process-wide cache of calibrated threshold tables.
+//!
+//! Offline Monte-Carlo calibration dominates the startup cost of every
+//! [`ChangePointDetector`](crate::ChangePointDetector). Experiment
+//! harnesses construct hundreds of identically configured detectors
+//! (one per simulated run), each of which would repeat the exact same
+//! calibration: the result is a pure function of the calibration
+//! configuration, the candidate-ratio grid, and the calibration seed.
+//!
+//! This module memoizes that function process-wide. Tables are shared as
+//! [`Arc`]s, so a thousand detectors constructed from one configuration
+//! perform one calibration and share one allocation.
+//!
+//! f64 key components are hashed by their IEEE-754 bit patterns
+//! ([`f64::to_bits`]), so "identical configuration" means *bit*-identical
+//! — two configs that differ by one ULP calibrate separately, which is
+//! exactly the determinism contract the rest of the workspace relies on.
+
+use crate::calibrate::{CalibrationConfig, ThresholdTable};
+use crate::DetectError;
+use simcore::par::Jobs;
+use simcore::rng::SimRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Cache key: the complete input of the calibration pure function, with
+/// floats keyed by bit pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    window: usize,
+    k_step: usize,
+    confidence_bits: u64,
+    trials: usize,
+    ratio_bits: Vec<u64>,
+    seed: u64,
+}
+
+impl CacheKey {
+    fn new(ratios: &[f64], config: CalibrationConfig, seed: u64) -> Self {
+        CacheKey {
+            window: config.window,
+            k_step: config.k_step,
+            confidence_bits: config.confidence.to_bits(),
+            trials: config.trials,
+            ratio_bits: ratios.iter().map(|r| r.to_bits()).collect(),
+            seed,
+        }
+    }
+}
+
+static CACHE: OnceLock<Mutex<HashMap<CacheKey, Arc<ThresholdTable>>>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn cache() -> &'static Mutex<HashMap<CacheKey, Arc<ThresholdTable>>> {
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Returns the calibrated table for `(ratios, config, seed)`, calibrating
+/// at most once per distinct key for the lifetime of the process.
+///
+/// The cache lock is held across a miss's calibration, so concurrent
+/// requests for the same key never duplicate the Monte-Carlo work — the
+/// second requester blocks briefly and receives the shared [`Arc`].
+/// (Calibration itself parallelizes internally via `jobs`, so holding
+/// the lock does not serialize the actual computation.)
+///
+/// # Errors
+///
+/// Propagates any [`ThresholdTable::calibrate_jobs`] error; failed
+/// calibrations are not cached.
+pub fn cached_table(
+    ratios: &[f64],
+    config: CalibrationConfig,
+    seed: u64,
+    jobs: Jobs,
+) -> Result<Arc<ThresholdTable>, DetectError> {
+    let key = CacheKey::new(ratios, config, seed);
+    let mut map = cache().lock().expect("threshold cache poisoned");
+    if let Some(table) = map.get(&key) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return Ok(Arc::clone(table));
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    let mut rng = SimRng::seed_from(seed);
+    let table = Arc::new(ThresholdTable::calibrate_jobs(
+        ratios, config, &mut rng, jobs,
+    )?);
+    map.insert(key, Arc::clone(&table));
+    Ok(table)
+}
+
+/// Lifetime cache statistics as `(hits, misses)` — a hit returned a
+/// previously calibrated table, a miss ran a fresh calibration.
+#[must_use]
+pub fn cache_stats() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+/// Drops every cached table (already-shared [`Arc`]s stay alive in their
+/// holders). Statistics are preserved. Primarily for tests and
+/// memory-sensitive embedders.
+pub fn clear() {
+    cache().lock().expect("threshold cache poisoned").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> CalibrationConfig {
+        CalibrationConfig {
+            window: 40,
+            k_step: 4,
+            confidence: 0.99,
+            trials: 200,
+        }
+    }
+
+    #[test]
+    fn repeated_lookups_share_one_table() {
+        // Distinct seed so other tests cannot pre-populate this key.
+        let seed = 0xCAC4_E001;
+        let (_, m0) = cache_stats();
+        let a = cached_table(&[2.0, 0.5], quick_config(), seed, Jobs::Count(1)).unwrap();
+        let (h1, m1) = cache_stats();
+        assert_eq!(m1, m0 + 1, "first lookup must calibrate");
+        let b = cached_table(&[2.0, 0.5], quick_config(), seed, Jobs::Count(1)).unwrap();
+        let (h2, _) = cache_stats();
+        assert!(h2 > h1.saturating_sub(1), "second lookup must hit");
+        assert!(Arc::ptr_eq(&a, &b), "hits share the same allocation");
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let seed = 0xCAC4_E002;
+        let a = cached_table(&[2.0], quick_config(), seed, Jobs::Count(1)).unwrap();
+        let b = cached_table(&[3.0], quick_config(), seed, Jobs::Count(1)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a.ratios(), b.ratios());
+        let c = cached_table(&[2.0], quick_config(), seed + 1, Jobs::Count(1)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "seed is part of the key");
+    }
+
+    #[test]
+    fn cached_table_matches_direct_calibration() {
+        let seed = 0xCAC4_E003;
+        let cached = cached_table(&[2.0], quick_config(), seed, Jobs::Count(1)).unwrap();
+        let direct = ThresholdTable::calibrate_jobs(
+            &[2.0],
+            quick_config(),
+            &mut SimRng::seed_from(seed),
+            Jobs::Count(1),
+        )
+        .unwrap();
+        assert_eq!(*cached, direct);
+    }
+
+    #[test]
+    fn failed_calibrations_are_not_cached() {
+        let seed = 0xCAC4_E004;
+        assert!(cached_table(&[], quick_config(), seed, Jobs::Count(1)).is_err());
+        let (_, m0) = cache_stats();
+        assert!(cached_table(&[], quick_config(), seed, Jobs::Count(1)).is_err());
+        let (_, m1) = cache_stats();
+        assert_eq!(m1, m0 + 1, "errors keep missing, never poison the map");
+    }
+}

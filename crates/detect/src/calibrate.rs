@@ -14,13 +14,41 @@
 //! per-pair histograms (any pair with the same ratio has the identical
 //! distribution), with the practical benefit that the online detector can
 //! track arbitrary absolute rates without re-calibration.
+//!
+//! # Parallel execution and RNG partitioning
+//!
+//! Each Monte-Carlo cell `(ratio i, trial t)` draws from its own RNG
+//! stream, forked as `seed → ("calibration-ratio", i) →
+//! ("calibration-trial", t)` — a pure function of the root seed and the
+//! cell's indices, never of execution order. The cells therefore run on
+//! the deterministic parallel engine ([`simcore::par`]) with results
+//! **bit-identical at any thread count**, including the inline
+//! sequential path of `--jobs 1`.
+//!
+//! Calibration is also the dominant startup cost of every change-point
+//! detector, so identically configured detectors share one table through
+//! the process-wide [`crate::cache`] instead of recomputing it.
 
 use crate::likelihood::maximize_ln_p;
 use crate::window::SampleWindow;
 use crate::DetectError;
 use simcore::dist::{Exponential, Sample};
+use simcore::par::{par_map_range, Jobs};
 use simcore::rng::SimRng;
 use simcore::stats::Histogram;
+
+/// Static histogram range for the `ln P_max` null statistic: under H0 it
+/// is usually ≤ a few tens, so `[-50, 200)` with 5000 bins gives
+/// quantile resolution ~0.05. When samples escape this range the
+/// calibration auto-widens rather than silently clamping the quantile.
+const LN_P_RANGE: (f64, f64) = (-50.0, 200.0);
+/// Bin count for the calibration histograms.
+const LN_P_BINS: usize = 5000;
+
+/// Relative tolerance for [`ThresholdTable::threshold`] lookups: rate
+/// ratios recomputed online drift by float rounding, never by a part in
+/// a million.
+pub const RATIO_LOOKUP_RTOL: f64 = 1e-6;
 
 /// Calibration parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -100,42 +128,68 @@ impl ThresholdTable {
     /// statistic in a histogram, and stores its `confidence` quantile as
     /// the detection threshold.
     ///
+    /// Trials run on the deterministic parallel engine at the
+    /// process-default thread count; see [`Self::calibrate_jobs`] for an
+    /// explicit count. The result depends only on `rng.seed()`.
+    ///
     /// # Errors
     ///
     /// Returns an error if `ratios` is empty, contains an invalid ratio,
-    /// or the configuration is invalid.
+    /// the configuration is invalid, or a trial produces a non-finite
+    /// statistic.
     pub fn calibrate(
         ratios: &[f64],
         config: CalibrationConfig,
         rng: &mut SimRng,
     ) -> Result<Self, DetectError> {
+        Self::calibrate_jobs(ratios, config, rng, Jobs::Auto)
+    }
+
+    /// [`Self::calibrate`] with an explicit thread count. Results are
+    /// bit-identical for every `jobs` value: each `(ratio, trial)` cell
+    /// forks its own RNG stream from the root seed and the cell indices,
+    /// so scheduling cannot perturb any sample.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::calibrate`].
+    pub fn calibrate_jobs(
+        ratios: &[f64],
+        config: CalibrationConfig,
+        rng: &mut SimRng,
+        jobs: Jobs,
+    ) -> Result<Self, DetectError> {
         config.validate()?;
         if ratios.is_empty() {
             return Err(DetectError::Empty { name: "ratios" });
         }
-        let unit = Exponential::new(1.0).expect("rate 1 is valid");
-        let mut entries = Vec::with_capacity(ratios.len());
-        for (i, &ratio) in ratios.iter().enumerate() {
+        for &ratio in ratios {
             if !(ratio.is_finite() && ratio > 0.0 && (ratio - 1.0).abs() > 1e-9) {
                 return Err(DetectError::InvalidParameter {
                     name: "ratio",
                     value: ratio,
                 });
             }
-            let mut trial_rng = rng.fork_indexed("calibration-ratio", i as u64);
-            // ln P_max under H0 is usually ≤ a few tens; histogram over a
-            // generous range with quantile resolution ~0.05.
-            let mut hist = Histogram::new(-50.0, 200.0, 5000).expect("static bounds are valid");
-            let mut window = SampleWindow::new(config.window);
-            for _ in 0..config.trials {
-                window.clear();
-                for _ in 0..config.window {
-                    window.push(unit.sample(&mut trial_rng));
-                }
-                let best = maximize_ln_p(&window, 1.0, ratio, config.k_step);
-                hist.record(best.ln_p_max);
-            }
-            entries.push((ratio, hist.quantile(config.confidence)));
+        }
+        let root = &*rng;
+        let statistics = par_map_range(jobs, ratios.len() * config.trials, |cell| {
+            let (i, t) = (cell / config.trials, cell % config.trials);
+            let trial_rng = root
+                .fork_indexed("calibration-ratio", i as u64)
+                .fork_indexed("calibration-trial", t as u64);
+            trial_statistic(ratios[i], config, trial_rng)
+        });
+        let mut entries = Vec::with_capacity(ratios.len());
+        for (i, &ratio) in ratios.iter().enumerate() {
+            let samples = &statistics[i * config.trials..(i + 1) * config.trials];
+            let threshold =
+                confidence_quantile(samples, config.confidence).map_err(|e| match e {
+                    DetectError::NonFiniteStatistic { .. } => {
+                        DetectError::NonFiniteStatistic { ratio }
+                    }
+                    other => other,
+                })?;
+            entries.push((ratio, threshold));
         }
         entries.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("ratios are finite"));
         Ok(ThresholdTable { config, entries })
@@ -161,19 +215,94 @@ impl ThresholdTable {
 
     /// The detection threshold for a candidate ratio.
     ///
+    /// Lookup is drift-tolerant: the nearest calibrated ratio within
+    /// [`RATIO_LOOKUP_RTOL`] (relative) matches, so a ratio recomputed
+    /// online with float rounding cannot abort a run.
+    ///
     /// # Errors
     ///
-    /// Returns an error if `ratio` was not calibrated (tolerance 1e−9).
+    /// Returns [`DetectError::Uncalibrated`] if no calibrated ratio lies
+    /// within tolerance, and [`DetectError::InvalidParameter`] for a
+    /// non-finite ratio.
     pub fn threshold(&self, ratio: f64) -> Result<f64, DetectError> {
-        self.entries
-            .iter()
-            .find(|&&(r, _)| (r - ratio).abs() < 1e-9)
-            .map(|&(_, t)| t)
-            .ok_or(DetectError::InvalidParameter {
-                name: "ratio (not calibrated)",
+        if !ratio.is_finite() {
+            return Err(DetectError::InvalidParameter {
+                name: "ratio",
                 value: ratio,
+            });
+        }
+        let &(nearest, threshold) = self
+            .entries
+            .iter()
+            .min_by(|a, b| {
+                (a.0 - ratio)
+                    .abs()
+                    .partial_cmp(&(b.0 - ratio).abs())
+                    .expect("ratios are finite")
             })
+            .expect("calibrated tables are never empty");
+        if (nearest - ratio).abs() <= RATIO_LOOKUP_RTOL * nearest.abs().max(ratio.abs()) {
+            Ok(threshold)
+        } else {
+            Err(DetectError::Uncalibrated { ratio, nearest })
+        }
     }
+}
+
+/// One Monte-Carlo cell: a no-change window of Exp(1) samples and its
+/// maximized `ln P_max` statistic.
+fn trial_statistic(ratio: f64, config: CalibrationConfig, mut rng: SimRng) -> f64 {
+    let unit = Exponential::new(1.0).expect("rate 1 is valid");
+    let mut window = SampleWindow::new(config.window);
+    for _ in 0..config.window {
+        window.push(unit.sample(&mut rng));
+    }
+    maximize_ln_p(&window, 1.0, ratio, config.k_step).ln_p_max
+}
+
+/// The `confidence` quantile of `ln P_max` samples via the paper's
+/// histogram method.
+///
+/// The histogram starts on the static `[-50, 200)` range that fits the
+/// null distribution. If samples escape it far enough that the requested
+/// quantile falls in an under/overflow bucket — where the old behaviour
+/// silently clamped the threshold to the range edge — the range is
+/// auto-widened to cover the data and re-accumulated, so the returned
+/// quantile is always estimated from real bins.
+///
+/// # Errors
+///
+/// Returns [`DetectError::Empty`] for an empty sample set and
+/// [`DetectError::NonFiniteStatistic`] if any sample is NaN or infinite
+/// (the caller attaches the offending ratio).
+pub fn confidence_quantile(samples: &[f64], confidence: f64) -> Result<f64, DetectError> {
+    if samples.is_empty() {
+        return Err(DetectError::Empty { name: "samples" });
+    }
+    if samples.iter().any(|x| !x.is_finite()) {
+        return Err(DetectError::NonFiniteStatistic { ratio: f64::NAN });
+    }
+    let (lo, hi) = LN_P_RANGE;
+    let mut hist = Histogram::new(lo, hi, LN_P_BINS).expect("static bounds are valid");
+    for &x in samples {
+        hist.record(x);
+    }
+    if !hist.quantile_is_clamped(confidence) {
+        return Ok(hist.quantile(confidence));
+    }
+    // Overflow (or underflow) contaminates the confidence quantile:
+    // widen to the data range and re-accumulate.
+    let (min, max) = samples.iter().fold((f64::INFINITY, f64::NEG_INFINITY), {
+        |(lo, hi), &x| (lo.min(x), hi.max(x))
+    });
+    let margin = (max - min).max(1.0) * 1e-3;
+    let mut hist = Histogram::new(min - margin, max + margin, LN_P_BINS)
+        .expect("finite samples give finite bounds");
+    for &x in samples {
+        hist.record(x);
+    }
+    debug_assert!(!hist.quantile_is_clamped(confidence));
+    Ok(hist.quantile(confidence))
 }
 
 /// The default candidate-ratio grid used by the experiments: geometric
@@ -328,5 +457,101 @@ mod tests {
         let b =
             ThresholdTable::calibrate(&[2.0], quick_config(), &mut SimRng::seed_from(7)).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn calibration_is_bit_identical_across_thread_counts() {
+        let ratios = default_ratios();
+        let sequential = ThresholdTable::calibrate_jobs(
+            &ratios,
+            quick_config(),
+            &mut SimRng::seed_from(8),
+            Jobs::Count(1),
+        )
+        .unwrap();
+        for jobs in [2, 4, 8] {
+            let parallel = ThresholdTable::calibrate_jobs(
+                &ratios,
+                quick_config(),
+                &mut SimRng::seed_from(8),
+                Jobs::Count(jobs),
+            )
+            .unwrap();
+            assert_eq!(sequential, parallel, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn threshold_lookup_tolerates_float_drift() {
+        let mut rng = SimRng::seed_from(9);
+        let table = ThresholdTable::calibrate(&[0.5, 2.0], quick_config(), &mut rng).unwrap();
+        let exact = table.threshold(2.0).unwrap();
+        // A ratio recomputed through a different float expression drifts
+        // by ULPs; lookup must still resolve to the same entry.
+        let drifted = 2.0 * (1.0 + 2.0 * f64::EPSILON);
+        assert_ne!(drifted.to_bits(), 2.0f64.to_bits());
+        assert_eq!(table.threshold(drifted).unwrap(), exact);
+        assert_eq!(table.threshold(2.0 - 1e-7).unwrap(), exact);
+    }
+
+    #[test]
+    fn uncalibrated_ratio_is_a_distinct_error() {
+        let mut rng = SimRng::seed_from(10);
+        let table = ThresholdTable::calibrate(&[0.5, 2.0], quick_config(), &mut rng).unwrap();
+        match table.threshold(9.0) {
+            Err(DetectError::Uncalibrated { ratio, nearest }) => {
+                assert_eq!(ratio, 9.0);
+                assert_eq!(nearest, 2.0);
+            }
+            other => panic!("expected Uncalibrated, got {other:?}"),
+        }
+        // Halfway between entries is also genuinely uncalibrated, not a
+        // drifted lookup.
+        assert!(matches!(
+            table.threshold(1.2),
+            Err(DetectError::Uncalibrated { .. })
+        ));
+        assert!(table.threshold(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn confidence_quantile_auto_widens_on_overflow() {
+        // 1% of the mass beyond the static upper edge: the old histogram
+        // clamped the 99.5% quantile to 200 exactly. The widened pass
+        // must recover the real tail value.
+        let mut samples = vec![1.0; 980];
+        samples.extend(std::iter::repeat_n(500.0, 20));
+        let q = confidence_quantile(&samples, 0.995).unwrap();
+        assert!(q > 400.0, "quantile {q} still clamped to the static range");
+    }
+
+    #[test]
+    fn confidence_quantile_auto_widens_on_underflow() {
+        let samples = vec![-300.0; 400];
+        let q = confidence_quantile(&samples, 0.99).unwrap();
+        assert!(
+            (-301.0..=-299.0).contains(&q),
+            "quantile {q} should sit at the data, not the -50 edge"
+        );
+    }
+
+    #[test]
+    fn confidence_quantile_is_unchanged_for_in_range_data() {
+        // The auto-widen path must not disturb the normal case.
+        let samples: Vec<f64> = (0..1000).map(|i| f64::from(i) * 0.1).collect();
+        let q = confidence_quantile(&samples, 0.99).unwrap();
+        assert!((98.9..=99.2).contains(&q), "{q}");
+    }
+
+    #[test]
+    fn confidence_quantile_rejects_non_finite_statistics() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let samples = vec![1.0, 2.0, bad];
+            assert!(matches!(
+                confidence_quantile(&samples, 0.99),
+                Err(DetectError::NonFiniteStatistic { .. })
+            ));
+        }
+        assert!(confidence_quantile(&[], 0.99).is_err());
     }
 }

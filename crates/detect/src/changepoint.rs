@@ -13,7 +13,7 @@ use crate::estimator::{RateChange, RateEstimator};
 use crate::likelihood::maximize_ln_p;
 use crate::window::SampleWindow;
 use crate::DetectError;
-use simcore::rng::SimRng;
+use std::sync::Arc;
 
 /// Configuration of the online change-point detector.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,15 +60,21 @@ impl Default for ChangePointConfig {
 pub struct ChangePointDetector {
     rate: f64,
     window: SampleWindow,
-    table: ThresholdTable,
+    table: Arc<ThresholdTable>,
     check_interval: usize,
     k_step: usize,
     since_check: usize,
 }
 
 impl ChangePointDetector {
-    /// Creates a detector with the given initial rate estimate, running
-    /// the offline threshold calibration internally.
+    /// Creates a detector with the given initial rate estimate.
+    ///
+    /// Threshold calibration goes through the process-wide
+    /// [`crate::cache`]: the first detector with a given `(config.ratios,
+    /// calibration parameters, calibration_seed)` runs the offline
+    /// Monte-Carlo characterization (parallelized at the process-default
+    /// job count), and every later identically configured detector shares
+    /// that table.
     ///
     /// # Errors
     ///
@@ -81,14 +87,19 @@ impl ChangePointDetector {
             confidence: config.confidence,
             trials: config.calibration_trials,
         };
-        let mut rng = SimRng::seed_from(config.calibration_seed);
-        let table = ThresholdTable::calibrate(&config.ratios, calibration, &mut rng)?;
-        Self::with_table(initial_rate, table, config.check_interval)
+        let table = crate::cache::cached_table(
+            &config.ratios,
+            calibration,
+            config.calibration_seed,
+            simcore::par::Jobs::Auto,
+        )?;
+        Self::with_shared_table(initial_rate, table, config.check_interval)
     }
 
-    /// Creates a detector reusing an existing (possibly shared)
-    /// threshold table — calibration is the expensive part, so experiment
-    /// harnesses calibrate once and clone.
+    /// Creates a detector reusing an existing threshold table —
+    /// calibration is the expensive part, so experiment harnesses
+    /// calibrate once and clone. Prefer [`Self::with_shared_table`] to
+    /// avoid copying the table.
     ///
     /// # Errors
     ///
@@ -97,6 +108,21 @@ impl ChangePointDetector {
     pub fn with_table(
         initial_rate: f64,
         table: ThresholdTable,
+        check_interval: usize,
+    ) -> Result<Self, DetectError> {
+        Self::with_shared_table(initial_rate, Arc::new(table), check_interval)
+    }
+
+    /// Creates a detector sharing an [`Arc`]-held threshold table —
+    /// zero-copy reuse across any number of detectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the initial rate or `check_interval` is
+    /// invalid.
+    pub fn with_shared_table(
+        initial_rate: f64,
+        table: Arc<ThresholdTable>,
         check_interval: usize,
     ) -> Result<Self, DetectError> {
         if !(initial_rate.is_finite() && initial_rate > 0.0) {
@@ -126,6 +152,14 @@ impl ChangePointDetector {
     #[must_use]
     pub fn table(&self) -> &ThresholdTable {
         &self.table
+    }
+
+    /// A shared handle to the threshold table, for constructing further
+    /// detectors via [`Self::with_shared_table`] without recalibrating
+    /// or copying.
+    #[must_use]
+    pub fn shared_table(&self) -> Arc<ThresholdTable> {
+        Arc::clone(&self.table)
     }
 
     /// Number of samples currently buffered in the window.
@@ -193,6 +227,7 @@ impl RateEstimator for ChangePointDetector {
 mod tests {
     use super::*;
     use simcore::dist::{Exponential, Sample};
+    use simcore::rng::SimRng;
 
     fn quick_config() -> ChangePointConfig {
         ChangePointConfig {
@@ -312,6 +347,26 @@ mod tests {
         let table = det.table().clone();
         let det2 = ChangePointDetector::with_table(20.0, table, 5).unwrap();
         assert_eq!(det2.current_rate(), 20.0);
+        // Zero-copy sharing through the Arc handle.
+        let det3 = ChangePointDetector::with_shared_table(30.0, det.shared_table(), 5).unwrap();
+        assert!(std::ptr::eq(det.table(), det3.table()));
+    }
+
+    #[test]
+    fn identically_configured_detectors_hit_the_threshold_cache() {
+        // A config distinct from every other test's, so the first
+        // construction here is the calibrating one.
+        let config = ChangePointConfig {
+            calibration_seed: 0xCAC4_E100,
+            ..quick_config()
+        };
+        let a = ChangePointDetector::new(10.0, config.clone()).unwrap();
+        let (h0, m0) = crate::cache::cache_stats();
+        let b = ChangePointDetector::new(99.0, config).unwrap();
+        let (h1, m1) = crate::cache::cache_stats();
+        assert_eq!(m1, m0, "second construction must not recalibrate");
+        assert!(h1 > h0, "second construction must hit the cache");
+        assert!(std::ptr::eq(a.table(), b.table()), "one shared table");
     }
 
     #[test]

@@ -33,7 +33,9 @@
 //!
 //! * [`window`] — the sliding sample window with suffix sums,
 //! * [`likelihood`] — the `ln P_max` statistic (Eq. 4),
-//! * [`calibrate`] — offline Monte-Carlo threshold characterization,
+//! * [`calibrate`] — offline Monte-Carlo threshold characterization
+//!   (parallelized on the deterministic engine in `simcore::par`),
+//! * [`cache`] — process-wide memoization of calibrated tables,
 //! * [`changepoint`] — the online [`ChangePointDetector`],
 //! * [`ema`] — the exponential-moving-average estimator the paper
 //!   compares against (Eq. 6),
@@ -74,6 +76,7 @@
 //! # }
 //! ```
 
+pub mod cache;
 pub mod calibrate;
 pub mod changepoint;
 pub mod cusum;
@@ -105,6 +108,22 @@ pub enum DetectError {
         /// Name of the offending argument.
         name: &'static str,
     },
+    /// A threshold lookup for a ratio with no calibrated entry nearby —
+    /// distinct from a float-drifted ratio, which snaps to the nearest
+    /// calibrated entry within tolerance.
+    Uncalibrated {
+        /// The requested ratio.
+        ratio: f64,
+        /// The nearest calibrated ratio.
+        nearest: f64,
+    },
+    /// Monte-Carlo calibration produced a non-finite `ln P_max`
+    /// statistic, which would silently corrupt the threshold quantile.
+    NonFiniteStatistic {
+        /// The candidate ratio whose calibration failed (NaN when the
+        /// failure is detected outside a per-ratio context).
+        ratio: f64,
+    },
 }
 
 impl fmt::Display for DetectError {
@@ -114,6 +133,14 @@ impl fmt::Display for DetectError {
                 write!(f, "invalid detector parameter `{name}` = {value}")
             }
             DetectError::Empty { name } => write!(f, "`{name}` must not be empty"),
+            DetectError::Uncalibrated { ratio, nearest } => write!(
+                f,
+                "ratio {ratio} was not calibrated (nearest calibrated ratio: {nearest})"
+            ),
+            DetectError::NonFiniteStatistic { ratio } => write!(
+                f,
+                "calibration for ratio {ratio} produced a non-finite ln P_max statistic"
+            ),
         }
     }
 }

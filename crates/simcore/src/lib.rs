@@ -17,7 +17,10 @@
 //!   hyper-exponential, deterministic) with sampling, CDF evaluation,
 //!   moments, and maximum-likelihood fitting,
 //! * [`json`] — a self-contained JSON value type, parser, and writer
-//!   ([`Json`], [`ToJson`]) used for reports and traces.
+//!   ([`Json`], [`ToJson`]) used for reports and traces,
+//! * [`par`] — a deterministic scoped-thread parallel engine
+//!   ([`par::par_map_indexed`]) whose results are bit-identical at any
+//!   thread count, used by calibration and the experiment harnesses.
 //!
 //! # Example
 //!
@@ -43,6 +46,7 @@
 pub mod dist;
 pub mod event;
 pub mod json;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -50,6 +54,7 @@ pub mod time;
 pub use dist::{Exponential, Sample};
 pub use event::EventQueue;
 pub use json::{Json, ToJson};
+pub use par::Jobs;
 pub use rng::SimRng;
 pub use stats::{BatchMeans, Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime};

@@ -179,6 +179,7 @@ pub struct Histogram {
     bins: Vec<u64>,
     underflow: u64,
     overflow: u64,
+    nan: u64,
     count: u64,
 }
 
@@ -206,18 +207,23 @@ impl Histogram {
             bins: vec![0; bins],
             underflow: 0,
             overflow: 0,
+            nan: 0,
             count: 0,
         })
     }
 
     /// Records one observation. Values below `lo` land in the underflow
-    /// bucket; values at or above `hi` land in the overflow bucket. NaN is
-    /// counted as overflow.
+    /// bucket; values at or above `hi` land in the overflow bucket. NaN
+    /// is counted in its own bucket (see [`nan`](Self::nan)) and never
+    /// contributes to quantiles — counting it as overflow would silently
+    /// bias them toward `hi`.
     pub fn record(&mut self, x: f64) {
         self.count += 1;
-        if x < self.lo {
+        if x.is_nan() {
+            self.nan += 1;
+        } else if x < self.lo {
             self.underflow += 1;
-        } else if x >= self.hi || x.is_nan() {
+        } else if x >= self.hi {
             self.overflow += 1;
         } else {
             let w = (self.hi - self.lo) / self.bins.len() as f64;
@@ -245,6 +251,18 @@ impl Histogram {
         self.overflow
     }
 
+    /// NaN observations (excluded from every quantile).
+    #[must_use]
+    pub fn nan(&self) -> u64 {
+        self.nan
+    }
+
+    /// Number of finite, orderable observations — everything except NaN.
+    #[must_use]
+    pub fn finite_count(&self) -> u64 {
+        self.count - self.nan
+    }
+
     /// The per-bin counts.
     #[must_use]
     pub fn bin_counts(&self) -> &[u64] {
@@ -264,16 +282,21 @@ impl Histogram {
 
     /// Estimates the `q`-quantile (0 ≤ q ≤ 1) by scanning the cumulative
     /// counts; returns the upper edge of the bucket where the quantile
-    /// falls. Underflow maps to `lo`; overflow to `hi`.
+    /// falls. Underflow maps to `lo`; overflow to `hi`; NaN observations
+    /// are excluded entirely.
+    ///
+    /// When the result would be the `lo`/`hi` clamp, the true quantile
+    /// lies outside the histogram range — use
+    /// [`quantile_is_clamped`](Self::quantile_is_clamped) to detect that
+    /// before trusting the value.
     ///
     /// # Panics
     ///
-    /// Panics if `q` is not in `[0, 1]` or the histogram is empty.
+    /// Panics if `q` is not in `[0, 1]` or the histogram holds no finite
+    /// observations.
     #[must_use]
     pub fn quantile(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "quantile requires q in [0, 1]");
-        assert!(self.count > 0, "quantile of an empty histogram");
-        let target = (q * self.count as f64).ceil() as u64;
+        let target = self.quantile_target(q);
         let mut cum = self.underflow;
         if cum >= target {
             return self.lo;
@@ -286,6 +309,30 @@ impl Histogram {
             }
         }
         self.hi
+    }
+
+    /// `true` when the `q`-quantile falls in the underflow or overflow
+    /// bucket, i.e. [`quantile`](Self::quantile) would silently clamp it
+    /// to a range edge instead of estimating it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1]` or the histogram holds no finite
+    /// observations.
+    #[must_use]
+    pub fn quantile_is_clamped(&self, q: f64) -> bool {
+        let target = self.quantile_target(q);
+        let in_range: u64 = self.bins.iter().sum();
+        self.underflow >= target || self.underflow + in_range < target
+    }
+
+    /// Rank (1-based, over finite observations) the `q`-quantile scan
+    /// stops at.
+    fn quantile_target(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile requires q in [0, 1]");
+        let finite = self.finite_count();
+        assert!(finite > 0, "quantile of an empty histogram");
+        ((q * finite as f64).ceil() as u64).max(1)
     }
 }
 
@@ -568,6 +615,62 @@ mod tests {
         assert!((h.quantile(0.5) - 50.0).abs() < 1.0);
         assert!((h.quantile(0.995) - 99.5).abs() < 1.0);
         assert!(h.quantile(0.0) <= h.quantile(1.0));
+    }
+
+    #[test]
+    fn histogram_counts_nan_separately_from_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 10).unwrap();
+        h.record(f64::NAN);
+        h.record(2.0);
+        h.record(0.5);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.nan(), 1);
+        assert_eq!(h.overflow(), 1, "NaN must not inflate overflow");
+        assert_eq!(h.finite_count(), 2);
+    }
+
+    #[test]
+    fn nan_does_not_bias_quantiles_toward_hi() {
+        // 99 in-range samples + 1 NaN: every quantile must come from the
+        // real data, not from a phantom observation at `hi`.
+        let mut with_nan = Histogram::new(0.0, 100.0, 100).unwrap();
+        let mut clean = Histogram::new(0.0, 100.0, 100).unwrap();
+        for i in 0..99 {
+            with_nan.record(f64::from(i) * 0.5);
+            clean.record(f64::from(i) * 0.5);
+        }
+        with_nan.record(f64::NAN);
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(with_nan.quantile(q), clean.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_clamp_detection() {
+        let mut h = Histogram::new(0.0, 1.0, 10).unwrap();
+        for _ in 0..99 {
+            h.record(0.5);
+        }
+        assert!(!h.quantile_is_clamped(0.99));
+        h.record(7.0); // one overflow sample
+        assert!(!h.quantile_is_clamped(0.5));
+        assert!(
+            h.quantile_is_clamped(0.995),
+            "top quantile now falls in overflow"
+        );
+        assert_eq!(h.quantile(0.995), 1.0, "clamped to hi");
+        let mut low = Histogram::new(0.0, 1.0, 10).unwrap();
+        low.record(-3.0);
+        low.record(0.5);
+        assert!(low.quantile_is_clamped(0.25), "underflow clamps to lo");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_of_all_nan_histogram_panics() {
+        let mut h = Histogram::new(0.0, 1.0, 10).unwrap();
+        h.record(f64::NAN);
+        let _ = h.quantile(0.5);
     }
 
     #[test]

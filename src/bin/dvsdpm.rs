@@ -30,6 +30,10 @@ struct RunArgs {
     seed: u64,
     faults: FaultPreset,
     json: Option<String>,
+    /// Worker threads for parallel sections (threshold calibration);
+    /// `None` = machine default. Never affects results, only wall-clock:
+    /// the parallel engine is bit-deterministic at any thread count.
+    jobs: Option<usize>,
 }
 
 /// Named fault-injection presets selectable from the command line.
@@ -193,6 +197,7 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
     let mut seed = 42u64;
     let mut faults = FaultPreset::Off;
     let mut json = None;
+    let mut jobs = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -211,6 +216,15 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
             }
             "--faults" => faults = parse_faults(&value("--faults")?)?,
             "--json" => json = Some(value("--json")?),
+            "--jobs" => {
+                let v = value("--jobs")?;
+                jobs = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&n: &usize| n > 0)
+                        .ok_or_else(|| format!("--jobs expects a positive integer, got `{v}`"))?,
+                );
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -221,10 +235,14 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
         seed,
         faults,
         json,
+        jobs,
     })
 }
 
 fn execute(run: &RunArgs) -> Result<SimReport, String> {
+    if let Some(jobs) = run.jobs {
+        simcore::par::set_default_jobs(jobs);
+    }
     let faults = run.faults.spec(run.seed);
     // Fault presets bring the graceful-degradation supervisor and a
     // bounded frame buffer along, so the reaction side is exercised too.
@@ -260,6 +278,8 @@ fn print_list() {
     println!("           | renewal | tismdp");
     println!("faults   : off | wlan | decoder | all | random");
     println!("           (presets enable the degradation supervisor + 64-frame buffer)");
+    println!("jobs     : --jobs <n> worker threads for threshold calibration");
+    println!("           (default: all cores; results are identical for any value)");
 }
 
 fn main() -> ExitCode {
@@ -295,7 +315,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: dvsdpm run --workload <w> [--governor <g>] [--dpm <d>] [--seed <n>] [--faults <preset>] [--json <path>]");
+            eprintln!("usage: dvsdpm run --workload <w> [--governor <g>] [--dpm <d>] [--seed <n>] [--faults <preset>] [--json <path>] [--jobs <n>]");
             eprintln!("       dvsdpm list");
             ExitCode::FAILURE
         }
@@ -329,6 +349,16 @@ mod tests {
         assert_eq!(run.seed, 7);
         assert_eq!(run.faults, FaultPreset::Off);
         assert!(run.json.is_none());
+        assert!(run.jobs.is_none());
+    }
+
+    #[test]
+    fn parses_jobs_flag() {
+        let run = parse_run(&strs(&["--workload", "session", "--jobs", "4"])).unwrap();
+        assert_eq!(run.jobs, Some(4));
+        assert!(parse_run(&strs(&["--workload", "session", "--jobs", "0"])).is_err());
+        assert!(parse_run(&strs(&["--workload", "session", "--jobs", "many"])).is_err());
+        assert!(parse_run(&strs(&["--workload", "session", "--jobs"])).is_err());
     }
 
     #[test]
@@ -355,6 +385,7 @@ mod tests {
             seed: 2,
             faults: FaultPreset::Wlan,
             json: None,
+            jobs: None,
         };
         let report = execute(&run).unwrap();
         assert!(!report.robustness.is_quiet());
@@ -403,6 +434,7 @@ mod tests {
             seed: 1,
             faults: FaultPreset::Off,
             json: None,
+            jobs: None,
         };
         let report = execute(&run).unwrap();
         assert!(report.frames_completed > 1000);

@@ -76,6 +76,46 @@ fn run_is_deterministic_across_invocations() {
 }
 
 #[test]
+fn jobs_flag_never_changes_results() {
+    // The change-point governor calibrates thresholds on the parallel
+    // engine; the report must be byte-identical for any --jobs value.
+    let run = |jobs: &str| {
+        let out = dvsdpm()
+            .args([
+                "run",
+                "--workload",
+                "mp3:A",
+                "--governor",
+                "change-point",
+                "--dpm",
+                "none",
+                "--seed",
+                "5",
+                "--jobs",
+                jobs,
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).expect("utf8")
+    };
+    let baseline = run("1");
+    assert_eq!(baseline, run("4"));
+
+    let out = dvsdpm()
+        .args(["run", "--workload", "mp3:A", "--jobs", "zero"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("--jobs"), "{err}");
+}
+
+#[test]
 fn bad_arguments_fail_with_guidance() {
     let out = dvsdpm()
         .args(["run", "--workload", "cassette:mixtape"])

@@ -131,6 +131,57 @@ fn different_seeds_change_stochastic_outcomes() {
 }
 
 #[test]
+fn calibration_is_bit_identical_across_job_counts() {
+    // The parallel engine's core contract: thread count changes
+    // wall-clock only, never a single bit of any result.
+    use detect::calibrate::{default_ratios, CalibrationConfig, ThresholdTable};
+    use simcore::par::Jobs;
+
+    let config = CalibrationConfig {
+        trials: 300,
+        ..CalibrationConfig::default()
+    };
+    let table_at = |jobs| {
+        ThresholdTable::calibrate_jobs(
+            &default_ratios(),
+            config,
+            &mut SimRng::seed_from(0xD15C0),
+            Jobs::Count(jobs),
+        )
+        .expect("valid calibration")
+    };
+    let sequential = table_at(1);
+    for jobs in [2, 4] {
+        let parallel = table_at(jobs);
+        assert_eq!(sequential, parallel, "jobs={jobs}");
+        for (s, p) in sequential.entries().iter().zip(parallel.entries()) {
+            assert_eq!(s.0.to_bits(), p.0.to_bits());
+            assert_eq!(s.1.to_bits(), p.1.to_bits());
+        }
+    }
+}
+
+#[test]
+fn simulation_report_is_bit_identical_across_job_counts() {
+    // A full change-point run (calibration inside) re-run after flipping
+    // the process default job count: identical JSON reports.
+    use simcore::json::ToJson;
+    use simcore::par::set_default_jobs;
+
+    let config = SystemConfig {
+        governor: GovernorKind::quick_change_point(),
+        dpm: DpmKind::None,
+        ..SystemConfig::default()
+    };
+    set_default_jobs(1);
+    let a = scenario::run_mp3_sequence("A", &config, 17).expect("runs");
+    set_default_jobs(4);
+    let b = scenario::run_mp3_sequence("A", &config, 17).expect("runs");
+    set_default_jobs(0);
+    assert_eq!(a.to_json().dump(), b.to_json().dump());
+}
+
+#[test]
 fn rng_fork_isolation_across_subsystems() {
     // Adding draws on one fork must not disturb another — the property
     // that keeps experiments comparable when code changes.
