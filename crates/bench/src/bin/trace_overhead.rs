@@ -1,0 +1,110 @@
+//! Tracing overhead guard: the observability layer must be free when
+//! off and cheap when on.
+//!
+//! Runs the same MP3 scenario four ways — untraced, null sink, ring
+//! sink, in-memory JSONL sink — timing each with a min-of-N loop, and
+//!
+//! * asserts all four produce byte-identical reports (tracing never
+//!   perturbs the simulation), and
+//! * fails (exit code 1) if the null-sink run is more than 10 % slower
+//!   than the untraced run beyond a small absolute epsilon, so a
+//!   regression on the disabled-tracing hot path fails CI.
+//!
+//! The Ideal governor is used on purpose: it involves no threshold
+//! calibration, so the timed region is the pure simulation loop the
+//! tracing hooks live in.
+
+use bench::EXPERIMENT_SEED;
+use powermgr::config::{DpmKind, GovernorKind, SystemConfig};
+use powermgr::scenario;
+use powermgr::SimReport;
+use simcore::json::ToJson;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+use trace::{JsonlSink, NullSink, RingSink, TraceSink};
+
+const ROUNDS: usize = 7;
+
+fn config() -> SystemConfig {
+    SystemConfig {
+        governor: GovernorKind::Ideal,
+        dpm: DpmKind::BreakEven {
+            state: dpm::policy::SleepState::Standby,
+        },
+        ..SystemConfig::default()
+    }
+}
+
+/// Minimum wall time over `ROUNDS` runs of `f` — the usual estimator
+/// for "how fast can this go", robust to scheduler noise.
+fn min_time<F: FnMut() -> SimReport>(mut f: F) -> (Duration, SimReport) {
+    let mut best = Duration::MAX;
+    let mut report = None;
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        let r = f();
+        best = best.min(start.elapsed());
+        report = Some(r);
+    }
+    (best, report.expect("at least one round"))
+}
+
+fn main() -> ExitCode {
+    let cfg = config();
+    let seed = EXPERIMENT_SEED;
+    bench::header(
+        "trace-overhead",
+        "tracing hot-path cost vs untraced baseline",
+    );
+
+    let (t_off, r_off) =
+        min_time(|| scenario::run_mp3_sequence("AB", &cfg, seed).expect("untraced run"));
+    let (t_null, r_null) = min_time(|| {
+        let mut sink = NullSink;
+        scenario::run_mp3_sequence_traced("AB", &cfg, seed, &mut sink).expect("null-sink run")
+    });
+    let (t_ring, r_ring) = min_time(|| {
+        let mut sink = RingSink::new(1 << 16);
+        scenario::run_mp3_sequence_traced("AB", &cfg, seed, &mut sink).expect("ring-sink run")
+    });
+    let (t_jsonl, r_jsonl) = min_time(|| {
+        let mut sink = JsonlSink::new(Vec::with_capacity(1 << 20));
+        let r = scenario::run_mp3_sequence_traced("AB", &cfg, seed, &mut sink).expect("jsonl run");
+        sink.finish().expect("in-memory write");
+        r
+    });
+
+    let baseline = r_off.to_json().dump();
+    for (label, r) in [("null", &r_null), ("ring", &r_ring), ("jsonl", &r_jsonl)] {
+        assert_eq!(
+            baseline,
+            r.to_json().dump(),
+            "{label}-sink report diverged from untraced baseline"
+        );
+    }
+
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    println!("{:<10} {:>10}", "sink", "min_ms");
+    println!("{:<10} {:>10.3}", "off", ms(t_off));
+    println!("{:<10} {:>10.3}", "null", ms(t_null));
+    println!("{:<10} {:>10.3}", "ring", ms(t_ring));
+    println!("{:<10} {:>10.3}", "jsonl", ms(t_jsonl));
+
+    // Budget: disabled-or-null tracing within 10 % of untraced, plus a
+    // 2 ms absolute epsilon so sub-millisecond jitter cannot flake.
+    let budget = Duration::from_secs_f64(t_off.as_secs_f64() * 1.10) + Duration::from_millis(2);
+    if t_null > budget {
+        eprintln!(
+            "FAIL: null-sink run {:.3} ms exceeds budget {:.3} ms (untraced {:.3} ms + 10% + 2 ms)",
+            ms(t_null),
+            ms(budget),
+            ms(t_off)
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "\nnull-sink overhead {:+.1}% (budget +10% + 2 ms) — OK",
+        (t_null.as_secs_f64() / t_off.as_secs_f64() - 1.0) * 100.0
+    );
+    ExitCode::SUCCESS
+}

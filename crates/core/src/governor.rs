@@ -10,8 +10,21 @@ use crate::config::GovernorKind;
 use crate::PmError;
 use detect::changepoint::ChangePointDetector;
 use detect::ema::EmaEstimator;
-use detect::estimator::RateEstimator;
+use detect::estimator::{DetectionStat, RateEstimator};
 use detect::oracle::OracleEstimator;
+
+/// Details of the most recent rate change a governor signalled, for
+/// tracing and diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateDetection {
+    /// `true` if the arrival stream changed, `false` for service.
+    pub arrival: bool,
+    /// The stream's new rate estimate after the change, events/second.
+    pub new_rate: f64,
+    /// The change-point test statistic behind the detection, when the
+    /// stream's estimator computes one (oracle/EMA streams do not).
+    pub stat: Option<DetectionStat>,
+}
 
 /// Number of warm-up samples per stream: the governor estimates the
 /// initial rate by maximum likelihood over these before the configured
@@ -101,6 +114,13 @@ impl Stream {
             }
         }
     }
+
+    fn last_stat(&self) -> Option<DetectionStat> {
+        match &self.inner {
+            StreamImpl::Oracle(_) => None,
+            StreamImpl::Estimated(estimator) => estimator.last_detection_stat(),
+        }
+    }
 }
 
 /// The power manager's view of the workload rates.
@@ -112,6 +132,7 @@ pub struct Governor {
     arrival: Stream,
     service: Stream,
     rate_changes: u64,
+    last_detection: Option<RateDetection>,
 }
 
 impl Governor {
@@ -167,6 +188,7 @@ impl Governor {
             arrival: Stream::new(arrival),
             service: Stream::new(service),
             rate_changes: 0,
+            last_detection: None,
         })
     }
 
@@ -187,6 +209,11 @@ impl Governor {
         };
         if changed {
             self.rate_changes += 1;
+            self.last_detection = Some(RateDetection {
+                arrival: true,
+                new_rate: self.arrival.rate(),
+                stat: self.arrival.last_stat(),
+            });
         }
         changed
     }
@@ -206,6 +233,11 @@ impl Governor {
         };
         if changed {
             self.rate_changes += 1;
+            self.last_detection = Some(RateDetection {
+                arrival: false,
+                new_rate: self.service.rate(),
+                stat: self.service.last_stat(),
+            });
         }
         changed
     }
@@ -240,6 +272,13 @@ impl Governor {
         self.rate_changes
     }
 
+    /// Details of the most recent change signalled (which stream, its
+    /// new rate, and the detection statistic if the estimator has one).
+    #[must_use]
+    pub fn last_detection(&self) -> Option<RateDetection> {
+        self.last_detection
+    }
+
     /// How many degenerate samples (zero/negative/NaN/infinite) the two
     /// streams rejected instead of propagating to their estimators.
     #[must_use]
@@ -256,12 +295,20 @@ mod tests {
     #[test]
     fn ideal_tracks_truth_immediately() {
         let mut g = Governor::build(&GovernorKind::Ideal, 20.0, 100.0).unwrap();
+        assert_eq!(g.last_detection(), None);
         assert!(!g.on_arrival(Some(0.05), 20.0));
         assert!(g.on_arrival(Some(0.02), 44.0));
         assert_eq!(g.arrival_rate(), 44.0);
+        let d = g.last_detection().expect("change recorded");
+        assert!(d.arrival);
+        assert_eq!(d.new_rate, 44.0);
+        assert_eq!(d.stat, None, "oracle has no test statistic");
         assert!(g.on_decode(0.01, 80.0));
         assert_eq!(g.service_rate(), 80.0);
         assert_eq!(g.rate_changes(), 2);
+        let d = g.last_detection().unwrap();
+        assert!(!d.arrival, "latest change was on the service stream");
+        assert_eq!(d.new_rate, 80.0);
     }
 
     #[test]
@@ -317,6 +364,11 @@ mod tests {
             "{}",
             g.service_rate()
         );
+        let d = g.last_detection().expect("detection recorded");
+        assert!(!d.arrival);
+        if let Some(stat) = d.stat {
+            assert!(stat.ln_p_max > stat.threshold);
+        }
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod scenario;
 pub mod system;
 
 pub use config::{DpmKind, GovernorKind, SystemConfig};
+pub use governor::RateDetection;
 pub use metrics::SimReport;
 pub use system::SystemSimulator;
 

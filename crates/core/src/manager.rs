@@ -8,7 +8,7 @@
 
 use crate::config::{SupervisorConfig, SystemConfig};
 use crate::dvs::DvsPolicy;
-use crate::governor::Governor;
+use crate::governor::{Governor, RateDetection};
 use crate::PmError;
 use dpm::costs::DpmCosts;
 use dpm::policy::{DpmPolicy, IdlePlan, SleepState};
@@ -188,6 +188,13 @@ impl PowerManager {
     #[must_use]
     pub fn rate_changes(&self) -> u64 {
         self.governor.rate_changes()
+    }
+
+    /// Details of the governor's most recent rate change (stream, new
+    /// rate, change-point statistic), for the trace layer.
+    #[must_use]
+    pub fn last_rate_detection(&self) -> Option<RateDetection> {
+        self.governor.last_detection()
     }
 
     /// Reports the current buffer occupancy. When overload boost is

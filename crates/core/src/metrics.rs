@@ -35,6 +35,30 @@ impl ModeKey {
         ModeKey::Off,
         ModeKey::Waking,
     ];
+
+    /// The trace-layer mode with the same meaning (and the same label).
+    #[must_use]
+    pub fn trace_mode(self) -> trace::TraceMode {
+        match self {
+            ModeKey::Decoding => trace::TraceMode::Decoding,
+            ModeKey::Idle => trace::TraceMode::Idle,
+            ModeKey::Standby => trace::TraceMode::Standby,
+            ModeKey::Off => trace::TraceMode::Off,
+            ModeKey::Waking => trace::TraceMode::Waking,
+        }
+    }
+
+    /// Inverse of [`ModeKey::trace_mode`].
+    #[must_use]
+    pub fn from_trace(mode: trace::TraceMode) -> ModeKey {
+        match mode {
+            trace::TraceMode::Decoding => ModeKey::Decoding,
+            trace::TraceMode::Idle => ModeKey::Idle,
+            trace::TraceMode::Standby => ModeKey::Standby,
+            trace::TraceMode::Off => ModeKey::Off,
+            trace::TraceMode::Waking => ModeKey::Waking,
+        }
+    }
 }
 
 impl fmt::Display for ModeKey {
@@ -185,6 +209,10 @@ impl SimReport {
     }
 
     /// Average system power over the run, milliwatts.
+    ///
+    /// `duration_secs` and the meter's own `elapsed_secs` are fed from
+    /// the single registry-backed clock, so this agrees with
+    /// [`EnergyMeter::average_power_mw`] (see [`Self::clock_skew_secs`]).
     #[must_use]
     pub fn average_power_mw(&self) -> f64 {
         if self.duration_secs == 0.0 {
@@ -194,6 +222,23 @@ impl SimReport {
         }
     }
 
+    /// Absolute difference between the report's wall clock
+    /// (`duration_secs`) and the energy meter's accumulated
+    /// `elapsed_secs`. Both are driven by the same accounting steps;
+    /// anything beyond float-summation noise indicates the two
+    /// bookkeeping paths diverged.
+    #[must_use]
+    pub fn clock_skew_secs(&self) -> f64 {
+        (self.duration_secs - self.energy.elapsed_secs()).abs()
+    }
+
+    /// `true` when the report clock and the energy-meter clock agree to
+    /// within `tol` (relative to the run length, with a 1 s floor).
+    #[must_use]
+    pub fn clocks_consistent(&self, tol: f64) -> bool {
+        self.clock_skew_secs() <= tol * self.duration_secs.abs().max(1.0)
+    }
+
     /// Seconds attributed to one mode.
     #[must_use]
     pub fn mode_secs(&self, mode: ModeKey) -> f64 {
@@ -201,9 +246,18 @@ impl SimReport {
     }
 
     /// Seconds spent decoding at `freq_mhz` (tolerance 0.05 MHz).
+    ///
+    /// Invalid frequencies (NaN, negative, or beyond the key range)
+    /// report zero residency. Without the guard the `as u32` cast would
+    /// saturate them onto real buckets — NaN and negatives onto key 0,
+    /// huge values onto `u32::MAX`.
     #[must_use]
     pub fn freq_secs(&self, freq_mhz: f64) -> f64 {
-        let key = (freq_mhz * 10.0).round() as u32;
+        let scaled = freq_mhz * 10.0;
+        if !(scaled.is_finite() && (0.0..=u32::MAX as f64).contains(&scaled)) {
+            return 0.0;
+        }
+        let key = scaled.round() as u32;
         self.freq_residency.get(&key).copied().unwrap_or(0.0)
     }
 
@@ -303,6 +357,7 @@ mod tests {
             400.0,
             simcore::time::SimDuration::from_secs(100),
         );
+        energy.advance_time(simcore::time::SimDuration::from_secs(100));
         let mut delays = OnlineStats::new();
         delays.push(0.1);
         delays.push(0.3);
@@ -353,6 +408,49 @@ mod tests {
         assert_eq!(r.freq_secs(59.0), 0.0);
         let expected = (221.2 * 60.0 + 103.2 * 20.0) / 80.0;
         assert!((r.mean_decode_frequency_mhz() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_frequencies_never_collide_with_real_buckets() {
+        let mut r = report();
+        // A genuine 0.0-MHz bucket, the old saturation target for NaN
+        // and negative inputs.
+        r.freq_residency.insert(0, 5.0);
+        r.freq_residency.insert(u32::MAX, 7.0);
+        assert_eq!(r.freq_secs(0.0), 5.0, "the real bucket is reachable");
+        assert_eq!(r.freq_secs(f64::NAN), 0.0);
+        assert_eq!(r.freq_secs(-221.2), 0.0);
+        assert_eq!(r.freq_secs(f64::NEG_INFINITY), 0.0);
+        assert_eq!(r.freq_secs(f64::INFINITY), 0.0);
+        assert_eq!(
+            r.freq_secs(1e18),
+            0.0,
+            "huge values don't saturate onto u32::MAX"
+        );
+    }
+
+    #[test]
+    fn clock_consistency_is_observable() {
+        let r = report();
+        // The fixture accumulates 100 s into the meter and reports
+        // duration_secs = 100.0: consistent.
+        assert_eq!(r.clock_skew_secs(), 0.0);
+        assert!(r.clocks_consistent(1e-9));
+        // With one clock, the two average-power paths cannot disagree.
+        assert!((r.average_power_mw() - r.energy.average_power_mw()).abs() < 1e-9);
+        let mut skewed = report();
+        skewed.duration_secs = 90.0;
+        assert!((skewed.clock_skew_secs() - 10.0).abs() < 1e-12);
+        assert!(!skewed.clocks_consistent(1e-6));
+    }
+
+    #[test]
+    fn mode_keys_round_trip_through_trace_modes() {
+        for mode in ModeKey::ALL {
+            let t = mode.trace_mode();
+            assert_eq!(ModeKey::from_trace(t), mode);
+            assert_eq!(t.label(), mode.to_string(), "labels stay in sync");
+        }
     }
 
     #[test]

@@ -14,30 +14,28 @@ use crate::metrics::SimReport;
 use crate::system::SystemSimulator;
 use crate::PmError;
 use simcore::rng::SimRng;
+use trace::TraceSink;
 use workload::session::Session;
 use workload::{mp3, MpegClip, Trace};
 
-/// Runs one MP3 listening sequence (e.g. `"ACEFBD"`) under `config`.
+/// Generates the workload trace for one MP3 listening sequence
+/// (e.g. `"ACEFBD"`) exactly as [`run_mp3_sequence`] would.
 ///
 /// # Errors
 ///
-/// Returns an error for unknown clip labels or invalid configuration.
-pub fn run_mp3_sequence(
-    labels: &str,
-    config: &SystemConfig,
-    seed: u64,
-) -> Result<SimReport, PmError> {
+/// Returns an error for unknown clip labels.
+pub fn build_mp3_sequence(labels: &str, seed: u64) -> Result<Trace, PmError> {
     let mut rng = SimRng::seed_from(seed).fork("mp3-sequence");
-    let trace = mp3::sequence(labels, &mut rng)?;
-    run_trace(&trace, config, seed)
+    Ok(mp3::sequence(labels, &mut rng)?)
 }
 
-/// Runs one MPEG clip (`"football"` or `"terminator2"`) under `config`.
+/// Generates the workload trace for one MPEG clip (`"football"` or
+/// `"terminator2"`) exactly as [`run_mpeg_clip`] would.
 ///
 /// # Errors
 ///
-/// Returns an error for unknown clip names or invalid configuration.
-pub fn run_mpeg_clip(name: &str, config: &SystemConfig, seed: u64) -> Result<SimReport, PmError> {
+/// Returns an error for unknown clip names.
+pub fn build_mpeg_clip(name: &str, seed: u64) -> Result<Trace, PmError> {
     let clip = match name {
         "football" => MpegClip::football(),
         "terminator2" => MpegClip::terminator2(),
@@ -49,8 +47,69 @@ pub fn run_mpeg_clip(name: &str, config: &SystemConfig, seed: u64) -> Result<Sim
         }
     };
     let mut rng = SimRng::seed_from(seed).fork("mpeg-clip");
-    let trace = clip.generate(&mut rng);
-    run_trace(&trace, config, seed)
+    Ok(clip.generate(&mut rng))
+}
+
+/// Generates the canonical Table 5 mixed-session trace exactly as
+/// [`run_session`] would.
+///
+/// # Errors
+///
+/// Returns an error if session generation fails.
+pub fn build_session(seed: u64) -> Result<Trace, PmError> {
+    let mut rng = SimRng::seed_from(seed).fork("session");
+    let session = Session::table5(&mut rng);
+    Ok(session.generate(&mut rng)?)
+}
+
+/// Runs one MP3 listening sequence (e.g. `"ACEFBD"`) under `config`.
+///
+/// # Errors
+///
+/// Returns an error for unknown clip labels or invalid configuration.
+pub fn run_mp3_sequence(
+    labels: &str,
+    config: &SystemConfig,
+    seed: u64,
+) -> Result<SimReport, PmError> {
+    run_trace(&build_mp3_sequence(labels, seed)?, config, seed)
+}
+
+/// [`run_mp3_sequence`], recording structured events into `sink`.
+///
+/// # Errors
+///
+/// Returns an error for unknown clip labels or invalid configuration.
+pub fn run_mp3_sequence_traced(
+    labels: &str,
+    config: &SystemConfig,
+    seed: u64,
+    sink: &mut dyn TraceSink,
+) -> Result<SimReport, PmError> {
+    run_trace_traced(&build_mp3_sequence(labels, seed)?, config, seed, sink)
+}
+
+/// Runs one MPEG clip (`"football"` or `"terminator2"`) under `config`.
+///
+/// # Errors
+///
+/// Returns an error for unknown clip names or invalid configuration.
+pub fn run_mpeg_clip(name: &str, config: &SystemConfig, seed: u64) -> Result<SimReport, PmError> {
+    run_trace(&build_mpeg_clip(name, seed)?, config, seed)
+}
+
+/// [`run_mpeg_clip`], recording structured events into `sink`.
+///
+/// # Errors
+///
+/// Returns an error for unknown clip names or invalid configuration.
+pub fn run_mpeg_clip_traced(
+    name: &str,
+    config: &SystemConfig,
+    seed: u64,
+    sink: &mut dyn TraceSink,
+) -> Result<SimReport, PmError> {
+    run_trace_traced(&build_mpeg_clip(name, seed)?, config, seed, sink)
 }
 
 /// Runs the canonical Table 5 mixed session under `config`.
@@ -59,10 +118,20 @@ pub fn run_mpeg_clip(name: &str, config: &SystemConfig, seed: u64) -> Result<Sim
 ///
 /// Returns an error for invalid configuration.
 pub fn run_session(config: &SystemConfig, seed: u64) -> Result<SimReport, PmError> {
-    let mut rng = SimRng::seed_from(seed).fork("session");
-    let session = Session::table5(&mut rng);
-    let trace = session.generate(&mut rng)?;
-    run_trace(&trace, config, seed)
+    run_trace(&build_session(seed)?, config, seed)
+}
+
+/// [`run_session`], recording structured events into `sink`.
+///
+/// # Errors
+///
+/// Returns an error for invalid configuration.
+pub fn run_session_traced(
+    config: &SystemConfig,
+    seed: u64,
+    sink: &mut dyn TraceSink,
+) -> Result<SimReport, PmError> {
+    run_trace_traced(&build_session(seed)?, config, seed, sink)
 }
 
 /// Runs an arbitrary prepared trace under `config`.
@@ -72,6 +141,21 @@ pub fn run_session(config: &SystemConfig, seed: u64) -> Result<SimReport, PmErro
 /// Returns an error for invalid configuration.
 pub fn run_trace(trace: &Trace, config: &SystemConfig, seed: u64) -> Result<SimReport, PmError> {
     SystemSimulator::new(trace, config.clone(), seed)?.run(trace.end())
+}
+
+/// [`run_trace`], recording structured events into `sink`. The traced
+/// run is bit-identical to the untraced one in every reported number.
+///
+/// # Errors
+///
+/// Returns an error for invalid configuration.
+pub fn run_trace_traced(
+    trace: &Trace,
+    config: &SystemConfig,
+    seed: u64,
+    sink: &mut dyn TraceSink,
+) -> Result<SimReport, PmError> {
+    SystemSimulator::new_traced(trace, config.clone(), seed, sink)?.run(trace.end())
 }
 
 #[cfg(test)]
@@ -101,6 +185,18 @@ mod tests {
     fn unknown_clip_is_rejected() {
         assert!(run_mpeg_clip("matrix", &SystemConfig::default(), 0).is_err());
         assert!(run_mp3_sequence("XYZ", &SystemConfig::default(), 0).is_err());
+    }
+
+    #[test]
+    fn traced_scenario_matches_untraced() {
+        use simcore::json::ToJson;
+        let config = cfg(GovernorKind::Ideal, DpmKind::None);
+        let plain = run_mp3_sequence("A", &config, 19).unwrap();
+        let mut sink = trace::RingSink::new(1 << 16);
+        let traced = run_mp3_sequence_traced("A", &config, 19, &mut sink).unwrap();
+        assert_eq!(plain.to_json().dump(), traced.to_json().dump());
+        let summary = trace::replay(&sink.events());
+        assert_eq!(summary.frames_completed, traced.frames_completed);
     }
 
     #[test]

@@ -34,7 +34,45 @@ use simcore::rng::SimRng;
 use simcore::stats::OnlineStats;
 use simcore::time::{SimDuration, SimTime};
 use std::collections::BTreeMap;
+use trace::{
+    ns_to_secs, Event as TraceEvent, MetricsRegistry, SleepKind, StreamKind, TraceMode, TraceSink,
+};
 use workload::{FrameRecord, Trace};
+
+/// Registry counter names. Shared as constants so the report assembly
+/// and the accounting sites can never drift apart on a typo.
+mod keys {
+    pub const FRAMES_COMPLETED: &str = "frames_completed";
+    pub const FREQ_SWITCHES: &str = "freq_switches";
+    pub const SLEEPS: &str = "sleeps";
+    pub const WAKES: &str = "wakes";
+    pub const DEADLINE_MISSES: &str = "deadline_misses";
+    pub const DEADLINES_TOTAL: &str = "deadlines_total";
+    pub const PEAK_QUEUE_DEPTH: &str = "peak_queue_depth";
+    /// Residency per [`TraceMode::index`](trace::TraceMode::index).
+    pub const MODE_NS: &str = "mode_ns";
+    /// Decode residency per frequency in tenths of a MHz.
+    pub const FREQ_NS: &str = "freq_ns";
+}
+
+/// Registry/trace key for an operating point: frequency in tenths of a
+/// MHz, matching [`SimReport::freq_secs`] quantization.
+fn freq_key(op: OperatingPoint) -> u32 {
+    (op.freq_mhz * 10.0).round() as u32
+}
+
+/// Core voltage in integer millivolts for the trace wire format.
+fn millivolts(op: OperatingPoint) -> u32 {
+    (op.voltage_v * 1000.0).round() as u32
+}
+
+/// The trace-level sleep kind for a DPM sleep state.
+fn sleep_kind(state: SleepState) -> SleepKind {
+    match state {
+        SleepState::Standby => SleepKind::Standby,
+        SleepState::Off => SleepKind::Off,
+    }
+}
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Event {
@@ -69,7 +107,11 @@ impl Mode {
 }
 
 /// Simulates one workload trace under one configuration.
-pub struct SystemSimulator {
+///
+/// The lifetime `'t` is that of an optionally attached [`TraceSink`];
+/// untraced simulators (the default, via [`SystemSimulator::new`]) leave
+/// it unconstrained.
+pub struct SystemSimulator<'t> {
     badge: SmartBadge,
     costs: DpmCosts,
     config: SystemConfig,
@@ -99,17 +141,16 @@ pub struct SystemSimulator {
 
     meter: EnergyMeter,
     delays: OnlineStats,
-    mode_secs: BTreeMap<ModeKey, f64>,
-    freq_residency: BTreeMap<u32, f64>,
-    frames_completed: u64,
-    freq_switches: u64,
-    sleeps: u64,
-    wakes: u64,
-    deadline_misses: u64,
-    deadlines_total: u64,
+    /// Single source of truth for every run statistic the report needs:
+    /// event counters, peak gauges, and integer-nanosecond residency
+    /// series. [`SimReport`] is assembled from it at the end of `run`.
+    metrics: MetricsRegistry,
+    /// Structured event sink; `None` (the untraced default) keeps the
+    /// hot path to a branch on an `Option`.
+    sink: Option<&'t mut dyn TraceSink>,
 }
 
-impl SystemSimulator {
+impl<'t> SystemSimulator<'t> {
     /// Creates a simulator for `trace` under `config`, seeding all
     /// stochastic elements (wake-up latencies, randomized DPM timeouts)
     /// from `seed`.
@@ -160,15 +201,60 @@ impl SystemSimulator {
             track_deadlines,
             meter: EnergyMeter::new(),
             delays: OnlineStats::new(),
-            mode_secs: BTreeMap::new(),
-            freq_residency: BTreeMap::new(),
-            frames_completed: 0,
-            freq_switches: 0,
-            sleeps: 0,
-            wakes: 0,
-            deadline_misses: 0,
-            deadlines_total: 0,
+            metrics: MetricsRegistry::new(),
+            sink: None,
         })
+    }
+
+    /// Creates a simulator that records structured [`TraceEvent`]s into
+    /// `sink` as it runs. Identical to [`SystemSimulator::new`] in every
+    /// other respect: the event sequence, report, and random streams of
+    /// a traced run match the untraced run bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the power manager rejects the configuration.
+    pub fn new_traced(
+        trace: &Trace,
+        config: SystemConfig,
+        seed: u64,
+        sink: &'t mut dyn TraceSink,
+    ) -> Result<Self, PmError> {
+        let mut sim = SystemSimulator::new(trace, config, seed)?;
+        sim.sink = Some(sink);
+        Ok(sim)
+    }
+
+    /// Records `event` into the attached sink, if any.
+    #[inline]
+    fn emit(&mut self, event: TraceEvent) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.record(&event);
+        }
+    }
+
+    /// Emits a [`TraceEvent::RateChange`] carrying the manager's latest
+    /// detection details (new rate, and the change-point statistic when
+    /// the governor computes one).
+    fn emit_rate_change(&mut self, now: SimTime) {
+        let Some(d) = self.manager.last_rate_detection() else {
+            return;
+        };
+        let (ln_p_max, threshold) = match d.stat {
+            Some(s) => (Some(s.ln_p_max), Some(s.threshold)),
+            None => (None, None),
+        };
+        self.emit(TraceEvent::RateChange {
+            at: now,
+            stream: if d.arrival {
+                StreamKind::Arrival
+            } else {
+                StreamKind::Service
+            },
+            new_rate: d.new_rate,
+            ln_p_max,
+            threshold,
+        });
     }
 
     /// Runs the trace to completion and returns the report.
@@ -181,6 +267,7 @@ impl SystemSimulator {
     /// buffer).
     pub fn run(mut self, trace_end: SimTime) -> Result<SimReport, PmError> {
         // Device starts idle with a DPM plan, waiting for the stream.
+        self.emit(TraceEvent::RunStart { at: SimTime::ZERO });
         self.enter_idle(SimTime::ZERO);
         self.schedule_arrival(0);
 
@@ -204,20 +291,48 @@ impl SystemSimulator {
         // (e.g. an empty trace under a no-sleep plan), account the tail
         // now; a second call after an in-loop finish is a no-op.
         self.finish(trace_end);
+        self.emit(TraceEvent::RunEnd {
+            at: self.last_account,
+        });
 
-        let duration_secs = self
-            .mode_secs
-            .values()
-            .sum::<f64>()
-            .max(trace_end.as_secs_f64());
+        // The report's residency maps are the registry's nanosecond
+        // series converted once through `ns_to_secs`: the same totals a
+        // trace replay reconstructs, so the two agree bit for bit.
+        let mode_secs: BTreeMap<ModeKey, f64> = self
+            .metrics
+            .series(keys::MODE_NS)
+            .map(|s| {
+                s.iter()
+                    .filter_map(|(&k, &ns)| {
+                        TraceMode::from_index(k).map(|m| (ModeKey::from_trace(m), ns_to_secs(ns)))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let freq_residency: BTreeMap<u32, f64> = self
+            .metrics
+            .series(keys::FREQ_NS)
+            .map(|s| s.iter().map(|(&k, &ns)| (k, ns_to_secs(ns))).collect())
+            .unwrap_or_default();
+        let duration_secs = self.metrics.elapsed_secs().max(trace_end.as_secs_f64());
+        // One clock, two views: the energy meter integrates the same
+        // intervals (as f64 seconds) the registry integrates in integer
+        // nanoseconds. They may differ by accumulated rounding only.
+        debug_assert!(
+            (self.meter.elapsed_secs() - self.metrics.elapsed_secs()).abs()
+                <= 1e-6 * self.metrics.elapsed_secs().max(1.0),
+            "energy-meter clock {} drifted from registry clock {}",
+            self.meter.elapsed_secs(),
+            self.metrics.elapsed_secs(),
+        );
         let end_now = self.queue.now().max(trace_end);
         let fc = self.injector.counters();
         let (degraded_entries, degraded_secs) = self.manager.degraded_stats(end_now);
         let robustness = RobustnessReport {
             arrivals_dropped: fc.arrivals_dropped,
             frames_dropped: self.buffer.total_dropped(),
-            deadline_misses: self.deadline_misses,
-            deadlines_total: self.deadlines_total,
+            deadline_misses: self.metrics.counter(keys::DEADLINE_MISSES),
+            deadlines_total: self.metrics.counter(keys::DEADLINES_TOTAL),
             decode_overruns: fc.overruns,
             switch_retries: fc.switch_retries,
             switch_failures: fc.switch_failures,
@@ -228,13 +343,13 @@ impl SystemSimulator {
         Ok(SimReport {
             energy: self.meter,
             frame_delays: self.delays,
-            frames_completed: self.frames_completed,
-            freq_switches: self.freq_switches,
+            frames_completed: self.metrics.counter(keys::FRAMES_COMPLETED),
+            freq_switches: self.metrics.counter(keys::FREQ_SWITCHES),
             rate_changes: self.manager.rate_changes(),
-            sleeps: self.sleeps,
-            wakes: self.wakes,
-            mode_secs: self.mode_secs,
-            freq_residency: self.freq_residency,
+            sleeps: self.metrics.counter(keys::SLEEPS),
+            wakes: self.metrics.counter(keys::WAKES),
+            mode_secs,
+            freq_residency,
             duration_secs,
             governor: self.manager.governor_label(),
             dpm: self.manager.dpm_label(),
@@ -268,10 +383,16 @@ impl SystemSimulator {
         let dt = now.saturating_since(self.last_account);
         if !dt.is_zero() {
             self.profile.accumulate_into(&mut self.meter, dt);
-            *self.mode_secs.entry(self.mode.key()).or_insert(0.0) += dt.as_secs_f64();
+            // Residency is integrated in integer nanoseconds so a trace
+            // replay (which integrates the same spans at mode-boundary
+            // granularity) reconstructs the histogram bit-exactly.
+            let ns = dt.as_nanos();
+            self.metrics.advance_ns(ns);
+            self.metrics
+                .add_span_ns(keys::MODE_NS, self.mode.key().trace_mode().index(), ns);
             if matches!(self.mode, Mode::Decoding) {
-                let key = (self.physical_op.freq_mhz * 10.0).round() as u32;
-                *self.freq_residency.entry(key).or_insert(0.0) += dt.as_secs_f64();
+                self.metrics
+                    .add_span_ns(keys::FREQ_NS, freq_key(self.physical_op), ns);
             }
             self.last_account = now;
         }
@@ -329,15 +450,32 @@ impl SystemSimulator {
         // A new operating point applies from the next decode start: any
         // in-flight frame finishes at its old speed, and the switch cost
         // (plus any faulty-switch retries) is paid when the decode starts.
+        let changes_before = self.manager.rate_changes();
         self.manager
             .on_arrival(frame.kind, gap_s, frame.true_arrival_rate);
+        if self.manager.rate_changes() > changes_before {
+            self.emit_rate_change(now);
+        }
         if self.buffer.offer(now, frame).is_some() {
             // Buffer overflow: the drop is counted by the buffer; the
             // supervisor still sees the resulting occupancy below.
             debug_assert!(self.buffer.capacity().is_some());
+            self.emit(TraceEvent::BufferDrop {
+                at: now,
+                occupancy: self.buffer.len() as u32,
+            });
         }
+        self.metrics
+            .gauge_max(keys::PEAK_QUEUE_DEPTH, self.buffer.len() as f64);
+        let was_degraded = self.manager.is_degraded();
         self.manager.note_queue_depth(self.buffer.len());
         self.manager.note_occupancy(now, self.buffer.len());
+        if self.manager.is_degraded() != was_degraded {
+            self.emit(TraceEvent::Degraded {
+                at: now,
+                entered: !was_degraded,
+            });
+        }
 
         match self.mode {
             Mode::Idle => {
@@ -370,8 +508,9 @@ impl SystemSimulator {
         let nominal = self.costs.wake_latency(state).as_secs_f64();
         // Uniform [0.5, 1.5]x around the nominal latency (Section 2.1).
         let latency = SimDuration::from_secs_f64(nominal * (0.5 + self.rng.next_f64()));
-        self.wakes += 1;
+        self.metrics.inc(keys::WAKES);
         self.set_mode(Mode::Waking);
+        self.emit(TraceEvent::WakeStart { at: now, latency });
         self.queue.push(
             now + latency,
             Event::WakeDone {
@@ -414,12 +553,24 @@ impl SystemSimulator {
                 // The CPU keeps its old point; the manager's selection
                 // stays pending and is retried at the next decode start.
             } else {
+                let from = self.physical_op;
                 self.physical_op = desired;
-                self.freq_switches += 1;
+                self.metrics.inc(keys::FREQ_SWITCHES);
+                self.emit(TraceEvent::FreqSwitch {
+                    at: now,
+                    from_tenths_mhz: freq_key(from),
+                    to_tenths_mhz: freq_key(desired),
+                    from_mv: millivolts(from),
+                    to_mv: millivolts(desired),
+                });
             }
         }
         self.decoding_frame = Some(frame);
         self.set_mode(Mode::Decoding);
+        self.emit(TraceEvent::DecodeStart {
+            at: now,
+            freq_tenths_mhz: freq_key(self.physical_op),
+        });
         let stretch = self.manager.dvs().stretch(frame.kind, self.physical_op);
         let overrun = self.injector.decode_overrun_factor(now);
         let decode = frame.work * stretch * overrun + switch_cost;
@@ -434,23 +585,39 @@ impl SystemSimulator {
                 what: "decode completion without a frame in flight",
             });
         };
-        self.frames_completed += 1;
+        self.metrics.inc(keys::FRAMES_COMPLETED);
         let delay_s = now.saturating_since(frame.arrival).as_secs_f64();
         self.delays.push(delay_s);
+        self.emit(TraceEvent::FrameDone {
+            at: now,
+            delay_s,
+            freq_tenths_mhz: freq_key(self.physical_op),
+        });
+        let was_degraded = self.manager.is_degraded();
         if self.track_deadlines {
             let deadline_s =
                 self.config.deadline_factor * self.manager.dvs().target_delay_s(frame.kind);
             let missed = delay_s > deadline_s;
-            self.deadlines_total += 1;
+            self.metrics.inc(keys::DEADLINES_TOTAL);
             if missed {
-                self.deadline_misses += 1;
+                self.metrics.inc(keys::DEADLINE_MISSES);
             }
             self.manager.note_deadline(now, missed);
         }
+        let changes_before = self.manager.rate_changes();
         self.manager
             .on_decode_complete(frame.kind, frame.work, frame.true_service_rate);
+        if self.manager.rate_changes() > changes_before {
+            self.emit_rate_change(now);
+        }
         self.manager.note_queue_depth(self.buffer.len());
         self.manager.note_occupancy(now, self.buffer.len());
+        if self.manager.is_degraded() != was_degraded {
+            self.emit(TraceEvent::Degraded {
+                at: now,
+                entered: !was_degraded,
+            });
+        }
         if self.buffer.is_empty() {
             self.enter_idle(now);
             Ok(())
@@ -464,6 +631,7 @@ impl SystemSimulator {
         self.idle_since = now;
         self.deepest_this_idle = None;
         self.set_mode(Mode::Idle);
+        self.emit(TraceEvent::IdleEnter { at: now });
         let plan = self.manager.plan_idle(&mut self.rng);
         for (after, state) in plan.transitions {
             self.queue.push(
@@ -486,14 +654,17 @@ impl SystemSimulator {
             Mode::Decoding | Mode::Waking => false,
         };
         if allowed {
-            let _ = now;
-            self.sleeps += 1;
+            self.metrics.inc(keys::SLEEPS);
             self.deepest_this_idle =
                 Some(
                     self.deepest_this_idle
                         .map_or(state, |d| if state > d { state } else { d }),
                 );
             self.set_mode(Mode::Sleeping(state));
+            self.emit(TraceEvent::SleepEnter {
+                at: now,
+                state: sleep_kind(state),
+            });
         }
     }
 
@@ -523,8 +694,12 @@ impl SystemSimulator {
                 _ => false,
             };
             if allowed {
-                self.sleeps += 1;
+                self.metrics.inc(keys::SLEEPS);
                 self.set_mode(Mode::Sleeping(state));
+                self.emit(TraceEvent::SleepEnter {
+                    at,
+                    state: sleep_kind(state),
+                });
             }
         }
         self.account(trace_end);
@@ -855,6 +1030,63 @@ mod tests {
             report.duration_secs
         );
         assert!(r.deadline_misses > 0, "{r:?}");
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_replays_exactly() {
+        use simcore::json::ToJson;
+        use trace::{replay, RingSink};
+        let mut rng = SimRng::seed_from(21);
+        let clip = Mp3Clip::table2()[0].generate(&mut rng);
+        let end = clip.end() + SimDuration::from_secs(30);
+        let config = SystemConfig {
+            governor: GovernorKind::Ideal,
+            dpm: DpmKind::BreakEven {
+                state: SleepState::Standby,
+            },
+            ..SystemConfig::default()
+        };
+        let untraced = SystemSimulator::new(&clip, config.clone(), 21)
+            .unwrap()
+            .run(end)
+            .unwrap();
+        let mut sink = RingSink::new(1 << 16);
+        let traced = SystemSimulator::new_traced(&clip, config, 21, &mut sink)
+            .unwrap()
+            .run(end)
+            .unwrap();
+        // Attaching a sink must not perturb the simulation at all.
+        assert_eq!(untraced.to_json().dump(), traced.to_json().dump());
+        assert_eq!(sink.dropped(), 0, "ring under-sized for this clip");
+
+        // The event stream alone reconstructs the report's aggregates
+        // bit for bit: counters exactly, residency via the shared
+        // integer-nanosecond accumulation.
+        let summary = replay(&sink.events());
+        assert_eq!(summary.frames_completed, traced.frames_completed);
+        assert_eq!(summary.freq_switches, traced.freq_switches);
+        assert_eq!(summary.rate_changes, traced.rate_changes);
+        assert_eq!(summary.sleeps, traced.sleeps);
+        assert_eq!(summary.wakes, traced.wakes);
+        assert!(traced.sleeps > 0 && traced.freq_switches > 0);
+        let modes = summary.mode_secs();
+        for (&key, &secs) in &traced.mode_secs {
+            let replayed = modes.get(&key.trace_mode()).copied().unwrap_or(0.0);
+            assert_eq!(replayed.to_bits(), secs.to_bits(), "mode {key:?}");
+        }
+        let freqs = summary.freq_secs();
+        for (&key, &secs) in &traced.freq_residency {
+            let replayed = freqs.get(&key).copied().unwrap_or(0.0);
+            assert_eq!(replayed.to_bits(), secs.to_bits(), "freq key {key}");
+        }
+        assert_eq!(
+            summary.duration_secs().to_bits(),
+            traced.duration_secs.to_bits()
+        );
+        assert_eq!(
+            summary.delays.mean().to_bits(),
+            traced.frame_delays.mean().to_bits()
+        );
     }
 
     #[test]

@@ -52,6 +52,8 @@ impl CacheKey {
 static CACHE: OnceLock<Mutex<HashMap<CacheKey, Arc<ThresholdTable>>>> = OnceLock::new();
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
+static HIT_NANOS: AtomicU64 = AtomicU64::new(0);
+static MISS_NANOS: AtomicU64 = AtomicU64::new(0);
 
 fn cache() -> &'static Mutex<HashMap<CacheKey, Arc<ThresholdTable>>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
@@ -76,10 +78,12 @@ pub fn cached_table(
     seed: u64,
     jobs: Jobs,
 ) -> Result<Arc<ThresholdTable>, DetectError> {
+    let started = std::time::Instant::now();
     let key = CacheKey::new(ratios, config, seed);
     let mut map = cache().lock().expect("threshold cache poisoned");
     if let Some(table) = map.get(&key) {
         HITS.fetch_add(1, Ordering::Relaxed);
+        HIT_NANOS.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
         return Ok(Arc::clone(table));
     }
     MISSES.fetch_add(1, Ordering::Relaxed);
@@ -88,6 +92,7 @@ pub fn cached_table(
         ratios, config, &mut rng, jobs,
     )?);
     map.insert(key, Arc::clone(&table));
+    MISS_NANOS.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
     Ok(table)
 }
 
@@ -96,6 +101,34 @@ pub fn cached_table(
 #[must_use]
 pub fn cache_stats() -> (u64, u64) {
     (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+/// Lifetime threshold-cache statistics, including cumulative latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned an already calibrated table.
+    pub hits: u64,
+    /// Lookups that ran a fresh calibration (successful misses only).
+    pub misses: u64,
+    /// Wall time spent inside hit lookups, nanoseconds.
+    pub hit_nanos: u64,
+    /// Wall time spent inside miss lookups (dominated by the
+    /// Monte-Carlo calibration itself), nanoseconds.
+    pub miss_nanos: u64,
+}
+
+/// Lifetime cache statistics with per-path latency — the profiling
+/// companion to [`cache_stats`]. Successful misses accumulate
+/// `miss_nanos`; failed calibrations count as misses but record no
+/// latency (they abort before the table is built).
+#[must_use]
+pub fn cache_stats_detailed() -> CacheStats {
+    CacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        hit_nanos: HIT_NANOS.load(Ordering::Relaxed),
+        miss_nanos: MISS_NANOS.load(Ordering::Relaxed),
+    }
 }
 
 /// Drops every cached table (already-shared [`Arc`]s stay alive in their
@@ -155,6 +188,28 @@ mod tests {
         )
         .unwrap();
         assert_eq!(*cached, direct);
+    }
+
+    #[test]
+    fn detailed_stats_track_latency_per_path() {
+        let seed = 0xCAC4_E005;
+        let before = cache_stats_detailed();
+        let _ = cached_table(&[2.0, 0.5], quick_config(), seed, Jobs::Count(1)).unwrap();
+        let after_miss = cache_stats_detailed();
+        // Other tests run concurrently against the same global counters,
+        // so assert monotone lower bounds rather than exact deltas.
+        assert!(after_miss.misses > before.misses);
+        assert!(
+            after_miss.miss_nanos > before.miss_nanos,
+            "a calibration takes measurable time"
+        );
+        let _ = cached_table(&[2.0, 0.5], quick_config(), seed, Jobs::Count(1)).unwrap();
+        let after_hit = cache_stats_detailed();
+        assert!(after_hit.hits > after_miss.hits);
+        assert!(after_hit.hit_nanos >= after_miss.hit_nanos);
+        let (hits, misses) = cache_stats();
+        assert!(hits >= after_hit.hits.saturating_sub(1));
+        assert!(misses >= after_hit.misses.saturating_sub(1));
     }
 
     #[test]

@@ -33,7 +33,7 @@ use crate::likelihood::maximize_ln_p;
 use crate::window::SampleWindow;
 use crate::DetectError;
 use simcore::dist::{Exponential, Sample};
-use simcore::par::{par_map_range, Jobs};
+use simcore::par::{par_map_range, Jobs, ParSpan};
 use simcore::rng::SimRng;
 use simcore::stats::Histogram;
 
@@ -195,6 +195,35 @@ impl ThresholdTable {
         Ok(ThresholdTable { config, entries })
     }
 
+    /// [`Self::calibrate_jobs`] with span profiling: enables the
+    /// parallel engine's worker profiling around the calibration and
+    /// returns the recorded [`ParSpan`]s (per-worker wall time and item
+    /// counts) alongside the table.
+    ///
+    /// Profiling is a process-global switch; spans recorded by other
+    /// concurrently profiled loops may appear in the result, and any
+    /// un-collected spans pending beforehand are discarded. The
+    /// calibration *result* is unaffected — identical to
+    /// [`Self::calibrate_jobs`] bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::calibrate`].
+    pub fn calibrate_profiled(
+        ratios: &[f64],
+        config: CalibrationConfig,
+        rng: &mut SimRng,
+        jobs: Jobs,
+    ) -> Result<(Self, Vec<ParSpan>), DetectError> {
+        let was_enabled = simcore::par::profiling_enabled();
+        simcore::par::set_profiling(true);
+        let _ = simcore::par::take_spans();
+        let result = Self::calibrate_jobs(ratios, config, rng, jobs);
+        let spans = simcore::par::take_spans();
+        simcore::par::set_profiling(was_enabled);
+        result.map(|table| (table, spans))
+    }
+
     /// The calibration configuration this table was built with.
     #[must_use]
     pub fn config(&self) -> CalibrationConfig {
@@ -337,6 +366,34 @@ mod tests {
                 "ratio {r}: threshold {t} should exceed the ln P ≈ 0 null mode"
             );
         }
+    }
+
+    #[test]
+    fn profiled_calibration_matches_plain_and_yields_spans() {
+        let config = quick_config();
+        let plain = ThresholdTable::calibrate_jobs(
+            &[0.5, 2.0],
+            config,
+            &mut SimRng::seed_from(11),
+            Jobs::Count(2),
+        )
+        .unwrap();
+        let (profiled, spans) = ThresholdTable::calibrate_profiled(
+            &[0.5, 2.0],
+            config,
+            &mut SimRng::seed_from(11),
+            Jobs::Count(2),
+        )
+        .unwrap();
+        assert_eq!(plain, profiled, "profiling must not perturb the table");
+        let span = spans
+            .iter()
+            .find(|s| s.items == 2 * config.trials)
+            .expect("the calibration loop was profiled");
+        assert_eq!(
+            span.workers.iter().map(|w| w.items).sum::<usize>(),
+            span.items
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! those samples.
 
 use crate::calibrate::{default_ratios, CalibrationConfig, ThresholdTable};
-use crate::estimator::{RateChange, RateEstimator};
+use crate::estimator::{DetectionStat, RateChange, RateEstimator};
 use crate::likelihood::maximize_ln_p;
 use crate::window::SampleWindow;
 use crate::DetectError;
@@ -64,6 +64,7 @@ pub struct ChangePointDetector {
     check_interval: usize,
     k_step: usize,
     since_check: usize,
+    last_stat: Option<DetectionStat>,
 }
 
 impl ChangePointDetector {
@@ -145,6 +146,7 @@ impl ChangePointDetector {
             check_interval,
             since_check: 0,
             window,
+            last_stat: None,
         })
     }
 
@@ -169,20 +171,29 @@ impl ChangePointDetector {
     }
 
     fn run_test(&mut self) -> Option<RateChange> {
-        let mut best: Option<(f64, usize)> = None; // (margin, tail_len)
+        // (margin, tail_len, statistic of the winning candidate)
+        let mut best: Option<(f64, usize, DetectionStat)> = None;
         for &(ratio, threshold) in self.table.entries() {
             let candidate = maximize_ln_p(&self.window, self.rate, self.rate * ratio, self.k_step);
             let margin = candidate.ln_p_max - threshold;
-            if margin > 0.0 && best.is_none_or(|(m, _)| margin > m) {
-                best = Some((margin, candidate.tail_len));
+            if margin > 0.0 && best.is_none_or(|(m, _, _)| margin > m) {
+                best = Some((
+                    margin,
+                    candidate.tail_len,
+                    DetectionStat {
+                        ln_p_max: candidate.ln_p_max,
+                        threshold,
+                    },
+                ));
             }
         }
-        let (_, tail_len) = best?;
+        let (_, tail_len, stat) = best?;
         // Maximum-likelihood re-estimate from the post-change samples; the
         // candidate grid located the change, the tail MLE refines the rate.
         let new_rate = self.window.suffix_rate(tail_len);
         self.window.retain_last(tail_len);
         self.rate = new_rate;
+        self.last_stat = Some(stat);
         Some(RateChange {
             new_rate,
             samples_since_change: tail_len,
@@ -216,10 +227,15 @@ impl RateEstimator for ChangePointDetector {
         self.rate = initial_rate;
         self.window.clear();
         self.since_check = 0;
+        self.last_stat = None;
     }
 
     fn name(&self) -> &'static str {
         "change-point"
+    }
+
+    fn last_detection_stat(&self) -> Option<DetectionStat> {
+        self.last_stat
     }
 }
 
@@ -282,6 +298,24 @@ mod tests {
             "final rate {}",
             det.current_rate()
         );
+    }
+
+    #[test]
+    fn detection_statistic_is_exposed_after_a_change() {
+        let mut det = ChangePointDetector::new(10.0, quick_config()).unwrap();
+        assert_eq!(det.last_detection_stat(), None, "no detection yet");
+        let mut rng = SimRng::seed_from(9);
+        feed_exponential(&mut det, 10.0, 300, &mut rng);
+        let changes = feed_exponential(&mut det, 60.0, 120, &mut rng);
+        assert!(!changes.is_empty());
+        let stat = det.last_detection_stat().expect("detection leaves a stat");
+        assert!(
+            stat.ln_p_max > stat.threshold,
+            "winning candidate cleared its threshold: {stat:?}"
+        );
+        assert!(stat.threshold > 0.0);
+        det.reset(10.0);
+        assert_eq!(det.last_detection_stat(), None, "reset clears the stat");
     }
 
     #[test]

@@ -16,6 +16,16 @@ pub struct RateChange {
     pub samples_since_change: usize,
 }
 
+/// The test statistic behind an estimator's most recent change report,
+/// exposed for tracing and diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionStat {
+    /// Peak log-likelihood ratio over the candidate change points.
+    pub ln_p_max: f64,
+    /// The calibrated threshold the statistic cleared.
+    pub threshold: f64,
+}
+
 /// An online rate estimator over a stream of positive samples.
 ///
 /// Object safe: the power manager stores `Box<dyn RateEstimator>`.
@@ -34,6 +44,13 @@ pub trait RateEstimator {
 
     /// A short human-readable name for experiment tables.
     fn name(&self) -> &'static str;
+
+    /// The statistic behind the most recent change this estimator
+    /// reported, when the strategy computes one. Smoothing and oracle
+    /// estimators return `None` (the default).
+    fn last_detection_stat(&self) -> Option<DetectionStat> {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -65,5 +82,6 @@ mod tests {
         est.reset(20.0);
         assert_eq!(est.current_rate(), 20.0);
         assert_eq!(est.name(), "fixed");
+        assert_eq!(est.last_detection_stat(), None, "default has no statistic");
     }
 }

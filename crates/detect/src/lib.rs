@@ -88,7 +88,7 @@ pub mod window;
 
 pub use changepoint::{ChangePointConfig, ChangePointDetector};
 pub use ema::EmaEstimator;
-pub use estimator::{RateChange, RateEstimator};
+pub use estimator::{DetectionStat, RateChange, RateEstimator};
 
 use std::error::Error;
 use std::fmt;

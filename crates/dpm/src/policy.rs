@@ -28,6 +28,16 @@ impl SleepState {
             SleepState::Off => hardware::PowerState::Off,
         }
     }
+
+    /// Stable lowercase label, identical to the simulator report's mode
+    /// keys and the trace layer's sleep-state wire names.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SleepState::Standby => "standby",
+            SleepState::Off => "off",
+        }
+    }
 }
 
 /// A schedule of sleep transitions for one idle period: command
@@ -192,5 +202,13 @@ mod tests {
     fn trait_is_object_safe() {
         let mut p: Box<dyn DpmPolicy> = Box::new(NoSleep::new());
         let _ = p.plan_idle(&mut SimRng::seed_from(0));
+    }
+
+    #[test]
+    fn sleep_state_labels_match_report_mode_keys() {
+        // The contract the trace wire format and the report's mode map
+        // both rely on: one lowercase name per sleep state, forever.
+        assert_eq!(SleepState::Standby.label(), "standby");
+        assert_eq!(SleepState::Off.label(), "off");
     }
 }

@@ -83,7 +83,14 @@ pub fn service_rate_for_delay(arrival_rate: f64, target_delay: f64) -> Result<f6
 /// Returns an error if either rate is invalid or the queue is unstable.
 pub fn prob_more_than(arrival_rate: f64, service_rate: f64, n: usize) -> Result<f64, QueueError> {
     let rho = utilization(arrival_rate, service_rate)?;
-    Ok(rho.powi(n as i32 + 1))
+    // `n as i32` wraps for n > i32::MAX, which would flip the exponent
+    // sign and report a tail probability *above* smaller-n values. Keep
+    // the exact integer power where it fits and fall back to `powf`
+    // (monotone, exact enough at such extremes) otherwise.
+    match i32::try_from(n) {
+        Ok(i) if i < i32::MAX => Ok(rho.powi(i + 1)),
+        _ => Ok(rho.powf(n as f64 + 1.0)),
+    }
 }
 
 fn check_stable(arrival_rate: f64, service_rate: f64) -> Result<(f64, f64), QueueError> {
@@ -177,6 +184,31 @@ mod tests {
         let p2 = prob_more_than(20.0, 30.0, 2).unwrap();
         let rho = utilization(20.0, 30.0).unwrap();
         assert!((p2 / p1 - rho).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_tail_handles_huge_n_without_wrapping() {
+        // Pre-fix, `n as i32` wrapped: n = i32::MAX as usize gave the
+        // exponent i32::MIN, so ρ^(n+1) came back *huge* instead of ~0.
+        let rho = utilization(20.0, 30.0).unwrap();
+        for n in [
+            i32::MAX as usize - 1,
+            i32::MAX as usize,
+            i32::MAX as usize + 1,
+            u32::MAX as usize,
+            usize::MAX,
+        ] {
+            let p = prob_more_than(20.0, 30.0, n).unwrap();
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "P(N > {n}) = {p} must be a probability"
+            );
+            assert!(p <= rho, "tail must keep decaying, got {p} for n = {n}");
+        }
+        // Monotonicity across the powi→powf switchover.
+        let before = prob_more_than(20.0, 30.0, i32::MAX as usize - 2).unwrap();
+        let after = prob_more_than(20.0, 30.0, i32::MAX as usize + 2).unwrap();
+        assert!(after <= before);
     }
 
     #[test]

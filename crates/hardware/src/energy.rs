@@ -52,6 +52,12 @@ impl EnergyMeter {
 
     /// Records wall-clock progress without attributing energy; used so the
     /// meter can report average power over the full run.
+    ///
+    /// The simulator drives this from the *same* accounting intervals
+    /// that feed its metrics registry, so the meter's clock is a
+    /// float-accumulated view of that single source of truth (the
+    /// registry keeps integer nanoseconds); the simulator cross-checks
+    /// the two at the end of every run.
     pub fn advance_time(&mut self, dt: SimDuration) {
         self.elapsed_secs += dt.as_secs_f64();
     }

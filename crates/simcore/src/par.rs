@@ -37,8 +37,9 @@
 //! assert_eq!(seq, par); // bit-identical at any thread count
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
 
 /// Requested degree of parallelism for a parallel loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +90,63 @@ pub fn default_jobs() -> usize {
     }
 }
 
+/// One worker's share of a profiled parallel loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerSpan {
+    /// Worker index within the loop, `0..threads`.
+    pub worker: usize,
+    /// Number of items this worker claimed and processed.
+    pub items: usize,
+    /// Wall time the worker spent inside the loop, nanoseconds.
+    pub busy_ns: u64,
+}
+
+/// A span-style profile of one parallel loop execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParSpan {
+    /// Worker threads the loop ran with (1 = inline sequential path).
+    pub threads: usize,
+    /// Total items mapped.
+    pub items: usize,
+    /// End-to-end wall time of the loop, nanoseconds.
+    pub wall_ns: u64,
+    /// Per-worker activity, ordered by worker index.
+    pub workers: Vec<WorkerSpan>,
+}
+
+/// Whether parallel loops record [`ParSpan`]s. Off by default; the
+/// disabled cost is a single relaxed atomic load per loop.
+static PROFILING: AtomicBool = AtomicBool::new(false);
+static SPANS: OnceLock<Mutex<Vec<ParSpan>>> = OnceLock::new();
+
+fn span_store() -> &'static Mutex<Vec<ParSpan>> {
+    SPANS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Enables or disables span profiling of parallel loops process-wide.
+///
+/// Profiling observes wall-clock time only — it never changes loop
+/// results, which stay bit-identical at any thread count either way.
+pub fn set_profiling(enabled: bool) {
+    PROFILING.store(enabled, Ordering::Relaxed);
+}
+
+/// `true` if span profiling is currently enabled.
+#[must_use]
+pub fn profiling_enabled() -> bool {
+    PROFILING.load(Ordering::Relaxed)
+}
+
+/// Drains and returns every span recorded since the last call.
+#[must_use]
+pub fn take_spans() -> Vec<ParSpan> {
+    std::mem::take(&mut *span_store().lock().expect("span store poisoned"))
+}
+
+fn record_span(span: ParSpan) {
+    span_store().lock().expect("span store poisoned").push(span);
+}
+
 /// Maps `f` over `items` on a scoped-thread job pool, returning results
 /// in item order.
 ///
@@ -112,25 +170,70 @@ where
 {
     let n = items.len();
     let threads = jobs.resolve().min(n);
+    let profile = PROFILING.load(Ordering::Relaxed);
+    let loop_start = profile.then(Instant::now);
     if threads <= 1 {
-        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        let out: Vec<R> = items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        if let Some(t0) = loop_start {
+            let busy_ns = t0.elapsed().as_nanos() as u64;
+            record_span(ParSpan {
+                threads: 1,
+                items: n,
+                wall_ns: busy_ns,
+                workers: vec![WorkerSpan {
+                    worker: 0,
+                    items: n,
+                    busy_ns,
+                }],
+            });
+        }
+        return out;
     }
     // One slot per item: workers race only on *claiming* indices, never
     // on where a result lands, so assembly is scheduling-independent.
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+    let worker_spans: Mutex<Vec<WorkerSpan>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+        for worker in 0..threads {
+            let (slots, next, f, worker_spans) = (&slots, &next, &f, &worker_spans);
+            scope.spawn(move || {
+                let worker_start = profile.then(Instant::now);
+                let mut claimed = 0usize;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(i, &items[i]);
+                    *slots[i].lock().expect("result slot poisoned") = Some(r);
+                    claimed += 1;
                 }
-                let r = f(i, &items[i]);
-                *slots[i].lock().expect("result slot poisoned") = Some(r);
+                if let Some(t0) = worker_start {
+                    worker_spans
+                        .lock()
+                        .expect("worker span list poisoned")
+                        .push(WorkerSpan {
+                            worker,
+                            items: claimed,
+                            busy_ns: t0.elapsed().as_nanos() as u64,
+                        });
+                }
             });
         }
     });
+    if let Some(t0) = loop_start {
+        let mut workers = worker_spans
+            .into_inner()
+            .expect("worker span list poisoned");
+        workers.sort_by_key(|w| w.worker);
+        record_span(ParSpan {
+            threads,
+            items: n,
+            wall_ns: t0.elapsed().as_nanos() as u64,
+            workers,
+        });
+    }
     slots
         .into_iter()
         .map(|m| {
@@ -220,6 +323,41 @@ mod tests {
         } else {
             before
         });
+    }
+
+    #[test]
+    fn profiling_records_spans_without_changing_results() {
+        let work = |i: usize| -> f64 {
+            let mut rng = SimRng::seed_from(7).fork_indexed("span-test", i as u64);
+            (0..50).map(|_| rng.next_f64()).sum()
+        };
+        let baseline = par_map_range(Jobs::Count(3), 64, work);
+        set_profiling(true);
+        let profiled = par_map_range(Jobs::Count(3), 64, work);
+        let sequential = par_map_range(Jobs::Count(1), 64, work);
+        set_profiling(false);
+        let spans = take_spans();
+        assert_eq!(baseline, profiled, "profiling must not perturb results");
+        assert_eq!(baseline, sequential);
+        // Other tests may run concurrently; find our spans by shape.
+        let par_span = spans
+            .iter()
+            .find(|s| s.threads == 3 && s.items == 64)
+            .expect("parallel span recorded");
+        assert_eq!(par_span.workers.len(), 3);
+        assert_eq!(par_span.workers.iter().map(|w| w.items).sum::<usize>(), 64);
+        assert!(par_span
+            .workers
+            .windows(2)
+            .all(|w| w[0].worker < w[1].worker));
+        let seq_span = spans
+            .iter()
+            .find(|s| s.threads == 1 && s.items == 64)
+            .expect("sequential span recorded");
+        assert_eq!(seq_span.workers.len(), 1);
+        // Disabled again: no further spans accumulate.
+        let _ = par_map_range(Jobs::Count(2), 8, |i| i);
+        assert!(!take_spans().iter().any(|s| s.items == 8 && s.threads == 2));
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Structured event tracing and metrics for the DVS/DPM simulator.
+//!
+//! The paper's claims (Simunic et al., DAC 2001) are *time-series*
+//! claims — frequency trajectories tracking arrival-rate changes,
+//! idle-interval distributions driving shutdown decisions — but an
+//! end-of-run report only shows their averages. This crate adds the
+//! observability layer underneath the simulator:
+//!
+//! * [`Event`] — a typed, `Copy`, allocation-free event vocabulary
+//!   covering frequency/voltage switches, rate-change detections (with
+//!   the change-point statistic and threshold), sleep/wake transitions,
+//!   buffer drops, supervisor degradations, and frame completions,
+//!   each stamped with a [`simcore::time::SimTime`];
+//! * [`TraceSink`] — where events go: [`NullSink`] (overhead baseline),
+//!   [`RingSink`] (preallocated, most-recent-N), [`JsonlSink`] (one
+//!   JSON object per line), [`FilteredSink`] (kind mask);
+//! * [`MetricsRegistry`] — named counters/gauges/time-weighted series
+//!   the simulator's report is assembled from, with residency kept in
+//!   integer nanoseconds so trace replay reconstructs it bit-exactly;
+//! * [`replay`] — rebuilds the run aggregates from a parsed event
+//!   stream alone (the `tracecat` CLI's engine).
+//!
+//! The crate depends only on `simcore` (the workspace builds offline).
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod registry;
+pub mod replay;
+pub mod sink;
+
+pub use event::{Event, EventKind, KindSet, SleepKind, StreamKind, TraceMode};
+pub use registry::{ns_to_secs, MetricsRegistry};
+pub use replay::{replay, ReplaySummary};
+pub use sink::{FilteredSink, JsonlSink, NullSink, RingSink, TraceSink};
+
+use simcore::json::Json;
+
+/// Parses a JSONL trace (one event object per non-empty line).
+///
+/// # Errors
+///
+/// Returns `"line N: <cause>"` for the first malformed line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let json = Json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let event = Event::from_json(&json).map_err(|e| format!("line {}: {e}", i + 1))?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::json::ToJson;
+    use simcore::time::SimTime;
+
+    #[test]
+    fn parse_jsonl_round_trips_a_stream() {
+        let events = vec![
+            Event::RunStart { at: SimTime::ZERO },
+            Event::FrameDone {
+                at: SimTime::from_nanos(10),
+                delay_s: 1.5e-9,
+                freq_tenths_mhz: 591,
+            },
+            Event::RunEnd {
+                at: SimTime::from_nanos(20),
+            },
+        ];
+        let mut text = String::new();
+        for ev in &events {
+            text.push_str(&ev.to_json().dump());
+            text.push('\n');
+        }
+        text.push('\n'); // trailing blank line is tolerated
+        assert_eq!(parse_jsonl(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn parse_jsonl_reports_the_offending_line() {
+        let err = parse_jsonl("{\"kind\":\"run_start\",\"t\":0}\nnot json\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+}

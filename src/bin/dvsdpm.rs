@@ -6,10 +6,14 @@
 //! dvsdpm run --workload mp3:ACEFBD --governor change-point --dpm tismdp --seed 42
 //! dvsdpm run --workload mpeg:football --governor ideal --dpm none --json report.json
 //! dvsdpm run --workload session --governor max --dpm renewal
+//! dvsdpm run --workload mp3:A --trace out.jsonl --trace-filter freq,sleep
 //! dvsdpm list
 //! ```
 //!
 //! `list` prints the available workloads, governors and DPM policies.
+//! `--trace <path>` records every structured simulator event as JSONL;
+//! `--trace-filter <kinds>` restricts it to a comma-separated list of
+//! event kinds. Inspect the result with the companion `tracecat` tool.
 
 use dpm::policy::SleepState;
 use faults::{
@@ -20,6 +24,7 @@ use powermgr::scenario;
 use powermgr::SimReport;
 use simcore::rng::SimRng;
 use std::process::ExitCode;
+use trace::{FilteredSink, JsonlSink, KindSet, TraceSink};
 
 /// Parsed command-line request.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +39,10 @@ struct RunArgs {
     /// `None` = machine default. Never affects results, only wall-clock:
     /// the parallel engine is bit-deterministic at any thread count.
     jobs: Option<usize>,
+    /// Write a structured JSONL event trace to this path.
+    trace: Option<String>,
+    /// Restrict the trace to these event kinds (requires `--trace`).
+    trace_filter: Option<KindSet>,
 }
 
 /// Named fault-injection presets selectable from the command line.
@@ -198,6 +207,8 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
     let mut faults = FaultPreset::Off;
     let mut json = None;
     let mut jobs = None;
+    let mut trace_path = None;
+    let mut trace_filter = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -225,8 +236,13 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
                         .ok_or_else(|| format!("--jobs expects a positive integer, got `{v}`"))?,
                 );
             }
+            "--trace" => trace_path = Some(value("--trace")?),
+            "--trace-filter" => trace_filter = Some(KindSet::parse(&value("--trace-filter")?)?),
             other => return Err(format!("unknown flag `{other}`")),
         }
+    }
+    if trace_filter.is_some() && trace_path.is_none() {
+        return Err("--trace-filter requires --trace".to_owned());
     }
     Ok(RunArgs {
         workload: workload.ok_or("missing --workload")?,
@@ -236,6 +252,8 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
         faults,
         json,
         jobs,
+        trace: trace_path,
+        trace_filter,
     })
 }
 
@@ -259,10 +277,33 @@ fn execute(run: &RunArgs) -> Result<SimReport, String> {
         buffer_capacity,
         ..SystemConfig::default()
     };
-    let report = match &run.workload {
-        Workload::Mp3(labels) => scenario::run_mp3_sequence(labels, &config, run.seed),
-        Workload::Mpeg(clip) => scenario::run_mpeg_clip(clip, &config, run.seed),
-        Workload::Session => scenario::run_session(&config, run.seed),
+    let report = match &run.trace {
+        None => match &run.workload {
+            Workload::Mp3(labels) => scenario::run_mp3_sequence(labels, &config, run.seed),
+            Workload::Mpeg(clip) => scenario::run_mpeg_clip(clip, &config, run.seed),
+            Workload::Session => scenario::run_session(&config, run.seed),
+        },
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("cannot create trace file {path}: {e}"))?;
+            let jsonl = JsonlSink::new(std::io::BufWriter::new(file));
+            let mut sink: Box<dyn TraceSink> = match run.trace_filter {
+                Some(keep) => Box::new(FilteredSink::new(jsonl, keep)),
+                None => Box::new(jsonl),
+            };
+            let report = match &run.workload {
+                Workload::Mp3(labels) => {
+                    scenario::run_mp3_sequence_traced(labels, &config, run.seed, sink.as_mut())
+                }
+                Workload::Mpeg(clip) => {
+                    scenario::run_mpeg_clip_traced(clip, &config, run.seed, sink.as_mut())
+                }
+                Workload::Session => scenario::run_session_traced(&config, run.seed, sink.as_mut()),
+            };
+            sink.finish()
+                .map_err(|e| format!("trace write to {path} failed: {e}"))?;
+            report
+        }
     };
     report.map_err(|e| e.to_string())
 }
@@ -280,6 +321,9 @@ fn print_list() {
     println!("           (presets enable the degradation supervisor + 64-frame buffer)");
     println!("jobs     : --jobs <n> worker threads for threshold calibration");
     println!("           (default: all cores; results are identical for any value)");
+    println!("trace    : --trace <path> structured JSONL event trace");
+    println!("           --trace-filter <kinds> comma list of");
+    println!("           run|mode|freq|rate|sleep|wake|drop|degrade|frame");
 }
 
 fn main() -> ExitCode {
@@ -315,7 +359,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: dvsdpm run --workload <w> [--governor <g>] [--dpm <d>] [--seed <n>] [--faults <preset>] [--json <path>] [--jobs <n>]");
+            eprintln!("usage: dvsdpm run --workload <w> [--governor <g>] [--dpm <d>] [--seed <n>] [--faults <preset>] [--json <path>] [--jobs <n>] [--trace <path>] [--trace-filter <kinds>]");
             eprintln!("       dvsdpm list");
             ExitCode::FAILURE
         }
@@ -386,6 +430,8 @@ mod tests {
             faults: FaultPreset::Wlan,
             json: None,
             jobs: None,
+            trace: None,
+            trace_filter: None,
         };
         let report = execute(&run).unwrap();
         assert!(!report.robustness.is_quiet());
@@ -435,8 +481,69 @@ mod tests {
             faults: FaultPreset::Off,
             json: None,
             jobs: None,
+            trace: None,
+            trace_filter: None,
         };
         let report = execute(&run).unwrap();
         assert!(report.frames_completed > 1000);
+    }
+
+    #[test]
+    fn parses_trace_flags() {
+        let run = parse_run(&strs(&[
+            "--workload",
+            "session",
+            "--trace",
+            "out.jsonl",
+            "--trace-filter",
+            "freq,sleep",
+        ]))
+        .unwrap();
+        assert_eq!(run.trace.as_deref(), Some("out.jsonl"));
+        let keep = run.trace_filter.unwrap();
+        assert!(keep.contains(trace::EventKind::Freq));
+        assert!(keep.contains(trace::EventKind::Sleep));
+        assert!(!keep.contains(trace::EventKind::Frame));
+        // A filter without a destination is meaningless.
+        assert!(parse_run(&strs(&["--workload", "session", "--trace-filter", "freq"])).is_err());
+        assert!(parse_run(&strs(&[
+            "--workload",
+            "session",
+            "--trace",
+            "t.jsonl",
+            "--trace-filter",
+            "freq,unicorns"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn traced_execution_writes_replayable_jsonl() {
+        let path = std::env::temp_dir().join("dvsdpm-cli-trace-test.jsonl");
+        let run = RunArgs {
+            workload: Workload::Mp3("A".to_owned()),
+            governor: GovernorKind::Ideal,
+            dpm: DpmKind::BreakEven {
+                state: SleepState::Standby,
+            },
+            seed: 3,
+            faults: FaultPreset::Off,
+            json: None,
+            jobs: None,
+            trace: Some(path.to_string_lossy().into_owned()),
+            trace_filter: None,
+        };
+        let report = execute(&run).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let events = trace::parse_jsonl(&text).unwrap();
+        let summary = trace::replay(&events);
+        assert_eq!(summary.frames_completed, report.frames_completed);
+        assert_eq!(summary.freq_switches, report.freq_switches);
+        assert_eq!(summary.sleeps, report.sleeps);
+        assert_eq!(
+            summary.duration_secs().to_bits(),
+            report.duration_secs.to_bits()
+        );
     }
 }

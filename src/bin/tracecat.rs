@@ -1,0 +1,377 @@
+//! `tracecat` — inspect and replay `dvsdpm` JSONL event traces.
+//!
+//! ```text
+//! tracecat summary trace.jsonl
+//! tracecat filter --kinds freq,sleep trace.jsonl
+//! tracecat freq-table trace.jsonl
+//! tracecat replay [--json] [--check report.json] trace.jsonl
+//! ```
+//!
+//! * `summary` — event counts by kind and the covered time range.
+//! * `filter` — re-emit only the listed event kinds as JSONL on stdout.
+//! * `freq-table` — the paper's Figure 6 view reconstructed from events
+//!   alone: every frequency transition with its timestamp, plus the
+//!   per-frequency decode residency.
+//! * `replay` — integrate the events into run aggregates
+//!   ([`trace::ReplaySummary`]); with `--check`, compare them against a
+//!   `SimReport` JSON written by `dvsdpm run --json` and exit non-zero
+//!   on any mismatch. Counters must match exactly and residency times
+//!   bit-for-bit — the simulator and the replay share the same
+//!   integer-nanosecond accumulation.
+
+use simcore::json::{Json, ToJson};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use trace::{parse_jsonl, replay, Event, KindSet, ReplaySummary};
+
+fn load(path: &str) -> Result<Vec<Event>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_summary(events: &[Event]) {
+    let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for ev in events {
+        *by_kind.entry(ev.name()).or_insert(0) += 1;
+    }
+    println!("events: {}", events.len());
+    for (name, count) in &by_kind {
+        println!("  {name:<12} {count}");
+    }
+    if let (Some(first), Some(last)) = (events.first(), events.last()) {
+        println!(
+            "span  : {:.6} s .. {:.6} s",
+            first.at().as_secs_f64(),
+            last.at().as_secs_f64()
+        );
+    }
+    let s = replay(events);
+    for (mode, secs) in s.mode_secs() {
+        println!("mode  : {:<8} {secs:.6} s", mode.label());
+    }
+}
+
+fn cmd_filter(events: &[Event], keep: KindSet) {
+    for ev in events {
+        if keep.contains(ev.kind()) {
+            println!("{}", ev.to_json().dump());
+        }
+    }
+}
+
+/// Prints the Figure 6 view: the decode frequency each time it changes,
+/// reconstructed purely from `decode_start` and `freq_switch` events.
+fn cmd_freq_table(events: &[Event]) {
+    println!("{:>12}  {:>10}", "t_s", "freq_mhz");
+    let mut current: Option<u32> = None;
+    for ev in events {
+        let (at, tenths) = match *ev {
+            Event::DecodeStart {
+                at,
+                freq_tenths_mhz,
+            } => (at, freq_tenths_mhz),
+            Event::FreqSwitch {
+                at, to_tenths_mhz, ..
+            } => (at, to_tenths_mhz),
+            _ => continue,
+        };
+        if current != Some(tenths) {
+            println!(
+                "{:>12.6}  {:>10.1}",
+                at.as_secs_f64(),
+                f64::from(tenths) / 10.0
+            );
+            current = Some(tenths);
+        }
+    }
+    let s = replay(events);
+    println!();
+    println!("{:>10}  {:>14}", "freq_mhz", "decode_secs");
+    for (tenths, secs) in s.freq_secs() {
+        println!("{:>10.1}  {secs:>14.6}", f64::from(tenths) / 10.0);
+    }
+}
+
+/// Compares a replayed summary against a `SimReport` JSON object and
+/// returns a human-readable line per mismatch (empty = consistent).
+fn check_against_report(summary: &ReplaySummary, report: &Json) -> Vec<String> {
+    let mut mismatches = Vec::new();
+    let counter = |name: &str| report.get(name).and_then(Json::as_u64);
+    let pairs: [(&str, u64); 5] = [
+        ("frames_completed", summary.frames_completed),
+        ("freq_switches", summary.freq_switches),
+        ("rate_changes", summary.rate_changes),
+        ("sleeps", summary.sleeps),
+        ("wakes", summary.wakes),
+    ];
+    for (name, replayed) in pairs {
+        match counter(name) {
+            Some(reported) if reported == replayed => {}
+            got => mismatches.push(format!("{name}: trace {replayed}, report {got:?}")),
+        }
+    }
+    let duration = report.get("duration_secs").and_then(Json::as_f64);
+    if duration != Some(summary.duration_secs()) {
+        mismatches.push(format!(
+            "duration_secs: trace {}, report {duration:?}",
+            summary.duration_secs()
+        ));
+    }
+    let mean = report
+        .get("frame_delays")
+        .and_then(|d| d.get("mean"))
+        .and_then(Json::as_f64);
+    if mean != Some(summary.delays.mean()) {
+        mismatches.push(format!(
+            "mean frame delay: trace {}, report {mean:?}",
+            summary.delays.mean()
+        ));
+    }
+    let modes = summary.mode_secs();
+    if let Some(Json::Obj(entries)) = report.get("mode_secs") {
+        for (label, value) in entries {
+            let reported = value.as_f64();
+            let replayed = modes
+                .iter()
+                .find(|(m, _)| m.label() == label)
+                .map(|(_, &s)| s);
+            if reported != replayed {
+                mismatches.push(format!(
+                    "mode_secs[{label}]: trace {replayed:?}, report {reported:?}"
+                ));
+            }
+        }
+    }
+    let freqs = summary.freq_secs();
+    if let Some(Json::Obj(entries)) = report.get("freq_residency") {
+        for (key, value) in entries {
+            let replayed = key.parse::<u32>().ok().and_then(|k| freqs.get(&k).copied());
+            if value.as_f64() != replayed {
+                mismatches.push(format!(
+                    "freq_residency[{key}]: trace {replayed:?}, report {:?}",
+                    value.as_f64()
+                ));
+            }
+        }
+    }
+    mismatches
+}
+
+fn cmd_replay(events: &[Event], as_json: bool, check: Option<&str>) -> Result<(), String> {
+    let summary = replay(events);
+    if as_json {
+        println!("{}", summary.to_json().pretty());
+    } else {
+        println!(
+            "frames {} | switches {} | rate changes {} | sleeps {} | wakes {} | {:.3} s",
+            summary.frames_completed,
+            summary.freq_switches,
+            summary.rate_changes,
+            summary.sleeps,
+            summary.wakes,
+            summary.duration_secs()
+        );
+        for (mode, secs) in summary.mode_secs() {
+            println!("  {:<8} {secs:.6} s", mode.label());
+        }
+    }
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let report = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        let mismatches = check_against_report(&summary, &report);
+        if mismatches.is_empty() {
+            println!("[check] trace is consistent with {path}");
+        } else {
+            for m in &mismatches {
+                eprintln!("[check] MISMATCH {m}");
+            }
+            return Err(format!(
+                "trace disagrees with {path} on {} aggregate(s)",
+                mismatches.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn usage() -> &'static str {
+    "usage: tracecat summary <trace.jsonl>\n       \
+     tracecat filter --kinds <k1,k2,...> <trace.jsonl>\n       \
+     tracecat freq-table <trace.jsonl>\n       \
+     tracecat replay [--json] [--check <report.json>] <trace.jsonl>"
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("summary") => {
+            let [path] = &args[1..] else {
+                return Err(usage().to_owned());
+            };
+            cmd_summary(&load(path)?);
+            Ok(())
+        }
+        Some("filter") => match &args[1..] {
+            [kinds_flag, kinds, path] if kinds_flag == "--kinds" => {
+                cmd_filter(&load(path)?, KindSet::parse(kinds)?);
+                Ok(())
+            }
+            _ => Err(usage().to_owned()),
+        },
+        Some("freq-table") => {
+            let [path] = &args[1..] else {
+                return Err(usage().to_owned());
+            };
+            cmd_freq_table(&load(path)?);
+            Ok(())
+        }
+        Some("replay") => {
+            let mut as_json = false;
+            let mut check = None;
+            let mut path = None;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--json" => as_json = true,
+                    "--check" => {
+                        check = Some(
+                            it.next()
+                                .cloned()
+                                .ok_or_else(|| "--check needs a report path".to_owned())?,
+                        );
+                    }
+                    other if path.is_none() && !other.starts_with("--") => {
+                        path = Some(other.to_owned());
+                    }
+                    other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
+                }
+            }
+            let path = path.ok_or_else(|| usage().to_owned())?;
+            cmd_replay(&load(&path)?, as_json, check.as_deref())
+        }
+        _ => Err(usage().to_owned()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::time::{SimDuration, SimTime};
+    use trace::SleepKind;
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::RunStart { at: t(0) },
+            Event::IdleEnter { at: t(0) },
+            Event::DecodeStart {
+                at: t(1_000),
+                freq_tenths_mhz: 2212,
+            },
+            Event::FrameDone {
+                at: t(3_000),
+                delay_s: 2e-6,
+                freq_tenths_mhz: 2212,
+            },
+            Event::IdleEnter { at: t(3_000) },
+            Event::SleepEnter {
+                at: t(5_000),
+                state: SleepKind::Standby,
+            },
+            Event::WakeStart {
+                at: t(8_000),
+                latency: SimDuration::from_nanos(500),
+            },
+            Event::IdleEnter { at: t(8_500) },
+            Event::RunEnd { at: t(10_000) },
+        ]
+    }
+
+    #[test]
+    fn check_accepts_a_consistent_report() {
+        let summary = replay(&sample_events());
+        // A minimal SimReport-shaped JSON carrying exactly the replayed
+        // aggregates must produce no mismatches.
+        let report = Json::obj(vec![
+            ("frames_completed".into(), 1u64.to_json()),
+            ("freq_switches".into(), 0u64.to_json()),
+            ("rate_changes".into(), 0u64.to_json()),
+            ("sleeps".into(), 1u64.to_json()),
+            ("wakes".into(), 1u64.to_json()),
+            ("duration_secs".into(), summary.duration_secs().to_json()),
+            (
+                "frame_delays".into(),
+                Json::obj(vec![("mean".into(), summary.delays.mean().to_json())]),
+            ),
+            (
+                "mode_secs".into(),
+                Json::obj(
+                    summary
+                        .mode_secs()
+                        .into_iter()
+                        .map(|(m, s)| (m.label().to_owned(), s.to_json()))
+                        .collect(),
+                ),
+            ),
+            (
+                "freq_residency".into(),
+                Json::obj(
+                    summary
+                        .freq_secs()
+                        .into_iter()
+                        .map(|(k, s)| (k.to_string(), s.to_json()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        assert_eq!(
+            check_against_report(&summary, &report),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn check_flags_counter_and_residency_drift() {
+        let summary = replay(&sample_events());
+        let report = Json::obj(vec![
+            ("frames_completed".into(), 2u64.to_json()),
+            ("freq_switches".into(), 0u64.to_json()),
+            ("rate_changes".into(), 0u64.to_json()),
+            ("sleeps".into(), 1u64.to_json()),
+            ("wakes".into(), 1u64.to_json()),
+            ("duration_secs".into(), summary.duration_secs().to_json()),
+            (
+                "mode_secs".into(),
+                Json::obj(vec![("decoding".into(), 123.0.to_json())]),
+            ),
+        ]);
+        let mismatches = check_against_report(&summary, &report);
+        assert!(mismatches.iter().any(|m| m.contains("frames_completed")));
+        assert!(mismatches.iter().any(|m| m.contains("mode_secs[decoding]")));
+        // The absent frame_delays object also counts as a mismatch.
+        assert!(mismatches.iter().any(|m| m.contains("mean frame delay")));
+    }
+
+    #[test]
+    fn cli_shape_is_validated() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["summarize".into()]).is_err());
+        assert!(run(&["summary".into()]).is_err());
+        assert!(run(&["filter".into(), "--kinds".into(), "freq".into()]).is_err());
+        assert!(run(&["replay".into(), "--check".into()]).is_err());
+        assert!(run(&["replay".into(), "/nonexistent/trace.jsonl".into()]).is_err());
+    }
+}

@@ -32,4 +32,5 @@ pub use framequeue;
 pub use hardware;
 pub use powermgr;
 pub use simcore;
+pub use trace;
 pub use workload;

@@ -182,6 +182,40 @@ fn simulation_report_is_bit_identical_across_job_counts() {
 }
 
 #[test]
+fn traced_run_is_byte_identical_across_job_counts() {
+    // Tracing rides on the simulation's deterministic event order, so
+    // the serialized JSONL stream — not just the report — must be
+    // byte-for-byte identical at any worker-thread count.
+    use simcore::par::set_default_jobs;
+    use trace::{JsonlSink, TraceSink};
+
+    let config = SystemConfig {
+        governor: GovernorKind::quick_change_point(),
+        dpm: DpmKind::Tismdp { delay_weight: 2.0 },
+        ..SystemConfig::default()
+    };
+    let traced_bytes = |jobs: usize| {
+        set_default_jobs(jobs);
+        let mut sink = JsonlSink::new(Vec::new());
+        let report = scenario::run_mp3_sequence_traced("A", &config, 18, &mut sink).expect("runs");
+        sink.finish().expect("in-memory write");
+        (sink.into_inner(), report)
+    };
+    let (bytes_1, report_1) = traced_bytes(1);
+    let (bytes_4, report_4) = traced_bytes(4);
+    set_default_jobs(0);
+    assert!(!bytes_1.is_empty());
+    assert_eq!(bytes_1, bytes_4, "traced JSONL differs between job counts");
+    use simcore::json::ToJson;
+    assert_eq!(report_1.to_json().dump(), report_4.to_json().dump());
+    // And the stream parses back into events that replay to the report.
+    let events = trace::parse_jsonl(&String::from_utf8(bytes_1).expect("utf8")).expect("parses");
+    let summary = trace::replay(&events);
+    assert_eq!(summary.frames_completed, report_1.frames_completed);
+    assert_eq!(summary.rate_changes, report_1.rate_changes);
+}
+
+#[test]
 fn rng_fork_isolation_across_subsystems() {
     // Adding draws on one fork must not disturb another — the property
     // that keeps experiments comparable when code changes.
