@@ -18,6 +18,10 @@ struct Row {
     workload: String,
     jobs: u64,
     cores: u64,
+    /// `true` when `jobs > cores`: the row's threads time-share the
+    /// available cores, so its speedup measures scheduling overhead,
+    /// not parallel scaling.
+    oversubscribed: bool,
     wall_ms: f64,
     speedup: f64,
 }
@@ -26,6 +30,7 @@ simcore::impl_to_json!(Row {
     workload,
     jobs,
     cores,
+    oversubscribed,
     wall_ms,
     speedup,
 });
@@ -42,8 +47,16 @@ fn main() {
         "Bench",
         "parallel engine speedup: threshold calibration and chaos sweep",
     );
-    let cores = simcore::par::available_jobs() as u64;
+    // Hardware parallelism straight from the OS, not from any process
+    // default that --jobs may have overridden.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) as u64;
     println!("[measuring jobs=1 baseline vs jobs={jobs} on {cores} core(s)]");
+    if jobs as u64 > cores {
+        println!(
+            "[warning: jobs={jobs} oversubscribes {cores} core(s); \
+             expect speedup ≈ 1.0 or below — the rows are annotated]"
+        );
+    }
     let mut rows = Vec::new();
 
     // Threshold calibration: the paper's offline characterization at the
@@ -69,6 +82,7 @@ fn main() {
         workload: "calibration".to_owned(),
         jobs: 1,
         cores,
+        oversubscribed: false,
         wall_ms: seq_ms,
         speedup: 1.0,
     });
@@ -76,6 +90,7 @@ fn main() {
         workload: "calibration".to_owned(),
         jobs: jobs as u64,
         cores,
+        oversubscribed: jobs as u64 > cores,
         wall_ms: par_ms,
         speedup: seq_ms / par_ms,
     });
@@ -92,6 +107,7 @@ fn main() {
         workload: "chaos_sweep".to_owned(),
         jobs: 1,
         cores,
+        oversubscribed: false,
         wall_ms: seq_ms,
         speedup: 1.0,
     });
@@ -99,6 +115,7 @@ fn main() {
         workload: "chaos_sweep".to_owned(),
         jobs: jobs as u64,
         cores,
+        oversubscribed: jobs as u64 > cores,
         wall_ms: par_ms,
         speedup: seq_ms / par_ms,
     });

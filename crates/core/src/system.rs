@@ -185,7 +185,11 @@ impl<'t> SystemSimulator<'t> {
             manager,
             rng: base_rng.fork("system"),
             injector,
-            queue: EventQueue::new(),
+            // The steady-state event population is small (next arrival,
+            // decode completion, a handful of sleep commands per idle
+            // plan), so a modest preallocation keeps the hot loop free
+            // of heap growth for any workload.
+            queue: EventQueue::with_capacity(32),
             frames: trace.frames().to_vec(),
             buffer,
             mode: Mode::Idle,
@@ -677,7 +681,7 @@ impl<'t> SystemSimulator<'t> {
             return;
         }
         // Walk the remaining queued sleep commands up to the end.
-        let mut pending: Vec<(SimTime, SleepState)> = Vec::new();
+        let mut pending: Vec<(SimTime, SleepState)> = Vec::with_capacity(self.queue.len());
         while let Some(s) = self.queue.pop() {
             if let Event::SleepCmd { epoch, state } = s.event {
                 if epoch == self.idle_epoch && s.at <= trace_end {

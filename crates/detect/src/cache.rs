@@ -103,6 +103,20 @@ pub fn cache_stats() -> (u64, u64) {
     (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
 }
 
+/// Fraction of lifetime lookups served from the cache, in `[0, 1]`;
+/// `0.0` before any lookup. Two atomic loads — cheap enough to call
+/// from a bench inner loop or a log line.
+#[must_use]
+pub fn hit_ratio() -> f64 {
+    let (hits, misses) = cache_stats();
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
 /// Lifetime threshold-cache statistics, including cumulative latency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
@@ -115,6 +129,20 @@ pub struct CacheStats {
     /// Wall time spent inside miss lookups (dominated by the
     /// Monte-Carlo calibration itself), nanoseconds.
     pub miss_nanos: u64,
+}
+
+impl CacheStats {
+    /// Fraction of these lookups that were hits, in `[0, 1]`; `0.0`
+    /// when no lookups were recorded.
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 /// Lifetime cache statistics with per-path latency — the profiling
@@ -210,6 +238,26 @@ mod tests {
         let (hits, misses) = cache_stats();
         assert!(hits >= after_hit.hits.saturating_sub(1));
         assert!(misses >= after_hit.misses.saturating_sub(1));
+    }
+
+    #[test]
+    fn hit_ratio_reflects_traffic() {
+        let seed = 0xCAC4_E006;
+        let _ = cached_table(&[2.0, 0.5], quick_config(), seed, Jobs::Count(1)).unwrap();
+        let _ = cached_table(&[2.0, 0.5], quick_config(), seed, Jobs::Count(1)).unwrap();
+        let global = hit_ratio();
+        assert!((0.0..=1.0).contains(&global));
+        let stats = cache_stats_detailed();
+        assert!(stats.hits >= 1, "second lookup above must have hit");
+        assert!(stats.hit_ratio() > 0.0);
+        assert!(stats.hit_ratio() <= 1.0);
+        let empty = CacheStats {
+            hits: 0,
+            misses: 0,
+            hit_nanos: 0,
+            miss_nanos: 0,
+        };
+        assert_eq!(empty.hit_ratio(), 0.0);
     }
 
     #[test]

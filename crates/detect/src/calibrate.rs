@@ -29,13 +29,14 @@
 //! detector, so identically configured detectors share one table through
 //! the process-wide [`crate::cache`] instead of recomputing it.
 
-use crate::likelihood::maximize_ln_p;
-use crate::window::SampleWindow;
+use crate::likelihood::{maximize_kernel, RatioKernel};
+use crate::window::ScratchWindow;
 use crate::DetectError;
 use simcore::dist::{Exponential, Sample};
 use simcore::par::{par_map_range, Jobs, ParSpan};
 use simcore::rng::SimRng;
 use simcore::stats::Histogram;
+use std::cell::RefCell;
 
 /// Static histogram range for the `ln P_max` null statistic: under H0 it
 /// is usually ≤ a few tens, so `[-50, 200)` with 5000 bins gives
@@ -197,8 +198,10 @@ impl ThresholdTable {
 
     /// [`Self::calibrate_jobs`] with span profiling: enables the
     /// parallel engine's worker profiling around the calibration and
-    /// returns the recorded [`ParSpan`]s (per-worker wall time and item
-    /// counts) alongside the table.
+    /// returns a [`CalibrationProfile`] — the recorded [`ParSpan`]s
+    /// (per-worker wall time and item counts) plus the threshold-cache
+    /// hit/miss counts observed while the calibration ran — alongside
+    /// the table.
     ///
     /// Profiling is a process-global switch; spans recorded by other
     /// concurrently profiled loops may appear in the result, and any
@@ -214,14 +217,25 @@ impl ThresholdTable {
         config: CalibrationConfig,
         rng: &mut SimRng,
         jobs: Jobs,
-    ) -> Result<(Self, Vec<ParSpan>), DetectError> {
+    ) -> Result<(Self, CalibrationProfile), DetectError> {
         let was_enabled = simcore::par::profiling_enabled();
         simcore::par::set_profiling(true);
         let _ = simcore::par::take_spans();
+        let (hits_before, misses_before) = crate::cache::cache_stats();
         let result = Self::calibrate_jobs(ratios, config, rng, jobs);
+        let (hits_after, misses_after) = crate::cache::cache_stats();
         let spans = simcore::par::take_spans();
         simcore::par::set_profiling(was_enabled);
-        result.map(|table| (table, spans))
+        result.map(|table| {
+            (
+                table,
+                CalibrationProfile {
+                    spans,
+                    cache_hits: hits_after - hits_before,
+                    cache_misses: misses_after - misses_before,
+                },
+            )
+        })
     }
 
     /// The calibration configuration this table was built with.
@@ -278,15 +292,84 @@ impl ThresholdTable {
     }
 }
 
+/// Profiling data collected by [`ThresholdTable::calibrate_profiled`].
+#[derive(Debug, Clone)]
+pub struct CalibrationProfile {
+    /// Parallel-engine spans recorded while the calibration ran
+    /// (per-worker wall time and item counts).
+    pub spans: Vec<ParSpan>,
+    /// Threshold-cache hits observed process-wide during the
+    /// calibration — lets a bench attribute wins to the cache versus
+    /// the Monte-Carlo kernel itself.
+    pub cache_hits: u64,
+    /// Threshold-cache misses observed process-wide during the
+    /// calibration.
+    pub cache_misses: u64,
+}
+
+thread_local! {
+    /// Per-thread trial arena: every worker (and the inline `jobs=1`
+    /// path) reuses one window + staging buffer across all its trials.
+    static TRIAL_SCRATCH: RefCell<ScratchWindow> = RefCell::new(ScratchWindow::new(1));
+}
+
 /// One Monte-Carlo cell: a no-change window of Exp(1) samples and its
 /// maximized `ln P_max` statistic.
-fn trial_statistic(ratio: f64, config: CalibrationConfig, mut rng: SimRng) -> f64 {
+///
+/// This is the calibration inner loop. After the first call on a thread
+/// (or a `config.window` change) it performs **zero heap allocations**:
+/// the window comes from a thread-local [`ScratchWindow`] arena, the
+/// exponential draws, the batched `ln` kernel, and the window's
+/// prefix-sum construction are fused into one pass
+/// ([`crate::window::SampleWindow::refill_exponential`]) with unchanged
+/// RNG consumption order, and the per-ratio `ln()` is hoisted into a
+/// [`RatioKernel`]. The returned statistic is bit-identical to the
+/// seed-era allocating kernel (retained as
+/// [`reference_trial_statistic`]).
+#[must_use]
+pub fn trial_statistic(ratio: f64, config: CalibrationConfig, mut rng: SimRng) -> f64 {
     let unit = Exponential::new(1.0).expect("rate 1 is valid");
-    let mut window = SampleWindow::new(config.window);
+    let kernel = RatioKernel::new(1.0, ratio);
+    TRIAL_SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        scratch.ensure_capacity(config.window);
+        let (window, _staged) = scratch.begin_trial();
+        window.refill_exponential(&unit, &mut rng);
+        maximize_kernel(window, &kernel, config.k_step).ln_p_max
+    })
+}
+
+/// The seed-era Monte-Carlo trial, retained verbatim: allocates a fresh
+/// deque-backed window per trial, draws samples one call at a time, and
+/// re-evaluates `ln(λn/λo)` at every candidate change index.
+///
+/// Exists so `bench_hotpath` can measure the optimized
+/// [`trial_statistic`] against the true pre-optimization kernel *in the
+/// same run*, and so tests can assert the two are bit-identical. Not
+/// used by production calibration.
+#[must_use]
+pub fn reference_trial_statistic(ratio: f64, config: CalibrationConfig, mut rng: SimRng) -> f64 {
+    use crate::window::reference::VecDequeWindow;
+    let unit = Exponential::new(1.0).expect("rate 1 is valid");
+    let mut window = VecDequeWindow::new(config.window);
     for _ in 0..config.window {
         window.push(unit.sample(&mut rng));
     }
-    maximize_ln_p(&window, 1.0, ratio, config.k_step).ln_p_max
+    // The original maximize loop, with the per-index ln() left in place.
+    let (rate_old, rate_new) = (1.0, ratio);
+    let m = window.len();
+    let mut best = f64::NEG_INFINITY;
+    let mut k = config.k_step;
+    while k + config.k_step <= m {
+        let tail_len = m - k;
+        let tail_sum = window.suffix_sum(tail_len);
+        let ln_p = tail_len as f64 * (rate_new / rate_old).ln() - (rate_new - rate_old) * tail_sum;
+        if ln_p > best {
+            best = ln_p;
+        }
+        k += config.k_step;
+    }
+    best
 }
 
 /// The `confidence` quantile of `ln P_max` samples via the paper's
@@ -345,6 +428,8 @@ pub fn default_ratios() -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::likelihood::maximize_ln_p;
+    use crate::window::SampleWindow;
 
     fn quick_config() -> CalibrationConfig {
         CalibrationConfig {
@@ -378,7 +463,7 @@ mod tests {
             Jobs::Count(2),
         )
         .unwrap();
-        let (profiled, spans) = ThresholdTable::calibrate_profiled(
+        let (profiled, profile) = ThresholdTable::calibrate_profiled(
             &[0.5, 2.0],
             config,
             &mut SimRng::seed_from(11),
@@ -386,7 +471,8 @@ mod tests {
         )
         .unwrap();
         assert_eq!(plain, profiled, "profiling must not perturb the table");
-        let span = spans
+        let span = profile
+            .spans
             .iter()
             .find(|s| s.items == 2 * config.trials)
             .expect("the calibration loop was profiled");
@@ -394,6 +480,45 @@ mod tests {
             span.workers.iter().map(|w| w.items).sum::<usize>(),
             span.items
         );
+    }
+
+    #[test]
+    fn optimized_trial_matches_reference_trial_bitwise() {
+        // The zero-allocation kernel must reproduce the seed-era
+        // allocating kernel exactly, bit for bit, for every ratio.
+        let config = quick_config();
+        let root = SimRng::seed_from(0xBEEF);
+        for (i, &ratio) in default_ratios().iter().enumerate() {
+            let a = trial_statistic(ratio, config, root.fork_indexed("trial", i as u64));
+            let b = reference_trial_statistic(ratio, config, root.fork_indexed("trial", i as u64));
+            assert_eq!(a.to_bits(), b.to_bits(), "ratio {ratio}");
+        }
+        // And across window reconfiguration on the same thread (the
+        // thread-local scratch must resize, not corrupt).
+        let other = CalibrationConfig {
+            window: 80,
+            k_step: 8,
+            ..config
+        };
+        let a = trial_statistic(2.0, other, root.fork_indexed("resize", 0));
+        let b = reference_trial_statistic(2.0, other, root.fork_indexed("resize", 0));
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn profiled_calibration_reports_cache_traffic() {
+        let config = quick_config();
+        let (_, profile) = ThresholdTable::calibrate_profiled(
+            &[0.5, 2.0],
+            config,
+            &mut SimRng::seed_from(12),
+            Jobs::Count(1),
+        )
+        .unwrap();
+        // Direct calibration bypasses the cache; concurrent tests may
+        // add traffic, so only sanity-bound the deltas.
+        assert!(profile.cache_hits <= 1_000_000);
+        assert!(profile.cache_misses <= 1_000_000);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::calibrate::{default_ratios, CalibrationConfig, ThresholdTable};
 use crate::estimator::{DetectionStat, RateChange, RateEstimator};
-use crate::likelihood::maximize_ln_p;
+use crate::likelihood::{maximize_kernel, RatioKernel};
 use crate::window::SampleWindow;
 use crate::DetectError;
 use std::sync::Arc;
@@ -65,6 +65,23 @@ pub struct ChangePointDetector {
     k_step: usize,
     since_check: usize,
     last_stat: Option<DetectionStat>,
+    /// `(threshold, kernel)` per candidate ratio, with the kernel's
+    /// `ln()` precomputed for the current baseline rate. Rebuilt only
+    /// when `rate` changes (detection or reset) — the per-sample test
+    /// then runs without a single `ln()` call.
+    kernels: Vec<(f64, RatioKernel)>,
+}
+
+/// Precomputes per-candidate kernels for a baseline rate. The candidate
+/// rate is formed as `rate * ratio` and divided back by `rate` inside
+/// [`RatioKernel::new`] — the exact float expressions the unhoisted
+/// per-test evaluation used, so detection sequences are bit-identical.
+fn build_kernels(rate: f64, table: &ThresholdTable) -> Vec<(f64, RatioKernel)> {
+    table
+        .entries()
+        .iter()
+        .map(|&(ratio, threshold)| (threshold, RatioKernel::new(rate, rate * ratio)))
+        .collect()
 }
 
 impl ChangePointDetector {
@@ -139,6 +156,7 @@ impl ChangePointDetector {
             });
         }
         let window = SampleWindow::new(table.config().window);
+        let kernels = build_kernels(initial_rate, &table);
         Ok(ChangePointDetector {
             rate: initial_rate,
             k_step: table.config().k_step,
@@ -147,6 +165,7 @@ impl ChangePointDetector {
             since_check: 0,
             window,
             last_stat: None,
+            kernels,
         })
     }
 
@@ -173,8 +192,8 @@ impl ChangePointDetector {
     fn run_test(&mut self) -> Option<RateChange> {
         // (margin, tail_len, statistic of the winning candidate)
         let mut best: Option<(f64, usize, DetectionStat)> = None;
-        for &(ratio, threshold) in self.table.entries() {
-            let candidate = maximize_ln_p(&self.window, self.rate, self.rate * ratio, self.k_step);
+        for &(threshold, ref kernel) in &self.kernels {
+            let candidate = maximize_kernel(&self.window, kernel, self.k_step);
             let margin = candidate.ln_p_max - threshold;
             if margin > 0.0 && best.is_none_or(|(m, _, _)| margin > m) {
                 best = Some((
@@ -193,6 +212,7 @@ impl ChangePointDetector {
         let new_rate = self.window.suffix_rate(tail_len);
         self.window.retain_last(tail_len);
         self.rate = new_rate;
+        self.kernels = build_kernels(new_rate, &self.table);
         self.last_stat = Some(stat);
         Some(RateChange {
             new_rate,
@@ -225,6 +245,7 @@ impl RateEstimator for ChangePointDetector {
             "initial rate must be positive"
         );
         self.rate = initial_rate;
+        self.kernels = build_kernels(initial_rate, &self.table);
         self.window.clear();
         self.since_check = 0;
         self.last_stat = None;

@@ -11,6 +11,16 @@
 //! and the statistic is the maximum over the checked change indices.
 //! Evaluating it only needs suffix sums of the window — "only the sum of
 //! interarrival times needs to be updated upon every arrival".
+//!
+//! # Hoisted constants
+//!
+//! `ln(λn/λo)` and `(λn − λo)` depend only on the rate pair, never on
+//! `k`, so [`RatioKernel`] precomputes them once per pair instead of
+//! paying an `ln()` per candidate change index (~`window / k_step`
+//! redundant calls per evaluation in both the Monte-Carlo calibration
+//! and the online detector). Because the loop previously recomputed the
+//! *same* `f64` value each iteration, hoisting is bit-identical — every
+//! `ln P(k)` is produced by the exact float expression it always was.
 
 use crate::window::SampleWindow;
 
@@ -26,12 +36,82 @@ pub struct BestChange {
     pub tail_len: usize,
 }
 
+/// Precomputed per-rate-pair constants of the `ln P(k)` formula.
+///
+/// Both terms of the statistic that don't vary with the change index —
+/// `ln(λn/λo)` and `(λn − λo)` — are evaluated once at construction, so
+/// scanning a whole window costs one multiply-subtract per candidate
+/// index. Calibration builds one kernel per ratio; the online detector
+/// rebuilds its kernels only when the baseline rate changes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioKernel {
+    rate_old: f64,
+    rate_new: f64,
+    /// `ln(rate_new / rate_old)`, computed exactly as the unhoisted
+    /// formula did.
+    ln_ratio: f64,
+    /// `rate_new - rate_old`.
+    rate_diff: f64,
+}
+
+impl RatioKernel {
+    /// Builds the kernel for a `(λo, λn)` rate pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is non-positive or non-finite.
+    #[inline]
+    #[must_use]
+    pub fn new(rate_old: f64, rate_new: f64) -> Self {
+        assert!(
+            rate_old > 0.0 && rate_new > 0.0 && rate_old.is_finite() && rate_new.is_finite(),
+            "rates must be positive ({rate_old}, {rate_new})"
+        );
+        RatioKernel {
+            rate_old,
+            rate_new,
+            ln_ratio: (rate_new / rate_old).ln(),
+            rate_diff: rate_new - rate_old,
+        }
+    }
+
+    /// The hypothesized pre-change rate `λo`.
+    #[inline]
+    #[must_use]
+    pub fn rate_old(&self) -> f64 {
+        self.rate_old
+    }
+
+    /// The candidate post-change rate `λn`.
+    #[inline]
+    #[must_use]
+    pub fn rate_new(&self) -> f64 {
+        self.rate_new
+    }
+
+    /// Evaluates `ln P(k)` for a tail of `tail_len` samples summing to
+    /// `tail_sum`.
+    #[inline]
+    #[must_use]
+    pub fn ln_p(&self, tail_len: usize, tail_sum: f64) -> f64 {
+        tail_len as f64 * self.ln_ratio - self.rate_diff * tail_sum
+    }
+}
+
 /// Evaluates `ln P(k)` for a single change index.
 ///
-/// `tail_sum` must be the sum of the last `tail_len` samples.
+/// `tail_sum` must be the sum of the last `tail_len` samples. This is a
+/// convenience wrapper that builds a throwaway [`RatioKernel`]; loops
+/// evaluating many indices against one rate pair should construct the
+/// kernel once instead.
+///
+/// # Panics
+///
+/// Panics if either rate is non-positive or non-finite.
+#[inline]
 #[must_use]
 pub fn ln_p_at(rate_old: f64, rate_new: f64, tail_len: usize, tail_sum: f64) -> f64 {
-    tail_len as f64 * (rate_new / rate_old).ln() - (rate_new - rate_old) * tail_sum
+    RatioKernel::new(rate_old, rate_new).ln_p(tail_len, tail_sum)
 }
 
 /// Maximizes `ln P(k)` over change indices `k ∈ {k_step, 2·k_step, …}`
@@ -54,11 +134,20 @@ pub fn maximize_ln_p(
     rate_new: f64,
     k_step: usize,
 ) -> BestChange {
+    maximize_kernel(window, &RatioKernel::new(rate_old, rate_new), k_step)
+}
+
+/// [`maximize_ln_p`] against a prebuilt [`RatioKernel`] — the inner-loop
+/// entry point for callers that scan many windows (or many rate pairs)
+/// and have already paid the kernel's `ln()` once.
+///
+/// # Panics
+///
+/// Panics if the window holds fewer than `2·k_step` samples or if
+/// `k_step == 0`.
+#[must_use]
+pub fn maximize_kernel(window: &SampleWindow, kernel: &RatioKernel, k_step: usize) -> BestChange {
     assert!(k_step > 0, "k_step must be positive");
-    assert!(
-        rate_old > 0.0 && rate_new > 0.0,
-        "rates must be positive ({rate_old}, {rate_new})"
-    );
     let m = window.len();
     assert!(m >= 2 * k_step, "window too short: {m} < 2·{k_step}");
     let mut best = BestChange {
@@ -70,7 +159,7 @@ pub fn maximize_ln_p(
     while k + k_step <= m {
         let tail_len = m - k;
         let tail_sum = window.suffix_sum(tail_len);
-        let ln_p = ln_p_at(rate_old, rate_new, tail_len, tail_sum);
+        let ln_p = kernel.ln_p(tail_len, tail_sum);
         if ln_p > best.ln_p_max {
             best = BestChange {
                 ln_p_max: ln_p,
@@ -107,6 +196,45 @@ mod tests {
         let v = ln_p_at(10.0, 60.0, 20, 0.4);
         let expected = 20.0 * (6.0_f64).ln() - 50.0 * 0.4;
         assert!((v - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_matches_unhoisted_expression_bitwise() {
+        // The hoisting contract: for any rate pair and tail, the kernel
+        // reproduces `(m−k)·ln(λn/λo) − (λn−λo)·Σ` to the last bit.
+        for (ro, rn) in [(10.0, 60.0), (60.0, 10.0), (3.7, 4.9), (1.0, 0.25)] {
+            let kernel = RatioKernel::new(ro, rn);
+            for tail_len in [1usize, 7, 50, 99] {
+                for tail_sum in [0.0, 0.013, 1.7, 42.5] {
+                    let unhoisted = tail_len as f64 * (rn / ro).ln() - (rn - ro) * tail_sum;
+                    assert_eq!(
+                        kernel.ln_p(tail_len, tail_sum).to_bits(),
+                        unhoisted.to_bits(),
+                        "({ro}, {rn}, {tail_len}, {tail_sum})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_accessors_report_the_pair() {
+        let k = RatioKernel::new(10.0, 25.0);
+        assert_eq!(k.rate_old(), 10.0);
+        assert_eq!(k.rate_new(), 25.0);
+    }
+
+    #[test]
+    fn maximize_kernel_matches_maximize_ln_p() {
+        let mut rng = SimRng::seed_from(17);
+        let unit = Exponential::new(1.0).unwrap();
+        let samples: Vec<f64> = (0..80).map(|_| unit.sample(&mut rng)).collect();
+        let w = window_from(&samples);
+        let a = maximize_ln_p(&w, 12.0, 30.0, 8);
+        let b = maximize_kernel(&w, &RatioKernel::new(12.0, 30.0), 8);
+        assert_eq!(a.ln_p_max.to_bits(), b.ln_p_max.to_bits());
+        assert_eq!(a.change_index, b.change_index);
+        assert_eq!(a.tail_len, b.tail_len);
     }
 
     #[test]
@@ -197,5 +325,11 @@ mod tests {
     fn zero_k_step_panics() {
         let w = window_from(&[0.1, 0.2, 0.3, 0.4]);
         let _ = maximize_ln_p(&w, 10.0, 20.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rates must be positive")]
+    fn non_positive_rate_panics() {
+        let _ = RatioKernel::new(0.0, 2.0);
     }
 }

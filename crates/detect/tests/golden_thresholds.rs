@@ -1,0 +1,120 @@
+//! Bit-identity goldens for Monte-Carlo threshold calibration.
+//!
+//! These tables were captured from the pre-optimization (seed-era)
+//! kernel — deque-backed windows, per-sample RNG draws, unhoisted
+//! `ln()` in the maximize loop. The rewritten zero-allocation kernel
+//! must reproduce them to the last bit, at any thread count; any drift
+//! here means a hot-path "optimization" silently changed the float
+//! arithmetic and every published experiment number with it.
+
+use detect::calibrate::{default_ratios, CalibrationConfig, ThresholdTable};
+use simcore::par::Jobs;
+use simcore::rng::SimRng;
+
+/// `(ratio_bits, threshold_bits)` for the paper-default configuration
+/// (window 100, k_step 10, confidence 0.995, trials 2000) calibrated at
+/// seed `0xDAC_2001` over `default_ratios()`.
+const GOLDEN_DEFAULT: [(u64, u64); 10] = [
+    (0x3fd0000000000000, 0x3fee666666666680), // (0.25, 0.9500000000000028)
+    (0x3fd51eb851eb851f, 0x4003333333333340), // (0.33, 2.4000000000000057)
+    (0x3fe0000000000000, 0x400b333333333340), // (0.5, 3.4000000000000057)
+    (0x3fe570a3d70a3d71, 0x40119999999999a0), // (0.67, 4.400000000000006)
+    (0x3fe999999999999a, 0x400cccccccccccd0), // (0.8, 3.6000000000000014)
+    (0x3ff4000000000000, 0x400c666666666670), // (1.25, 3.5500000000000043)
+    (0x3ff8000000000000, 0x4011333333333338), // (1.5, 4.300000000000004)
+    (0x4000000000000000, 0x40139999999999a0), // (2.0, 4.900000000000006)
+    (0x4008000000000000, 0x400f9999999999a0), // (3.0, 3.950000000000003)
+    (0x4010000000000000, 0x40099999999999a0), // (4.0, 3.200000000000003)
+];
+
+/// As above for a quick configuration (window 50, k_step 5, confidence
+/// 0.99, trials 400), seed 7, ratios `[0.5, 2.0, 4.0]`.
+const GOLDEN_QUICK: [(u64, u64); 3] = [
+    (0x3fe0000000000000, 0x4006666666666670), // (0.5, 2.8000000000000043)
+    (0x4000000000000000, 0x400f333333333340), // (2.0, 3.9000000000000057)
+    (0x4010000000000000, 0x4008000000000000), // (4.0, 3.0)
+];
+
+fn assert_matches_golden(table: &ThresholdTable, golden: &[(u64, u64)], label: &str) {
+    assert_eq!(table.entries().len(), golden.len(), "{label}: entry count");
+    for (i, (&(ratio, threshold), &(ratio_bits, threshold_bits))) in
+        table.entries().iter().zip(golden).enumerate()
+    {
+        assert_eq!(
+            ratio.to_bits(),
+            ratio_bits,
+            "{label}: entry {i} ratio {ratio} drifted"
+        );
+        assert_eq!(
+            threshold.to_bits(),
+            threshold_bits,
+            "{label}: entry {i} (ratio {ratio}) threshold {threshold} drifted"
+        );
+    }
+}
+
+#[test]
+fn default_config_thresholds_match_pre_rewrite_goldens() {
+    let table = ThresholdTable::calibrate_jobs(
+        &default_ratios(),
+        CalibrationConfig::default(),
+        &mut SimRng::seed_from(0xDAC_2001),
+        Jobs::Count(1),
+    )
+    .unwrap();
+    assert_matches_golden(&table, &GOLDEN_DEFAULT, "default/jobs=1");
+}
+
+#[test]
+fn default_config_thresholds_match_goldens_at_any_thread_count() {
+    for jobs in [2, 4] {
+        let table = ThresholdTable::calibrate_jobs(
+            &default_ratios(),
+            CalibrationConfig::default(),
+            &mut SimRng::seed_from(0xDAC_2001),
+            Jobs::Count(jobs),
+        )
+        .unwrap();
+        assert_matches_golden(&table, &GOLDEN_DEFAULT, &format!("default/jobs={jobs}"));
+    }
+}
+
+#[test]
+fn quick_config_thresholds_match_pre_rewrite_goldens() {
+    let config = CalibrationConfig {
+        window: 50,
+        k_step: 5,
+        confidence: 0.99,
+        trials: 400,
+    };
+    for jobs in [1, 3] {
+        let table = ThresholdTable::calibrate_jobs(
+            &[0.5, 2.0, 4.0],
+            config,
+            &mut SimRng::seed_from(7),
+            Jobs::Count(jobs),
+        )
+        .unwrap();
+        assert_matches_golden(&table, &GOLDEN_QUICK, &format!("quick/jobs={jobs}"));
+    }
+}
+
+#[test]
+fn optimized_and_reference_kernels_agree_on_golden_cells() {
+    // Spot-check the per-trial contract directly against the retained
+    // seed-era kernel on the golden configuration's RNG streams.
+    use detect::calibrate::{reference_trial_statistic, trial_statistic};
+    let config = CalibrationConfig::default();
+    let root = SimRng::seed_from(0xDAC_2001);
+    for (i, &ratio) in default_ratios().iter().enumerate().take(3) {
+        for t in [0u64, 1, 999] {
+            let rng = || {
+                root.fork_indexed("calibration-ratio", i as u64)
+                    .fork_indexed("calibration-trial", t)
+            };
+            let new = trial_statistic(ratio, config, rng());
+            let old = reference_trial_statistic(ratio, config, rng());
+            assert_eq!(new.to_bits(), old.to_bits(), "ratio {ratio} trial {t}");
+        }
+    }
+}

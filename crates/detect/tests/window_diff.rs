@@ -1,0 +1,121 @@
+//! Differential property tests: the flat ring-buffer [`SampleWindow`]
+//! versus the retained seed-era deque-backed reference implementation.
+//!
+//! The hot-path rewrite replaced `SampleWindow`'s two `VecDeque<f64>`s
+//! with a flat ring buffer under a bit-identity contract: every
+//! observable value (`suffix_sum`, `total`, iteration order, length)
+//! must be reproduced **bit for bit** for any operation sequence. These
+//! tests drive both implementations through random interleavings of
+//! push / suffix_sum / retain_last / clear and assert exact equality.
+
+use detect::window::{reference::VecDequeWindow, SampleWindow};
+use proptest::prelude::*;
+
+/// One randomly generated window operation.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push a sample (non-negative, finite).
+    Push(f64),
+    /// Query a suffix sum; the index is reduced modulo `len + 1`.
+    SuffixSum(usize),
+    /// Retain the last `n % (len + 1)` samples.
+    RetainLast(usize),
+    /// Clear the window.
+    Clear,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        // Pushes dominate, as they do in the real workload.
+        6 => (0.0f64..1e6).prop_map(Op::Push),
+        2 => any::<usize>().prop_map(Op::SuffixSum),
+        1 => any::<usize>().prop_map(Op::RetainLast),
+        1 => Just(Op::Clear),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary operation sequences leave both windows in bit-equal
+    /// states, with every intermediate suffix sum bit-equal too.
+    #[test]
+    fn ring_matches_deque_reference(
+        capacity in 1usize..48,
+        ops in prop::collection::vec(op_strategy(), 0..300),
+    ) {
+        let mut ring = SampleWindow::new(capacity);
+        let mut deque = VecDequeWindow::new(capacity);
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Push(x) => {
+                    ring.push(x);
+                    deque.push(x);
+                }
+                Op::SuffixSum(raw) => {
+                    let n = raw % (ring.len() + 1);
+                    prop_assert_eq!(
+                        ring.suffix_sum(n).to_bits(),
+                        deque.suffix_sum(n).to_bits(),
+                        "step {}: suffix_sum({})", step, n
+                    );
+                }
+                Op::RetainLast(raw) => {
+                    let n = raw % (ring.len() + 1);
+                    ring.retain_last(n);
+                    deque.retain_last(n);
+                }
+                Op::Clear => {
+                    ring.clear();
+                    deque.clear();
+                }
+            }
+            prop_assert_eq!(ring.len(), deque.len(), "step {}", step);
+            prop_assert_eq!(ring.is_empty(), deque.is_empty());
+            // Full-state check: contents and every suffix sum, bitwise.
+            let a: Vec<u64> = ring.iter().map(f64::to_bits).collect();
+            let b: Vec<u64> = deque.iter().map(f64::to_bits).collect();
+            prop_assert_eq!(a, b, "step {}: contents diverged", step);
+            for n in 0..=ring.len() {
+                prop_assert_eq!(
+                    ring.suffix_sum(n).to_bits(),
+                    deque.suffix_sum(n).to_bits(),
+                    "step {}: post-op suffix_sum({})", step, n
+                );
+            }
+        }
+        prop_assert_eq!(ring.total().to_bits(), deque.total().to_bits());
+    }
+
+    /// Long eviction-heavy streams (many times the capacity) stay
+    /// bit-equal — the regime where the ring's head wraps repeatedly and
+    /// the prefix-sum base crosses eviction boundaries.
+    #[test]
+    fn sustained_eviction_stays_bit_equal(
+        capacity in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        use simcore::dist::{Exponential, Sample};
+        use simcore::rng::SimRng;
+        let unit = Exponential::new(1.0).expect("valid rate");
+        let mut rng = SimRng::seed_from(seed);
+        let mut ring = SampleWindow::new(capacity);
+        let mut deque = VecDequeWindow::new(capacity);
+        for i in 0..20 * capacity {
+            let x = unit.sample(&mut rng);
+            ring.push(x);
+            deque.push(x);
+            prop_assert_eq!(
+                ring.total().to_bits(),
+                deque.total().to_bits(),
+                "push {}", i
+            );
+        }
+        for n in 0..=ring.len() {
+            prop_assert_eq!(
+                ring.suffix_sum(n).to_bits(),
+                deque.suffix_sum(n).to_bits()
+            );
+        }
+    }
+}

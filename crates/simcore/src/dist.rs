@@ -97,6 +97,114 @@ impl Exponential {
         let sum: f64 = samples.iter().sum();
         n * self.rate.ln() - self.rate * sum
     }
+
+    /// Fills `out` with independent samples, one RNG draw per element.
+    ///
+    /// Batched counterpart of [`Sample::sample`] for hot loops that
+    /// stage many draws into a preallocated buffer (e.g. Monte-Carlo
+    /// calibration trials): element `i` is produced by the *identical*
+    /// inverse-CDF expression and the *same* RNG draw the `i`-th
+    /// individual `sample()` call would have consumed, so switching to
+    /// `fill` never perturbs a deterministic stream.
+    ///
+    /// The batch is staged in three passes — uniform draws, a batched
+    /// [`crate::fastln`] pass, then negate/scale — so the `ln` kernel
+    /// inlines and pipelines across elements. Every pass preserves the
+    /// per-element expressions bit-for-bit (`x / 1.0` is exact, so the
+    /// unit-rate case may skip the division it would have performed).
+    #[inline]
+    pub fn fill(&self, rng: &mut SimRng, out: &mut [f64]) {
+        if crate::fastln::active() {
+            for slot in out.iter_mut() {
+                *slot = 1.0 - rng.next_f64();
+            }
+            crate::fastln::ln_in_place(out);
+            if self.rate == 1.0 {
+                for slot in out.iter_mut() {
+                    *slot = -*slot;
+                }
+            } else {
+                for slot in out.iter_mut() {
+                    *slot = -*slot / self.rate;
+                }
+            }
+        } else {
+            for slot in out.iter_mut() {
+                *slot = -(1.0 - rng.next_f64()).ln() / self.rate;
+            }
+        }
+    }
+
+    /// Fills `out` with independent samples and `cumsum` with their
+    /// running prefix sums.
+    ///
+    /// Bit-identical to [`Self::fill`] followed by a left-to-right scan
+    /// `cumsum[i] = cumsum[i-1] + out[i]` (starting from `0.0`): the
+    /// per-element sample expression, the RNG consumption order, and
+    /// the summation order are all unchanged — only the loop structure
+    /// is. On FMA+AVX2 hardware the batch is staged as uniform draws →
+    /// one 4-wide [`crate::fastln`] pass → a fused negate/scale +
+    /// prefix-sum scan, so the serial prefix-sum chain shares its pass
+    /// with the (vectorizable) scaling instead of paying its own trip
+    /// over the buffer. This is the Monte-Carlo calibration sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` and `cumsum` have different lengths.
+    pub fn fill_with_cumsum(&self, rng: &mut SimRng, out: &mut [f64], cumsum: &mut [f64]) {
+        assert_eq!(
+            out.len(),
+            cumsum.len(),
+            "out/cumsum buffers must have equal lengths"
+        );
+        #[cfg(target_arch = "x86_64")]
+        {
+            if crate::fastln::active() {
+                // SAFETY: `active()` verified FMA and AVX2 are available.
+                unsafe { fill_cumsum_fma(self.rate, rng, out, cumsum) };
+                return;
+            }
+        }
+        let mut prev = 0.0f64;
+        for (slot, csum) in out.iter_mut().zip(cumsum.iter_mut()) {
+            let x = -(1.0 - rng.next_f64()).ln() / self.rate;
+            *slot = x;
+            prev += x;
+            *csum = prev;
+        }
+    }
+}
+
+/// The FMA-region body of [`Exponential::fill_with_cumsum`]: uniform
+/// draws staged into `out`, one 4-wide batched `ln` pass over them,
+/// then a single fused negate/scale + prefix-sum pass. Each pass
+/// preserves the per-element expressions bit for bit (`x / 1.0 == x`
+/// exactly, so the unit-rate arm may skip the division the scaled arm
+/// performs; negation and division order match [`Sample::sample`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn fill_cumsum_fma(rate: f64, rng: &mut SimRng, out: &mut [f64], cumsum: &mut [f64]) {
+    for slot in out.iter_mut() {
+        *slot = 1.0 - rng.next_f64();
+    }
+    // SAFETY: the caller (fill_with_cumsum) verified AVX2+FMA.
+    crate::fastln::ln_slice_fma(out);
+    let mut prev = 0.0f64;
+    if rate == 1.0 {
+        for (slot, csum) in out.iter_mut().zip(cumsum.iter_mut()) {
+            let x = -*slot;
+            *slot = x;
+            prev += x;
+            *csum = prev;
+        }
+    } else {
+        for (slot, csum) in out.iter_mut().zip(cumsum.iter_mut()) {
+            let x = -*slot / rate;
+            *slot = x;
+            prev += x;
+            *csum = prev;
+        }
+    }
 }
 
 impl Sample for Exponential {
@@ -545,6 +653,64 @@ mod tests {
             "rate {}",
             fitted.rate()
         );
+    }
+
+    #[test]
+    fn fill_matches_sequential_sampling_bitwise() {
+        let d = Exponential::new(30.0).unwrap();
+        let mut a = SimRng::seed_from(42);
+        let mut b = SimRng::seed_from(42);
+        let loose: Vec<f64> = (0..257).map(|_| d.sample(&mut a)).collect();
+        let mut batched = vec![0.0; 257];
+        d.fill(&mut b, &mut batched);
+        for (i, (x, y)) in loose.iter().zip(&batched).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "sample {i}");
+        }
+        // And the RNGs are left in the same state.
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn fill_with_cumsum_matches_fill_plus_scan_bitwise() {
+        // Unit rate takes the division-free arm; 30.0 takes the scaled
+        // arm. Both must agree with `fill` + a left-to-right scan.
+        for rate in [1.0, 30.0] {
+            let d = Exponential::new(rate).unwrap();
+            let mut a = SimRng::seed_from(0xF111);
+            let mut b = SimRng::seed_from(0xF111);
+            let mut staged = vec![0.0; 201];
+            d.fill(&mut a, &mut staged);
+            let mut scanned = Vec::with_capacity(201);
+            let mut prev = 0.0f64;
+            for &x in &staged {
+                prev += x;
+                scanned.push(prev);
+            }
+            let mut fused = vec![0.0; 201];
+            let mut cumsum = vec![0.0; 201];
+            d.fill_with_cumsum(&mut b, &mut fused, &mut cumsum);
+            for i in 0..staged.len() {
+                assert_eq!(
+                    staged[i].to_bits(),
+                    fused[i].to_bits(),
+                    "rate {rate} sample {i}"
+                );
+                assert_eq!(
+                    scanned[i].to_bits(),
+                    cumsum[i].to_bits(),
+                    "rate {rate} cumsum {i}"
+                );
+            }
+            assert_eq!(a.next_u64(), b.next_u64(), "rate {rate} RNG state");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn fill_with_cumsum_rejects_mismatched_buffers() {
+        let d = Exponential::new(1.0).unwrap();
+        let mut rng = SimRng::seed_from(0);
+        d.fill_with_cumsum(&mut rng, &mut [0.0; 4], &mut [0.0; 3]);
     }
 
     #[test]

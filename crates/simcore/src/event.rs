@@ -90,6 +90,30 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue with room for `capacity` pending events
+    /// before the backing heap reallocates. Simulators that know their
+    /// steady-state event population preallocate here and keep the hot
+    /// loop reallocation-free.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Reserves capacity for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Number of pending events the queue can hold without reallocating.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// The current simulation time: the due time of the most recently popped
     /// event, or [`SimTime::ZERO`] if nothing has been popped yet.
     #[must_use]
@@ -221,6 +245,23 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_secs_f64(0.5)));
         q.clear();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn with_capacity_preallocates_and_behaves_identically() {
+        let mut q = EventQueue::with_capacity(64);
+        assert!(q.capacity() >= 64);
+        let cap = q.capacity();
+        for i in 0..64 {
+            q.push(SimTime::from_nanos(64 - i), i);
+        }
+        assert_eq!(q.capacity(), cap, "no growth within the preallocation");
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        let mut expected: Vec<u64> = (0..64).collect();
+        expected.reverse();
+        assert_eq!(order, expected);
+        q.reserve(128);
+        assert!(q.capacity() >= 128);
     }
 
     #[test]

@@ -1,0 +1,638 @@
+//! A batched, inlineable natural logarithm that is **bit-identical** to
+//! the system libm on the machines the experiment goldens were captured
+//! on.
+//!
+//! # Why this exists
+//!
+//! The Monte-Carlo calibration hot loop spends most of its time in
+//! exponential inverse-CDF sampling, i.e. in `ln()`. The libm call is
+//! correctly implemented but opaque to the optimizer: one `call` per
+//! sample, no cross-iteration scheduling. Porting the algorithm lets the
+//! compiler inline it into [`crate::dist::Exponential::fill`]'s batch
+//! loop and overlap the independent per-sample FMA chains, which is
+//! where the calibration speedup comes from.
+//!
+//! # Why it is bit-identical
+//!
+//! This is a port of the exact `log` the deployed glibc (2.36, x86-64)
+//! dispatches to on FMA+AVX2 hardware: the table-driven algorithm glibc
+//! imported from ARM's optimized-routines, compiled with FMA contraction.
+//! The port replicates the *machine code*, not the C source — every
+//! fused multiply-add, every association, in instruction order — and the
+//! constant tables below were extracted bit-for-bit from that libm's
+//! `__log_data`. `f64::mul_add` rounds once exactly like the `vfmadd`
+//! instructions it lowers to, so each step produces the identical f64.
+//! Inputs outside the fast paths (zero, negatives, infinities, NaN)
+//! delegate straight to [`f64::ln`], which *is* libm — identity there is
+//! definitional.
+//!
+//! The dispatch mirrors glibc's own ifunc: the port is used only when
+//! the CPU has FMA and AVX2 (the same predicate libm uses to select the
+//! variant we ported); otherwise every call falls back to [`f64::ln`],
+//! so on such machines results still match their libm exactly.
+//!
+//! `tests/` hammer the equality claim: dense sweeps of the calibration
+//! input domain `(0, 1]`, the near-1 branch boundaries, subnormals, and
+//! millions of random bit patterns are compared bit-for-bit against
+//! `f64::ln` (see `fastln_matches_libm_*`).
+
+// Constant data for the `ln` port, extracted bit-for-bit from the
+// deployed glibc 2.36 `__log_data` table (the same table upstream
+// glibc generates from ARM's optimized-routines); see module docs.
+const LN2HI_BITS: u64 = 0x3fe62e42fefa3800;
+const LN2LO_BITS: u64 = 0x3d2ef35793c76730;
+/// poly[] of the table-driven path (A0..A4).
+const A_BITS: [u64; 5] = [
+    0xbfe0000000000001,
+    0x3fd555555551305b,
+    0xbfcfffffffeb4590,
+    0x3fc999b324f10111,
+    0xbfc55575e506c89f,
+];
+/// poly1[] of the near-1 path (B0..B10).
+const B_BITS: [u64; 11] = [
+    0xbfe0000000000000,
+    0x3fd5555555555577,
+    0xbfcffffffffffdcb,
+    0x3fc999999995dd0c,
+    0xbfc55555556745a7,
+    0x3fc24924a344de30,
+    0xbfbfffffa4423d65,
+    0x3fbc7184282ad6ca,
+    0xbfb999eb43b068ff,
+    0x3fb78182f7afd085,
+    0xbfb5521375d145cd,
+];
+/// 128 subinterval entries `[invc, logc]`: `invc` ~ 1/c rounded, `logc` ~ ln(c).
+/// `[u64; 2]` rather than a tuple so each 16-byte entry has a guaranteed
+/// layout the vector path can load as one `__m128i`.
+const TAB_BITS: [[u64; 2]; 128] = [
+    [0x3ff734f0c3e0de9f, 0xbfd7cc7f79e69000],
+    [0x3ff713786a2ce91f, 0xbfd76feec20d0000],
+    [0x3ff6f26008fab5a0, 0xbfd713e31351e000],
+    [0x3ff6d1a61f138c7d, 0xbfd6b85b38287800],
+    [0x3ff6b1490bc5b4d1, 0xbfd65d5590807800],
+    [0x3ff69147332f0cba, 0xbfd602d076180000],
+    [0x3ff6719f18224223, 0xbfd5a8ca86909000],
+    [0x3ff6524f99a51ed9, 0xbfd54f4356035000],
+    [0x3ff63356aa8f24c4, 0xbfd4f637c36b4000],
+    [0x3ff614b36b9ddc14, 0xbfd49da7fda85000],
+    [0x3ff5f66452c65c4c, 0xbfd445923989a800],
+    [0x3ff5d867b5912c4f, 0xbfd3edf439b0b800],
+    [0x3ff5babccb5b90de, 0xbfd396ce448f7000],
+    [0x3ff59d61f2d91a78, 0xbfd3401e17bda000],
+    [0x3ff5805612465687, 0xbfd2e9e2ef468000],
+    [0x3ff56397cee76bd3, 0xbfd2941b3830e000],
+    [0x3ff54725e2a77f93, 0xbfd23ec58cda8800],
+    [0x3ff52aff42064583, 0xbfd1e9e129279000],
+    [0x3ff50f22dbb2bddf, 0xbfd1956d2b48f800],
+    [0x3ff4f38f4734ded7, 0xbfd141679ab9f800],
+    [0x3ff4d843cfde2840, 0xbfd0edd094ef9800],
+    [0x3ff4bd3ec078a3c8, 0xbfd09aa518db1000],
+    [0x3ff4a27fc3e0258a, 0xbfd047e65263b800],
+    [0x3ff4880524d48434, 0xbfcfeb224586f000],
+    [0x3ff46dce1b192d0b, 0xbfcf474a7517b000],
+    [0x3ff453d9d3391854, 0xbfcea4443d103000],
+    [0x3ff43a2744b4845a, 0xbfce020d44e9b000],
+    [0x3ff420b54115f8fb, 0xbfcd60a22977f000],
+    [0x3ff40782da3ef4b1, 0xbfccc00104959000],
+    [0x3ff3ee8f5d57fe8f, 0xbfcc202956891000],
+    [0x3ff3d5d9a00b4ce9, 0xbfcb81178d811000],
+    [0x3ff3bd60c010c12b, 0xbfcae2c9ccd3d000],
+    [0x3ff3a5242b75dab8, 0xbfca45402e129000],
+    [0x3ff38d22cd9fd002, 0xbfc9a877681df000],
+    [0x3ff3755bc5847a1c, 0xbfc90c6d69483000],
+    [0x3ff35dce49ad36e2, 0xbfc87120a645c000],
+    [0x3ff34679984dd440, 0xbfc7d68fb4143000],
+    [0x3ff32f5cceffcb24, 0xbfc73cb83c627000],
+    [0x3ff3187775a10d49, 0xbfc6a39a9b376000],
+    [0x3ff301c8373e3990, 0xbfc60b3154b7a000],
+    [0x3ff2eb4ebb95f841, 0xbfc5737d76243000],
+    [0x3ff2d50a0219a9d1, 0xbfc4dc7b8fc23000],
+    [0x3ff2bef9a8b7fd2a, 0xbfc4462c51d20000],
+    [0x3ff2a91c7a0c1bab, 0xbfc3b08abc830000],
+    [0x3ff293726014b530, 0xbfc31b996b490000],
+    [0x3ff27dfa5757a1f5, 0xbfc2875490a44000],
+    [0x3ff268b39b1d3bbf, 0xbfc1f3b9f879a000],
+    [0x3ff2539d838ff5bd, 0xbfc160c8252ca000],
+    [0x3ff23eb7aac9083b, 0xbfc0ce7f57f72000],
+    [0x3ff22a012ba940b6, 0xbfc03cdc49fea000],
+    [0x3ff2157996cc4132, 0xbfbf57bdbc4b8000],
+    [0x3ff201201dd2fc9b, 0xbfbe370896404000],
+    [0x3ff1ecf4494d480b, 0xbfbd17983ef94000],
+    [0x3ff1d8f5528f6569, 0xbfbbf9674ed8a000],
+    [0x3ff1c52311577e7c, 0xbfbadc79202f6000],
+    [0x3ff1b17c74cb26e9, 0xbfb9c0c3e7288000],
+    [0x3ff19e010c2c1ab6, 0xbfb8a646b372c000],
+    [0x3ff18ab07bb670bd, 0xbfb78d01b3ac0000],
+    [0x3ff1778a25efbcb6, 0xbfb674f145380000],
+    [0x3ff1648d354c31da, 0xbfb55e0e6d878000],
+    [0x3ff151b990275fdd, 0xbfb4485cdea1e000],
+    [0x3ff13f0ea432d24c, 0xbfb333d94d6aa000],
+    [0x3ff12c8b7210f9da, 0xbfb22079f8c56000],
+    [0x3ff11a3028ecb531, 0xbfb10e4698622000],
+    [0x3ff107fbda8434af, 0xbfaffa6c6ad20000],
+    [0x3ff0f5ee0f4e6bb3, 0xbfadda8d4a774000],
+    [0x3ff0e4065d2a9fce, 0xbfabbcece4850000],
+    [0x3ff0d244632ca521, 0xbfa9a1894012c000],
+    [0x3ff0c0a77ce2981a, 0xbfa788583302c000],
+    [0x3ff0af2f83c636d1, 0xbfa5715e67d68000],
+    [0x3ff09ddb98a01339, 0xbfa35c8a49658000],
+    [0x3ff08cabaf52e7df, 0xbfa149e364154000],
+    [0x3ff07b9f2f4e28fb, 0xbf9e72c082eb8000],
+    [0x3ff06ab58c358f19, 0xbf9a55f152528000],
+    [0x3ff059eea5ecf92c, 0xbf963d62cf818000],
+    [0x3ff04949cdd12c90, 0xbf9228fb8caa0000],
+    [0x3ff038c6c6f0ada9, 0xbf8c317b20f90000],
+    [0x3ff02865137932a9, 0xbf8419355daa0000],
+    [0x3ff0182427ea7348, 0xbf781203c2ec0000],
+    [0x3ff008040614b195, 0xbf60040979240000],
+    [0x3fefe01ff726fa1a, 0x3f6feff384900000],
+    [0x3fefa11cc261ea74, 0x3f87dc41353d0000],
+    [0x3fef6310b081992e, 0x3f93cea3c4c28000],
+    [0x3fef25f63ceeadcd, 0x3f9b9fc114890000],
+    [0x3feee9c8039113e7, 0x3fa1b0d8ce110000],
+    [0x3feeae8078cbb1ab, 0x3fa58a5bd001c000],
+    [0x3fee741aa29d0c9b, 0x3fa95c8340d88000],
+    [0x3fee3a91830a99b5, 0x3fad276aef578000],
+    [0x3fee01e009609a56, 0x3fb07598e598c000],
+    [0x3fedca01e577bb98, 0x3fb253f5e30d2000],
+    [0x3fed92f20b7c9103, 0x3fb42edd8b380000],
+    [0x3fed5cac66fb5cce, 0x3fb606598757c000],
+    [0x3fed272caa5ede9d, 0x3fb7da76356a0000],
+    [0x3fecf26e3e6b2ccd, 0x3fb9ab434e1c6000],
+    [0x3fecbe6da2a77902, 0x3fbb78c7bb0d6000],
+    [0x3fec8b266d37086d, 0x3fbd431332e72000],
+    [0x3fec5894bd5d5804, 0x3fbf0a3171de6000],
+    [0x3fec26b533bb9f8c, 0x3fc067152b914000],
+    [0x3febf583eeece73f, 0x3fc147858292b000],
+    [0x3febc4fd75db96c1, 0x3fc2266ecdca3000],
+    [0x3feb951e0c864a28, 0x3fc303d7a6c55000],
+    [0x3feb65e2c5ef3e2c, 0x3fc3dfc33c331000],
+    [0x3feb374867c9888b, 0x3fc4ba366b7a8000],
+    [0x3feb094b211d304a, 0x3fc5933928d1f000],
+    [0x3feadbe885f2ef7e, 0x3fc66acd2418f000],
+    [0x3feaaf1d31603da2, 0x3fc740f8ec669000],
+    [0x3fea82e63fd358a7, 0x3fc815c0f51af000],
+    [0x3fea5740ef09738b, 0x3fc8e92954f68000],
+    [0x3fea2c2a90ab4b27, 0x3fc9bb3602f84000],
+    [0x3fea01a01393f2d1, 0x3fca8bed1c2c0000],
+    [0x3fe9d79f24db3c1b, 0x3fcb5b515c01d000],
+    [0x3fe9ae2505c7b190, 0x3fcc2967ccbcc000],
+    [0x3fe9852ef297ce2f, 0x3fccf635d5486000],
+    [0x3fe95cbaeea44b75, 0x3fcdc1bd3446c000],
+    [0x3fe934c69de74838, 0x3fce8c01b8cfe000],
+    [0x3fe90d4f2f6752e6, 0x3fcf5509c0179000],
+    [0x3fe8e6528effd79d, 0x3fd00e6c121fb800],
+    [0x3fe8bfce9fcc007c, 0x3fd071b80e93d000],
+    [0x3fe899c0dabec30e, 0x3fd0d46b9e867000],
+    [0x3fe87427aa2317fb, 0x3fd13687334bd000],
+    [0x3fe84f00acb39a08, 0x3fd1980d67234800],
+    [0x3fe82a49e8653e55, 0x3fd1f8ffe0cc8000],
+    [0x3fe8060195f40260, 0x3fd2595fd7636800],
+    [0x3fe7e22563e0a329, 0x3fd2b9300914a800],
+    [0x3fe7beb377dcb5ad, 0x3fd3187210436000],
+    [0x3fe79baa679725c2, 0x3fd377266dec1800],
+    [0x3fe77907f2170657, 0x3fd3d54ffbaf3000],
+    [0x3fe756cadbd6130c, 0x3fd432eee32fe000],
+];
+
+const OFF: u64 = 0x3fe6000000000000;
+/// Bits of `1.0 - 0x1p-4`: lower bound of the near-1 fast path.
+const NEAR_ONE_LO: u64 = 0x3fee000000000000;
+/// `bits(1.0 + 0x1.09p-4) - NEAR_ONE_LO`: width of the near-1 range.
+const NEAR_ONE_WIDTH: u64 = 0x0003090000000000;
+const ONE_BITS: u64 = 0x3ff0000000000000;
+const TWO_POW_27: f64 = 134217728.0;
+const TWO_POW_52: f64 = 4503599627370496.0;
+
+#[inline(always)]
+fn a(i: usize) -> f64 {
+    f64::from_bits(A_BITS[i])
+}
+
+#[inline(always)]
+fn b(i: usize) -> f64 {
+    f64::from_bits(B_BITS[i])
+}
+
+/// `ln(x)` for `x` within `[1 - 0x1p-4, 1 + 0x1.09p-4)`, excluding 1.0
+/// (handled by the caller). Double-double evaluation around `r = x - 1`;
+/// the FMA placement matches libm's compiled code exactly.
+#[inline(always)]
+fn ln_near_one(x: f64) -> f64 {
+    let r = x - 1.0;
+    let r2 = r * r;
+    let q12 = b(2).mul_add(r, b(1));
+    let q45 = b(5).mul_add(r, b(4));
+    let q78 = b(8).mul_add(r, b(7));
+    let q123 = r2.mul_add(b(3), q12);
+    let q456 = r2.mul_add(b(6), q45);
+    let r3 = r * r2;
+    let mut p = r2.mul_add(b(9), q78);
+    p = r3.mul_add(b(10), p);
+    p = p.mul_add(r3, q456);
+    p = p.mul_add(r3, q123);
+    // Split r into rhi + rlo (Dekker) so the dominant -r^2/2 term can be
+    // computed with an exact head and a compensated tail.
+    let rp = r.mul_add(TWO_POW_27, r);
+    let rhi = (-TWO_POW_27).mul_add(r, rp);
+    let rlo = r - rhi;
+    let rhi2 = rhi * rhi;
+    let hi = rhi2.mul_add(b(0), r);
+    let lo = rhi2.mul_add(b(0), r - hi);
+    let lo = (b(0) * rlo).mul_add(r + rhi, lo);
+    let y = p.mul_add(r3, lo);
+    hi + y
+}
+
+/// The table-driven `ln` core. Plain Rust float arithmetic — safe to
+/// call anywhere — but `f64::mul_add` only compiles to an FMA
+/// instruction inside an FMA-enabled function, so hot paths reach this
+/// through [`ln_slice_fma`]/[`ln_one_fma`] or another
+/// `#[target_feature(enable = "avx2,fma")]` loop (e.g. the fused
+/// exponential sampler in [`crate::dist`]). (Without hardware FMA,
+/// `mul_add` falls back to libm `fma()`: bit-identical, just slow.)
+#[inline(always)]
+pub(crate) fn ln_core(x: f64) -> f64 {
+    let mut ix = x.to_bits();
+    if ix.wrapping_sub(NEAR_ONE_LO) < NEAR_ONE_WIDTH {
+        if ix == ONE_BITS {
+            return 0.0;
+        }
+        return ln_near_one(x);
+    }
+    let top = (ix >> 48) as u32;
+    if top.wrapping_sub(0x0010) >= 0x7fe0 {
+        // Positive subnormals normalize and continue; zero, negatives,
+        // infinities and NaN delegate to libm for identical bits
+        // (including NaN sign/payload and errno-path values).
+        let positive_subnormal = ix >> 52 == 0 && ix != 0;
+        if !positive_subnormal {
+            return x.ln();
+        }
+        ix = (x * TWO_POW_52).to_bits().wrapping_sub(52 << 52);
+    }
+    // x = 2^k z with z in [0x1.6p-1, 0x1.6p0): subinterval i of 128,
+    // c near its center, log(x) = log1p(z/c - 1) + log(c) + k ln2.
+    let tmp = ix.wrapping_sub(OFF);
+    let i = ((tmp >> 45) & 127) as usize;
+    let k = (tmp as i64 >> 52) as i32;
+    let iz = ix.wrapping_sub(tmp & (0xfff << 52));
+    let [invc_bits, logc_bits] = TAB_BITS[i];
+    let invc = f64::from_bits(invc_bits);
+    let logc = f64::from_bits(logc_bits);
+    let z = f64::from_bits(iz);
+    let kd = f64::from(k);
+    let w = f64::from_bits(LN2HI_BITS).mul_add(kd, logc);
+    let r = z.mul_add(invc, -1.0);
+    let p12 = a(2).mul_add(r, a(1));
+    let hi = r + w;
+    let r2 = r * r;
+    let lo = w - hi + r;
+    let lo = f64::from_bits(LN2LO_BITS).mul_add(kd, lo);
+    let r3 = r * r2;
+    let p34 = r.mul_add(a(4), a(3));
+    let q = r2.mul_add(a(0), lo);
+    let p = p34.mul_add(r2, p12);
+    r3.mul_add(p, q) + hi
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn ln_one_fma(x: f64) -> f64 {
+    ln_core(x)
+}
+
+/// Four lanes of [`ln_core`]'s table path at once.
+///
+/// Bit-exactness is structural: every packed instruction here
+/// (`vfmadd…pd`, `vaddpd`, `vsubpd`, `vmulpd`, the integer lane ops, and
+/// `vcvtdq2pd`) is defined by IEEE 754 / the ISA to apply the *scalar*
+/// operation independently per lane, and the operations and their order
+/// are exactly those of [`ln_core`]. Lanes whose input falls outside the
+/// table path (near 1, zero/negative/non-finite/subnormal — the same
+/// predicate `ln_core` tests first) are patched afterwards with the
+/// scalar [`ln_core`], so every element takes precisely the branch the
+/// scalar kernel would have taken.
+///
+/// The two table constants of each lane load as one 16-byte `__m128i`
+/// from [`TAB_BITS`] and are transposed with unpacks — no `vgatherqpd`,
+/// whose throughput would eat the vector win on this table size.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2+FMA are available and `xs` points to at
+/// least four valid, mutable `f64`s.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn ln4(xs: *mut f64) {
+    #[allow(clippy::wildcard_imports)]
+    use core::arch::x86_64::*;
+    const SIGN: u64 = 0x8000_0000_0000_0000;
+
+    let x = _mm256_loadu_pd(xs);
+    let ix = _mm256_castpd_si256(x);
+
+    // Which lanes need the scalar fallback: `ix - NEAR_ONE_LO <
+    // NEAR_ONE_WIDTH` (unsigned, via the sign-flip trick: a <u b ⟺
+    // a ^ SIGN <s b ^ SIGN) or `top - 0x10 >= 0x7fe0` (top is 16 bits,
+    // so equivalently top < 0x10 or top > 0x7fef, both signed-safe).
+    let flip = _mm256_set1_epi64x(SIGN as i64);
+    let d = _mm256_sub_epi64(ix, _mm256_set1_epi64x(NEAR_ONE_LO as i64));
+    let near_one = _mm256_cmpgt_epi64(
+        _mm256_set1_epi64x((NEAR_ONE_WIDTH ^ SIGN) as i64),
+        _mm256_xor_si256(d, flip),
+    );
+    let top = _mm256_srli_epi64::<48>(ix);
+    let too_low = _mm256_cmpgt_epi64(_mm256_set1_epi64x(0x0010), top);
+    let too_high = _mm256_cmpgt_epi64(top, _mm256_set1_epi64x(0x7fef));
+    let special = _mm256_or_si256(near_one, _mm256_or_si256(too_low, too_high));
+    let special_mask = _mm256_movemask_pd(_mm256_castsi256_pd(special));
+    // Snapshot the inputs before they are overwritten, for lane patching.
+    let mut orig = [0.0f64; 4];
+    _mm256_storeu_pd(orig.as_mut_ptr(), x);
+
+    // The table path for all four lanes; special lanes compute garbage
+    // here (harmless: the masked table index stays in bounds and float
+    // ops cannot fault) and are overwritten below.
+    let tmp = _mm256_sub_epi64(ix, _mm256_set1_epi64x(OFF as i64));
+    let idx = _mm256_and_si256(_mm256_srli_epi64::<45>(tmp), _mm256_set1_epi64x(127));
+    let i0 = _mm256_extract_epi64::<0>(idx) as usize;
+    let i1 = _mm256_extract_epi64::<1>(idx) as usize;
+    let i2 = _mm256_extract_epi64::<2>(idx) as usize;
+    let i3 = _mm256_extract_epi64::<3>(idx) as usize;
+    let e0 = _mm_castsi128_pd(_mm_loadu_si128(TAB_BITS.as_ptr().add(i0).cast()));
+    let e1 = _mm_castsi128_pd(_mm_loadu_si128(TAB_BITS.as_ptr().add(i1).cast()));
+    let e2 = _mm_castsi128_pd(_mm_loadu_si128(TAB_BITS.as_ptr().add(i2).cast()));
+    let e3 = _mm_castsi128_pd(_mm_loadu_si128(TAB_BITS.as_ptr().add(i3).cast()));
+    let invc = _mm256_set_m128d(_mm_unpacklo_pd(e2, e3), _mm_unpacklo_pd(e0, e1));
+    let logc = _mm256_set_m128d(_mm_unpackhi_pd(e2, e3), _mm_unpackhi_pd(e0, e1));
+
+    // k = tmp >> 52 (arithmetic, per i64 lane). AVX2 has no 64-bit
+    // arithmetic shift, but bits 52..63 live in bits 20..31 of each
+    // lane's high dword, so gathering the odd dwords and shifting them
+    // right by 20 (arithmetic, 32-bit) yields k exactly; `vcvtdq2pd`
+    // then matches the scalar `f64::from(i32)` conversion.
+    let hi_dwords = _mm256_permutevar8x32_epi32(tmp, _mm256_setr_epi32(1, 3, 5, 7, 0, 0, 0, 0));
+    let k32 = _mm_srai_epi32::<20>(_mm256_castsi256_si128(hi_dwords));
+    let kd = _mm256_cvtepi32_pd(k32);
+
+    let iz = _mm256_sub_epi64(
+        ix,
+        _mm256_and_si256(tmp, _mm256_set1_epi64x((0xfffu64 << 52) as i64)),
+    );
+    let z = _mm256_castsi256_pd(iz);
+
+    let splat = |bits: u64| _mm256_set1_pd(f64::from_bits(bits));
+    let w = _mm256_fmadd_pd(splat(LN2HI_BITS), kd, logc);
+    let r = _mm256_fmadd_pd(z, invc, _mm256_set1_pd(-1.0));
+    let p12 = _mm256_fmadd_pd(splat(A_BITS[2]), r, splat(A_BITS[1]));
+    let hi = _mm256_add_pd(r, w);
+    let r2 = _mm256_mul_pd(r, r);
+    let lo = _mm256_add_pd(_mm256_sub_pd(w, hi), r);
+    let lo = _mm256_fmadd_pd(splat(LN2LO_BITS), kd, lo);
+    let r3 = _mm256_mul_pd(r, r2);
+    let p34 = _mm256_fmadd_pd(r, splat(A_BITS[4]), splat(A_BITS[3]));
+    let q = _mm256_fmadd_pd(r2, splat(A_BITS[0]), lo);
+    let p = _mm256_fmadd_pd(p34, r2, p12);
+    let res = _mm256_add_pd(_mm256_fmadd_pd(r3, p, q), hi);
+    _mm256_storeu_pd(xs, res);
+
+    if special_mask != 0 {
+        for (lane, &x_lane) in orig.iter().enumerate() {
+            if special_mask & (1 << lane) != 0 {
+                *xs.add(lane) = ln_core(x_lane);
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+pub(crate) unsafe fn ln_slice_fma(xs: &mut [f64]) {
+    let n = xs.len();
+    let p = xs.as_mut_ptr();
+    let mut i = 0;
+    while i + 4 <= n {
+        // SAFETY: `i + 4 <= n` guarantees four in-bounds elements.
+        ln4(p.add(i));
+        i += 4;
+    }
+    for x in xs.iter_mut().skip(i) {
+        *x = ln_core(*x);
+    }
+}
+
+/// Whether the ported kernel is in use — exactly glibc's own predicate
+/// for dispatching to the variant we ported (FMA and AVX2 usable).
+/// `false` means every `fastln` entry point is a plain [`f64::ln`].
+#[must_use]
+pub fn active() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // std caches CPUID results; this is an atomic load after startup.
+        std::arch::is_x86_feature_detected!("fma") && std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// `ln(x)`, bit-identical to [`f64::ln`] (see module docs for why).
+///
+/// For one-off calls this costs the same as libm; the win is
+/// [`ln_in_place`], where the kernel inlines into the batch loop.
+#[must_use]
+pub fn ln(x: f64) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if active() {
+            // SAFETY: `active()` verified FMA and AVX2 are available.
+            return unsafe { ln_one_fma(x) };
+        }
+    }
+    x.ln()
+}
+
+/// Replaces every element with its natural logarithm, bit-identical to
+/// calling [`f64::ln`] per element. This is the batched entry point the
+/// sampling hot loops use: the ported kernel inlines into one loop and
+/// the independent per-element FMA chains overlap.
+pub fn ln_in_place(xs: &mut [f64]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if active() {
+            // SAFETY: `active()` verified FMA and AVX2 are available.
+            unsafe { ln_slice_fma(xs) };
+            return;
+        }
+    }
+    for x in xs.iter_mut() {
+        *x = x.ln();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    fn assert_bits_match(x: f64) {
+        let ours = ln(x);
+        let libm = x.ln();
+        if ours.is_nan() && libm.is_nan() {
+            // Out-of-domain inputs: both produce NaN, but the reference
+            // side may have been constant-folded by LLVM, whose folded
+            // NaN differs in sign from the x86 runtime 0/0 NaN. NaN
+            // never feeds further arithmetic in this workspace, so class
+            // equality is the meaningful contract here.
+            return;
+        }
+        assert_eq!(
+            ours.to_bits(),
+            libm.to_bits(),
+            "ln({x:e}) [bits 0x{:016x}]: port 0x{:016x} != libm 0x{:016x}",
+            x.to_bits(),
+            ours.to_bits(),
+            libm.to_bits()
+        );
+    }
+
+    #[test]
+    fn matches_libm_on_the_sampling_domain() {
+        // (0, 1] is the entire input domain of exponential inverse-CDF
+        // sampling: ln(1 - u) with u in [0, 1).
+        let mut rng = SimRng::seed_from(0xFA57_0001);
+        for _ in 0..2_000_000 {
+            assert_bits_match(1.0 - rng.next_f64());
+        }
+    }
+
+    #[test]
+    fn matches_libm_on_random_finite_inputs() {
+        // Random bit patterns: positives of every magnitude, negatives,
+        // zeros, subnormals, infs, NaNs -- everything must agree.
+        let mut rng = SimRng::seed_from(0xFA57_0002);
+        for _ in 0..2_000_000 {
+            assert_bits_match(f64::from_bits(rng.next_u64()));
+        }
+    }
+
+    #[test]
+    fn matches_libm_near_branch_boundaries() {
+        // Dense ULP walks across the near-1 range edges, 1.0 itself, the
+        // subnormal/normal edge, and power-of-two seams.
+        for center in [0.9375, 1.0, 1.064697265625, f64::MIN_POSITIVE, 0.5, 2.0] {
+            let start = center.to_bits().saturating_sub(5000);
+            for bits in start..start + 10_000 {
+                assert_bits_match(f64::from_bits(bits));
+            }
+        }
+    }
+
+    #[test]
+    fn matches_libm_on_specials() {
+        for x in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            5e-324,
+        ] {
+            assert_bits_match(x);
+        }
+        // NaN in, NaN out (payload equality is covered by the random
+        // bit-pattern sweep; here just the class).
+        assert!(ln(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn ln_in_place_equals_scalar_ln() {
+        let mut rng = SimRng::seed_from(0xFA57_0003);
+        let mut batch: Vec<f64> = (0..4096).map(|_| 1.0 - rng.next_f64()).collect();
+        let expect: Vec<u64> = batch.iter().map(|x| x.ln().to_bits()).collect();
+        ln_in_place(&mut batch);
+        for (i, (got, want)) in batch.iter().zip(&expect).enumerate() {
+            assert_eq!(got.to_bits(), *want, "element {i}");
+        }
+    }
+
+    #[test]
+    fn ln_in_place_matches_libm_on_random_finite_batches() {
+        // The 4-wide path must agree with libm across the whole finite
+        // domain, including lanes that divert to the scalar fallback
+        // (near 1, subnormal) sitting next to table-path lanes.
+        let mut rng = SimRng::seed_from(0xFA57_0004);
+        let mut batch = vec![0.0f64; 1024];
+        for _ in 0..2000 {
+            for slot in batch.iter_mut() {
+                let bits = rng.next_u64() & 0x7fff_ffff_ffff_ffff; // positive
+                let x = f64::from_bits(bits);
+                *slot = if x.is_finite() { x } else { 1.0 };
+            }
+            let expect: Vec<u64> = batch.iter().map(|x| x.ln().to_bits()).collect();
+            ln_in_place(&mut batch);
+            for (i, (got, want)) in batch.iter().zip(&expect).enumerate() {
+                assert_eq!(got.to_bits(), *want, "element {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn ln_in_place_handles_every_remainder_length() {
+        // Lengths 0..=9 cover the full-vector path, the scalar tail,
+        // and their combinations.
+        for len in 0..=9usize {
+            let mut rng = SimRng::seed_from(0xFA57_0005 + len as u64);
+            let mut batch: Vec<f64> = (0..len).map(|_| 1.0 - rng.next_f64()).collect();
+            let expect: Vec<u64> = batch.iter().map(|x| x.ln().to_bits()).collect();
+            ln_in_place(&mut batch);
+            for (i, (got, want)) in batch.iter().zip(&expect).enumerate() {
+                assert_eq!(got.to_bits(), *want, "len {len} element {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn ln_in_place_patches_special_lanes_in_mixed_vectors() {
+        // Force every lane position to carry each kind of special value
+        // at least once, with table-path values in the other lanes.
+        let specials = [
+            1.0,
+            0.96875,                 // near-1 range
+            1.05,                    // near-1 range, above 1
+            f64::MIN_POSITIVE / 2.0, // subnormal
+            0.0,
+            -1.0,
+            f64::INFINITY,
+            f64::NAN,
+        ];
+        for (si, &s) in specials.iter().enumerate() {
+            for lane in 0..4 {
+                let mut batch = [0.3f64, 0.5, 0.7, 2.5];
+                batch[lane] = s;
+                let expect: Vec<f64> = batch.iter().map(|x| x.ln()).collect();
+                ln_in_place(&mut batch);
+                for (i, (got, want)) in batch.iter().zip(&expect).enumerate() {
+                    if got.is_nan() && want.is_nan() {
+                        // NaN class equality: LLVM constant-folds literal
+                        // ln() to +NaN while the runtime 0/0 path yields
+                        // -NaN; both are quiet NaNs (see assert_bits_match).
+                        continue;
+                    }
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "special {si} in lane {lane}, element {i}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -168,6 +168,15 @@ impl Json {
         out
     }
 
+    /// Appends the compact serialization to `out`, reusing its
+    /// allocation. High-frequency writers (e.g. a JSONL trace sink
+    /// emitting one line per simulator event) clear and refill one
+    /// buffer instead of building a fresh `String` per record; the bytes
+    /// appended are exactly those [`Self::dump`] returns.
+    pub fn dump_into(&self, out: &mut String) {
+        self.write(out, None, 0);
+    }
+
     /// Pretty-printed serialization with two-space indentation.
     #[must_use]
     pub fn pretty(&self) -> String {
@@ -656,6 +665,17 @@ mod tests {
         assert_eq!(v["a"], 1u64);
         assert_eq!(v["b"][2], 2.5);
         assert_eq!(v["c"], "x\"y");
+    }
+
+    #[test]
+    fn dump_into_appends_exactly_dump() {
+        let v = Json::parse(r#"{"a":1,"b":[true,null,2.5],"c":"x\"y"}"#).unwrap();
+        let mut buf = String::from("prefix:");
+        v.dump_into(&mut buf);
+        assert_eq!(buf, format!("prefix:{}", v.dump()));
+        buf.clear();
+        v.dump_into(&mut buf);
+        assert_eq!(buf, v.dump());
     }
 
     #[test]

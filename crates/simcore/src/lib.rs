@@ -45,6 +45,7 @@
 
 pub mod dist;
 pub mod event;
+pub mod fastln;
 pub mod json;
 pub mod par;
 pub mod rng;

@@ -116,6 +116,9 @@ pub struct JsonlSink<W: Write> {
     writer: W,
     error: Option<String>,
     written: u64,
+    /// Reusable serialization buffer: each record clears and refills it
+    /// instead of allocating a fresh `String` per event.
+    line: String,
 }
 
 impl<W: Write> JsonlSink<W> {
@@ -126,6 +129,7 @@ impl<W: Write> JsonlSink<W> {
             writer,
             error: None,
             written: 0,
+            line: String::new(),
         }
     }
 
@@ -146,8 +150,10 @@ impl<W: Write> TraceSink for JsonlSink<W> {
         if self.error.is_some() {
             return;
         }
-        let line = event.to_json().dump();
-        if let Err(e) = writeln!(self.writer, "{line}") {
+        self.line.clear();
+        event.to_json().dump_into(&mut self.line);
+        self.line.push('\n');
+        if let Err(e) = self.writer.write_all(self.line.as_bytes()) {
             self.error = Some(format!("trace write failed: {e}"));
         } else {
             self.written += 1;

@@ -106,6 +106,94 @@ pub trait Strategy {
     type Value;
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (proptest's `prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// A strategy whose values are mapped through a function; see
+/// [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value (proptest's
+/// `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A weighted choice among strategies of a common value type; built by
+/// [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    total: u64,
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.next_u64() % self.total;
+        for (weight, strat) in &self.options {
+            if pick < u64::from(*weight) {
+                return strat.generate(rng);
+            }
+            pick -= u64::from(*weight);
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+/// Builds a [`Union`] from weighted boxed strategies; used by
+/// [`prop_oneof!`].
+///
+/// # Panics
+///
+/// Panics if `options` is empty or all weights are zero.
+#[must_use]
+pub fn union<T>(options: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Union<T> {
+    let total: u64 = options.iter().map(|(w, _)| u64::from(*w)).sum();
+    assert!(total > 0, "prop_oneof! needs at least one positive weight");
+    Union { options, total }
+}
+
+/// Boxes a strategy for heterogeneous storage in a [`Union`].
+#[doc(hidden)]
+pub fn boxed<S: Strategy + 'static>(strat: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(strat)
+}
+
+/// Weighted (`w => strategy`) or unweighted choice among strategies
+/// producing the same value type — proptest's `prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::union(vec![$(($weight, $crate::boxed($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::union(vec![$((1u32, $crate::boxed($strat))),+])
+    };
 }
 
 impl Strategy for std::ops::Range<f64> {
@@ -197,6 +285,12 @@ impl Arbitrary for u32 {
     }
 }
 
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
 impl Arbitrary for f64 {
     fn arbitrary(rng: &mut TestRng) -> f64 {
         // Finite, sign-symmetric, wide dynamic range.
@@ -253,8 +347,8 @@ pub mod prop {
 /// Everything the tests import.
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
-        ProptestConfig, Strategy,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy,
     };
 }
 
@@ -358,5 +452,37 @@ mod tests {
             prop_assert!(xs.iter().all(|&x| (0.0..1.0).contains(&x)));
             prop_assert_eq!(xs.len(), xs.len());
         }
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tag {
+        Num(f64),
+        Idx(usize),
+        Nothing,
+    }
+
+    #[test]
+    fn oneof_map_and_just_compose() {
+        let strat = prop_oneof![
+            3 => (0.0f64..1.0).prop_map(Tag::Num),
+            1 => any::<usize>().prop_map(Tag::Idx),
+            1 => Just(Tag::Nothing),
+        ];
+        let mut rng = crate::test_rng("oneof");
+        let mut seen = [false; 3];
+        for _ in 0..500 {
+            match strat.generate(&mut rng) {
+                Tag::Num(x) => {
+                    assert!((0.0..1.0).contains(&x));
+                    seen[0] = true;
+                }
+                Tag::Idx(_) => seen[1] = true,
+                Tag::Nothing => seen[2] = true,
+            }
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all arms should be drawn: {seen:?}"
+        );
     }
 }
