@@ -1,0 +1,158 @@
+//! Fleet-engine throughput benchmark.
+//!
+//! Runs the same fleet spec at `jobs = 1`, `N`, and `2N` (N = `--jobs`
+//! or the machine default), verifies the serialized `FleetReport` is
+//! byte-identical across all three, measures devices/second and the
+//! threshold-cache hit ratio per run, and writes the rows to
+//! `BENCH_fleet.json` (override with `--json PATH`).
+//!
+//! The hit ratio is the headline number for calibration sharing: every
+//! change-point device looks the same detector config up in the
+//! process-wide cache, so only the very first lookup of the process
+//! misses and the steady-state ratio approaches 1.
+//!
+//! Usage: `bench_fleet [--devices N] [--jobs N] [--json PATH]`
+
+use fleet::{run_fleet, FleetSpec};
+use simcore::par::Jobs;
+use std::time::Instant;
+
+struct Row {
+    jobs: u64,
+    devices: u64,
+    cores: u64,
+    /// `true` when `jobs > cores`: the row's threads time-share the
+    /// available cores, so its speedup measures scheduling overhead,
+    /// not parallel scaling.
+    oversubscribed: bool,
+    wall_ms: f64,
+    devices_per_sec: f64,
+    speedup: f64,
+    /// Threshold-cache hit ratio over this run's lookups only.
+    cache_hit_ratio: f64,
+    /// Report bytes equal to the `jobs = 1` reference run.
+    identical: bool,
+}
+
+simcore::impl_to_json!(Row {
+    jobs,
+    devices,
+    cores,
+    oversubscribed,
+    wall_ms,
+    devices_per_sec,
+    speedup,
+    cache_hit_ratio,
+    identical,
+});
+
+/// The benchmark fleet: short MP3 clips, three policies (change-point
+/// to exercise the shared threshold cache, EMA and max as contrast),
+/// clean devices only so the runtime is dominated by the engine.
+fn spec(devices: usize) -> FleetSpec {
+    FleetSpec::parse(&format!(
+        r#"{{
+            "name": "bench",
+            "devices": {devices},
+            "base_seed": {seed},
+            "workloads": ["mp3:A"],
+            "policies": [
+                {{ "governor": "change-point", "dpm": "break-even" }},
+                {{ "governor": "ema:0.05", "dpm": "timeout:1.0" }},
+                {{ "governor": "max", "dpm": "none" }}
+            ],
+            "faults": ["off"]
+        }}"#,
+        seed = bench::EXPERIMENT_SEED,
+    ))
+    .expect("benchmark spec is valid")
+}
+
+fn main() {
+    let jobs = bench::init_jobs_from_args();
+    let devices: usize = bench::flag_value("--devices").map_or(1000, |v| {
+        v.parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| panic!("--devices expects a positive integer, got `{v}`"))
+    });
+    bench::header(
+        "Bench",
+        "fleet engine: devices/second and threshold-cache sharing",
+    );
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) as u64;
+    println!(
+        "[{devices} devices at jobs = 1, {jobs}, {} on {cores} core(s)]",
+        2 * jobs
+    );
+
+    // Warm the process-wide threshold cache outside the timed region:
+    // the first change-point device of the process pays the one-off
+    // calibration miss, which would otherwise swamp the jobs=1 row.
+    let warmup = spec(3);
+    let _ = run_fleet(&warmup, Jobs::Count(jobs)).expect("warmup runs");
+    let spec = spec(devices);
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut reference: Option<String> = None;
+    let mut baseline_ms = 0.0;
+    let mut job_counts = vec![1, jobs, 2 * jobs];
+    job_counts.dedup();
+    for n in job_counts {
+        let before = detect::cache::cache_stats_detailed();
+        let t0 = Instant::now();
+        let report = run_fleet(&spec, Jobs::Count(n)).expect("benchmark fleet runs");
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let cache = detect::cache::cache_stats_detailed().since(&before);
+
+        let bytes = report.to_json_pretty();
+        let identical = match &reference {
+            None => {
+                baseline_ms = wall_ms;
+                reference = Some(bytes);
+                true
+            }
+            Some(reference) => *reference == bytes,
+        };
+        assert!(
+            identical,
+            "fleet report diverged between jobs=1 and jobs={n}"
+        );
+
+        rows.push(Row {
+            jobs: n as u64,
+            devices: devices as u64,
+            cores,
+            oversubscribed: n as u64 > cores,
+            wall_ms,
+            devices_per_sec: devices as f64 / (wall_ms / 1e3),
+            speedup: baseline_ms / wall_ms,
+            cache_hit_ratio: cache.hit_ratio(),
+            identical,
+        });
+    }
+
+    println!(
+        "{:>5} {:>9} {:>12} {:>13} {:>9} {:>11}",
+        "jobs", "devices", "wall (ms)", "devices/sec", "speedup", "cache hits"
+    );
+    for r in &rows {
+        println!(
+            "{:>5} {:>9} {:>12.1} {:>13.1} {:>8.2}x {:>11.3}",
+            r.jobs, r.devices, r.wall_ms, r.devices_per_sec, r.speedup, r.cache_hit_ratio
+        );
+    }
+    println!("\nReports verified byte-identical across all jobs counts.");
+    for r in &rows {
+        assert!(
+            r.cache_hit_ratio >= 0.9,
+            "threshold-cache hit ratio {:.3} at jobs={} fell below 0.9 — calibration is being repaid per device",
+            r.cache_hit_ratio,
+            r.jobs
+        );
+    }
+
+    let path = bench::json_path_from_args()
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_fleet.json"));
+    bench::write_json(&path, &rows);
+}

@@ -65,6 +65,32 @@ impl GovernorKind {
             GovernorKind::MaxPerformance => "max",
         }
     }
+
+    /// Parses the command-line / fleet-spec form of a governor name:
+    /// `ideal`, `change-point`, `ema:<gain>`, or `max`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the expected forms.
+    pub fn parse(s: &str) -> Result<GovernorKind, String> {
+        match s {
+            "ideal" => Ok(GovernorKind::Ideal),
+            "change-point" => Ok(GovernorKind::change_point()),
+            "max" => Ok(GovernorKind::MaxPerformance),
+            other => {
+                if let Some(gain) = other.strip_prefix("ema:") {
+                    let gain: f64 = gain
+                        .parse()
+                        .map_err(|_| format!("invalid EMA gain `{gain}`"))?;
+                    Ok(GovernorKind::ExpAverage { gain })
+                } else {
+                    Err(format!(
+                        "unknown governor `{other}` (expected ideal|change-point|ema:<gain>|max)"
+                    ))
+                }
+            }
+        }
+    }
 }
 
 /// The DPM policy choice for idle periods.
@@ -122,6 +148,51 @@ impl DpmKind {
             DpmKind::Predictive { .. } => "predictive",
             DpmKind::Renewal { .. } => "renewal",
             DpmKind::Tismdp { .. } => "tismdp",
+        }
+    }
+
+    /// Parses the command-line / fleet-spec form of a DPM policy name:
+    /// `none`, `timeout:<secs>`, `break-even`, `adaptive`, `predictive`,
+    /// `renewal`, or `tismdp`. Parameterized policies use the same
+    /// defaults as the paper's experiments (Standby target state,
+    /// predictive gain 0.3, renewal delay budget 0.05 s, TISMDP delay
+    /// weight 2.0).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the expected forms.
+    pub fn parse(s: &str) -> Result<DpmKind, String> {
+        match s {
+            "none" => Ok(DpmKind::None),
+            "break-even" => Ok(DpmKind::BreakEven {
+                state: SleepState::Standby,
+            }),
+            "adaptive" => Ok(DpmKind::Adaptive {
+                state: SleepState::Standby,
+            }),
+            "predictive" => Ok(DpmKind::Predictive {
+                state: SleepState::Standby,
+                gain: 0.3,
+            }),
+            "renewal" => Ok(DpmKind::Renewal {
+                state: SleepState::Standby,
+                delay_budget_s: 0.05,
+            }),
+            "tismdp" => Ok(DpmKind::Tismdp { delay_weight: 2.0 }),
+            other => {
+                if let Some(t) = other.strip_prefix("timeout:") {
+                    let timeout_s: f64 = t.parse().map_err(|_| format!("invalid timeout `{t}`"))?;
+                    Ok(DpmKind::FixedTimeout {
+                        timeout_s,
+                        state: SleepState::Standby,
+                    })
+                } else {
+                    Err(format!(
+                        "unknown dpm `{other}` \
+                         (expected none|timeout:<s>|break-even|adaptive|predictive|renewal|tismdp)"
+                    ))
+                }
+            }
         }
     }
 
@@ -368,6 +439,32 @@ mod tests {
         ];
         let set: std::collections::HashSet<_> = labels.iter().collect();
         assert_eq!(set.len(), labels.len());
+    }
+
+    #[test]
+    fn parse_round_trips_labels() {
+        for name in ["ideal", "change-point", "max"] {
+            assert_eq!(GovernorKind::parse(name).unwrap().label(), name);
+        }
+        assert_eq!(
+            GovernorKind::parse("ema:0.3").unwrap().label(),
+            "exp-average"
+        );
+        assert!(GovernorKind::parse("turbo").is_err());
+        assert!(GovernorKind::parse("ema:fast").is_err());
+        for name in ["none", "break-even", "predictive", "renewal", "tismdp"] {
+            assert_eq!(DpmKind::parse(name).unwrap().label(), name);
+        }
+        assert_eq!(
+            DpmKind::parse("adaptive").unwrap().label(),
+            "adaptive-timeout"
+        );
+        assert_eq!(
+            DpmKind::parse("timeout:2.5").unwrap().label(),
+            "fixed-timeout"
+        );
+        assert!(DpmKind::parse("sleepy").is_err());
+        assert!(DpmKind::parse("timeout:soon").is_err());
     }
 
     #[test]

@@ -14,9 +14,109 @@ use crate::metrics::SimReport;
 use crate::system::SystemSimulator;
 use crate::PmError;
 use simcore::rng::SimRng;
+use std::fmt;
 use trace::TraceSink;
 use workload::session::Session;
 use workload::{mp3, MpegClip, Trace};
+
+/// A named workload choice — the `--workload` axis of the CLI and the
+/// per-device workload mix of a fleet spec. Parsing and execution live
+/// here so every front end (CLI `run`, `dvsdpm fleet`, benches)
+/// resolves the same string to the same scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Workload {
+    /// An MP3 clip sequence over the Table 3 clips `A`–`F`.
+    Mp3(String),
+    /// One of the Table 4 MPEG clips (`football` or `terminator2`).
+    Mpeg(String),
+    /// The Table 5 mixed audio/video session with idle gaps.
+    Session,
+}
+
+impl Workload {
+    /// Parses `mp3:<labels>`, `mpeg:<clip>`, or `session`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the expected forms.
+    pub fn parse(s: &str) -> Result<Workload, String> {
+        if let Some(labels) = s.strip_prefix("mp3:") {
+            if labels.is_empty() {
+                return Err("mp3 workload needs clip labels, e.g. mp3:ACEFBD".to_owned());
+            }
+            Ok(Workload::Mp3(labels.to_owned()))
+        } else if let Some(clip) = s.strip_prefix("mpeg:") {
+            match clip {
+                "football" | "terminator2" => Ok(Workload::Mpeg(clip.to_owned())),
+                other => Err(format!(
+                    "unknown MPEG clip `{other}` (expected football|terminator2)"
+                )),
+            }
+        } else if s == "session" {
+            Ok(Workload::Session)
+        } else {
+            Err(format!(
+                "unknown workload `{s}` (expected mp3:<labels>|mpeg:<clip>|session)"
+            ))
+        }
+    }
+
+    /// Generates this workload's trace exactly as [`Self::run`] would.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown clip labels.
+    pub fn build(&self, seed: u64) -> Result<Trace, PmError> {
+        match self {
+            Workload::Mp3(labels) => build_mp3_sequence(labels, seed),
+            Workload::Mpeg(clip) => build_mpeg_clip(clip, seed),
+            Workload::Session => build_session(seed),
+        }
+    }
+
+    /// Runs this workload under `config` at `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown clip labels or invalid configuration.
+    pub fn run(&self, config: &SystemConfig, seed: u64) -> Result<SimReport, PmError> {
+        match self {
+            Workload::Mp3(labels) => run_mp3_sequence(labels, config, seed),
+            Workload::Mpeg(clip) => run_mpeg_clip(clip, config, seed),
+            Workload::Session => run_session(config, seed),
+        }
+    }
+
+    /// [`Self::run`], recording structured events into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown clip labels or invalid configuration.
+    pub fn run_traced(
+        &self,
+        config: &SystemConfig,
+        seed: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<SimReport, PmError> {
+        match self {
+            Workload::Mp3(labels) => run_mp3_sequence_traced(labels, config, seed, sink),
+            Workload::Mpeg(clip) => run_mpeg_clip_traced(clip, config, seed, sink),
+            Workload::Session => run_session_traced(config, seed, sink),
+        }
+    }
+}
+
+impl fmt::Display for Workload {
+    /// Formats back to the parseable `mp3:…` / `mpeg:…` / `session`
+    /// form, so `Workload::parse(&w.to_string()) == Ok(w)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Workload::Mp3(labels) => write!(f, "mp3:{labels}"),
+            Workload::Mpeg(clip) => write!(f, "mpeg:{clip}"),
+            Workload::Session => write!(f, "session"),
+        }
+    }
+}
 
 /// Generates the workload trace for one MP3 listening sequence
 /// (e.g. `"ACEFBD"`) exactly as [`run_mp3_sequence`] would.
@@ -170,6 +270,23 @@ mod tests {
             dpm,
             ..SystemConfig::default()
         }
+    }
+
+    #[test]
+    fn workload_parse_round_trips_and_runs_same_scenario() {
+        for s in ["mp3:ACE", "mpeg:football", "mpeg:terminator2", "session"] {
+            let w = Workload::parse(s).unwrap();
+            assert_eq!(w.to_string(), s);
+        }
+        for bad in ["mp3:", "mpeg:matrix", "vhs:ghostbusters", ""] {
+            assert!(Workload::parse(bad).is_err(), "{bad}");
+        }
+        // Workload::run is the same code path as the free functions.
+        use simcore::json::ToJson;
+        let config = cfg(GovernorKind::MaxPerformance, DpmKind::None);
+        let via_enum = Workload::parse("mp3:A").unwrap().run(&config, 5).unwrap();
+        let direct = run_mp3_sequence("A", &config, 5).unwrap();
+        assert_eq!(via_enum.to_json().dump(), direct.to_json().dump());
     }
 
     #[test]

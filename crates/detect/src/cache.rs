@@ -143,6 +143,21 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// The activity recorded between `earlier` (a previous
+    /// [`cache_stats_detailed`] snapshot) and `self` — how a bounded
+    /// region of work (one fleet run, one bench phase) used the cache,
+    /// independent of whatever the process did before. Saturating, so a
+    /// mismatched snapshot order yields zeros rather than wrapping.
+    #[must_use]
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            hit_nanos: self.hit_nanos.saturating_sub(earlier.hit_nanos),
+            miss_nanos: self.miss_nanos.saturating_sub(earlier.miss_nanos),
+        }
+    }
 }
 
 /// Lifetime cache statistics with per-path latency — the profiling
@@ -191,6 +206,23 @@ mod tests {
         let (h2, _) = cache_stats();
         assert!(h2 > h1.saturating_sub(1), "second lookup must hit");
         assert!(Arc::ptr_eq(&a, &b), "hits share the same allocation");
+    }
+
+    #[test]
+    fn stats_delta_isolates_a_region_of_work() {
+        let seed = 0xCAC4_E010;
+        let before = cache_stats_detailed();
+        let _ = cached_table(&[2.0, 4.0], quick_config(), seed, Jobs::Count(1)).unwrap();
+        let _ = cached_table(&[2.0, 4.0], quick_config(), seed, Jobs::Count(1)).unwrap();
+        let delta = cache_stats_detailed().since(&before);
+        // Other tests may run concurrently, so the delta is a lower
+        // bound on global counters but exact for this key's first use.
+        assert!(delta.misses >= 1, "first lookup calibrated");
+        assert!(delta.hits >= 1, "second lookup hit");
+        assert!(delta.hit_ratio() > 0.0);
+        // Reversed snapshots saturate to zero instead of wrapping.
+        let zero = before.since(&cache_stats_detailed());
+        assert_eq!((zero.hits, zero.misses), (0, 0));
     }
 
     #[test]

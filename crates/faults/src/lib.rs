@@ -259,6 +259,104 @@ impl FaultSpec {
     }
 }
 
+/// Named fault-injection presets — the `--faults` axis of the CLI and
+/// the per-device fault choice of a fleet spec. Each name maps to a
+/// canonical [`FaultSpec`]; `random` draws a seed-determined plan so
+/// `--faults random --seed N` stays reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPreset {
+    /// No faults (the paper's clean runs).
+    Off,
+    /// WLAN-flavoured faults: burst loss + arrival jitter.
+    Wlan,
+    /// Decoder-flavoured faults: overruns, flaky switches, degenerate
+    /// samples.
+    Decoder,
+    /// Everything at once.
+    All,
+    /// A randomized-but-reproducible plan drawn from the run seed.
+    Random,
+}
+
+impl FaultPreset {
+    /// Parses a preset name: `off|wlan|decoder|all|random`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the expected forms.
+    pub fn parse(s: &str) -> Result<FaultPreset, String> {
+        match s {
+            "off" => Ok(FaultPreset::Off),
+            "wlan" => Ok(FaultPreset::Wlan),
+            "decoder" => Ok(FaultPreset::Decoder),
+            "all" => Ok(FaultPreset::All),
+            "random" => Ok(FaultPreset::Random),
+            other => Err(format!(
+                "unknown fault preset `{other}` (expected off|wlan|decoder|all|random)"
+            )),
+        }
+    }
+
+    /// The parseable preset name, for labels and report columns.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPreset::Off => "off",
+            FaultPreset::Wlan => "wlan",
+            FaultPreset::Decoder => "decoder",
+            FaultPreset::All => "all",
+            FaultPreset::Random => "random",
+        }
+    }
+
+    /// Builds the fault spec for this preset; `seed` feeds the `random`
+    /// preset so the same `(preset, seed)` pair always yields the same
+    /// plan. `Off` yields `None`.
+    #[must_use]
+    pub fn spec(self, seed: u64) -> Option<FaultSpec> {
+        match self {
+            FaultPreset::Off => None,
+            FaultPreset::Wlan => Some(FaultSpec {
+                burst_loss: Some(BurstLossSpec {
+                    enter_prob: 0.05,
+                    exit_prob: 0.2,
+                    drop_prob: 0.7,
+                }),
+                jitter: Some(JitterSpec {
+                    prob: 0.1,
+                    max_secs: 0.1,
+                }),
+                ..FaultSpec::default()
+            }),
+            FaultPreset::Decoder => Some(FaultSpec {
+                overrun: Some(OverrunSpec {
+                    prob: 0.2,
+                    max_factor: 3.0,
+                }),
+                switch_fault: Some(SwitchFaultSpec {
+                    fail_prob: 0.3,
+                    max_retries: 2,
+                }),
+                degenerate_samples: Some(DegenerateSampleSpec { prob: 0.05 }),
+                ..FaultSpec::default()
+            }),
+            FaultPreset::All => {
+                let wlan = FaultPreset::Wlan.spec(seed).expect("wlan preset");
+                let decoder = FaultPreset::Decoder.spec(seed).expect("decoder preset");
+                Some(FaultSpec {
+                    burst_loss: wlan.burst_loss,
+                    jitter: wlan.jitter,
+                    ..decoder
+                })
+            }
+            FaultPreset::Random => {
+                let mut rng = SimRng::seed_from(seed).fork("chaos-spec");
+                Some(FaultSpec::randomized(&mut rng))
+            }
+        }
+    }
+}
+
 /// A validated fault configuration, ready to spawn [`FaultInjector`]s.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
@@ -271,8 +369,11 @@ impl FaultPlan {
     /// # Errors
     ///
     /// Returns [`FaultError::InvalidParameter`] for any probability
-    /// outside `[0, 1]`, negative/non-finite magnitude, an overrun factor
-    /// below 1, or a window with `end_s < start_s`.
+    /// outside `[0, 1]` (including NaN), negative/non-finite magnitude,
+    /// an overrun factor below 1, or a window with `end_s <= start_s`
+    /// (inverted *or* zero-length: `[s, s)` is empty, so such a window
+    /// can only be a configuration mistake — it would silently disable
+    /// the burst it was meant to schedule).
     pub fn new(spec: FaultSpec) -> Result<FaultPlan, FaultError> {
         if let Some(b) = &spec.burst_loss {
             check_prob("burst_loss.enter_prob", b.enter_prob)?;
@@ -302,11 +403,12 @@ impl FaultPlan {
         for w in &spec.windows {
             check_non_negative("window.start_s", w.start_s)?;
             check_non_negative("window.end_s", w.end_s)?;
-            if w.end_s < w.start_s {
+            if w.end_s <= w.start_s {
                 return Err(FaultError::InvalidParameter {
                     name: "window.end_s",
                     value: w.end_s,
-                    expected: "end_s >= start_s",
+                    expected:
+                        "end_s > start_s (the half-open window [start_s, end_s) must be non-empty)",
                 });
             }
         }

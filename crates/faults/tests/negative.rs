@@ -1,0 +1,167 @@
+//! Negative-path coverage for the fault-model builder: every invalid
+//! Gilbert–Elliott probability (below 0, above 1, NaN), magnitude, and
+//! degenerate window must be rejected by `FaultPlan::new` — a bad spec
+//! must never survive validation only to panic mid-run.
+
+use faults::{
+    BurstLossSpec, DegenerateSampleSpec, FaultError, FaultPlan, FaultPreset, FaultSpec,
+    FaultWindow, JitterSpec, OverrunSpec, SwitchFaultSpec,
+};
+use simcore::rng::SimRng;
+use simcore::time::SimTime;
+
+fn burst(enter_prob: f64, exit_prob: f64, drop_prob: f64) -> FaultSpec {
+    FaultSpec {
+        burst_loss: Some(BurstLossSpec {
+            enter_prob,
+            exit_prob,
+            drop_prob,
+        }),
+        ..FaultSpec::default()
+    }
+}
+
+#[test]
+fn gilbert_elliott_probabilities_outside_unit_interval_are_rejected() {
+    // Every slot of the Gilbert–Elliott channel, each with every
+    // representative bad value.
+    for bad in [
+        -0.1,
+        -f64::EPSILON,
+        1.0 + 1e-12,
+        1.5,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::NAN,
+    ] {
+        for spec in [
+            burst(bad, 0.5, 0.5),
+            burst(0.5, bad, 0.5),
+            burst(0.5, 0.5, bad),
+        ] {
+            let err = FaultPlan::new(spec).expect_err(&format!("bad prob {bad} accepted"));
+            let FaultError::InvalidParameter { name, .. } = err;
+            assert!(name.starts_with("burst_loss."), "wrong parameter: {name}");
+        }
+    }
+    // The boundary values themselves are legal.
+    assert!(FaultPlan::new(burst(0.0, 1.0, 0.0)).is_ok());
+    assert!(FaultPlan::new(burst(1.0, 0.0, 1.0)).is_ok());
+}
+
+#[test]
+fn other_model_probabilities_are_checked_too() {
+    for bad in [-0.5, 2.0, f64::NAN] {
+        assert!(FaultPlan::new(FaultSpec {
+            jitter: Some(JitterSpec {
+                prob: bad,
+                max_secs: 0.1,
+            }),
+            ..FaultSpec::default()
+        })
+        .is_err());
+        assert!(FaultPlan::new(FaultSpec {
+            overrun: Some(OverrunSpec {
+                prob: bad,
+                max_factor: 2.0,
+            }),
+            ..FaultSpec::default()
+        })
+        .is_err());
+        assert!(FaultPlan::new(FaultSpec {
+            switch_fault: Some(SwitchFaultSpec {
+                fail_prob: bad,
+                max_retries: 1,
+            }),
+            ..FaultSpec::default()
+        })
+        .is_err());
+        assert!(FaultPlan::new(FaultSpec {
+            degenerate_samples: Some(DegenerateSampleSpec { prob: bad }),
+            ..FaultSpec::default()
+        })
+        .is_err());
+    }
+}
+
+#[test]
+fn zero_length_and_inverted_windows_are_rejected() {
+    // A zero-length burst window `[s, s)` is empty: it would silently
+    // schedule nothing. The builder must reject it, not let the run
+    // proceed with a dead window.
+    for (start_s, end_s) in [(5.0, 5.0), (0.0, 0.0), (5.0, 1.0)] {
+        let spec = FaultSpec {
+            jitter: Some(JitterSpec {
+                prob: 1.0,
+                max_secs: 0.1,
+            }),
+            windows: vec![FaultWindow { start_s, end_s }],
+            ..FaultSpec::default()
+        };
+        let err = FaultPlan::new(spec).expect_err(&format!("window [{start_s}, {end_s}) accepted"));
+        let FaultError::InvalidParameter { name, .. } = err;
+        assert_eq!(name, "window.end_s");
+    }
+    // Windows with NaN or negative bounds die on the magnitude check.
+    for (start_s, end_s) in [(f64::NAN, 10.0), (0.0, f64::NAN), (-1.0, 10.0)] {
+        assert!(FaultPlan::new(FaultSpec {
+            windows: vec![FaultWindow { start_s, end_s }],
+            ..FaultSpec::default()
+        })
+        .is_err());
+    }
+    // A genuine window still validates and still gates injection.
+    let plan = FaultPlan::new(FaultSpec {
+        jitter: Some(JitterSpec {
+            prob: 1.0,
+            max_secs: 0.1,
+        }),
+        windows: vec![FaultWindow {
+            start_s: 1.0,
+            end_s: 2.0,
+        }],
+        ..FaultSpec::default()
+    })
+    .expect("non-empty window is valid");
+    let mut inj = plan.injector(&SimRng::seed_from(1));
+    assert_eq!(
+        inj.arrival_jitter(SimTime::from_secs_f64(0.5)),
+        simcore::time::SimDuration::ZERO
+    );
+    assert!(inj.arrival_jitter(SimTime::from_secs_f64(1.5)) > simcore::time::SimDuration::ZERO);
+}
+
+#[test]
+fn error_messages_are_actionable() {
+    let err = FaultPlan::new(burst(f64::NAN, 0.5, 0.5)).unwrap_err();
+    let text = err.to_string();
+    assert!(text.contains("burst_loss.enter_prob"), "{text}");
+    assert!(text.contains("[0, 1]"), "{text}");
+    let err = FaultPlan::new(FaultSpec {
+        windows: vec![FaultWindow {
+            start_s: 3.0,
+            end_s: 3.0,
+        }],
+        ..FaultSpec::default()
+    })
+    .unwrap_err();
+    assert!(err.to_string().contains("non-empty"), "{err}");
+}
+
+#[test]
+fn presets_parse_and_validate() {
+    for name in ["off", "wlan", "decoder", "all", "random"] {
+        let preset = FaultPreset::parse(name).expect("known preset");
+        assert_eq!(preset.name(), name);
+        // Every preset's spec must pass its own validation.
+        if let Some(spec) = preset.spec(7) {
+            assert!(FaultPlan::new(spec).is_ok(), "{name}");
+        } else {
+            assert_eq!(preset, FaultPreset::Off);
+        }
+    }
+    assert!(FaultPreset::parse("gremlins").is_err());
+    // The random preset is a pure function of the seed.
+    assert_eq!(FaultPreset::Random.spec(9), FaultPreset::Random.spec(9));
+    assert_ne!(FaultPreset::Random.spec(9), FaultPreset::Random.spec(10));
+}

@@ -1,0 +1,278 @@
+//! The batched fleet engine: run every device of a [`FleetSpec`] over
+//! the deterministic parallel engine and fold the results — in device
+//! order, regardless of worker count — into a [`FleetReport`].
+//!
+//! Determinism invariants (checked by `tests/determinism.rs` and the
+//! CI `fleet-determinism` job):
+//!
+//! * Every device's RNG is a labelled fork of the base seed
+//!   ([`FleetSpec::device_seed`]), so no device's stream depends on any
+//!   other device or on scheduling.
+//! * Devices are mapped with [`par_fold_range_batched`], which folds
+//!   results in strictly ascending index order on the calling thread —
+//!   the report is byte-identical at any `jobs` count, while memory
+//!   stays bounded by one batch of `SimReport`s rather than the fleet.
+//! * Change-point calibration goes through the process-wide
+//!   [`detect::cache`]: the first device with a given detector config
+//!   pays for calibration (itself bit-identical at any thread count),
+//!   every later device hits the cache. With one distinct config the
+//!   steady-state hit ratio approaches 1.
+
+use std::fs;
+use std::io::BufWriter;
+use std::path::Path;
+
+use detect::{ChangePointDetector, EmaEstimator, RateEstimator};
+use powermgr::config::{GovernorKind, SupervisorConfig, SystemConfig};
+use simcore::dist::{Exponential, Sample};
+use simcore::json::ToJson;
+use simcore::par::{par_fold_range_batched, Jobs};
+use simcore::rng::SimRng;
+use trace::{FleetEvent, JsonlSink, TraceSink};
+
+use crate::report::{DeviceRecord, FleetReport};
+use crate::spec::{DeviceAssignment, FleetSpec};
+use crate::FleetError;
+
+/// Devices simulated per parallel wave. Large enough to keep every
+/// worker busy, small enough that at most one batch of reports is ever
+/// resident before being folded into records.
+pub const BATCH: usize = 256;
+
+/// Buffer capacity paired with fault presets, matching the CLI's
+/// single-device chaos runs (a bounded buffer is what makes drop
+/// accounting meaningful under injected faults).
+const FAULT_BUFFER_FRAMES: usize = 64;
+
+/// Detection-latency probe: rate step the probe replays, in frames/s.
+const PROBE_SLOW_RATE: f64 = 10.0;
+/// Post-step rate of the probe, frames/s (the paper's fig. 10 step).
+const PROBE_FAST_RATE: f64 = 60.0;
+/// Slow samples fed before the step so detector windows are warm.
+const PROBE_PREFILL: usize = 150;
+/// Upper bound on post-step samples; a detector that has not reacted
+/// by then is reported at the cap rather than scanning forever.
+const PROBE_CAP: usize = 600;
+
+/// Runs the fleet and aggregates the report.
+///
+/// # Errors
+///
+/// Returns [`FleetError::Spec`] for an invalid spec and
+/// [`FleetError::Sim`] when any device's simulation fails.
+pub fn run_fleet(spec: &FleetSpec, jobs: Jobs) -> Result<FleetReport, FleetError> {
+    run_fleet_with(spec, jobs, None)
+}
+
+/// [`run_fleet`], optionally streaming traces under `trace_dir`:
+/// `device_NNNNN.jsonl` per device (full simulator event stream) plus
+/// `fleet.jsonl` of fleet-level [`FleetEvent`]s.
+///
+/// # Errors
+///
+/// As [`run_fleet`], plus [`FleetError::Io`] when the trace directory
+/// or a trace file cannot be written.
+pub fn run_fleet_with(
+    spec: &FleetSpec,
+    jobs: Jobs,
+    trace_dir: Option<&Path>,
+) -> Result<FleetReport, FleetError> {
+    spec.validate()?;
+    if let Some(dir) = trace_dir {
+        fs::create_dir_all(dir).map_err(|e| {
+            FleetError::Io(format!("cannot create trace dir {}: {e}", dir.display()))
+        })?;
+    }
+
+    // Map devices in parallel batches; fold arrives in ascending device
+    // order, so the record vector (and everything derived from it) is
+    // independent of the worker count.
+    let folded: Result<Vec<DeviceRecord>, FleetError> = par_fold_range_batched(
+        jobs,
+        spec.devices,
+        BATCH,
+        |i| run_device(spec, i, trace_dir),
+        Ok(Vec::with_capacity(spec.devices)),
+        |acc, _i, result| {
+            let mut records = acc?;
+            records.push(result?);
+            Ok(records)
+        },
+    );
+    let records = folded?;
+
+    if let Some(dir) = trace_dir {
+        write_fleet_log(spec, &records, dir)?;
+    }
+    Ok(FleetReport::build(
+        &spec.name,
+        spec.base_seed,
+        spec.policies.len(),
+        records,
+    ))
+}
+
+/// Simulates one device: resolve its assignment, run its workload, and
+/// condense the [`powermgr::SimReport`] plus the detection probe into a
+/// [`DeviceRecord`].
+fn run_device(
+    spec: &FleetSpec,
+    device: usize,
+    trace_dir: Option<&Path>,
+) -> Result<DeviceRecord, FleetError> {
+    let a = spec.assignment(device);
+    let config = device_config(&a);
+
+    let report = match trace_dir {
+        None => a.workload.run(&config, a.seed).map_err(FleetError::Sim)?,
+        Some(dir) => {
+            let path = dir.join(format!("device_{device:05}.jsonl"));
+            let file = fs::File::create(&path)
+                .map_err(|e| FleetError::Io(format!("cannot create {}: {e}", path.display())))?;
+            let mut sink = JsonlSink::new(BufWriter::new(file));
+            let report = a
+                .workload
+                .run_traced(&config, a.seed, &mut sink)
+                .map_err(FleetError::Sim)?;
+            sink.finish().map_err(|e| {
+                FleetError::Io(format!("trace write to {} failed: {e}", path.display()))
+            })?;
+            report
+        }
+    };
+
+    let offered = report.frames_completed
+        + report.robustness.arrivals_dropped
+        + report.robustness.frames_dropped;
+    let dropped = report.robustness.arrivals_dropped + report.robustness.frames_dropped;
+    let drop_rate = if offered == 0 {
+        0.0
+    } else {
+        dropped as f64 / offered as f64
+    };
+
+    Ok(DeviceRecord {
+        device: device as u64,
+        seed: a.seed,
+        workload: a.workload.to_string(),
+        policy: a.policy_index as u64,
+        governor: config.governor.label(),
+        dpm: config.dpm.label(),
+        faults: a.faults.name(),
+        energy_kj: report.total_energy_kj(),
+        mean_delay_s: report.mean_frame_delay_s(),
+        drop_rate,
+        detection_latency_frames: detection_latency_frames(&config.governor, a.seed)?,
+        frames_completed: report.frames_completed,
+        duration_secs: report.duration_secs,
+        deadline_miss_ratio: report.robustness.deadline_miss_ratio(),
+    })
+}
+
+/// Expands a device assignment into the full [`SystemConfig`],
+/// mirroring the single-device CLI: fault presets bring the
+/// graceful-degradation supervisor and a bounded frame buffer.
+fn device_config(a: &DeviceAssignment<'_>) -> SystemConfig {
+    let faults = a.faults.spec(a.seed);
+    let (supervisor, buffer_capacity) = if faults.is_some() {
+        (Some(SupervisorConfig::default()), Some(FAULT_BUFFER_FRAMES))
+    } else {
+        (None, None)
+    };
+    SystemConfig {
+        governor: a.policy.governor.clone(),
+        dpm: a.policy.dpm.clone(),
+        faults,
+        supervisor,
+        buffer_capacity,
+        ..SystemConfig::default()
+    }
+}
+
+/// Measures how many post-step samples the device's detector needs to
+/// register a 10 → 60 frames/s arrival-rate step (the paper's fig. 10
+/// workload transition), on a probe stream forked from the device seed.
+/// `Ok(None)` for governors with no online detector (ideal knows the
+/// future, max never looks).
+fn detection_latency_frames(
+    governor: &GovernorKind,
+    device_seed: u64,
+) -> Result<Option<f64>, FleetError> {
+    let mut rng = SimRng::seed_from(device_seed).fork("fleet/detect-probe");
+    let slow = Exponential::new(PROBE_SLOW_RATE).expect("probe rate is positive");
+    let fast = Exponential::new(PROBE_FAST_RATE).expect("probe rate is positive");
+
+    match governor {
+        GovernorKind::Ideal | GovernorKind::MaxPerformance => Ok(None),
+        GovernorKind::ChangePoint(cfg) => {
+            let mut det = ChangePointDetector::new(PROBE_SLOW_RATE, cfg.clone())
+                .map_err(|e| FleetError::Sim(e.into()))?;
+            for _ in 0..PROBE_PREFILL {
+                let _ = det.observe(slow.sample(&mut rng));
+            }
+            for n in 1..=PROBE_CAP {
+                if det.observe(fast.sample(&mut rng)).is_some() {
+                    return Ok(Some(n as f64));
+                }
+            }
+            Ok(Some(PROBE_CAP as f64))
+        }
+        GovernorKind::ExpAverage { gain } => {
+            let mut est =
+                EmaEstimator::new(PROBE_SLOW_RATE, *gain).map_err(|e| FleetError::Sim(e.into()))?;
+            for _ in 0..PROBE_PREFILL {
+                let _ = est.observe(slow.sample(&mut rng));
+            }
+            // The EMA re-estimates continuously; "detected" is the first
+            // sample where its estimate is within 10% of the new rate.
+            for n in 1..=PROBE_CAP {
+                let _ = est.observe(fast.sample(&mut rng));
+                if est.current_rate() >= 0.9 * PROBE_FAST_RATE {
+                    return Ok(Some(n as f64));
+                }
+            }
+            Ok(Some(PROBE_CAP as f64))
+        }
+    }
+}
+
+/// Writes `fleet.jsonl`: the fleet-level event stream (start, one
+/// start/done pair per device in device order, done).
+fn write_fleet_log(
+    spec: &FleetSpec,
+    records: &[DeviceRecord],
+    dir: &Path,
+) -> Result<(), FleetError> {
+    let mut out = String::new();
+    let mut push = |event: FleetEvent| {
+        out.push_str(&event.to_json().dump());
+        out.push('\n');
+    };
+    push(FleetEvent::FleetStart {
+        name: spec.name.clone(),
+        devices: spec.devices as u64,
+        base_seed: spec.base_seed,
+    });
+    for r in records {
+        push(FleetEvent::DeviceStart {
+            device: r.device,
+            seed: r.seed,
+            workload: r.workload.clone(),
+            governor: r.governor.to_string(),
+            dpm: r.dpm.to_string(),
+            faults: r.faults.to_string(),
+        });
+        push(FleetEvent::DeviceDone {
+            device: r.device,
+            frames_completed: r.frames_completed,
+            energy_j: r.energy_kj * 1000.0,
+            mean_delay_s: r.mean_delay_s,
+        });
+    }
+    push(FleetEvent::FleetDone {
+        devices: records.len() as u64,
+    });
+    let path = dir.join("fleet.jsonl");
+    fs::write(&path, out)
+        .map_err(|e| FleetError::Io(format!("cannot write {}: {e}", path.display())))
+}

@@ -1,0 +1,81 @@
+//! Fleet-scale batched simulation: N independent SmartBadge devices —
+//! each a seed-forked [`powermgr::SystemSimulator`] run with its own
+//! workload mix, DVS/DPM policy, and fault preset — executed over the
+//! deterministic parallel engine and aggregated into one
+//! [`FleetReport`] of percentile distributions and per-policy cohort
+//! comparisons (the paper's Table 5, at population scale).
+//!
+//! The contract: a fleet run is a pure function of its [`FleetSpec`].
+//! Worker count changes wall-clock time only — the serialized report is
+//! byte-identical at `--jobs 1` and `--jobs 1024`. Change-point
+//! calibration cost is paid once per distinct detector configuration
+//! via the process-wide threshold cache, not once per device.
+//!
+//! ```
+//! use fleet::{run_fleet, FleetSpec, PolicySpec};
+//! use powermgr::config::{DpmKind, GovernorKind};
+//! use powermgr::scenario::Workload;
+//! use simcore::par::Jobs;
+//!
+//! let spec = FleetSpec {
+//!     name: "doc".into(),
+//!     devices: 2,
+//!     base_seed: 42,
+//!     workloads: vec![Workload::Mp3("A".into())],
+//!     policies: vec![
+//!         PolicySpec { governor: GovernorKind::MaxPerformance, dpm: DpmKind::None },
+//!         PolicySpec { governor: GovernorKind::Ideal, dpm: DpmKind::None },
+//!     ],
+//!     faults: vec![faults::FaultPreset::Off],
+//! };
+//! let report = run_fleet(&spec, Jobs::Count(2))?;
+//! assert_eq!(report.devices, 2);
+//! assert_eq!(report.cohorts.len(), 2);
+//! # Ok::<(), fleet::FleetError>(())
+//! ```
+
+use std::fmt;
+
+pub mod engine;
+pub mod report;
+pub mod spec;
+
+pub use engine::{run_fleet, run_fleet_with};
+pub use report::{CohortSummary, DeviceRecord, FleetReport, MetricSummary};
+pub use spec::{DeviceAssignment, FleetSpec, PolicySpec};
+
+/// Errors from parsing a fleet spec or running a fleet.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The spec is malformed or violates a structural invariant.
+    Spec(String),
+    /// A device simulation failed.
+    Sim(powermgr::PmError),
+    /// Trace output could not be written.
+    Io(String),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Spec(msg) => write!(f, "fleet spec: {msg}"),
+            FleetError::Sim(e) => write!(f, "device simulation failed: {e}"),
+            FleetError::Io(msg) => write!(f, "fleet trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Sim(e) => Some(e),
+            FleetError::Spec(_) | FleetError::Io(_) => None,
+        }
+    }
+}
+
+impl From<powermgr::PmError> for FleetError {
+    fn from(e: powermgr::PmError) -> Self {
+        FleetError::Sim(e)
+    }
+}

@@ -1,0 +1,426 @@
+//! Fleet-level aggregation: per-device records rolled up into
+//! percentile distributions and per-policy cohort comparisons (the
+//! paper's Table 5 energy/delay trade-off, reproduced at fleet scale).
+//!
+//! Everything here is a pure function of the device records, which are
+//! themselves a pure function of the spec — so the serialized report is
+//! byte-identical at any `--jobs` count. Deliberately absent: the
+//! process-global [`detect::cache`] hit counters. Those accumulate
+//! across every fleet run sharing the process (tests, benches), so
+//! embedding them would break golden byte-equality; they belong in
+//! `BENCH_fleet.json` and CLI diagnostics instead.
+
+use std::fmt;
+
+use simcore::impl_to_json;
+use simcore::json::{Json, ToJson};
+use simcore::stats::exact_quantile;
+
+/// Distribution of one metric over the fleet: mean, extremes, and the
+/// percentiles the capacity-planning plots need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSummary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+    /// 10th percentile.
+    pub p10: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl_to_json!(MetricSummary {
+    mean,
+    min,
+    max,
+    p10,
+    p50,
+    p90,
+    p99,
+});
+
+impl MetricSummary {
+    /// Summarizes `values`, ignoring non-finite entries; `None` when
+    /// nothing finite remains (e.g. a metric no device reports).
+    #[must_use]
+    pub fn from_values(values: &[f64]) -> Option<MetricSummary> {
+        let mut finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            return None;
+        }
+        finite.sort_by(f64::total_cmp);
+        let mean = finite.iter().sum::<f64>() / finite.len() as f64;
+        Some(MetricSummary {
+            mean,
+            min: finite[0],
+            max: finite[finite.len() - 1],
+            p10: exact_quantile(&finite, 0.10),
+            p50: exact_quantile(&finite, 0.50),
+            p90: exact_quantile(&finite, 0.90),
+            p99: exact_quantile(&finite, 0.99),
+        })
+    }
+}
+
+/// The outcome of one device's run, in fleet-report form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceRecord {
+    /// Device index within the fleet.
+    pub device: u64,
+    /// The device's forked RNG seed.
+    pub seed: u64,
+    /// Workload label (`mp3:…` / `mpeg:…` / `session`).
+    pub workload: String,
+    /// Index into the spec's policy list (the cohort key).
+    pub policy: u64,
+    /// Governor label.
+    pub governor: &'static str,
+    /// DPM policy label.
+    pub dpm: &'static str,
+    /// Fault-preset name.
+    pub faults: &'static str,
+    /// Total energy, kJ.
+    pub energy_kj: f64,
+    /// Mean total frame delay, seconds.
+    pub mean_delay_s: f64,
+    /// Dropped fraction of offered frames (arrivals + decoded drops).
+    pub drop_rate: f64,
+    /// Frames the probe needed to detect a 10 → 60 frames/s rate step;
+    /// `None` for governors that do no online detection.
+    pub detection_latency_frames: Option<f64>,
+    /// Frames decoded to completion.
+    pub frames_completed: u64,
+    /// Simulated duration, seconds.
+    pub duration_secs: f64,
+    /// Fraction of frame deadlines missed.
+    pub deadline_miss_ratio: f64,
+}
+
+impl_to_json!(DeviceRecord {
+    device,
+    seed,
+    workload,
+    policy,
+    governor,
+    dpm,
+    faults,
+    energy_kj,
+    mean_delay_s,
+    drop_rate,
+    detection_latency_frames,
+    frames_completed,
+    duration_secs,
+    deadline_miss_ratio,
+});
+
+/// Aggregate outcome of every device sharing one policy slot — the
+/// fleet-scale analogue of one row of the paper's Table 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortSummary {
+    /// Index into the spec's policy list.
+    pub policy: u64,
+    /// Governor label.
+    pub governor: &'static str,
+    /// DPM policy label.
+    pub dpm: &'static str,
+    /// Devices in the cohort.
+    pub devices: u64,
+    /// Mean energy over the cohort, kJ.
+    pub mean_energy_kj: f64,
+    /// Mean frame delay over the cohort, seconds.
+    pub mean_delay_s: f64,
+    /// Mean drop rate over the cohort.
+    pub mean_drop_rate: f64,
+    /// Energy factor versus the `max`/`none` baseline cohort
+    /// (baseline energy ÷ cohort energy, Table 5's "×" column);
+    /// `None` when the fleet has no baseline cohort.
+    pub savings_vs_baseline: Option<f64>,
+}
+
+impl_to_json!(CohortSummary {
+    policy,
+    governor,
+    dpm,
+    devices,
+    mean_energy_kj,
+    mean_delay_s,
+    mean_drop_rate,
+    savings_vs_baseline,
+});
+
+/// The aggregate report for one fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Fleet name from the spec.
+    pub name: String,
+    /// Number of devices simulated.
+    pub devices: u64,
+    /// Base seed from the spec.
+    pub base_seed: u64,
+    /// Energy distribution over the fleet, kJ.
+    pub energy_kj: MetricSummary,
+    /// Mean-frame-delay distribution, seconds.
+    pub mean_delay_s: MetricSummary,
+    /// Drop-rate distribution.
+    pub drop_rate: MetricSummary,
+    /// Detection-latency distribution in frames, over the devices whose
+    /// governor does online detection; `None` when no device does.
+    pub detection_latency_frames: Option<MetricSummary>,
+    /// Per-policy cohorts, in spec order.
+    pub cohorts: Vec<CohortSummary>,
+    /// Every device's record, in device order.
+    pub records: Vec<DeviceRecord>,
+}
+
+impl_to_json!(FleetReport {
+    name,
+    devices,
+    base_seed,
+    energy_kj,
+    mean_delay_s,
+    drop_rate,
+    detection_latency_frames,
+    cohorts,
+    records,
+});
+
+impl FleetReport {
+    /// Builds the aggregate report from per-device records.
+    ///
+    /// `policies` is the number of policy slots in the spec; cohorts
+    /// come out in slot order so the report layout matches the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is empty (the spec validator rejects
+    /// zero-device fleets before any records exist).
+    #[must_use]
+    pub fn build(
+        name: &str,
+        base_seed: u64,
+        policies: usize,
+        records: Vec<DeviceRecord>,
+    ) -> FleetReport {
+        assert!(
+            !records.is_empty(),
+            "a fleet report needs at least one device"
+        );
+        let metric = |f: fn(&DeviceRecord) -> f64| {
+            let values: Vec<f64> = records.iter().map(f).collect();
+            MetricSummary::from_values(&values).expect("device metrics are finite")
+        };
+        let detection: Vec<f64> = records
+            .iter()
+            .filter_map(|r| r.detection_latency_frames)
+            .collect();
+
+        let mut cohorts = Vec::with_capacity(policies);
+        for slot in 0..policies as u64 {
+            let members: Vec<&DeviceRecord> = records.iter().filter(|r| r.policy == slot).collect();
+            let Some(first) = members.first() else {
+                continue; // more policies than devices: slot never assigned
+            };
+            let mean = |f: fn(&DeviceRecord) -> f64| {
+                members.iter().map(|r| f(r)).sum::<f64>() / members.len() as f64
+            };
+            cohorts.push(CohortSummary {
+                policy: slot,
+                governor: first.governor,
+                dpm: first.dpm,
+                devices: members.len() as u64,
+                mean_energy_kj: mean(|r| r.energy_kj),
+                mean_delay_s: mean(|r| r.mean_delay_s),
+                mean_drop_rate: mean(|r| r.drop_rate),
+                savings_vs_baseline: None,
+            });
+        }
+        let baseline = cohorts
+            .iter()
+            .find(|c| c.governor == "max" && c.dpm == "none")
+            .map(|c| c.mean_energy_kj);
+        if let Some(base) = baseline {
+            for c in &mut cohorts {
+                c.savings_vs_baseline = (c.mean_energy_kj > 0.0).then(|| base / c.mean_energy_kj);
+            }
+        }
+
+        FleetReport {
+            name: name.to_string(),
+            devices: records.len() as u64,
+            base_seed,
+            energy_kj: metric(|r| r.energy_kj),
+            mean_delay_s: metric(|r| r.mean_delay_s),
+            drop_rate: metric(|r| r.drop_rate),
+            detection_latency_frames: MetricSummary::from_values(&detection),
+            cohorts,
+            records,
+        }
+    }
+
+    /// Pretty-printed JSON document, the canonical on-disk form.
+    #[must_use]
+    pub fn to_json_pretty(&self) -> String {
+        self.to_json().pretty()
+    }
+
+    /// Parses a report back from its JSON form (used by `--check`-style
+    /// tooling and the determinism tests; only the scalar headline
+    /// fields are needed, so unknown fields are ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or mistyped field.
+    pub fn headline_from_json(text: &str) -> Result<(String, u64, f64), String> {
+        let json = Json::parse(text).map_err(|e| e.to_string())?;
+        let name = json
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("missing `name`")?
+            .to_string();
+        let devices = json
+            .get("devices")
+            .and_then(Json::as_u64)
+            .ok_or("missing `devices`")?;
+        let mean_energy = json
+            .get("energy_kj")
+            .and_then(|m| m.get("mean"))
+            .and_then(Json::as_f64)
+            .ok_or("missing `energy_kj.mean`")?;
+        Ok((name, devices, mean_energy))
+    }
+}
+
+impl fmt::Display for FleetReport {
+    /// Human-readable summary for the CLI: fleet-wide distributions
+    /// followed by one Table-5-style row per cohort.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fleet `{}`: {} devices, base seed {}",
+            self.name, self.devices, self.base_seed
+        )?;
+        let row = |f: &mut fmt::Formatter<'_>, label: &str, m: &MetricSummary| {
+            writeln!(
+                f,
+                "  {label:<18} mean {:>9.4}  p10 {:>9.4}  p50 {:>9.4}  p90 {:>9.4}  p99 {:>9.4}  max {:>9.4}",
+                m.mean, m.p10, m.p50, m.p90, m.p99, m.max
+            )
+        };
+        row(f, "energy (kJ)", &self.energy_kj)?;
+        row(f, "mean delay (s)", &self.mean_delay_s)?;
+        row(f, "drop rate", &self.drop_rate)?;
+        match &self.detection_latency_frames {
+            Some(m) => row(f, "detection (frames)", m)?,
+            None => writeln!(f, "  detection (frames) n/a (no detecting governor)")?,
+        }
+        writeln!(f, "  cohorts:")?;
+        for c in &self.cohorts {
+            write!(
+                f,
+                "    [{}] {:<13} + {:<16} {:>5} devices  {:>9.4} kJ  {:>7.4} s  drop {:>6.4}",
+                c.policy,
+                c.governor,
+                c.dpm,
+                c.devices,
+                c.mean_energy_kj,
+                c.mean_delay_s,
+                c.mean_drop_rate
+            )?;
+            match c.savings_vs_baseline {
+                Some(x) => writeln!(f, "  {x:>5.2}x vs max/none")?,
+                None => writeln!(f)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(device: u64, policy: u64, energy_kj: f64, detect: Option<f64>) -> DeviceRecord {
+        DeviceRecord {
+            device,
+            seed: device * 1000 + 1,
+            workload: "session".into(),
+            policy,
+            governor: if policy == 0 { "change-point" } else { "max" },
+            dpm: if policy == 0 { "break-even" } else { "none" },
+            faults: "off",
+            energy_kj,
+            mean_delay_s: 0.05 * (device + 1) as f64,
+            drop_rate: 0.0,
+            detection_latency_frames: detect,
+            frames_completed: 100,
+            duration_secs: 60.0,
+            deadline_miss_ratio: 0.0,
+        }
+    }
+
+    #[test]
+    fn summary_percentiles_and_baseline_savings() {
+        let records = vec![
+            record(0, 0, 1.0, Some(30.0)),
+            record(1, 1, 4.0, None),
+            record(2, 0, 2.0, Some(50.0)),
+            record(3, 1, 4.0, None),
+        ];
+        let report = FleetReport::build("t", 42, 2, records);
+        assert_eq!(report.devices, 4);
+        assert!((report.energy_kj.mean - 2.75).abs() < 1e-12);
+        assert_eq!(report.energy_kj.min, 1.0);
+        assert_eq!(report.energy_kj.max, 4.0);
+        // Detection distribution covers only the detecting devices.
+        let det = report.detection_latency_frames.as_ref().expect("probe ran");
+        assert_eq!(det.min, 30.0);
+        assert_eq!(det.max, 50.0);
+        // Cohorts in slot order; savings measured against max/none.
+        assert_eq!(report.cohorts.len(), 2);
+        assert_eq!(report.cohorts[0].devices, 2);
+        assert!((report.cohorts[0].mean_energy_kj - 1.5).abs() < 1e-12);
+        let savings = report.cohorts[0]
+            .savings_vs_baseline
+            .expect("baseline present");
+        assert!((savings - 4.0 / 1.5).abs() < 1e-12);
+        assert!((report.cohorts[1].savings_vs_baseline.unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_baseline_cohort_means_no_savings_column() {
+        let report = FleetReport::build("t", 1, 1, vec![record(0, 0, 1.0, None)]);
+        assert_eq!(report.cohorts[0].savings_vs_baseline, None);
+        assert_eq!(report.detection_latency_frames, None);
+    }
+
+    #[test]
+    fn json_round_trips_headline_fields() {
+        let report = FleetReport::build("pilot", 9, 1, vec![record(0, 0, 2.5, None)]);
+        let text = report.to_json_pretty();
+        let (name, devices, mean_energy) =
+            FleetReport::headline_from_json(&text).expect("own output parses");
+        assert_eq!(name, "pilot");
+        assert_eq!(devices, 1);
+        assert!((mean_energy - 2.5).abs() < 1e-12);
+        // Null detection latency serializes as JSON null, not NaN.
+        assert!(text.contains("\"detection_latency_frames\": null"));
+    }
+
+    #[test]
+    fn from_values_filters_non_finite_and_handles_empty() {
+        assert_eq!(MetricSummary::from_values(&[]), None);
+        assert_eq!(MetricSummary::from_values(&[f64::NAN, f64::INFINITY]), None);
+        let m = MetricSummary::from_values(&[3.0, f64::NAN, 1.0, 2.0]).expect("finite data");
+        assert_eq!(m.min, 1.0);
+        assert_eq!(m.max, 3.0);
+        assert!((m.mean - 2.0).abs() < 1e-12);
+        assert!((m.p50 - 2.0).abs() < 1e-12);
+    }
+}

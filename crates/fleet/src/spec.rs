@@ -1,0 +1,408 @@
+//! Fleet specification: how many devices, which workloads, which
+//! policies, which fault presets — and the deterministic rule that maps
+//! a device index onto one combination of the three plus a forked seed.
+//!
+//! A spec is usually loaded from a JSON document:
+//!
+//! ```json
+//! {
+//!   "name": "pilot",
+//!   "devices": 1000,
+//!   "base_seed": 42,
+//!   "workloads": ["mp3:ACEFBD", "mpeg:football"],
+//!   "policies": [
+//!     { "governor": "change-point", "dpm": "break-even" },
+//!     { "governor": "max", "dpm": "none" }
+//!   ],
+//!   "faults": ["off", "wlan"]
+//! }
+//! ```
+//!
+//! Devices enumerate the `workloads × policies × faults` cross product
+//! round-robin (workloads vary fastest, then policies, then fault
+//! presets), so any device count covers every combination as evenly as
+//! possible and each cohort stays comparable.
+
+use faults::FaultPreset;
+use powermgr::config::{DpmKind, GovernorKind};
+use powermgr::scenario::Workload;
+use simcore::json::Json;
+use simcore::rng::SimRng;
+
+use crate::FleetError;
+
+/// One DVS + DPM policy combination assigned to a cohort of devices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicySpec {
+    /// DVS detection strategy.
+    pub governor: GovernorKind,
+    /// DPM policy for idle periods.
+    pub dpm: DpmKind,
+}
+
+/// A complete fleet description: the device count plus the axes of the
+/// workload/policy/fault cross product.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSpec {
+    /// Human-readable fleet name, echoed into the report.
+    pub name: String,
+    /// Number of simulated devices.
+    pub devices: usize,
+    /// Base seed; every device forks its own stream from this.
+    pub base_seed: u64,
+    /// Workload axis (must be non-empty).
+    pub workloads: Vec<Workload>,
+    /// Policy axis (must be non-empty).
+    pub policies: Vec<PolicySpec>,
+    /// Fault-preset axis (must be non-empty; `[Off]` for clean runs).
+    pub faults: Vec<FaultPreset>,
+}
+
+/// The resolved configuration of one device: its seed and its slot in
+/// the workload/policy/fault cross product.
+#[derive(Debug, Clone)]
+pub struct DeviceAssignment<'a> {
+    /// Device index within the fleet.
+    pub device: usize,
+    /// This device's independent RNG seed, forked from the base seed.
+    pub seed: u64,
+    /// Workload the device runs.
+    pub workload: &'a Workload,
+    /// Index into [`FleetSpec::policies`] (the cohort key).
+    pub policy_index: usize,
+    /// The policy itself.
+    pub policy: &'a PolicySpec,
+    /// Fault preset injected into the run.
+    pub faults: FaultPreset,
+}
+
+impl FleetSpec {
+    /// Parses a fleet spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Spec`] for malformed JSON, unknown keys,
+    /// missing or mistyped fields, unknown workload/governor/dpm/fault
+    /// names, or an empty axis.
+    pub fn parse(text: &str) -> Result<FleetSpec, FleetError> {
+        let json = Json::parse(text).map_err(|e| FleetError::Spec(format!("invalid JSON: {e}")))?;
+        let Json::Obj(pairs) = &json else {
+            return Err(FleetError::Spec("fleet spec must be a JSON object".into()));
+        };
+        for (key, _) in pairs {
+            if !matches!(
+                key.as_str(),
+                "name" | "devices" | "base_seed" | "workloads" | "policies" | "faults"
+            ) {
+                return Err(FleetError::Spec(format!(
+                    "unknown key `{key}` (expected name|devices|base_seed|workloads|policies|faults)"
+                )));
+            }
+        }
+
+        let name = match json.get("name") {
+            None => "fleet".to_string(),
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| FleetError::Spec("`name` must be a string".into()))?
+                .to_string(),
+        };
+        let devices = json
+            .get("devices")
+            .ok_or_else(|| FleetError::Spec("missing required key `devices`".into()))?
+            .as_u64()
+            .ok_or_else(|| FleetError::Spec("`devices` must be a non-negative integer".into()))?
+            as usize;
+        let base_seed = match json.get("base_seed") {
+            None => 42,
+            Some(v) => v.as_u64().ok_or_else(|| {
+                FleetError::Spec("`base_seed` must be a non-negative integer".into())
+            })?,
+        };
+
+        let workloads = string_axis(&json, "workloads")?
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                Workload::parse(s).map_err(|e| FleetError::Spec(format!("workloads[{i}]: {e}")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let policy_items = json
+            .get("policies")
+            .ok_or_else(|| FleetError::Spec("missing required key `policies`".into()))?
+            .as_array()
+            .ok_or_else(|| FleetError::Spec("`policies` must be an array of objects".into()))?;
+        let mut policies = Vec::with_capacity(policy_items.len());
+        for (i, item) in policy_items.iter().enumerate() {
+            let Json::Obj(fields) = item else {
+                return Err(FleetError::Spec(format!(
+                    "policies[{i}] must be an object with `governor` and `dpm` keys"
+                )));
+            };
+            for (key, _) in fields {
+                if !matches!(key.as_str(), "governor" | "dpm") {
+                    return Err(FleetError::Spec(format!(
+                        "policies[{i}]: unknown key `{key}` (expected governor|dpm)"
+                    )));
+                }
+            }
+            let governor = match item.get("governor") {
+                None => GovernorKind::change_point(),
+                Some(v) => {
+                    let s = v.as_str().ok_or_else(|| {
+                        FleetError::Spec(format!("policies[{i}].governor must be a string"))
+                    })?;
+                    GovernorKind::parse(s)
+                        .map_err(|e| FleetError::Spec(format!("policies[{i}]: {e}")))?
+                }
+            };
+            let dpm = match item.get("dpm") {
+                None => DpmKind::None,
+                Some(v) => {
+                    let s = v.as_str().ok_or_else(|| {
+                        FleetError::Spec(format!("policies[{i}].dpm must be a string"))
+                    })?;
+                    DpmKind::parse(s)
+                        .map_err(|e| FleetError::Spec(format!("policies[{i}]: {e}")))?
+                }
+            };
+            policies.push(PolicySpec { governor, dpm });
+        }
+
+        let faults = match json.get("faults") {
+            None => vec![FaultPreset::Off],
+            Some(_) => string_axis(&json, "faults")?
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    FaultPreset::parse(s).map_err(|e| FleetError::Spec(format!("faults[{i}]: {e}")))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+
+        let spec = FleetSpec {
+            name,
+            devices,
+            base_seed,
+            workloads,
+            policies,
+            faults,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Checks the structural invariants the engine relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Spec`] when `devices` is zero or any axis
+    /// of the cross product is empty.
+    pub fn validate(&self) -> Result<(), FleetError> {
+        if self.devices == 0 {
+            return Err(FleetError::Spec(
+                "`devices` must be positive (an empty fleet has no report)".into(),
+            ));
+        }
+        if self.workloads.is_empty() {
+            return Err(FleetError::Spec("`workloads` must be non-empty".into()));
+        }
+        if self.policies.is_empty() {
+            return Err(FleetError::Spec("`policies` must be non-empty".into()));
+        }
+        if self.faults.is_empty() {
+            return Err(FleetError::Spec(
+                "`faults` must be non-empty (use [\"off\"] for clean runs)".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The seed of device `device`: a labelled, indexed fork of the
+    /// base seed, so every device draws from an independent stream and
+    /// the mapping is stable under any execution order.
+    #[must_use]
+    pub fn device_seed(&self, device: usize) -> u64 {
+        SimRng::seed_from(self.base_seed)
+            .fork_indexed("fleet/device", device as u64)
+            .seed()
+    }
+
+    /// Resolves device `device` to its slot in the cross product.
+    ///
+    /// Workloads vary fastest, then policies, then fault presets;
+    /// indices past the full cross product wrap around.
+    #[must_use]
+    pub fn assignment(&self, device: usize) -> DeviceAssignment<'_> {
+        let (w, p, f) = (self.workloads.len(), self.policies.len(), self.faults.len());
+        let idx = device % (w * p * f);
+        let workload = idx % w;
+        let policy_index = (idx / w) % p;
+        let fault = idx / (w * p);
+        DeviceAssignment {
+            device,
+            seed: self.device_seed(device),
+            workload: &self.workloads[workload],
+            policy_index,
+            policy: &self.policies[policy_index],
+            faults: self.faults[fault],
+        }
+    }
+}
+
+/// Reads a required non-empty array-of-strings field.
+fn string_axis<'a>(json: &'a Json, key: &str) -> Result<Vec<&'a str>, FleetError> {
+    let items = json
+        .get(key)
+        .ok_or_else(|| FleetError::Spec(format!("missing required key `{key}`")))?
+        .as_array()
+        .ok_or_else(|| FleetError::Spec(format!("`{key}` must be an array of strings")))?;
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            v.as_str()
+                .ok_or_else(|| FleetError::Spec(format!("{key}[{i}] must be a string")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = r#"{
+        "name": "pilot",
+        "devices": 12,
+        "base_seed": 7,
+        "workloads": ["mp3:AB", "session"],
+        "policies": [
+            { "governor": "change-point", "dpm": "break-even" },
+            { "governor": "max", "dpm": "none" },
+            { "governor": "ema:0.03", "dpm": "timeout:1.5" }
+        ],
+        "faults": ["off", "wlan"]
+    }"#;
+
+    #[test]
+    fn parses_a_full_spec_and_enumerates_the_cross_product() {
+        let spec = FleetSpec::parse(SPEC).expect("valid spec");
+        assert_eq!(spec.name, "pilot");
+        assert_eq!(spec.devices, 12);
+        assert_eq!(spec.base_seed, 7);
+        assert_eq!(spec.workloads.len(), 2);
+        assert_eq!(spec.policies.len(), 3);
+        assert_eq!(spec.faults.len(), 2);
+
+        // Workloads vary fastest, then policies, then faults; index 12
+        // wraps back to the first combination (with a fresh seed).
+        let a0 = spec.assignment(0);
+        assert_eq!(a0.workload.to_string(), "mp3:AB");
+        assert_eq!(a0.policy_index, 0);
+        assert_eq!(a0.faults, FaultPreset::Off);
+        let a1 = spec.assignment(1);
+        assert_eq!(a1.workload.to_string(), "session");
+        assert_eq!(a1.policy_index, 0);
+        let a2 = spec.assignment(2);
+        assert_eq!(a2.policy_index, 1);
+        let a6 = spec.assignment(6);
+        assert_eq!(a6.faults, FaultPreset::Wlan);
+        let a12 = spec.assignment(12);
+        assert_eq!(a12.workload.to_string(), "mp3:AB");
+        assert_eq!(a12.policy_index, 0);
+        assert_eq!(a12.faults, FaultPreset::Off);
+        assert_ne!(a12.seed, a0.seed, "wrapped device must keep its own seed");
+
+        // Seeds are pairwise distinct and stable.
+        let seeds: Vec<u64> = (0..12).map(|i| spec.device_seed(i)).collect();
+        for (i, s) in seeds.iter().enumerate() {
+            assert_eq!(
+                seeds.iter().filter(|t| *t == s).count(),
+                1,
+                "seed {i} repeats"
+            );
+        }
+        assert_eq!(
+            seeds,
+            (0..12).map(|i| spec.device_seed(i)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn defaults_fill_in_name_seed_and_faults() {
+        let spec =
+            FleetSpec::parse(r#"{ "devices": 3, "workloads": ["session"], "policies": [{}] }"#)
+                .expect("minimal spec");
+        assert_eq!(spec.name, "fleet");
+        assert_eq!(spec.base_seed, 42);
+        assert_eq!(spec.faults, vec![FaultPreset::Off]);
+        assert_eq!(
+            spec.policies[0],
+            PolicySpec {
+                governor: GovernorKind::change_point(),
+                dpm: DpmKind::None,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_specs_with_actionable_errors() {
+        let cases: &[(&str, &str)] = &[
+            ("not json", "invalid JSON"),
+            ("[1, 2]", "must be a JSON object"),
+            (
+                r#"{ "devices": 1, "workloads": ["session"], "policies": [{}], "extra": 1 }"#,
+                "unknown key `extra`",
+            ),
+            (
+                r#"{ "workloads": ["session"], "policies": [{}] }"#,
+                "missing required key `devices`",
+            ),
+            (
+                r#"{ "devices": 0, "workloads": ["session"], "policies": [{}] }"#,
+                "`devices` must be positive",
+            ),
+            (
+                r#"{ "devices": 1, "workloads": [], "policies": [{}] }"#,
+                "`workloads` must be non-empty",
+            ),
+            (
+                r#"{ "devices": 1, "workloads": ["session"], "policies": [] }"#,
+                "`policies` must be non-empty",
+            ),
+            (
+                r#"{ "devices": 1, "workloads": ["flac"], "policies": [{}] }"#,
+                "workloads[0]: unknown workload",
+            ),
+            (
+                r#"{ "devices": 1, "workloads": ["session"], "policies": [{ "governor": "psychic" }] }"#,
+                "policies[0]: unknown governor `psychic`",
+            ),
+            (
+                r#"{ "devices": 1, "workloads": ["session"], "policies": [{ "dpm": "nap" }] }"#,
+                "policies[0]: unknown dpm `nap`",
+            ),
+            (
+                r#"{ "devices": 1, "workloads": ["session"], "policies": [{ "sleep": 1 }] }"#,
+                "policies[0]: unknown key `sleep`",
+            ),
+            (
+                r#"{ "devices": 1, "workloads": ["session"], "policies": [{}], "faults": ["gremlins"] }"#,
+                "faults[0]: unknown fault preset",
+            ),
+            (
+                r#"{ "devices": 1, "workloads": ["session"], "policies": [{}], "faults": [] }"#,
+                "`faults` must be non-empty",
+            ),
+        ];
+        for (text, want) in cases {
+            let err = FleetSpec::parse(text).expect_err(text);
+            let msg = err.to_string();
+            assert!(
+                msg.contains(want),
+                "spec {text:?}: got {msg:?}, want {want:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Differential and edge-case properties of the M/G/1 queue model.
+//!
+//! The Pollaczek–Khinchine formula with `c² = 1` must agree with the
+//! M/M/1 closed form everywhere in the stable region — not just at the
+//! three spot-check points of the unit tests — and the guard rails must
+//! hold at the edges: zero/invalid rates are rejected, vanishing
+//! utilization degenerates to the bare service time, and `ρ → 1` is a
+//! typed `Unstable` error, never `∞` or `NaN` leaking into the DVS
+//! policy's frequency inversion.
+
+use framequeue::{mg1, mm1, QueueError};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// Differential agreement: exponential-service M/G/1 is M/M/1.
+    #[test]
+    fn pk_with_unit_scv_matches_mm1_everywhere(
+        lam in 0.1f64..200.0,
+        headroom in 1.0001f64..50.0,
+    ) {
+        let mu = lam * headroom; // stable by construction
+        let pk = mg1::mean_delay(lam, mu, 1.0).expect("stable M/G/1");
+        let mm = mm1::mean_delay(lam, mu).expect("stable M/M/1");
+        prop_assert!(
+            (pk - mm).abs() < 1e-9,
+            "λ={lam}, μ={mu}: P-K {pk} vs M/M/1 {mm}"
+        );
+    }
+
+    /// The two inversions agree too: the service rate P-K bisection
+    /// finds for `c² = 1` matches the M/M/1 closed form
+    /// `λ_D = λ_U + 1/W`.
+    #[test]
+    fn pk_inversion_with_unit_scv_matches_mm1_closed_form(
+        lam in 0.1f64..100.0,
+        target in 0.01f64..2.0,
+    ) {
+        let pk = mg1::service_rate_for_delay(lam, target, 1.0).expect("invertible");
+        let mm = mm1::service_rate_for_delay(lam, target).expect("invertible");
+        prop_assert!(
+            (pk - mm).abs() / mm < 1e-6,
+            "λ={lam}, W={target}: P-K {pk} vs M/M/1 {mm}"
+        );
+    }
+
+    /// Stability guard: anywhere at or beyond ρ = 1 the model returns
+    /// the typed `Unstable` error — it never fabricates a non-finite
+    /// delay.
+    #[test]
+    fn unstable_region_is_a_typed_error_not_infinity(
+        lam in 0.1f64..100.0,
+        excess in 0.0f64..10.0,
+        scv in 0.0f64..4.0,
+    ) {
+        let mu = lam - excess.min(lam * 0.5); // μ ≤ λ: unstable or invalid
+        let result = mg1::mean_delay(lam, mu, scv);
+        match result {
+            Err(QueueError::Unstable { arrival_rate, service_rate }) => {
+                prop_assert!(arrival_rate >= service_rate);
+            }
+            Err(QueueError::InvalidParameter { .. }) => {} // μ hit 0 exactly
+            Ok(w) => prop_assert!(
+                false,
+                "λ={lam}, μ={mu} accepted with delay {w}"
+            ),
+        }
+    }
+
+    /// Approaching ρ = 1 from below stays finite and monotone: delay
+    /// only grows as the stability margin shrinks.
+    #[test]
+    fn delay_is_finite_and_monotone_near_saturation(
+        lam in 1.0f64..100.0,
+        scv in 0.0f64..4.0,
+    ) {
+        let mut last = 0.0f64;
+        for margin in [1e-1, 1e-3, 1e-6, 1e-9] {
+            let mu = lam * (1.0 + margin);
+            let w = mg1::mean_delay(lam, mu, scv).expect("still stable");
+            prop_assert!(w.is_finite(), "margin {margin}: delay {w}");
+            prop_assert!(w >= last, "delay shrank as ρ → 1");
+            last = w;
+        }
+    }
+}
+
+// A heavier sweep of the same differential property, for the nightly
+// `--include-ignored` run.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20_000))]
+
+    #[test]
+    #[ignore = "nightly: 50x the default case count"]
+    fn pk_mm1_agreement_heavy(
+        lam in 0.001f64..2000.0,
+        headroom in 1.000001f64..500.0,
+    ) {
+        let mu = lam * headroom;
+        let pk = mg1::mean_delay(lam, mu, 1.0).expect("stable M/G/1");
+        let mm = mm1::mean_delay(lam, mu).expect("stable M/M/1");
+        prop_assert!(
+            (pk - mm).abs() < 1e-9 * mm.max(1.0),
+            "λ={lam}, μ={mu}: P-K {pk} vs M/M/1 {mm}"
+        );
+    }
+}
+
+/// Zero utilization is not silently mapped to `W = 1/λ_D`: a zero
+/// arrival rate is rejected outright (the estimator never reports 0),
+/// while a vanishingly small one degenerates smoothly to the bare
+/// service time.
+#[test]
+fn zero_and_vanishing_utilization() {
+    for scv in [0.0, 1.0, 2.5] {
+        assert!(matches!(
+            mg1::mean_delay(0.0, 10.0, scv),
+            Err(QueueError::InvalidParameter {
+                name: "arrival_rate",
+                ..
+            })
+        ));
+        assert!(matches!(
+            mg1::mean_delay(-3.0, 10.0, scv),
+            Err(QueueError::InvalidParameter {
+                name: "arrival_rate",
+                ..
+            })
+        ));
+        let w = mg1::mean_delay(1e-300, 10.0, scv).expect("stable");
+        assert!(
+            (w - 0.1).abs() < 1e-12,
+            "scv {scv}: ρ → 0 should give 1/λ_D, got {w}"
+        );
+    }
+}
+
+/// The ρ → 1 guard is exact: one ULP below the service rate is still a
+/// value, equality is already an `Unstable` error.
+#[test]
+fn saturation_boundary_is_exact() {
+    let mu = 30.0f64;
+    let just_below = f64::from_bits(mu.to_bits() - 1);
+    let w = mg1::mean_delay(just_below, mu, 1.0).expect("one ULP of margin is stable");
+    assert!(w.is_finite() && w > 0.0);
+    assert!(matches!(
+        mg1::mean_delay(mu, mu, 1.0),
+        Err(QueueError::Unstable { .. })
+    ));
+}
+
+/// Non-finite parameters are invalid-parameter errors in every slot,
+/// including the `scv` that only M/G/1 has.
+#[test]
+fn non_finite_inputs_are_rejected() {
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        assert!(mg1::mean_delay(bad, 10.0, 1.0).is_err());
+        assert!(mg1::mean_delay(5.0, bad, 1.0).is_err());
+        assert!(mg1::mean_delay(5.0, 10.0, bad).is_err());
+        assert!(mg1::service_rate_for_delay(bad, 0.1, 1.0).is_err());
+        assert!(mg1::service_rate_for_delay(5.0, bad, 1.0).is_err());
+        assert!(mg1::service_rate_for_delay(5.0, 0.1, bad).is_err());
+    }
+    assert!(mg1::mean_delay(5.0, 10.0, -0.1).is_err());
+}

@@ -260,6 +260,47 @@ where
     par_map_indexed(jobs, &indices, |_, &i| f(i))
 }
 
+/// Streams `map` over `0..n` in consecutive batches of `batch` items,
+/// folding each batch's results into `acc` **in index order** — the
+/// bounded-memory companion to [`par_map_range`] for fleet-scale loops
+/// where materializing all `n` results at once is wasteful.
+///
+/// Each batch is mapped on the parallel engine; the fold itself runs on
+/// the calling thread between batches, so `fold(acc, i, map(i))` sees
+/// indices strictly ascending. Under the same purity contract as
+/// [`par_map_indexed`], the final accumulator is bit-identical at any
+/// thread count. A `batch` of 0 is treated as 1.
+///
+/// # Panics
+///
+/// Panics if `map` panics on any index.
+pub fn par_fold_range_batched<R, A, F, G>(
+    jobs: Jobs,
+    n: usize,
+    batch: usize,
+    map: F,
+    init: A,
+    mut fold: G,
+) -> A
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+    G: FnMut(A, usize, R) -> A,
+{
+    let batch = batch.max(1);
+    let mut acc = init;
+    let mut start = 0usize;
+    while start < n {
+        let m = batch.min(n - start);
+        let results = par_map_range(jobs, m, |j| map(start + j));
+        for (j, r) in results.into_iter().enumerate() {
+            acc = fold(acc, start + j, r);
+        }
+        start += m;
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,6 +399,36 @@ mod tests {
         // Disabled again: no further spans accumulate.
         let _ = par_map_range(Jobs::Count(2), 8, |i| i);
         assert!(!take_spans().iter().any(|s| s.items == 8 && s.threads == 2));
+    }
+
+    #[test]
+    fn batched_fold_matches_unbatched_map_at_any_thread_count() {
+        let work = |i: usize| -> f64 {
+            let mut rng = SimRng::seed_from(9).fork_indexed("fold-test", i as u64);
+            (0..20).map(|_| rng.next_f64()).sum()
+        };
+        let reference = par_map_range(Jobs::Count(1), 100, work);
+        for (jobs, batch) in [(1, 7), (4, 7), (4, 100), (8, 1), (3, 0)] {
+            let folded = par_fold_range_batched(
+                Jobs::Count(jobs),
+                100,
+                batch,
+                work,
+                Vec::new(),
+                |mut acc, i, r| {
+                    assert_eq!(acc.len(), i, "fold must see ascending indices");
+                    acc.push(r);
+                    acc
+                },
+            );
+            assert_eq!(folded, reference, "jobs={jobs} batch={batch}");
+        }
+    }
+
+    #[test]
+    fn batched_fold_handles_empty_range() {
+        let sum = par_fold_range_batched(Jobs::Count(4), 0, 16, |i| i, 0usize, |a, _, r| a + r);
+        assert_eq!(sum, 0);
     }
 
     #[test]

@@ -25,11 +25,13 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fleet;
 pub mod registry;
 pub mod replay;
 pub mod sink;
 
 pub use event::{Event, EventKind, KindSet, SleepKind, StreamKind, TraceMode};
+pub use fleet::{parse_fleet_jsonl, FleetEvent};
 pub use registry::{ns_to_secs, MetricsRegistry};
 pub use replay::{replay, ReplaySummary};
 pub use sink::{FilteredSink, JsonlSink, NullSink, RingSink, TraceSink};

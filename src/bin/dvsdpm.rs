@@ -7,6 +7,7 @@
 //! dvsdpm run --workload mpeg:football --governor ideal --dpm none --json report.json
 //! dvsdpm run --workload session --governor max --dpm renewal
 //! dvsdpm run --workload mp3:A --trace out.jsonl --trace-filter freq,sleep
+//! dvsdpm fleet --spec fleet.json --jobs 8 --json report.json
 //! dvsdpm list
 //! ```
 //!
@@ -14,19 +15,22 @@
 //! `--trace <path>` records every structured simulator event as JSONL;
 //! `--trace-filter <kinds>` restricts it to a comma-separated list of
 //! event kinds. Inspect the result with the companion `tracecat` tool.
+//!
+//! `fleet` runs a whole population of devices from a JSON spec (see
+//! `fleet::FleetSpec`) over the deterministic parallel engine and
+//! prints/writes the aggregate `FleetReport`. The report bytes are
+//! identical at any `--jobs` count.
 
-use dpm::policy::SleepState;
-use faults::{
-    BurstLossSpec, DegenerateSampleSpec, FaultSpec, JitterSpec, OverrunSpec, SwitchFaultSpec,
-};
+use faults::FaultPreset;
+use fleet::FleetSpec;
 use powermgr::config::{DpmKind, GovernorKind, SupervisorConfig, SystemConfig};
-use powermgr::scenario;
+use powermgr::scenario::Workload;
 use powermgr::SimReport;
-use simcore::rng::SimRng;
+use std::path::Path;
 use std::process::ExitCode;
 use trace::{FilteredSink, JsonlSink, KindSet, TraceSink};
 
-/// Parsed command-line request.
+/// Parsed `run` command-line request.
 #[derive(Debug, Clone, PartialEq)]
 struct RunArgs {
     workload: Workload,
@@ -45,158 +49,26 @@ struct RunArgs {
     trace_filter: Option<KindSet>,
 }
 
-/// Named fault-injection presets selectable from the command line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum FaultPreset {
-    Off,
-    Wlan,
-    Decoder,
-    All,
-    Random,
-}
-
-impl FaultPreset {
-    /// Builds the fault spec for this preset; `seed` feeds the `random`
-    /// preset so `--faults random --seed N` is reproducible.
-    fn spec(self, seed: u64) -> Option<FaultSpec> {
-        match self {
-            FaultPreset::Off => None,
-            FaultPreset::Wlan => Some(FaultSpec {
-                burst_loss: Some(BurstLossSpec {
-                    enter_prob: 0.05,
-                    exit_prob: 0.2,
-                    drop_prob: 0.7,
-                }),
-                jitter: Some(JitterSpec {
-                    prob: 0.1,
-                    max_secs: 0.1,
-                }),
-                ..FaultSpec::default()
-            }),
-            FaultPreset::Decoder => Some(FaultSpec {
-                overrun: Some(OverrunSpec {
-                    prob: 0.2,
-                    max_factor: 3.0,
-                }),
-                switch_fault: Some(SwitchFaultSpec {
-                    fail_prob: 0.3,
-                    max_retries: 2,
-                }),
-                degenerate_samples: Some(DegenerateSampleSpec { prob: 0.05 }),
-                ..FaultSpec::default()
-            }),
-            FaultPreset::All => {
-                let wlan = FaultPreset::Wlan.spec(seed).expect("wlan preset");
-                let decoder = FaultPreset::Decoder.spec(seed).expect("decoder preset");
-                Some(FaultSpec {
-                    burst_loss: wlan.burst_loss,
-                    jitter: wlan.jitter,
-                    ..decoder
-                })
-            }
-            FaultPreset::Random => {
-                let mut rng = SimRng::seed_from(seed).fork("chaos-spec");
-                Some(FaultSpec::randomized(&mut rng))
-            }
-        }
-    }
-}
-
-fn parse_faults(s: &str) -> Result<FaultPreset, String> {
-    match s {
-        "off" => Ok(FaultPreset::Off),
-        "wlan" => Ok(FaultPreset::Wlan),
-        "decoder" => Ok(FaultPreset::Decoder),
-        "all" => Ok(FaultPreset::All),
-        "random" => Ok(FaultPreset::Random),
-        other => Err(format!(
-            "unknown fault preset `{other}` (expected off|wlan|decoder|all|random)"
-        )),
-    }
-}
-
+/// Parsed `fleet` command-line request.
 #[derive(Debug, Clone, PartialEq)]
-enum Workload {
-    Mp3(String),
-    Mpeg(String),
-    Session,
+struct FleetArgs {
+    /// Path to the JSON fleet spec.
+    spec: String,
+    /// Worker threads; `None` = machine default. Results are identical
+    /// at any value, only wall-clock changes.
+    jobs: Option<usize>,
+    /// Write the aggregate `FleetReport` JSON to this path.
+    json: Option<String>,
+    /// Write per-device + fleet JSONL traces under this directory.
+    trace_dir: Option<String>,
 }
 
-fn parse_governor(s: &str) -> Result<GovernorKind, String> {
-    match s {
-        "ideal" => Ok(GovernorKind::Ideal),
-        "change-point" => Ok(GovernorKind::change_point()),
-        "max" => Ok(GovernorKind::MaxPerformance),
-        other => {
-            if let Some(gain) = other.strip_prefix("ema:") {
-                let gain: f64 = gain
-                    .parse()
-                    .map_err(|_| format!("invalid EMA gain `{gain}`"))?;
-                Ok(GovernorKind::ExpAverage { gain })
-            } else {
-                Err(format!(
-                    "unknown governor `{other}` (expected ideal|change-point|ema:<gain>|max)"
-                ))
-            }
-        }
-    }
-}
-
-fn parse_dpm(s: &str) -> Result<DpmKind, String> {
-    match s {
-        "none" => Ok(DpmKind::None),
-        "break-even" => Ok(DpmKind::BreakEven {
-            state: SleepState::Standby,
-        }),
-        "adaptive" => Ok(DpmKind::Adaptive {
-            state: SleepState::Standby,
-        }),
-        "predictive" => Ok(DpmKind::Predictive {
-            state: SleepState::Standby,
-            gain: 0.3,
-        }),
-        "renewal" => Ok(DpmKind::Renewal {
-            state: SleepState::Standby,
-            delay_budget_s: 0.05,
-        }),
-        "tismdp" => Ok(DpmKind::Tismdp { delay_weight: 2.0 }),
-        other => {
-            if let Some(t) = other.strip_prefix("timeout:") {
-                let timeout_s: f64 = t.parse().map_err(|_| format!("invalid timeout `{t}`"))?;
-                Ok(DpmKind::FixedTimeout {
-                    timeout_s,
-                    state: SleepState::Standby,
-                })
-            } else {
-                Err(format!(
-                    "unknown dpm `{other}` \
-                     (expected none|timeout:<s>|break-even|adaptive|predictive|renewal|tismdp)"
-                ))
-            }
-        }
-    }
-}
-
-fn parse_workload(s: &str) -> Result<Workload, String> {
-    if let Some(labels) = s.strip_prefix("mp3:") {
-        if labels.is_empty() {
-            return Err("mp3 workload needs clip labels, e.g. mp3:ACEFBD".to_owned());
-        }
-        Ok(Workload::Mp3(labels.to_owned()))
-    } else if let Some(clip) = s.strip_prefix("mpeg:") {
-        match clip {
-            "football" | "terminator2" => Ok(Workload::Mpeg(clip.to_owned())),
-            other => Err(format!(
-                "unknown MPEG clip `{other}` (expected football|terminator2)"
-            )),
-        }
-    } else if s == "session" {
-        Ok(Workload::Session)
-    } else {
-        Err(format!(
-            "unknown workload `{s}` (expected mp3:<labels>|mpeg:<clip>|session)"
-        ))
-    }
+/// Parses `--jobs`' value: a positive worker-thread count.
+fn parse_jobs(v: &str) -> Result<usize, String> {
+    v.parse()
+        .ok()
+        .filter(|&n: &usize| n > 0)
+        .ok_or_else(|| format!("--jobs expects a positive integer, got `{v}`"))
 }
 
 fn parse_run(args: &[String]) -> Result<RunArgs, String> {
@@ -217,25 +89,17 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
                 .ok_or_else(|| format!("{name} needs a value"))
         };
         match flag.as_str() {
-            "--workload" => workload = Some(parse_workload(&value("--workload")?)?),
-            "--governor" => governor = parse_governor(&value("--governor")?)?,
-            "--dpm" => dpm = parse_dpm(&value("--dpm")?)?,
+            "--workload" => workload = Some(Workload::parse(&value("--workload")?)?),
+            "--governor" => governor = GovernorKind::parse(&value("--governor")?)?,
+            "--dpm" => dpm = DpmKind::parse(&value("--dpm")?)?,
             "--seed" => {
                 seed = value("--seed")?
                     .parse()
                     .map_err(|_| "invalid seed".to_owned())?;
             }
-            "--faults" => faults = parse_faults(&value("--faults")?)?,
+            "--faults" => faults = FaultPreset::parse(&value("--faults")?)?,
             "--json" => json = Some(value("--json")?),
-            "--jobs" => {
-                let v = value("--jobs")?;
-                jobs = Some(
-                    v.parse()
-                        .ok()
-                        .filter(|&n: &usize| n > 0)
-                        .ok_or_else(|| format!("--jobs expects a positive integer, got `{v}`"))?,
-                );
-            }
+            "--jobs" => jobs = Some(parse_jobs(&value("--jobs")?)?),
             "--trace" => trace_path = Some(value("--trace")?),
             "--trace-filter" => trace_filter = Some(KindSet::parse(&value("--trace-filter")?)?),
             other => return Err(format!("unknown flag `{other}`")),
@@ -254,6 +118,34 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
         jobs,
         trace: trace_path,
         trace_filter,
+    })
+}
+
+fn parse_fleet(args: &[String]) -> Result<FleetArgs, String> {
+    let mut spec = None;
+    let mut jobs = None;
+    let mut json = None;
+    let mut trace_dir = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--spec" => spec = Some(value("--spec")?),
+            "--jobs" => jobs = Some(parse_jobs(&value("--jobs")?)?),
+            "--json" => json = Some(value("--json")?),
+            "--trace-dir" => trace_dir = Some(value("--trace-dir")?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(FleetArgs {
+        spec: spec.ok_or("missing --spec (path to a fleet spec JSON file)")?,
+        jobs,
+        json,
+        trace_dir,
     })
 }
 
@@ -278,11 +170,7 @@ fn execute(run: &RunArgs) -> Result<SimReport, String> {
         ..SystemConfig::default()
     };
     let report = match &run.trace {
-        None => match &run.workload {
-            Workload::Mp3(labels) => scenario::run_mp3_sequence(labels, &config, run.seed),
-            Workload::Mpeg(clip) => scenario::run_mpeg_clip(clip, &config, run.seed),
-            Workload::Session => scenario::run_session(&config, run.seed),
-        },
+        None => run.workload.run(&config, run.seed),
         Some(path) => {
             let file = std::fs::File::create(path)
                 .map_err(|e| format!("cannot create trace file {path}: {e}"))?;
@@ -291,21 +179,53 @@ fn execute(run: &RunArgs) -> Result<SimReport, String> {
                 Some(keep) => Box::new(FilteredSink::new(jsonl, keep)),
                 None => Box::new(jsonl),
             };
-            let report = match &run.workload {
-                Workload::Mp3(labels) => {
-                    scenario::run_mp3_sequence_traced(labels, &config, run.seed, sink.as_mut())
-                }
-                Workload::Mpeg(clip) => {
-                    scenario::run_mpeg_clip_traced(clip, &config, run.seed, sink.as_mut())
-                }
-                Workload::Session => scenario::run_session_traced(&config, run.seed, sink.as_mut()),
-            };
+            let report = run.workload.run_traced(&config, run.seed, sink.as_mut());
             sink.finish()
                 .map_err(|e| format!("trace write to {path} failed: {e}"))?;
             report
         }
     };
     report.map_err(|e| e.to_string())
+}
+
+/// Runs the `fleet` subcommand: load + run the spec, print the report
+/// and a threshold-cache summary, optionally write the JSON document.
+fn execute_fleet(args: &FleetArgs) -> Result<(), String> {
+    if let Some(jobs) = args.jobs {
+        simcore::par::set_default_jobs(jobs);
+    }
+    let text = std::fs::read_to_string(&args.spec)
+        .map_err(|e| format!("cannot read spec file {}: {e}", args.spec))?;
+    let spec = FleetSpec::parse(&text).map_err(|e| e.to_string())?;
+
+    let cache_before = detect::cache::cache_stats_detailed();
+    let report = fleet::run_fleet_with(
+        &spec,
+        simcore::par::Jobs::Auto,
+        args.trace_dir.as_deref().map(Path::new),
+    )
+    .map_err(|e| e.to_string())?;
+    let cache = detect::cache::cache_stats_detailed().since(&cache_before);
+
+    println!("{report}");
+    // Diagnostics only — deliberately not part of the JSON report: the
+    // cache counters are process-global, so folding them in would make
+    // the report depend on what else ran in this process.
+    println!(
+        "threshold cache: {} hits / {} misses (hit ratio {:.3})",
+        cache.hits,
+        cache.misses,
+        cache.hit_ratio()
+    );
+    if let Some(dir) = &args.trace_dir {
+        println!("[traces written under {dir}]");
+    }
+    if let Some(path) = &args.json {
+        std::fs::write(path, report.to_json_pretty())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("[json written to {path}]");
+    }
+    Ok(())
 }
 
 fn print_list() {
@@ -324,6 +244,15 @@ fn print_list() {
     println!("trace    : --trace <path> structured JSONL event trace");
     println!("           --trace-filter <kinds> comma list of");
     println!("           run|mode|freq|rate|sleep|wake|drop|degrade|frame");
+    println!("fleet    : dvsdpm fleet --spec <path.json> [--jobs <n>] [--json <path>]");
+    println!("           [--trace-dir <dir>]; spec keys: name, devices, base_seed,");
+    println!("           workloads, policies ([{{governor, dpm}}]), faults");
+}
+
+fn print_usage() {
+    eprintln!("usage: dvsdpm run --workload <w> [--governor <g>] [--dpm <d>] [--seed <n>] [--faults <preset>] [--json <path>] [--jobs <n>] [--trace <path>] [--trace-filter <kinds>]");
+    eprintln!("       dvsdpm fleet --spec <path> [--jobs <n>] [--json <path>] [--trace-dir <dir>]");
+    eprintln!("       dvsdpm list");
 }
 
 fn main() -> ExitCode {
@@ -354,13 +283,26 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("fleet") => match parse_fleet(&args[1..]) {
+            Ok(fleet_args) => match execute_fleet(&fleet_args) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("error: {e}\n");
+                print_usage();
+                ExitCode::FAILURE
+            }
+        },
         Some("list") => {
             print_list();
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: dvsdpm run --workload <w> [--governor <g>] [--dpm <d>] [--seed <n>] [--faults <preset>] [--json <path>] [--jobs <n>] [--trace <path>] [--trace-filter <kinds>]");
-            eprintln!("       dvsdpm list");
+            print_usage();
             ExitCode::FAILURE
         }
     }
@@ -369,6 +311,7 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dpm::policy::SleepState;
 
     fn strs(v: &[&str]) -> Vec<String> {
         v.iter().map(|s| (*s).to_owned()).collect()
@@ -407,12 +350,12 @@ mod tests {
 
     #[test]
     fn parses_fault_presets() {
-        assert_eq!(parse_faults("off").unwrap(), FaultPreset::Off);
-        assert_eq!(parse_faults("wlan").unwrap(), FaultPreset::Wlan);
-        assert_eq!(parse_faults("decoder").unwrap(), FaultPreset::Decoder);
-        assert_eq!(parse_faults("all").unwrap(), FaultPreset::All);
-        assert_eq!(parse_faults("random").unwrap(), FaultPreset::Random);
-        assert!(parse_faults("gremlins").is_err());
+        assert_eq!(FaultPreset::parse("off").unwrap(), FaultPreset::Off);
+        assert_eq!(FaultPreset::parse("wlan").unwrap(), FaultPreset::Wlan);
+        assert_eq!(FaultPreset::parse("decoder").unwrap(), FaultPreset::Decoder);
+        assert_eq!(FaultPreset::parse("all").unwrap(), FaultPreset::All);
+        assert_eq!(FaultPreset::parse("random").unwrap(), FaultPreset::Random);
+        assert!(FaultPreset::parse("gremlins").is_err());
         assert!(FaultPreset::Off.spec(1).is_none());
         let all = FaultPreset::All.spec(1).expect("spec");
         assert!(all.burst_loss.is_some() && all.overrun.is_some());
@@ -449,10 +392,16 @@ mod tests {
 
     #[test]
     fn parses_parameterized_forms() {
-        assert_eq!(parse_governor("ema:0.3").unwrap().label(), "exp-average");
-        assert_eq!(parse_dpm("timeout:2.5").unwrap().label(), "fixed-timeout");
         assert_eq!(
-            parse_workload("mpeg:terminator2").unwrap(),
+            GovernorKind::parse("ema:0.3").unwrap().label(),
+            "exp-average"
+        );
+        assert_eq!(
+            DpmKind::parse("timeout:2.5").unwrap().label(),
+            "fixed-timeout"
+        );
+        assert_eq!(
+            Workload::parse("mpeg:terminator2").unwrap(),
             Workload::Mpeg("terminator2".to_owned())
         );
     }
@@ -462,13 +411,54 @@ mod tests {
         assert!(parse_run(&strs(&[])).is_err());
         assert!(parse_run(&strs(&["--workload"])).is_err());
         assert!(parse_run(&strs(&["--workload", "vhs:ghostbusters"])).is_err());
-        assert!(parse_governor("turbo").is_err());
-        assert!(parse_governor("ema:fast").is_err());
-        assert!(parse_dpm("sleepy").is_err());
-        assert!(parse_dpm("timeout:soon").is_err());
-        assert!(parse_workload("mp3:").is_err());
-        assert!(parse_workload("mpeg:matrix").is_err());
+        assert!(GovernorKind::parse("turbo").is_err());
+        assert!(GovernorKind::parse("ema:fast").is_err());
+        assert!(DpmKind::parse("sleepy").is_err());
+        assert!(DpmKind::parse("timeout:soon").is_err());
+        assert!(Workload::parse("mp3:").is_err());
+        assert!(Workload::parse("mpeg:matrix").is_err());
         assert!(parse_run(&strs(&["--workload", "session", "--frobnicate", "1"])).is_err());
+    }
+
+    #[test]
+    fn parses_fleet_flags() {
+        let args = parse_fleet(&strs(&[
+            "--spec",
+            "fleet.json",
+            "--jobs",
+            "8",
+            "--json",
+            "out.json",
+            "--trace-dir",
+            "traces",
+        ]))
+        .unwrap();
+        assert_eq!(args.spec, "fleet.json");
+        assert_eq!(args.jobs, Some(8));
+        assert_eq!(args.json.as_deref(), Some("out.json"));
+        assert_eq!(args.trace_dir.as_deref(), Some("traces"));
+
+        let minimal = parse_fleet(&strs(&["--spec", "f.json"])).unwrap();
+        assert_eq!(minimal.jobs, None);
+        assert_eq!(minimal.json, None);
+        assert_eq!(minimal.trace_dir, None);
+
+        let err = parse_fleet(&strs(&[])).unwrap_err();
+        assert!(err.contains("missing --spec"), "{err}");
+        assert!(parse_fleet(&strs(&["--spec", "f.json", "--jobs", "0"])).is_err());
+        assert!(parse_fleet(&strs(&["--spec", "f.json", "--mystery"])).is_err());
+    }
+
+    #[test]
+    fn fleet_execution_reports_missing_spec_file() {
+        let args = FleetArgs {
+            spec: "/nonexistent/fleet-spec.json".to_owned(),
+            jobs: None,
+            json: None,
+            trace_dir: None,
+        };
+        let err = execute_fleet(&args).unwrap_err();
+        assert!(err.contains("cannot read spec file"), "{err}");
     }
 
     #[test]

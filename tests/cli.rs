@@ -7,6 +7,10 @@ fn dvsdpm() -> Command {
     Command::new(env!("CARGO_BIN_EXE_dvsdpm"))
 }
 
+fn tracecat() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tracecat"))
+}
+
 #[test]
 fn list_prints_catalog() {
     let out = dvsdpm().arg("list").output().expect("binary runs");
@@ -184,4 +188,195 @@ fn faulted_run_surfaces_robustness_summary() {
     assert!(!out.status.success());
     let err = String::from_utf8(out.stderr).expect("utf8");
     assert!(err.contains("unknown fault preset"), "{err}");
+}
+
+/// A small fleet spec covering all four governors (so the run exercises
+/// calibration sharing) written into `dir`.
+fn write_fleet_spec(dir: &std::path::Path) -> std::path::PathBuf {
+    std::fs::create_dir_all(dir).expect("temp dir");
+    let path = dir.join("fleet_spec.json");
+    std::fs::write(
+        &path,
+        r#"{
+            "name": "cli-fleet",
+            "devices": 4,
+            "base_seed": 9,
+            "workloads": ["mp3:A"],
+            "policies": [
+                { "governor": "change-point", "dpm": "break-even" },
+                { "governor": "ideal", "dpm": "none" },
+                { "governor": "ema:0.05", "dpm": "timeout:1.0" },
+                { "governor": "max", "dpm": "none" }
+            ]
+        }"#,
+    )
+    .expect("spec written");
+    path
+}
+
+#[test]
+fn fleet_runs_spec_and_writes_identical_json_at_any_jobs() {
+    let dir = std::env::temp_dir().join("dvsdpm-cli-fleet-test");
+    let spec = write_fleet_spec(&dir);
+    let run = |jobs: &str, json: &std::path::Path| {
+        let out = dvsdpm()
+            .args(["fleet", "--spec"])
+            .arg(&spec)
+            .args(["--jobs", jobs, "--json"])
+            .arg(json)
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "jobs={jobs}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).expect("utf8")
+    };
+    let json1 = dir.join("fleet_j1.json");
+    let json8 = dir.join("fleet_j8.json");
+    let stdout = run("1", &json1);
+    run("8", &json8);
+
+    // Human summary: fleet header, cohort table, cache diagnostics.
+    assert!(stdout.contains("fleet `cli-fleet`: 4 devices"), "{stdout}");
+    assert!(stdout.contains("cohorts:"), "{stdout}");
+    assert!(stdout.contains("threshold cache:"), "{stdout}");
+
+    // The written report parses and is byte-identical across jobs.
+    let bytes1 = std::fs::read_to_string(&json1).expect("json written");
+    let bytes8 = std::fs::read_to_string(&json8).expect("json written");
+    assert_eq!(bytes1, bytes8, "fleet report depends on --jobs");
+    let json = simcore::Json::parse(&bytes1).expect("valid json");
+    assert_eq!(json["devices"].as_u64(), Some(4));
+    assert_eq!(json["name"], "cli-fleet");
+    assert_eq!(json["cohorts"].as_array().map(<[_]>::len), Some(4));
+}
+
+#[test]
+fn fleet_bad_inputs_fail_with_actionable_stderr() {
+    // Unreadable spec file.
+    let out = dvsdpm()
+        .args(["fleet", "--spec", "/nonexistent/fleet.json"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("cannot read spec file"), "{err}");
+
+    // Unknown policy name inside the spec, located by index.
+    let dir = std::env::temp_dir().join("dvsdpm-cli-fleet-bad");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let bad_spec = dir.join("bad.json");
+    std::fs::write(
+        &bad_spec,
+        r#"{ "devices": 2, "workloads": ["mp3:A"],
+             "policies": [{ "governor": "psychic", "dpm": "none" }] }"#,
+    )
+    .expect("spec written");
+    let out = dvsdpm()
+        .args(["fleet", "--spec"])
+        .arg(&bad_spec)
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("policies[0]"), "{err}");
+    assert!(err.contains("unknown governor `psychic`"), "{err}");
+
+    // --jobs 0 is rejected before any work happens.
+    let out = dvsdpm()
+        .args(["fleet", "--spec"])
+        .arg(&bad_spec)
+        .args(["--jobs", "0"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("--jobs expects a positive integer"), "{err}");
+
+    // Missing --spec prints usage.
+    let out = dvsdpm().arg("fleet").output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("missing --spec"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn tracecat_check_verifies_and_rejects_reports() {
+    let dir = std::env::temp_dir().join("dvsdpm-cli-tracecat-check");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace = dir.join("run.jsonl");
+    let report = dir.join("report.json");
+    let out = dvsdpm()
+        .args([
+            "run",
+            "--workload",
+            "mp3:A",
+            "--governor",
+            "ideal",
+            "--dpm",
+            "break-even",
+            "--seed",
+            "6",
+            "--trace",
+        ])
+        .arg(&trace)
+        .arg("--json")
+        .arg(&report)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The freshly written report is consistent with its own trace.
+    let out = tracecat()
+        .args(["replay", "--check"])
+        .arg(&report)
+        .arg(&trace)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("consistent with"), "{text}");
+
+    // Tamper with a counter: the check must fail with a nonzero exit.
+    let original = std::fs::read_to_string(&report).expect("report readable");
+    let tampered = original.replace("\"frames_completed\": ", "\"frames_completed\": 1");
+    assert_ne!(original, tampered, "tamper marker not applied");
+    let bad_report = dir.join("tampered.json");
+    std::fs::write(&bad_report, tampered).expect("tampered written");
+    let out = tracecat()
+        .args(["replay", "--check"])
+        .arg(&bad_report)
+        .arg(&trace)
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "tampered report must fail --check");
+
+    // Missing files are reported by path.
+    let out = tracecat()
+        .args(["replay", "--check", "/nonexistent/report.json"])
+        .arg(&trace)
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("cannot read"), "{err}");
+
+    let out = tracecat()
+        .args(["replay", "/nonexistent/trace.jsonl"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("cannot read"), "{err}");
 }
