@@ -263,6 +263,19 @@ impl FaultSpec {
 /// the per-device fault choice of a fleet spec. Each name maps to a
 /// canonical [`FaultSpec`]; `random` draws a seed-determined plan so
 /// `--faults random --seed N` stays reproducible.
+///
+/// The last three presets are *chaos* presets: they do not model a
+/// physical fault regime but instead break the run itself, so the
+/// fleet engine's failure containment (typed-error capture, panic
+/// isolation, retry ladders) can be exercised deterministically:
+///
+/// * `poison` always yields an invalid spec, so plan validation fails
+///   with a typed [`FaultError`] on every seed;
+/// * `flaky:P` dooms roughly `P` percent of seeds the same way (a pure
+///   function of the seed, so the same device fails on every rerun but
+///   a retry under a forked seed gets a fresh roll);
+/// * `panic` panics inside spec construction, modeling the
+///   unannounced crash a supervisor must catch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultPreset {
     /// No faults (the paper's clean runs).
@@ -276,28 +289,50 @@ pub enum FaultPreset {
     All,
     /// A randomized-but-reproducible plan drawn from the run seed.
     Random,
+    /// Chaos: an always-invalid spec (typed validation error, any seed).
+    Poison,
+    /// Chaos: the invalid spec on roughly `percent`% of seeds, clean
+    /// otherwise.
+    Flaky {
+        /// Failure probability in whole percent, clamped to 0–100.
+        percent: u8,
+    },
+    /// Chaos: panics during spec construction.
+    Panic,
 }
 
 impl FaultPreset {
-    /// Parses a preset name: `off|wlan|decoder|all|random`.
+    /// Parses a preset name:
+    /// `off|wlan|decoder|all|random|poison|flaky:<pct>|panic`.
     ///
     /// # Errors
     ///
     /// Returns a human-readable message naming the expected forms.
     pub fn parse(s: &str) -> Result<FaultPreset, String> {
+        if let Some(pct) = s.strip_prefix("flaky:") {
+            let percent: u8 =
+                pct.parse().ok().filter(|p| *p <= 100).ok_or_else(|| {
+                    format!("flaky preset needs a percent in 0..=100, got `{pct}`")
+                })?;
+            return Ok(FaultPreset::Flaky { percent });
+        }
         match s {
             "off" => Ok(FaultPreset::Off),
             "wlan" => Ok(FaultPreset::Wlan),
             "decoder" => Ok(FaultPreset::Decoder),
             "all" => Ok(FaultPreset::All),
             "random" => Ok(FaultPreset::Random),
+            "poison" => Ok(FaultPreset::Poison),
+            "panic" => Ok(FaultPreset::Panic),
             other => Err(format!(
-                "unknown fault preset `{other}` (expected off|wlan|decoder|all|random)"
+                "unknown fault preset `{other}` (expected off|wlan|decoder|all|random|poison|flaky:<pct>|panic)"
             )),
         }
     }
 
-    /// The parseable preset name, for labels and report columns.
+    /// The preset family name, for labels and report columns. The
+    /// parameterized `flaky:<pct>` form is recovered by the [`fmt::Display`]
+    /// impl; `name` collapses it to `flaky`.
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
@@ -306,16 +341,45 @@ impl FaultPreset {
             FaultPreset::Decoder => "decoder",
             FaultPreset::All => "all",
             FaultPreset::Random => "random",
+            FaultPreset::Poison => "poison",
+            FaultPreset::Flaky { .. } => "flaky",
+            FaultPreset::Panic => "panic",
+        }
+    }
+
+    /// The spec a doomed seed gets from `poison`/`flaky`: every
+    /// probability is out of domain, so [`FaultPlan::new`] rejects it
+    /// with a typed error before any simulation state is built.
+    fn poison_spec() -> FaultSpec {
+        FaultSpec {
+            burst_loss: Some(BurstLossSpec {
+                enter_prob: 2.0,
+                exit_prob: -1.0,
+                drop_prob: f64::NAN,
+            }),
+            ..FaultSpec::default()
         }
     }
 
     /// Builds the fault spec for this preset; `seed` feeds the `random`
-    /// preset so the same `(preset, seed)` pair always yields the same
-    /// plan. `Off` yields `None`.
+    /// and `flaky` presets so the same `(preset, seed)` pair always
+    /// yields the same plan. `Off` yields `None`.
+    ///
+    /// # Panics
+    ///
+    /// The `panic` chaos preset panics unconditionally — that is its
+    /// entire job. Every other preset returns normally.
     #[must_use]
     pub fn spec(self, seed: u64) -> Option<FaultSpec> {
         match self {
             FaultPreset::Off => None,
+            FaultPreset::Poison => Some(Self::poison_spec()),
+            FaultPreset::Flaky { percent } => {
+                let doomed = SimRng::seed_from(seed).fork("faults/flaky").next_f64()
+                    < f64::from(percent.min(100)) / 100.0;
+                doomed.then(Self::poison_spec)
+            }
+            FaultPreset::Panic => panic!("injected panic: chaos preset `panic` (seed {seed})"),
             FaultPreset::Wlan => Some(FaultSpec {
                 burst_loss: Some(BurstLossSpec {
                     enter_prob: 0.05,
@@ -353,6 +417,17 @@ impl FaultPreset {
                 let mut rng = SimRng::seed_from(seed).fork("chaos-spec");
                 Some(FaultSpec::randomized(&mut rng))
             }
+        }
+    }
+}
+
+impl fmt::Display for FaultPreset {
+    /// Formats back to the parseable form, including the `flaky:<pct>`
+    /// parameter, so `FaultPreset::parse(&p.to_string()) == Ok(p)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPreset::Flaky { percent } => write!(f, "flaky:{percent}"),
+            other => f.write_str(other.name()),
         }
     }
 }

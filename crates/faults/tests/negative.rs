@@ -165,3 +165,47 @@ fn presets_parse_and_validate() {
     assert_eq!(FaultPreset::Random.spec(9), FaultPreset::Random.spec(9));
     assert_ne!(FaultPreset::Random.spec(9), FaultPreset::Random.spec(10));
 }
+
+#[test]
+fn chaos_presets_fail_validation_by_design() {
+    // `poison` is the deliberate inversion of the contract above: its
+    // spec must NEVER pass validation, for any seed — that is how the
+    // fleet layer injects guaranteed per-device failures.
+    let spec = FaultPreset::Poison.spec(7).expect("poison always specs");
+    assert!(FaultPlan::new(spec).is_err());
+    assert_eq!(FaultPreset::Poison.name(), "poison");
+
+    // `flaky:<pct>` dooms a seed-determined subset the same way; the
+    // doom roll is a pure function of the seed.
+    let flaky = FaultPreset::parse("flaky:50").expect("parses");
+    assert_eq!(flaky, FaultPreset::Flaky { percent: 50 });
+    assert_eq!(flaky.name(), "flaky");
+    assert_eq!(flaky.to_string(), "flaky:50", "Display keeps the percent");
+    for seed in 0..64u64 {
+        // The doomed spec contains NaN, so compare the doom decision
+        // itself rather than the spec value.
+        assert_eq!(flaky.spec(seed).is_some(), flaky.spec(seed).is_some());
+        if let Some(spec) = flaky.spec(seed) {
+            assert!(FaultPlan::new(spec).is_err(), "doomed seed {seed}");
+        }
+    }
+    // The extremes are total: 0 never dooms, 100 always does.
+    for seed in 0..32u64 {
+        assert!(FaultPreset::Flaky { percent: 0 }.spec(seed).is_none());
+        assert!(FaultPreset::Flaky { percent: 100 }.spec(seed).is_some());
+    }
+    assert!(FaultPreset::parse("flaky:101").is_err());
+    assert!(FaultPreset::parse("flaky:").is_err());
+    assert!(FaultPreset::parse("flaky:many").is_err());
+}
+
+#[test]
+fn panic_preset_panics_with_a_recognizable_message() {
+    assert_eq!(FaultPreset::parse("panic").unwrap(), FaultPreset::Panic);
+    let caught = std::panic::catch_unwind(|| FaultPreset::Panic.spec(42)).expect_err("panics");
+    let msg = caught
+        .downcast_ref::<String>()
+        .expect("panic payload is a String");
+    assert!(msg.contains("injected panic"), "{msg}");
+    assert!(msg.contains("seed 42"), "{msg}");
+}

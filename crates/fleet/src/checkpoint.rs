@@ -1,0 +1,441 @@
+//! Checkpoint/resume for long fleet runs.
+//!
+//! A checkpoint is the ordered prefix of device outcomes written so
+//! far, snapshotted atomically (temp file + rename) every few batches
+//! so a killed process loses at most one checkpoint interval of work.
+//! Resuming skips the recorded prefix and re-runs only the remaining
+//! devices; because every device's outcome is a pure function of the
+//! spec, the resumed report is byte-identical to an uninterrupted run.
+//!
+//! On-disk format (`fleet.ckpt` in the checkpoint directory):
+//!
+//! ```text
+//! {"kind":"fleet_checkpoint","version":1,"spec_digest":…,"done":N,"checksum":…}
+//! {"kind":"ok","device":0,…}      ← N outcome lines, device order
+//! {"kind":"fail","device":1,…}
+//! ```
+//!
+//! Two properties make resume trustworthy:
+//!
+//! * **Integrity**: the header carries an FNV-1a checksum of the
+//!   outcome payload and a digest of the spec; a truncated file, a
+//!   flipped bit, or a checkpoint from a different spec is rejected
+//!   with a typed error rather than silently corrupting the report.
+//! * **Bit-exactness**: every `f64` is stored as its IEEE-754 bit
+//!   pattern (the JSON layer's decimal round-trip would lose NaN and
+//!   collapse payload bytes), so a resumed report's bytes match the
+//!   uninterrupted run's exactly.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use simcore::json::Json;
+
+use crate::report::{DeviceFailure, DeviceOutcome, DeviceRecord};
+use crate::spec::FleetSpec;
+use crate::FleetError;
+
+/// Format version; bumped on any incompatible layout change.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// File name of the checkpoint inside its directory.
+pub const CHECKPOINT_FILE: &str = "fleet.ckpt";
+
+/// The checkpoint path for a directory.
+#[must_use]
+pub fn checkpoint_path(dir: &Path) -> PathBuf {
+    dir.join(CHECKPOINT_FILE)
+}
+
+/// FNV-1a 64-bit over `bytes` — dependency-free and stable across
+/// platforms, which is all an integrity stamp needs.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Digest of the spec a checkpoint belongs to. The `Debug` form covers
+/// every field (seed, axes, failure policy), so any spec edit — even a
+/// changed `on_error` — invalidates old checkpoints instead of quietly
+/// mixing outcomes from two different fleets.
+#[must_use]
+pub fn spec_digest(spec: &FleetSpec) -> u64 {
+    fnv1a64(format!("{spec:?}").as_bytes())
+}
+
+/// Writes an atomic checkpoint of the ordered outcome prefix.
+///
+/// The payload goes to `fleet.ckpt.tmp` first and is renamed into
+/// place, so a crash mid-write leaves either the previous checkpoint or
+/// none — never a torn file.
+///
+/// # Errors
+///
+/// Returns [`FleetError::Io`] when the directory or file cannot be
+/// written.
+pub fn write_checkpoint(
+    dir: &Path,
+    spec: &FleetSpec,
+    outcomes: &[DeviceOutcome],
+) -> Result<(), FleetError> {
+    fs::create_dir_all(dir).map_err(|e| {
+        FleetError::Io(format!(
+            "cannot create checkpoint dir {}: {e}",
+            dir.display()
+        ))
+    })?;
+    let mut payload = String::new();
+    for o in outcomes {
+        payload.push_str(&encode_outcome(o).dump());
+        payload.push('\n');
+    }
+    let header = Json::obj(vec![
+        ("kind".into(), Json::Str("fleet_checkpoint".into())),
+        ("version".into(), Json::Int(CHECKPOINT_VERSION as i64)),
+        ("spec_digest".into(), Json::Int(spec_digest(spec) as i64)),
+        ("done".into(), Json::Int(outcomes.len() as i64)),
+        (
+            "checksum".into(),
+            Json::Int(fnv1a64(payload.as_bytes()) as i64),
+        ),
+    ]);
+    let mut text = header.dump();
+    text.push('\n');
+    text.push_str(&payload);
+
+    let path = checkpoint_path(dir);
+    let tmp = path.with_extension("ckpt.tmp");
+    fs::write(&tmp, text)
+        .map_err(|e| FleetError::Io(format!("cannot write {}: {e}", tmp.display())))?;
+    fs::rename(&tmp, &path)
+        .map_err(|e| FleetError::Io(format!("cannot rename {} into place: {e}", tmp.display())))
+}
+
+/// Loads and verifies a checkpoint for `spec`.
+///
+/// `Ok(None)` when the directory holds no checkpoint yet (a resume of a
+/// run that died before its first snapshot simply starts from device
+/// 0).
+///
+/// # Errors
+///
+/// [`FleetError::Io`] when the file exists but cannot be read;
+/// [`FleetError::Checkpoint`] when it fails verification: wrong
+/// version, a digest from a different spec, a checksum mismatch
+/// (truncation/corruption), more outcomes than the spec has devices, or
+/// outcomes that are not the contiguous device prefix `0..N`.
+pub fn load_checkpoint(
+    dir: &Path,
+    spec: &FleetSpec,
+) -> Result<Option<Vec<DeviceOutcome>>, FleetError> {
+    let path = checkpoint_path(dir);
+    let text = match fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => {
+            return Err(FleetError::Io(format!(
+                "cannot read {}: {e}",
+                path.display()
+            )))
+        }
+    };
+    let bad = |msg: String| FleetError::Checkpoint(format!("{}: {msg}", path.display()));
+
+    let (header_line, payload) = text
+        .split_once('\n')
+        .ok_or_else(|| bad("missing header line".into()))?;
+    let header = Json::parse(header_line).map_err(|e| bad(format!("malformed header: {e}")))?;
+    if header.get("kind").and_then(Json::as_str) != Some("fleet_checkpoint") {
+        return Err(bad("not a fleet checkpoint".into()));
+    }
+    let version = int_field(&header, "version").map_err(&bad)?;
+    if version != CHECKPOINT_VERSION {
+        return Err(bad(format!(
+            "version {version} is not the supported {CHECKPOINT_VERSION}"
+        )));
+    }
+    let digest = int_field(&header, "spec_digest").map_err(&bad)?;
+    if digest != spec_digest(spec) {
+        return Err(bad(
+            "spec digest mismatch (checkpoint belongs to a different fleet spec)".into(),
+        ));
+    }
+    let checksum = int_field(&header, "checksum").map_err(&bad)?;
+    if checksum != fnv1a64(payload.as_bytes()) {
+        return Err(bad(
+            "payload checksum mismatch (truncated or corrupted checkpoint)".into(),
+        ));
+    }
+    let done = int_field(&header, "done").map_err(&bad)? as usize;
+    if done > spec.devices {
+        return Err(bad(format!(
+            "records {done} devices but the spec has only {}",
+            spec.devices
+        )));
+    }
+
+    let mut outcomes = Vec::with_capacity(done);
+    for (lineno, line) in payload.lines().enumerate() {
+        let json =
+            Json::parse(line).map_err(|e| bad(format!("outcome line {}: {e}", lineno + 1)))?;
+        let outcome =
+            decode_outcome(&json).map_err(|e| bad(format!("outcome line {}: {e}", lineno + 1)))?;
+        if outcome.device() != lineno as u64 {
+            return Err(bad(format!(
+                "outcome line {} is device {} (checkpoints must be the contiguous prefix)",
+                lineno + 1,
+                outcome.device()
+            )));
+        }
+        outcomes.push(outcome);
+    }
+    if outcomes.len() != done {
+        return Err(bad(format!(
+            "header promises {done} outcomes, payload has {}",
+            outcomes.len()
+        )));
+    }
+    Ok(Some(outcomes))
+}
+
+/// Encodes an `f64` as its bit pattern (see module docs).
+fn bits(v: f64) -> Json {
+    Json::Int(v.to_bits() as i64)
+}
+
+fn encode_outcome(outcome: &DeviceOutcome) -> Json {
+    match outcome {
+        DeviceOutcome::Completed(r) => Json::obj(vec![
+            ("kind".into(), Json::Str("ok".into())),
+            ("device".into(), Json::Int(r.device as i64)),
+            ("seed".into(), Json::Int(r.seed as i64)),
+            ("workload".into(), Json::Str(r.workload.clone())),
+            ("policy".into(), Json::Int(r.policy as i64)),
+            ("governor".into(), Json::Str(r.governor.clone())),
+            ("dpm".into(), Json::Str(r.dpm.clone())),
+            ("faults".into(), Json::Str(r.faults.clone())),
+            ("attempts".into(), Json::Int(r.attempts as i64)),
+            ("energy_kj_bits".into(), bits(r.energy_kj)),
+            ("mean_delay_s_bits".into(), bits(r.mean_delay_s)),
+            ("drop_rate_bits".into(), bits(r.drop_rate)),
+            (
+                "detection_latency_frames_bits".into(),
+                r.detection_latency_frames.map_or(Json::Null, bits),
+            ),
+            (
+                "frames_completed".into(),
+                Json::Int(r.frames_completed as i64),
+            ),
+            ("duration_secs_bits".into(), bits(r.duration_secs)),
+            (
+                "deadline_miss_ratio_bits".into(),
+                bits(r.deadline_miss_ratio),
+            ),
+        ]),
+        DeviceOutcome::Failed(f) => Json::obj(vec![
+            ("kind".into(), Json::Str("fail".into())),
+            ("device".into(), Json::Int(f.device as i64)),
+            ("seed".into(), Json::Int(f.seed as i64)),
+            ("workload".into(), Json::Str(f.workload.clone())),
+            ("policy".into(), Json::Int(f.policy as i64)),
+            ("governor".into(), Json::Str(f.governor.clone())),
+            ("dpm".into(), Json::Str(f.dpm.clone())),
+            ("faults".into(), Json::Str(f.faults.clone())),
+            ("attempts".into(), Json::Int(f.attempts as i64)),
+            ("error".into(), Json::Str(f.error.clone())),
+        ]),
+    }
+}
+
+fn decode_outcome(json: &Json) -> Result<DeviceOutcome, String> {
+    match json.get("kind").and_then(Json::as_str) {
+        Some("ok") => Ok(DeviceOutcome::Completed(DeviceRecord {
+            device: int_field(json, "device")?,
+            seed: int_field(json, "seed")?,
+            workload: str_field(json, "workload")?,
+            policy: int_field(json, "policy")?,
+            governor: str_field(json, "governor")?,
+            dpm: str_field(json, "dpm")?,
+            faults: str_field(json, "faults")?,
+            attempts: int_field(json, "attempts")?,
+            energy_kj: f64_bits_field(json, "energy_kj_bits")?,
+            mean_delay_s: f64_bits_field(json, "mean_delay_s_bits")?,
+            drop_rate: f64_bits_field(json, "drop_rate_bits")?,
+            detection_latency_frames: match json.get("detection_latency_frames_bits") {
+                Some(Json::Null) => None,
+                _ => Some(f64_bits_field(json, "detection_latency_frames_bits")?),
+            },
+            frames_completed: int_field(json, "frames_completed")?,
+            duration_secs: f64_bits_field(json, "duration_secs_bits")?,
+            deadline_miss_ratio: f64_bits_field(json, "deadline_miss_ratio_bits")?,
+        })),
+        Some("fail") => Ok(DeviceOutcome::Failed(DeviceFailure {
+            device: int_field(json, "device")?,
+            seed: int_field(json, "seed")?,
+            workload: str_field(json, "workload")?,
+            policy: int_field(json, "policy")?,
+            governor: str_field(json, "governor")?,
+            dpm: str_field(json, "dpm")?,
+            faults: str_field(json, "faults")?,
+            attempts: int_field(json, "attempts")?,
+            error: str_field(json, "error")?,
+        })),
+        Some(other) => Err(format!("unknown outcome kind `{other}`")),
+        None => Err("missing \"kind\"".into()),
+    }
+}
+
+/// Reads a `u64` stored as `Json::Int` (two's-complement cast for
+/// values above `i64::MAX`, e.g. full-width seeds and bit patterns).
+fn int_field(json: &Json, name: &'static str) -> Result<u64, String> {
+    match json.get(name) {
+        Some(Json::Int(i)) => Ok(*i as u64),
+        _ => Err(format!("missing \"{name}\"")),
+    }
+}
+
+fn str_field(json: &Json, name: &'static str) -> Result<String, String> {
+    json.get(name)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing \"{name}\""))
+}
+
+fn f64_bits_field(json: &Json, name: &'static str) -> Result<f64, String> {
+    int_field(json, name).map(f64::from_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::OnError;
+    use faults::FaultPreset;
+    use powermgr::config::{DpmKind, GovernorKind};
+    use powermgr::scenario::Workload;
+
+    fn spec() -> FleetSpec {
+        FleetSpec {
+            name: "ckpt".into(),
+            devices: 4,
+            base_seed: 9,
+            workloads: vec![Workload::Session],
+            policies: vec![crate::PolicySpec {
+                governor: GovernorKind::MaxPerformance,
+                dpm: DpmKind::None,
+            }],
+            faults: vec![FaultPreset::Off],
+            on_error: OnError::Continue,
+        }
+    }
+
+    fn outcomes() -> Vec<DeviceOutcome> {
+        vec![
+            DeviceOutcome::Completed(DeviceRecord {
+                device: 0,
+                seed: u64::MAX - 3, // exercises the two's-complement cast
+                workload: "session".into(),
+                policy: 0,
+                governor: "max".into(),
+                dpm: "none".into(),
+                faults: "off".into(),
+                attempts: 1,
+                energy_kj: 1.25,
+                mean_delay_s: f64::NAN, // bit-exact even for NaN
+                drop_rate: 0.125,
+                detection_latency_frames: None,
+                frames_completed: 100,
+                duration_secs: 60.0,
+                deadline_miss_ratio: 0.0,
+            }),
+            DeviceOutcome::Failed(DeviceFailure {
+                device: 1,
+                seed: 7,
+                workload: "session".into(),
+                policy: 0,
+                governor: "max".into(),
+                dpm: "none".into(),
+                faults: "poison".into(),
+                attempts: 3,
+                error: "injected".into(),
+            }),
+        ]
+    }
+
+    fn bit_eq(a: &DeviceOutcome, b: &DeviceOutcome) -> bool {
+        // PartialEq is false for NaN fields; compare the encoded forms,
+        // which carry exact bit patterns.
+        encode_outcome(a) == encode_outcome(b)
+    }
+
+    #[test]
+    fn round_trips_bit_exactly_including_nan() {
+        let dir = std::env::temp_dir().join(format!("dvsdpm-ckpt-{}", std::process::id()));
+        let spec = spec();
+        let want = outcomes();
+        write_checkpoint(&dir, &spec, &want).expect("write");
+        let got = load_checkpoint(&dir, &spec)
+            .expect("load")
+            .expect("present");
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert!(bit_eq(g, w), "round-trip changed {w:?} into {g:?}");
+        }
+        // No temp file left behind.
+        assert!(!checkpoint_path(&dir).with_extension("ckpt.tmp").exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_checkpoint_is_none_not_an_error() {
+        let dir = std::env::temp_dir().join(format!("dvsdpm-ckpt-none-{}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        assert!(load_checkpoint(&dir, &spec()).expect("ok").is_none());
+    }
+
+    #[test]
+    fn verification_rejects_corruption_and_foreign_specs() {
+        let dir = std::env::temp_dir().join(format!("dvsdpm-ckpt-bad-{}", std::process::id()));
+        let spec = spec();
+        write_checkpoint(&dir, &spec, &outcomes()).expect("write");
+
+        // A different spec (changed on_error) must be rejected.
+        let mut other = spec.clone();
+        other.on_error = OnError::FailFast;
+        let err = load_checkpoint(&dir, &other).expect_err("digest mismatch");
+        assert!(err.to_string().contains("digest mismatch"), "{err}");
+
+        // Flip one payload byte: checksum mismatch.
+        let path = checkpoint_path(&dir);
+        let good = fs::read_to_string(&path).expect("read");
+        let truncated = &good[..good.len() - 2];
+        fs::write(&path, truncated).expect("write corrupt");
+        let err = load_checkpoint(&dir, &spec).expect_err("checksum mismatch");
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+
+        // Wrong version.
+        fs::write(&path, good.replacen("\"version\":1", "\"version\":99", 1))
+            .expect("write version");
+        let err = load_checkpoint(&dir, &spec).expect_err("version mismatch");
+        assert!(err.to_string().contains("version"), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn non_prefix_outcomes_are_rejected() {
+        let dir = std::env::temp_dir().join(format!("dvsdpm-ckpt-gap-{}", std::process::id()));
+        let spec = spec();
+        let mut gapped = outcomes();
+        if let DeviceOutcome::Failed(f) = &mut gapped[1] {
+            f.device = 3; // hole at device 1
+        }
+        write_checkpoint(&dir, &spec, &gapped).expect("write");
+        let err = load_checkpoint(&dir, &spec).expect_err("gap rejected");
+        assert!(err.to_string().contains("contiguous prefix"), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -2,16 +2,24 @@
 //! the deterministic parallel engine and fold the results — in device
 //! order, regardless of worker count — into a [`FleetReport`].
 //!
-//! Determinism invariants (checked by `tests/determinism.rs` and the
-//! CI `fleet-determinism` job):
+//! Determinism invariants (checked by `tests/determinism.rs`,
+//! `tests/partial.rs`, and the CI `fleet-determinism` job):
 //!
 //! * Every device's RNG is a labelled fork of the base seed
 //!   ([`FleetSpec::device_seed`]), so no device's stream depends on any
-//!   other device or on scheduling.
-//! * Devices are mapped with [`par_fold_range_batched`], which folds
-//!   results in strictly ascending index order on the calling thread —
-//!   the report is byte-identical at any `jobs` count, while memory
-//!   stays bounded by one batch of `SimReport`s rather than the fleet.
+//!   other device or on scheduling. Retry attempts draw from their own
+//!   indexed forks ([`FleetSpec::retry_seed`]), so even a retried
+//!   device is a pure function of its index.
+//! * Devices are mapped with [`par_try_fold_range_batched`], which
+//!   folds results in strictly ascending index order on the calling
+//!   thread — the report is byte-identical at any `jobs` count, while
+//!   memory stays bounded by one batch of `SimReport`s rather than the
+//!   fleet.
+//! * Failures are *contained*: each device attempt runs under
+//!   [`catch_unwind`], and both panics and typed simulation errors
+//!   become a [`DeviceOutcome::Failed`] handled per the spec's
+//!   [`OnError`] policy. Only infrastructure errors (trace or
+//!   checkpoint I/O) abort the run.
 //! * Change-point calibration goes through the process-wide
 //!   [`detect::cache`]: the first device with a given detector config
 //!   pays for calibration (itself bit-identical at any thread count),
@@ -20,24 +28,30 @@
 
 use std::fs;
 use std::io::BufWriter;
-use std::path::Path;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 
 use detect::{ChangePointDetector, EmaEstimator, RateEstimator};
 use powermgr::config::{GovernorKind, SupervisorConfig, SystemConfig};
+use powermgr::PmError;
 use simcore::dist::{Exponential, Sample};
 use simcore::json::ToJson;
-use simcore::par::{par_fold_range_batched, Jobs};
+use simcore::par::{par_try_fold_range_batched, Jobs};
 use simcore::rng::SimRng;
 use trace::{FleetEvent, JsonlSink, TraceSink};
 
-use crate::report::{DeviceRecord, FleetReport};
-use crate::spec::{DeviceAssignment, FleetSpec};
+use crate::checkpoint;
+use crate::report::{DeviceFailure, DeviceOutcome, DeviceRecord, FleetReport};
+use crate::spec::{DeviceAssignment, FleetSpec, OnError};
 use crate::FleetError;
 
 /// Devices simulated per parallel wave. Large enough to keep every
 /// worker busy, small enough that at most one batch of reports is ever
 /// resident before being folded into records.
 pub const BATCH: usize = 256;
+
+/// Default checkpoint cadence: a snapshot every this many batches.
+pub const DEFAULT_CHECKPOINT_EVERY: usize = 4;
 
 /// Buffer capacity paired with fault presets, matching the CLI's
 /// single-device chaos runs (a bounded buffer is what makes drop
@@ -54,14 +68,32 @@ const PROBE_PREFILL: usize = 150;
 /// by then is reported at the cap rather than scanning forever.
 const PROBE_CAP: usize = 600;
 
+/// Optional engine features beyond the plain spec + jobs run: trace
+/// streaming, periodic checkpoints, and resuming from one.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Stream traces under this directory: `device_NNNNN.jsonl` per
+    /// device plus a fleet-level `fleet.jsonl`.
+    pub trace_dir: Option<PathBuf>,
+    /// Write resume checkpoints into this directory.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Batches between checkpoints; `0` means
+    /// [`DEFAULT_CHECKPOINT_EVERY`].
+    pub checkpoint_every: usize,
+    /// Resume from the checkpoint in this directory (no checkpoint file
+    /// yet simply starts from device 0).
+    pub resume_dir: Option<PathBuf>,
+}
+
 /// Runs the fleet and aggregates the report.
 ///
 /// # Errors
 ///
 /// Returns [`FleetError::Spec`] for an invalid spec and
-/// [`FleetError::Sim`] when any device's simulation fails.
+/// [`FleetError::Device`] when a device fails under the default
+/// `fail_fast` policy.
 pub fn run_fleet(spec: &FleetSpec, jobs: Jobs) -> Result<FleetReport, FleetError> {
-    run_fleet_with(spec, jobs, None)
+    run_fleet_opts(spec, jobs, &RunOptions::default())
 }
 
 /// [`run_fleet`], optionally streaming traces under `trace_dir`:
@@ -77,66 +109,229 @@ pub fn run_fleet_with(
     jobs: Jobs,
     trace_dir: Option<&Path>,
 ) -> Result<FleetReport, FleetError> {
+    run_fleet_opts(
+        spec,
+        jobs,
+        &RunOptions {
+            trace_dir: trace_dir.map(Path::to_path_buf),
+            ..RunOptions::default()
+        },
+    )
+}
+
+/// The full-featured entry point: traces, checkpoints, and resume.
+///
+/// The report is a pure function of the spec: running with any `jobs`
+/// count, with or without checkpointing, or resumed from any checkpoint
+/// prefix produces byte-identical report JSON.
+///
+/// # Errors
+///
+/// * [`FleetError::Spec`] — the spec fails validation.
+/// * [`FleetError::Device`] — a device failed and the spec says
+///   `fail_fast` (the failing device's last error is embedded).
+/// * [`FleetError::Checkpoint`] — the resume checkpoint exists but
+///   fails verification (foreign spec, corruption, bad version).
+/// * [`FleetError::Io`] — trace or checkpoint files cannot be written.
+pub fn run_fleet_opts(
+    spec: &FleetSpec,
+    jobs: Jobs,
+    opts: &RunOptions,
+) -> Result<FleetReport, FleetError> {
     spec.validate()?;
-    if let Some(dir) = trace_dir {
+    if let Some(dir) = &opts.trace_dir {
         fs::create_dir_all(dir).map_err(|e| {
             FleetError::Io(format!("cannot create trace dir {}: {e}", dir.display()))
         })?;
     }
 
-    // Map devices in parallel batches; fold arrives in ascending device
-    // order, so the record vector (and everything derived from it) is
-    // independent of the worker count.
-    let folded: Result<Vec<DeviceRecord>, FleetError> = par_fold_range_batched(
-        jobs,
-        spec.devices,
-        BATCH,
-        |i| run_device(spec, i, trace_dir),
-        Ok(Vec::with_capacity(spec.devices)),
-        |acc, _i, result| {
-            let mut records = acc?;
-            records.push(result?);
-            Ok(records)
-        },
-    );
-    let records = folded?;
+    // Resume: adopt the verified outcome prefix and re-run only the
+    // rest. Each device is a pure function of the spec, so the join is
+    // seamless.
+    let resumed: Vec<DeviceOutcome> = match &opts.resume_dir {
+        Some(dir) => checkpoint::load_checkpoint(dir, spec)?.unwrap_or_default(),
+        None => Vec::new(),
+    };
+    let start = resumed.len();
 
+    let every = if opts.checkpoint_every == 0 {
+        DEFAULT_CHECKPOINT_EVERY
+    } else {
+        opts.checkpoint_every
+    };
+    let mut batches = 0usize;
+    let mut checkpoints: Vec<u64> = Vec::new();
+    let trace_dir = opts.trace_dir.as_deref();
+
+    // Map devices in parallel batches; fold arrives in ascending device
+    // order, so the outcome vector (and everything derived from it) is
+    // independent of the worker count.
+    let outcomes: Vec<DeviceOutcome> = par_try_fold_range_batched(
+        jobs,
+        start..spec.devices,
+        BATCH,
+        |i| supervised_run(spec, i, trace_dir),
+        resumed,
+        |mut acc: Vec<DeviceOutcome>, _i, result| {
+            let outcome = result?;
+            if spec.on_error == OnError::FailFast {
+                if let DeviceOutcome::Failed(f) = &outcome {
+                    return Err(FleetError::Device {
+                        device: f.device,
+                        attempts: f.attempts,
+                        error: f.error.clone(),
+                    });
+                }
+            }
+            acc.push(outcome);
+            Ok(acc)
+        },
+        |acc, _next| {
+            batches += 1;
+            if let Some(dir) = &opts.checkpoint_dir {
+                if batches.is_multiple_of(every) && acc.len() < spec.devices {
+                    checkpoint::write_checkpoint(dir, spec, acc)?;
+                    checkpoints.push(acc.len() as u64);
+                }
+            }
+            Ok(())
+        },
+    )?;
+
+    // A final checkpoint covering the whole fleet, so resuming a
+    // completed run replays nothing.
+    if let Some(dir) = &opts.checkpoint_dir {
+        checkpoint::write_checkpoint(dir, spec, &outcomes)?;
+        checkpoints.push(outcomes.len() as u64);
+    }
     if let Some(dir) = trace_dir {
-        write_fleet_log(spec, &records, dir)?;
+        write_fleet_log(spec, &outcomes, &checkpoints, dir)?;
     }
     Ok(FleetReport::build(
         &spec.name,
         spec.base_seed,
         spec.policies.len(),
-        records,
+        &spec.on_error.to_string(),
+        u64::from(spec.on_error.max_attempts()),
+        outcomes,
     ))
 }
 
-/// Simulates one device: resolve its assignment, run its workload, and
-/// condense the [`powermgr::SimReport`] plus the detection probe into a
-/// [`DeviceRecord`].
-fn run_device(
+/// How one device attempt ended, seen from the supervisor.
+enum AttemptError {
+    /// The simulation itself failed (typed error or caught panic);
+    /// retryable and containable.
+    Contained(String),
+    /// Infrastructure failed (trace I/O); never retried, always fatal.
+    Fatal(FleetError),
+}
+
+/// Supervises one device: run it under [`catch_unwind`], retrying on
+/// deterministically forked seeds up to the policy's attempt budget,
+/// and condense the result into a [`DeviceOutcome`]. Only
+/// infrastructure (I/O) failures escape as errors.
+fn supervised_run(
     spec: &FleetSpec,
     device: usize,
     trace_dir: Option<&Path>,
-) -> Result<DeviceRecord, FleetError> {
+) -> Result<DeviceOutcome, FleetError> {
     let a = spec.assignment(device);
-    let config = device_config(&a);
+    let max_attempts = spec.on_error.max_attempts();
+    let mut last_error = String::new();
+    let mut last_seed = a.seed;
+    for attempt in 1..=max_attempts {
+        // Attempt 1 runs the regular device seed; retries fork fresh,
+        // collision-free streams that depend only on (device, attempt).
+        let seed = spec.retry_seed(device, attempt - 1);
+        last_seed = seed;
+        let attempted = catch_unwind(AssertUnwindSafe(|| {
+            run_attempt(&a, seed, u64::from(attempt), trace_dir)
+        }));
+        match attempted {
+            Ok(Ok(record)) => return Ok(DeviceOutcome::Completed(record)),
+            Ok(Err(AttemptError::Fatal(e))) => return Err(e),
+            Ok(Err(AttemptError::Contained(msg))) => last_error = msg,
+            Err(payload) => last_error = format!("panic: {}", panic_message(&*payload)),
+        }
+        // A failed attempt may leave a partial trace temp file behind;
+        // scrub it so retries (and final failure) stay crash-safe.
+        if let Some(dir) = trace_dir {
+            fs::remove_file(trace_tmp_path(dir, device)).ok();
+        }
+    }
+    Ok(DeviceOutcome::Failed(DeviceFailure {
+        device: device as u64,
+        seed: last_seed,
+        workload: a.workload.to_string(),
+        policy: a.policy_index as u64,
+        governor: a.policy.governor.label().to_string(),
+        dpm: a.policy.dpm.label().to_string(),
+        faults: a.faults.to_string(),
+        attempts: u64::from(max_attempts),
+        error: last_error,
+    }))
+}
+
+/// Best-effort panic payload rendering: `&str` and `String` payloads
+/// (what `panic!` produces) come through verbatim.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic of unknown type".to_string()
+    }
+}
+
+/// The final per-device trace path and the temp path it is staged at.
+fn trace_path(dir: &Path, device: usize) -> PathBuf {
+    dir.join(format!("device_{device:05}.jsonl"))
+}
+
+fn trace_tmp_path(dir: &Path, device: usize) -> PathBuf {
+    dir.join(format!("device_{device:05}.jsonl.tmp"))
+}
+
+/// Runs one attempt of one device: resolve its config (fault spec
+/// derivation is seed-dependent, so this happens per attempt inside the
+/// supervisor's `catch_unwind`), run its workload, and condense the
+/// [`powermgr::SimReport`] plus the detection probe into a
+/// [`DeviceRecord`].
+fn run_attempt(
+    a: &DeviceAssignment<'_>,
+    seed: u64,
+    attempt: u64,
+    trace_dir: Option<&Path>,
+) -> Result<DeviceRecord, AttemptError> {
+    let config = device_config(a, seed);
+    let sim_err = |e: PmError| AttemptError::Contained(e.to_string());
 
     let report = match trace_dir {
-        None => a.workload.run(&config, a.seed).map_err(FleetError::Sim)?,
+        None => a.workload.run(&config, seed).map_err(sim_err)?,
         Some(dir) => {
-            let path = dir.join(format!("device_{device:05}.jsonl"));
-            let file = fs::File::create(&path)
-                .map_err(|e| FleetError::Io(format!("cannot create {}: {e}", path.display())))?;
+            // Stage the trace at a temp path and rename only on
+            // success: an interrupted or failed attempt never leaves a
+            // truncated `device_NNNNN.jsonl` for `tracecat replay
+            // --check` to trip over.
+            let path = trace_path(dir, a.device);
+            let tmp = trace_tmp_path(dir, a.device);
+            let io_err = |what: &str, p: &Path, e: std::io::Error| {
+                AttemptError::Fatal(FleetError::Io(format!("{what} {}: {e}", p.display())))
+            };
+            let file = fs::File::create(&tmp).map_err(|e| io_err("cannot create", &tmp, e))?;
             let mut sink = JsonlSink::new(BufWriter::new(file));
             let report = a
                 .workload
-                .run_traced(&config, a.seed, &mut sink)
-                .map_err(FleetError::Sim)?;
+                .run_traced(&config, seed, &mut sink)
+                .map_err(sim_err)?;
             sink.finish().map_err(|e| {
-                FleetError::Io(format!("trace write to {} failed: {e}", path.display()))
+                AttemptError::Fatal(FleetError::Io(format!(
+                    "trace write to {} failed: {e}",
+                    tmp.display()
+                )))
             })?;
+            fs::rename(&tmp, &path).map_err(|e| io_err("cannot rename", &tmp, e))?;
             report
         }
     };
@@ -152,17 +347,19 @@ fn run_device(
     };
 
     Ok(DeviceRecord {
-        device: device as u64,
-        seed: a.seed,
+        device: a.device as u64,
+        seed,
         workload: a.workload.to_string(),
         policy: a.policy_index as u64,
-        governor: config.governor.label(),
-        dpm: config.dpm.label(),
-        faults: a.faults.name(),
+        governor: config.governor.label().to_string(),
+        dpm: config.dpm.label().to_string(),
+        faults: a.faults.to_string(),
+        attempts: attempt,
         energy_kj: report.total_energy_kj(),
         mean_delay_s: report.mean_frame_delay_s(),
         drop_rate,
-        detection_latency_frames: detection_latency_frames(&config.governor, a.seed)?,
+        detection_latency_frames: detection_latency_frames(&config.governor, seed)
+            .map_err(AttemptError::Contained)?,
         frames_completed: report.frames_completed,
         duration_secs: report.duration_secs,
         deadline_miss_ratio: report.robustness.deadline_miss_ratio(),
@@ -171,9 +368,11 @@ fn run_device(
 
 /// Expands a device assignment into the full [`SystemConfig`],
 /// mirroring the single-device CLI: fault presets bring the
-/// graceful-degradation supervisor and a bounded frame buffer.
-fn device_config(a: &DeviceAssignment<'_>) -> SystemConfig {
-    let faults = a.faults.spec(a.seed);
+/// graceful-degradation supervisor and a bounded frame buffer. The
+/// fault spec derives from the attempt seed, so a retried flaky device
+/// re-rolls its failure.
+fn device_config(a: &DeviceAssignment<'_>, seed: u64) -> SystemConfig {
+    let faults = a.faults.spec(seed);
     let (supervisor, buffer_capacity) = if faults.is_some() {
         (Some(SupervisorConfig::default()), Some(FAULT_BUFFER_FRAMES))
     } else {
@@ -191,22 +390,22 @@ fn device_config(a: &DeviceAssignment<'_>) -> SystemConfig {
 
 /// Measures how many post-step samples the device's detector needs to
 /// register a 10 → 60 frames/s arrival-rate step (the paper's fig. 10
-/// workload transition), on a probe stream forked from the device seed.
-/// `Ok(None)` for governors with no online detector (ideal knows the
-/// future, max never looks).
-fn detection_latency_frames(
-    governor: &GovernorKind,
-    device_seed: u64,
-) -> Result<Option<f64>, FleetError> {
-    let mut rng = SimRng::seed_from(device_seed).fork("fleet/detect-probe");
-    let slow = Exponential::new(PROBE_SLOW_RATE).expect("probe rate is positive");
-    let fast = Exponential::new(PROBE_FAST_RATE).expect("probe rate is positive");
+/// workload transition), on a probe stream forked from the attempt
+/// seed. `Ok(None)` for governors with no online detector (ideal knows
+/// the future, max never looks). Errors are contained like any other
+/// per-device failure.
+fn detection_latency_frames(governor: &GovernorKind, seed: u64) -> Result<Option<f64>, String> {
+    let mut rng = SimRng::seed_from(seed).fork("fleet/detect-probe");
+    let probe =
+        |rate: f64| Exponential::new(rate).map_err(|e| format!("detection probe rate {rate}: {e}"));
+    let slow = probe(PROBE_SLOW_RATE)?;
+    let fast = probe(PROBE_FAST_RATE)?;
 
     match governor {
         GovernorKind::Ideal | GovernorKind::MaxPerformance => Ok(None),
         GovernorKind::ChangePoint(cfg) => {
             let mut det = ChangePointDetector::new(PROBE_SLOW_RATE, cfg.clone())
-                .map_err(|e| FleetError::Sim(e.into()))?;
+                .map_err(|e| PmError::from(e).to_string())?;
             for _ in 0..PROBE_PREFILL {
                 let _ = det.observe(slow.sample(&mut rng));
             }
@@ -218,8 +417,8 @@ fn detection_latency_frames(
             Ok(Some(PROBE_CAP as f64))
         }
         GovernorKind::ExpAverage { gain } => {
-            let mut est =
-                EmaEstimator::new(PROBE_SLOW_RATE, *gain).map_err(|e| FleetError::Sim(e.into()))?;
+            let mut est = EmaEstimator::new(PROBE_SLOW_RATE, *gain)
+                .map_err(|e| PmError::from(e).to_string())?;
             for _ in 0..PROBE_PREFILL {
                 let _ = est.observe(slow.sample(&mut rng));
             }
@@ -236,11 +435,13 @@ fn detection_latency_frames(
     }
 }
 
-/// Writes `fleet.jsonl`: the fleet-level event stream (start, one
-/// start/done pair per device in device order, done).
+/// Writes `fleet.jsonl` atomically (temp file + rename): the fleet-
+/// level event stream — start, one start/done-or-failed pair per device
+/// in device order, the checkpoint markers, done.
 fn write_fleet_log(
     spec: &FleetSpec,
-    records: &[DeviceRecord],
+    outcomes: &[DeviceOutcome],
+    checkpoints: &[u64],
     dir: &Path,
 ) -> Result<(), FleetError> {
     let mut out = String::new();
@@ -253,26 +454,55 @@ fn write_fleet_log(
         devices: spec.devices as u64,
         base_seed: spec.base_seed,
     });
-    for r in records {
-        push(FleetEvent::DeviceStart {
-            device: r.device,
-            seed: r.seed,
-            workload: r.workload.clone(),
-            governor: r.governor.to_string(),
-            dpm: r.dpm.to_string(),
-            faults: r.faults.to_string(),
-        });
-        push(FleetEvent::DeviceDone {
-            device: r.device,
-            frames_completed: r.frames_completed,
-            energy_j: r.energy_kj * 1000.0,
-            mean_delay_s: r.mean_delay_s,
-        });
+    for o in outcomes {
+        match o {
+            DeviceOutcome::Completed(r) => {
+                push(FleetEvent::DeviceStart {
+                    device: r.device,
+                    seed: r.seed,
+                    workload: r.workload.clone(),
+                    governor: r.governor.clone(),
+                    dpm: r.dpm.clone(),
+                    faults: r.faults.clone(),
+                });
+                push(FleetEvent::DeviceDone {
+                    device: r.device,
+                    frames_completed: r.frames_completed,
+                    energy_j: r.energy_kj * 1000.0,
+                    mean_delay_s: r.mean_delay_s,
+                });
+            }
+            DeviceOutcome::Failed(f) => {
+                push(FleetEvent::DeviceStart {
+                    device: f.device,
+                    seed: f.seed,
+                    workload: f.workload.clone(),
+                    governor: f.governor.clone(),
+                    dpm: f.dpm.clone(),
+                    faults: f.faults.clone(),
+                });
+                push(FleetEvent::DeviceFailed {
+                    device: f.device,
+                    seed: f.seed,
+                    attempts: f.attempts,
+                    error: f.error.clone(),
+                });
+            }
+        }
+    }
+    for &done in checkpoints {
+        push(FleetEvent::FleetCheckpoint { done });
     }
     push(FleetEvent::FleetDone {
-        devices: records.len() as u64,
+        devices: outcomes
+            .iter()
+            .filter(|o| matches!(o, DeviceOutcome::Completed(_)))
+            .count() as u64,
     });
     let path = dir.join("fleet.jsonl");
-    fs::write(&path, out)
-        .map_err(|e| FleetError::Io(format!("cannot write {}: {e}", path.display())))
+    let tmp = dir.join("fleet.jsonl.tmp");
+    fs::write(&tmp, out)
+        .map_err(|e| FleetError::Io(format!("cannot write {}: {e}", tmp.display())))?;
+    fs::rename(&tmp, &path)
+        .map_err(|e| FleetError::Io(format!("cannot rename {} into place: {e}", tmp.display())))
 }

@@ -11,8 +11,16 @@
 //! calibration cost is paid once per distinct detector configuration
 //! via the process-wide threshold cache, not once per device.
 //!
+//! Failures are part of the contract too: each device runs supervised
+//! (panics caught, typed errors contained), and the spec's [`OnError`]
+//! policy decides whether one failing device aborts the run
+//! (`fail_fast`), is recorded in a partial report (`continue`), or is
+//! deterministically retried first (`retry:<n>`). Long runs can
+//! checkpoint and resume ([`engine::RunOptions`]) with byte-identical
+//! results.
+//!
 //! ```
-//! use fleet::{run_fleet, FleetSpec, PolicySpec};
+//! use fleet::{run_fleet, FleetSpec, OnError, PolicySpec};
 //! use powermgr::config::{DpmKind, GovernorKind};
 //! use powermgr::scenario::Workload;
 //! use simcore::par::Jobs;
@@ -27,22 +35,28 @@
 //!         PolicySpec { governor: GovernorKind::Ideal, dpm: DpmKind::None },
 //!     ],
 //!     faults: vec![faults::FaultPreset::Off],
+//!     on_error: OnError::FailFast,
 //! };
 //! let report = run_fleet(&spec, Jobs::Count(2))?;
 //! assert_eq!(report.devices, 2);
 //! assert_eq!(report.cohorts.len(), 2);
+//! assert!(!report.partial);
 //! # Ok::<(), fleet::FleetError>(())
 //! ```
 
 use std::fmt;
 
+pub mod checkpoint;
 pub mod engine;
 pub mod report;
 pub mod spec;
 
-pub use engine::{run_fleet, run_fleet_with};
-pub use report::{CohortSummary, DeviceRecord, FleetReport, MetricSummary};
-pub use spec::{DeviceAssignment, FleetSpec, PolicySpec};
+pub use engine::{run_fleet, run_fleet_opts, run_fleet_with, RunOptions};
+pub use report::{
+    CohortHealth, CohortSummary, DeviceFailure, DeviceOutcome, DeviceRecord, FailureSample,
+    FleetHealth, FleetReport, MetricSummary,
+};
+pub use spec::{DeviceAssignment, FleetSpec, OnError, PolicySpec};
 
 /// Errors from parsing a fleet spec or running a fleet.
 #[derive(Debug)]
@@ -51,7 +65,18 @@ pub enum FleetError {
     Spec(String),
     /// A device simulation failed.
     Sim(powermgr::PmError),
-    /// Trace output could not be written.
+    /// A device exhausted its attempts under the `fail_fast` policy.
+    Device {
+        /// Device index within the fleet.
+        device: u64,
+        /// Attempts the device consumed.
+        attempts: u64,
+        /// The last attempt's error message.
+        error: String,
+    },
+    /// A resume checkpoint failed verification.
+    Checkpoint(String),
+    /// Trace or checkpoint output could not be written or read.
     Io(String),
 }
 
@@ -60,7 +85,16 @@ impl fmt::Display for FleetError {
         match self {
             FleetError::Spec(msg) => write!(f, "fleet spec: {msg}"),
             FleetError::Sim(e) => write!(f, "device simulation failed: {e}"),
-            FleetError::Io(msg) => write!(f, "fleet trace: {msg}"),
+            FleetError::Device {
+                device,
+                attempts,
+                error,
+            } => write!(
+                f,
+                "device {device} failed after {attempts} attempt(s) (on_error: fail_fast): {error}"
+            ),
+            FleetError::Checkpoint(msg) => write!(f, "fleet checkpoint: {msg}"),
+            FleetError::Io(msg) => write!(f, "fleet io: {msg}"),
         }
     }
 }
@@ -69,7 +103,10 @@ impl std::error::Error for FleetError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FleetError::Sim(e) => Some(e),
-            FleetError::Spec(_) | FleetError::Io(_) => None,
+            FleetError::Spec(_)
+            | FleetError::Device { .. }
+            | FleetError::Checkpoint(_)
+            | FleetError::Io(_) => None,
         }
     }
 }

@@ -69,23 +69,26 @@ impl MetricSummary {
     }
 }
 
-/// The outcome of one device's run, in fleet-report form.
+/// The successful outcome of one device's run, in fleet-report form.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DeviceRecord {
     /// Device index within the fleet.
     pub device: u64,
-    /// The device's forked RNG seed.
+    /// The RNG seed of the attempt that produced this record (the
+    /// device seed for attempt 1, a retry fork afterwards).
     pub seed: u64,
     /// Workload label (`mp3:…` / `mpeg:…` / `session`).
     pub workload: String,
     /// Index into the spec's policy list (the cohort key).
     pub policy: u64,
     /// Governor label.
-    pub governor: &'static str,
+    pub governor: String,
     /// DPM policy label.
-    pub dpm: &'static str,
-    /// Fault-preset name.
-    pub faults: &'static str,
+    pub dpm: String,
+    /// Fault-preset name (`flaky:<pct>` keeps its parameter).
+    pub faults: String,
+    /// Attempts consumed, 1 for a first-try success.
+    pub attempts: u64,
     /// Total energy, kJ.
     pub energy_kj: f64,
     /// Mean total frame delay, seconds.
@@ -111,6 +114,7 @@ impl_to_json!(DeviceRecord {
     governor,
     dpm,
     faults,
+    attempts,
     energy_kj,
     mean_delay_s,
     drop_rate,
@@ -120,6 +124,252 @@ impl_to_json!(DeviceRecord {
     deadline_miss_ratio,
 });
 
+/// The failed outcome of one device's run: every attempt the failure
+/// policy allowed ended in a typed error or a caught panic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceFailure {
+    /// Device index within the fleet.
+    pub device: u64,
+    /// The seed of the *last* attempt.
+    pub seed: u64,
+    /// Workload label.
+    pub workload: String,
+    /// Index into the spec's policy list (the cohort key).
+    pub policy: u64,
+    /// Governor label.
+    pub governor: String,
+    /// DPM policy label.
+    pub dpm: String,
+    /// Fault-preset name.
+    pub faults: String,
+    /// Attempts consumed before the device was given up on.
+    pub attempts: u64,
+    /// The last attempt's error message (`panic: …` for caught panics).
+    pub error: String,
+}
+
+impl_to_json!(DeviceFailure {
+    device,
+    seed,
+    workload,
+    policy,
+    governor,
+    dpm,
+    faults,
+    attempts,
+    error,
+});
+
+/// What one device's supervised run ultimately produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceOutcome {
+    /// The device completed (possibly after retries).
+    Completed(DeviceRecord),
+    /// The device failed every attempt its policy allowed.
+    Failed(DeviceFailure),
+}
+
+impl DeviceOutcome {
+    /// The device index this outcome belongs to.
+    #[must_use]
+    pub fn device(&self) -> u64 {
+        match self {
+            DeviceOutcome::Completed(r) => r.device,
+            DeviceOutcome::Failed(f) => f.device,
+        }
+    }
+
+    /// Attempts the device consumed.
+    #[must_use]
+    pub fn attempts(&self) -> u64 {
+        match self {
+            DeviceOutcome::Completed(r) => r.attempts,
+            DeviceOutcome::Failed(f) => f.attempts,
+        }
+    }
+
+    /// The policy slot (cohort key) of the device.
+    #[must_use]
+    pub fn policy(&self) -> u64 {
+        match self {
+            DeviceOutcome::Completed(r) => r.policy,
+            DeviceOutcome::Failed(f) => f.policy,
+        }
+    }
+}
+
+/// One failure, sampled into the report so a partial fleet names what
+/// went wrong without carrying every failed device's full story.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureSample {
+    /// Device index.
+    pub device: u64,
+    /// Attempts consumed.
+    pub attempts: u64,
+    /// The last attempt's error message.
+    pub error: String,
+}
+
+impl_to_json!(FailureSample {
+    device,
+    attempts,
+    error,
+});
+
+/// Failure statistics for the devices sharing one policy slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortHealth {
+    /// Index into the spec's policy list.
+    pub policy: u64,
+    /// Devices assigned to the slot.
+    pub devices: u64,
+    /// Devices whose final outcome was failure.
+    pub failed: u64,
+    /// `failed / devices`.
+    pub failure_rate: f64,
+}
+
+impl_to_json!(CohortHealth {
+    policy,
+    devices,
+    failed,
+    failure_rate,
+});
+
+/// Fleet-wide failure accounting: how many devices failed, retried,
+/// recovered, or were quarantined, per cohort and overall. Derived
+/// purely from the ordered outcomes, so it is byte-identical at any
+/// `--jobs` count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetHealth {
+    /// The spec's failure policy, in its parseable form.
+    pub on_error: String,
+    /// Devices the fleet was asked to run.
+    pub devices: u64,
+    /// Devices that completed (possibly after retries).
+    pub completed: u64,
+    /// Devices whose final outcome was failure.
+    pub failed: u64,
+    /// Devices that needed more than one attempt, whatever the outcome.
+    pub retried: u64,
+    /// Devices that completed only after at least one retry.
+    pub recovered: u64,
+    /// Devices that burned every attempt the policy allowed and still
+    /// failed — they are excluded from every survivor statistic.
+    pub quarantined: u64,
+    /// Extra attempts consumed beyond each device's first.
+    pub retry_attempts: u64,
+    /// `failed / devices`.
+    pub failure_rate: f64,
+    /// Per-policy failure rates, in slot order (only slots with at
+    /// least one assigned device appear).
+    pub cohorts: Vec<CohortHealth>,
+    /// The first few failures in device order (at most
+    /// [`FleetHealth::MAX_ERROR_SAMPLES`]).
+    pub first_errors: Vec<FailureSample>,
+}
+
+impl_to_json!(FleetHealth {
+    on_error,
+    devices,
+    completed,
+    failed,
+    retried,
+    recovered,
+    quarantined,
+    retry_attempts,
+    failure_rate,
+    cohorts,
+    first_errors,
+});
+
+impl FleetHealth {
+    /// Cap on [`FleetHealth::first_errors`]: enough to diagnose, small
+    /// enough that a million-device meltdown stays readable.
+    pub const MAX_ERROR_SAMPLES: usize = 5;
+
+    /// Builds health statistics from the ordered outcomes.
+    #[must_use]
+    pub fn build(
+        on_error: &str,
+        policies: usize,
+        max_attempts: u64,
+        outcomes: &[DeviceOutcome],
+    ) -> FleetHealth {
+        let devices = outcomes.len() as u64;
+        let mut completed = 0u64;
+        let mut failed = 0u64;
+        let mut retried = 0u64;
+        let mut recovered = 0u64;
+        let mut quarantined = 0u64;
+        let mut retry_attempts = 0u64;
+        let mut first_errors = Vec::new();
+        for o in outcomes {
+            retry_attempts += o.attempts().saturating_sub(1);
+            if o.attempts() > 1 {
+                retried += 1;
+            }
+            match o {
+                DeviceOutcome::Completed(r) => {
+                    completed += 1;
+                    if r.attempts > 1 {
+                        recovered += 1;
+                    }
+                }
+                DeviceOutcome::Failed(f) => {
+                    failed += 1;
+                    if f.attempts >= max_attempts {
+                        quarantined += 1;
+                    }
+                    if first_errors.len() < Self::MAX_ERROR_SAMPLES {
+                        first_errors.push(FailureSample {
+                            device: f.device,
+                            attempts: f.attempts,
+                            error: f.error.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        let mut cohorts = Vec::new();
+        for slot in 0..policies as u64 {
+            let members = outcomes.iter().filter(|o| o.policy() == slot);
+            let (mut n, mut bad) = (0u64, 0u64);
+            for m in members {
+                n += 1;
+                if matches!(m, DeviceOutcome::Failed(_)) {
+                    bad += 1;
+                }
+            }
+            if n > 0 {
+                cohorts.push(CohortHealth {
+                    policy: slot,
+                    devices: n,
+                    failed: bad,
+                    failure_rate: bad as f64 / n as f64,
+                });
+            }
+        }
+        FleetHealth {
+            on_error: on_error.to_string(),
+            devices,
+            completed,
+            failed,
+            retried,
+            recovered,
+            quarantined,
+            retry_attempts,
+            failure_rate: if devices == 0 {
+                0.0
+            } else {
+                failed as f64 / devices as f64
+            },
+            cohorts,
+            first_errors,
+        }
+    }
+}
+
 /// Aggregate outcome of every device sharing one policy slot — the
 /// fleet-scale analogue of one row of the paper's Table 5.
 #[derive(Debug, Clone, PartialEq)]
@@ -127,10 +377,11 @@ pub struct CohortSummary {
     /// Index into the spec's policy list.
     pub policy: u64,
     /// Governor label.
-    pub governor: &'static str,
+    pub governor: String,
     /// DPM policy label.
-    pub dpm: &'static str,
-    /// Devices in the cohort.
+    pub dpm: String,
+    /// Surviving devices in the cohort (failed devices are counted in
+    /// [`FleetHealth::cohorts`], not here).
     pub devices: u64,
     /// Mean energy over the cohort, kJ.
     pub mean_energy_kj: f64,
@@ -156,26 +407,38 @@ impl_to_json!(CohortSummary {
 });
 
 /// The aggregate report for one fleet run.
+///
+/// A report with `partial: true` summarizes *survivors only*: every
+/// percentile, cohort mean, and record belongs to a device that
+/// completed; the failures are accounted for in [`FleetHealth`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetReport {
     /// Fleet name from the spec.
     pub name: String,
-    /// Number of devices simulated.
+    /// Number of devices the spec asked for (completed + failed).
     pub devices: u64,
     /// Base seed from the spec.
     pub base_seed: u64,
-    /// Energy distribution over the fleet, kJ.
-    pub energy_kj: MetricSummary,
-    /// Mean-frame-delay distribution, seconds.
-    pub mean_delay_s: MetricSummary,
-    /// Drop-rate distribution.
-    pub drop_rate: MetricSummary,
-    /// Detection-latency distribution in frames, over the devices whose
-    /// governor does online detection; `None` when no device does.
+    /// `true` when at least one device failed: the summaries below
+    /// cover the surviving subset, not the whole fleet.
+    pub partial: bool,
+    /// Energy distribution over the surviving fleet, kJ; `None` when no
+    /// device survived.
+    pub energy_kj: Option<MetricSummary>,
+    /// Mean-frame-delay distribution, seconds; `None` when no device
+    /// survived.
+    pub mean_delay_s: Option<MetricSummary>,
+    /// Drop-rate distribution; `None` when no device survived.
+    pub drop_rate: Option<MetricSummary>,
+    /// Detection-latency distribution in frames, over the surviving
+    /// devices whose governor does online detection; `None` when none
+    /// does.
     pub detection_latency_frames: Option<MetricSummary>,
-    /// Per-policy cohorts, in spec order.
+    /// Per-policy cohorts over survivors, in spec order.
     pub cohorts: Vec<CohortSummary>,
-    /// Every device's record, in device order.
+    /// Failure accounting for the whole fleet.
+    pub health: FleetHealth,
+    /// Every surviving device's record, in device order.
     pub records: Vec<DeviceRecord>,
 }
 
@@ -183,38 +446,54 @@ impl_to_json!(FleetReport {
     name,
     devices,
     base_seed,
+    partial,
     energy_kj,
     mean_delay_s,
     drop_rate,
     detection_latency_frames,
     cohorts,
+    health,
     records,
 });
 
 impl FleetReport {
-    /// Builds the aggregate report from per-device records.
+    /// Builds the aggregate report from per-device outcomes.
     ///
     /// `policies` is the number of policy slots in the spec; cohorts
     /// come out in slot order so the report layout matches the spec.
+    /// `on_error` and `max_attempts` describe the failure policy the
+    /// outcomes were produced under (echoed into [`FleetHealth`]).
     ///
     /// # Panics
     ///
-    /// Panics if `records` is empty (the spec validator rejects
-    /// zero-device fleets before any records exist).
+    /// Panics if `outcomes` is empty (the spec validator rejects
+    /// zero-device fleets before any outcomes exist).
     #[must_use]
     pub fn build(
         name: &str,
         base_seed: u64,
         policies: usize,
-        records: Vec<DeviceRecord>,
+        on_error: &str,
+        max_attempts: u64,
+        outcomes: Vec<DeviceOutcome>,
     ) -> FleetReport {
         assert!(
-            !records.is_empty(),
+            !outcomes.is_empty(),
             "a fleet report needs at least one device"
         );
+        let health = FleetHealth::build(on_error, policies, max_attempts, &outcomes);
+        let partial = health.failed > 0;
+        let devices = outcomes.len() as u64;
+        let records: Vec<DeviceRecord> = outcomes
+            .into_iter()
+            .filter_map(|o| match o {
+                DeviceOutcome::Completed(r) => Some(r),
+                DeviceOutcome::Failed(_) => None,
+            })
+            .collect();
         let metric = |f: fn(&DeviceRecord) -> f64| {
             let values: Vec<f64> = records.iter().map(f).collect();
-            MetricSummary::from_values(&values).expect("device metrics are finite")
+            MetricSummary::from_values(&values)
         };
         let detection: Vec<f64> = records
             .iter()
@@ -225,15 +504,15 @@ impl FleetReport {
         for slot in 0..policies as u64 {
             let members: Vec<&DeviceRecord> = records.iter().filter(|r| r.policy == slot).collect();
             let Some(first) = members.first() else {
-                continue; // more policies than devices: slot never assigned
+                continue; // slot never assigned, or no member survived
             };
             let mean = |f: fn(&DeviceRecord) -> f64| {
                 members.iter().map(|r| f(r)).sum::<f64>() / members.len() as f64
             };
             cohorts.push(CohortSummary {
                 policy: slot,
-                governor: first.governor,
-                dpm: first.dpm,
+                governor: first.governor.clone(),
+                dpm: first.dpm.clone(),
                 devices: members.len() as u64,
                 mean_energy_kj: mean(|r| r.energy_kj),
                 mean_delay_s: mean(|r| r.mean_delay_s),
@@ -253,13 +532,15 @@ impl FleetReport {
 
         FleetReport {
             name: name.to_string(),
-            devices: records.len() as u64,
+            devices,
             base_seed,
+            partial,
             energy_kj: metric(|r| r.energy_kj),
             mean_delay_s: metric(|r| r.mean_delay_s),
             drop_rate: metric(|r| r.drop_rate),
             detection_latency_frames: MetricSummary::from_values(&detection),
             cohorts,
+            health,
             records,
         }
     }
@@ -299,26 +580,58 @@ impl FleetReport {
 
 impl fmt::Display for FleetReport {
     /// Human-readable summary for the CLI: fleet-wide distributions
-    /// followed by one Table-5-style row per cohort.
+    /// followed by one Table-5-style row per cohort, plus a health
+    /// section whenever anything failed or retried.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "fleet `{}`: {} devices, base seed {}",
-            self.name, self.devices, self.base_seed
+            "fleet `{}`: {} devices, base seed {}{}",
+            self.name,
+            self.devices,
+            self.base_seed,
+            if self.partial {
+                " [PARTIAL: survivors only]"
+            } else {
+                ""
+            }
         )?;
-        let row = |f: &mut fmt::Formatter<'_>, label: &str, m: &MetricSummary| {
-            writeln!(
+        let row = |f: &mut fmt::Formatter<'_>, label: &str, m: Option<&MetricSummary>| {
+            match m {
+            Some(m) => writeln!(
                 f,
                 "  {label:<18} mean {:>9.4}  p10 {:>9.4}  p50 {:>9.4}  p90 {:>9.4}  p99 {:>9.4}  max {:>9.4}",
                 m.mean, m.p10, m.p50, m.p90, m.p99, m.max
-            )
+            ),
+            None => writeln!(f, "  {label:<18} n/a (no surviving device)"),
+        }
         };
-        row(f, "energy (kJ)", &self.energy_kj)?;
-        row(f, "mean delay (s)", &self.mean_delay_s)?;
-        row(f, "drop rate", &self.drop_rate)?;
+        row(f, "energy (kJ)", self.energy_kj.as_ref())?;
+        row(f, "mean delay (s)", self.mean_delay_s.as_ref())?;
+        row(f, "drop rate", self.drop_rate.as_ref())?;
         match &self.detection_latency_frames {
-            Some(m) => row(f, "detection (frames)", m)?,
+            Some(m) => row(f, "detection (frames)", Some(m))?,
             None => writeln!(f, "  detection (frames) n/a (no detecting governor)")?,
+        }
+        let h = &self.health;
+        if h.failed > 0 || h.retried > 0 {
+            writeln!(
+                f,
+                "  health ({}): {} completed, {} failed ({:.1}%), {} retried, {} recovered, {} quarantined",
+                h.on_error,
+                h.completed,
+                h.failed,
+                h.failure_rate * 100.0,
+                h.retried,
+                h.recovered,
+                h.quarantined
+            )?;
+            for s in &h.first_errors {
+                writeln!(
+                    f,
+                    "    device {} failed after {} attempt(s): {}",
+                    s.device, s.attempts, s.error
+                )?;
+            }
         }
         writeln!(f, "  cohorts:")?;
         for c in &self.cohorts {
@@ -352,9 +665,10 @@ mod tests {
             seed: device * 1000 + 1,
             workload: "session".into(),
             policy,
-            governor: if policy == 0 { "change-point" } else { "max" },
-            dpm: if policy == 0 { "break-even" } else { "none" },
-            faults: "off",
+            governor: if policy == 0 { "change-point" } else { "max" }.into(),
+            dpm: if policy == 0 { "break-even" } else { "none" }.into(),
+            faults: "off".into(),
+            attempts: 1,
             energy_kj,
             mean_delay_s: 0.05 * (device + 1) as f64,
             drop_rate: 0.0,
@@ -365,6 +679,35 @@ mod tests {
         }
     }
 
+    fn failure(device: u64, policy: u64, attempts: u64) -> DeviceFailure {
+        DeviceFailure {
+            device,
+            seed: device * 1000 + 7,
+            workload: "session".into(),
+            policy,
+            governor: "change-point".into(),
+            dpm: "break-even".into(),
+            faults: "poison".into(),
+            attempts,
+            error: format!("device {device} went sideways"),
+        }
+    }
+
+    fn ok(r: DeviceRecord) -> DeviceOutcome {
+        DeviceOutcome::Completed(r)
+    }
+
+    fn build_clean(name: &str, policies: usize, records: Vec<DeviceRecord>) -> FleetReport {
+        FleetReport::build(
+            name,
+            42,
+            policies,
+            "fail_fast",
+            1,
+            records.into_iter().map(ok).collect(),
+        )
+    }
+
     #[test]
     fn summary_percentiles_and_baseline_savings() {
         let records = vec![
@@ -373,11 +716,13 @@ mod tests {
             record(2, 0, 2.0, Some(50.0)),
             record(3, 1, 4.0, None),
         ];
-        let report = FleetReport::build("t", 42, 2, records);
+        let report = build_clean("t", 2, records);
         assert_eq!(report.devices, 4);
-        assert!((report.energy_kj.mean - 2.75).abs() < 1e-12);
-        assert_eq!(report.energy_kj.min, 1.0);
-        assert_eq!(report.energy_kj.max, 4.0);
+        assert!(!report.partial);
+        let energy = report.energy_kj.as_ref().expect("survivors");
+        assert!((energy.mean - 2.75).abs() < 1e-12);
+        assert_eq!(energy.min, 1.0);
+        assert_eq!(energy.max, 4.0);
         // Detection distribution covers only the detecting devices.
         let det = report.detection_latency_frames.as_ref().expect("probe ran");
         assert_eq!(det.min, 30.0);
@@ -391,18 +736,22 @@ mod tests {
             .expect("baseline present");
         assert!((savings - 4.0 / 1.5).abs() < 1e-12);
         assert!((report.cohorts[1].savings_vs_baseline.unwrap() - 1.0).abs() < 1e-12);
+        // A clean fleet has a quiet health section.
+        assert_eq!(report.health.failed, 0);
+        assert_eq!(report.health.completed, 4);
+        assert!(report.health.first_errors.is_empty());
     }
 
     #[test]
     fn no_baseline_cohort_means_no_savings_column() {
-        let report = FleetReport::build("t", 1, 1, vec![record(0, 0, 1.0, None)]);
+        let report = build_clean("t", 1, vec![record(0, 0, 1.0, None)]);
         assert_eq!(report.cohorts[0].savings_vs_baseline, None);
         assert_eq!(report.detection_latency_frames, None);
     }
 
     #[test]
     fn json_round_trips_headline_fields() {
-        let report = FleetReport::build("pilot", 9, 1, vec![record(0, 0, 2.5, None)]);
+        let report = build_clean("pilot", 1, vec![record(0, 0, 2.5, None)]);
         let text = report.to_json_pretty();
         let (name, devices, mean_energy) =
             FleetReport::headline_from_json(&text).expect("own output parses");
@@ -411,6 +760,80 @@ mod tests {
         assert!((mean_energy - 2.5).abs() < 1e-12);
         // Null detection latency serializes as JSON null, not NaN.
         assert!(text.contains("\"detection_latency_frames\": null"));
+    }
+
+    #[test]
+    fn partial_report_summarizes_survivors_and_counts_failures() {
+        let mut rec = record(1, 0, 2.0, Some(40.0));
+        rec.attempts = 3; // recovered after two retries
+        let outcomes = vec![
+            ok(record(0, 0, 1.0, Some(30.0))),
+            ok(rec),
+            DeviceOutcome::Failed(failure(2, 1, 3)),
+            DeviceOutcome::Failed(failure(3, 1, 2)),
+            ok(record(4, 1, 4.0, None)),
+        ];
+        let report = FleetReport::build("chaos", 42, 2, "retry:2", 3, outcomes);
+        assert!(report.partial);
+        assert_eq!(report.devices, 5);
+        assert_eq!(report.records.len(), 3, "failed devices carry no record");
+        // Survivor-only percentiles: the failed cohort-1 devices do not
+        // drag the energy summary.
+        let energy = report.energy_kj.as_ref().expect("survivors");
+        assert_eq!(energy.max, 4.0);
+        assert!((energy.mean - (1.0 + 2.0 + 4.0) / 3.0).abs() < 1e-12);
+        // Health: counts + cohort rates + ordered samples.
+        let h = &report.health;
+        assert_eq!(h.on_error, "retry:2");
+        assert_eq!((h.completed, h.failed), (3, 2));
+        assert_eq!(h.retried, 3, "recovered device + both failures");
+        assert_eq!(h.recovered, 1);
+        assert_eq!(h.quarantined, 1, "only the 3-attempt failure exhausted");
+        assert_eq!(h.retry_attempts, 2 + 2 + 1);
+        assert!((h.failure_rate - 0.4).abs() < 1e-12);
+        assert_eq!(h.cohorts.len(), 2);
+        assert_eq!(h.cohorts[0].failed, 0);
+        assert_eq!(h.cohorts[1].devices, 3);
+        assert_eq!(h.cohorts[1].failed, 2);
+        assert!((h.cohorts[1].failure_rate - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(h.first_errors.len(), 2);
+        assert_eq!(h.first_errors[0].device, 2);
+        // Display carries the partial marker and the health line.
+        let text = report.to_string();
+        assert!(text.contains("PARTIAL"), "{text}");
+        assert!(text.contains("2 failed"), "{text}");
+        assert!(text.contains("went sideways"), "{text}");
+    }
+
+    #[test]
+    fn all_failed_fleet_has_no_summaries_but_full_health() {
+        let outcomes = vec![
+            DeviceOutcome::Failed(failure(0, 0, 1)),
+            DeviceOutcome::Failed(failure(1, 0, 1)),
+        ];
+        let report = FleetReport::build("doom", 42, 1, "continue", 1, outcomes);
+        assert!(report.partial);
+        assert_eq!(report.energy_kj, None);
+        assert_eq!(report.mean_delay_s, None);
+        assert_eq!(report.drop_rate, None);
+        assert!(report.cohorts.is_empty());
+        assert_eq!(report.health.failed, 2);
+        assert_eq!(report.health.quarantined, 2);
+        let text = report.to_string();
+        assert!(text.contains("no surviving device"), "{text}");
+        // The JSON form survives the absence of every summary.
+        assert!(report.to_json_pretty().contains("\"energy_kj\": null"));
+    }
+
+    #[test]
+    fn error_samples_are_capped() {
+        let outcomes: Vec<DeviceOutcome> = (0..20)
+            .map(|i| DeviceOutcome::Failed(failure(i, 0, 1)))
+            .collect();
+        let health = FleetHealth::build("continue", 1, 1, &outcomes);
+        assert_eq!(health.first_errors.len(), FleetHealth::MAX_ERROR_SAMPLES);
+        assert_eq!(health.first_errors[0].device, 0);
+        assert_eq!(health.failed, 20);
     }
 
     #[test]

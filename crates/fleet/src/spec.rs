@@ -23,6 +23,8 @@
 //! presets), so any device count covers every combination as evenly as
 //! possible and each cohort stays comparable.
 
+use std::fmt;
+
 use faults::FaultPreset;
 use powermgr::config::{DpmKind, GovernorKind};
 use powermgr::scenario::Workload;
@@ -38,6 +40,85 @@ pub struct PolicySpec {
     pub governor: GovernorKind,
     /// DPM policy for idle periods.
     pub dpm: DpmKind,
+}
+
+/// Upper bound on `retry(N)`: retry seeds are forked as
+/// `fork_indexed("fleet/retry", device * RETRY_STRIDE + attempt)`, so
+/// the attempt index must stay below the stride for streams to be
+/// collision-free across devices.
+pub const MAX_RETRIES: u32 = 8;
+
+/// Seed-stream stride per device for retry attempts (see
+/// [`MAX_RETRIES`]). Public so tests can assert the fork labels.
+pub const RETRY_STRIDE: u64 = 16;
+
+/// What the fleet engine does when one device's simulation fails —
+/// whether by typed error or by panic (both are contained the same
+/// way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OnError {
+    /// Abort the whole run on the first failing device (the
+    /// pre-supervision behaviour, and the default).
+    FailFast,
+    /// Record the failure and keep going; the report is marked
+    /// `partial` and summarizes survivors only.
+    Continue,
+    /// Retry the device up to `N` extra attempts on deterministically
+    /// forked seeds, then record it as failed and keep going.
+    Retry(u32),
+}
+
+impl OnError {
+    /// Parses `fail_fast`, `continue`, or `retry:<n>` / `retry(<n>)`
+    /// with `1 <= n <=` [`MAX_RETRIES`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the expected forms.
+    pub fn parse(s: &str) -> Result<OnError, String> {
+        let retry_arg = s
+            .strip_prefix("retry:")
+            .or_else(|| s.strip_prefix("retry(").and_then(|r| r.strip_suffix(')')));
+        if let Some(n) = retry_arg {
+            let n: u32 = n
+                .parse()
+                .ok()
+                .filter(|n| (1..=MAX_RETRIES).contains(n))
+                .ok_or_else(|| {
+                    format!("retry policy needs a count in 1..={MAX_RETRIES}, got `{n}`")
+                })?;
+            return Ok(OnError::Retry(n));
+        }
+        match s {
+            "fail_fast" => Ok(OnError::FailFast),
+            "continue" => Ok(OnError::Continue),
+            other => Err(format!(
+                "unknown on_error policy `{other}` (expected fail_fast|continue|retry:<n>)"
+            )),
+        }
+    }
+
+    /// Total attempts a device may consume under this policy (1 plus
+    /// any retries).
+    #[must_use]
+    pub fn max_attempts(self) -> u32 {
+        match self {
+            OnError::FailFast | OnError::Continue => 1,
+            OnError::Retry(n) => 1 + n,
+        }
+    }
+}
+
+impl fmt::Display for OnError {
+    /// Formats back to the parseable `fail_fast`/`continue`/`retry:<n>`
+    /// form.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OnError::FailFast => f.write_str("fail_fast"),
+            OnError::Continue => f.write_str("continue"),
+            OnError::Retry(n) => write!(f, "retry:{n}"),
+        }
+    }
 }
 
 /// A complete fleet description: the device count plus the axes of the
@@ -56,6 +137,8 @@ pub struct FleetSpec {
     pub policies: Vec<PolicySpec>,
     /// Fault-preset axis (must be non-empty; `[Off]` for clean runs).
     pub faults: Vec<FaultPreset>,
+    /// Failure policy: what one failing device does to the run.
+    pub on_error: OnError,
 }
 
 /// The resolved configuration of one device: its seed and its slot in
@@ -92,10 +175,10 @@ impl FleetSpec {
         for (key, _) in pairs {
             if !matches!(
                 key.as_str(),
-                "name" | "devices" | "base_seed" | "workloads" | "policies" | "faults"
+                "name" | "devices" | "base_seed" | "workloads" | "policies" | "faults" | "on_error"
             ) {
                 return Err(FleetError::Spec(format!(
-                    "unknown key `{key}` (expected name|devices|base_seed|workloads|policies|faults)"
+                    "unknown key `{key}` (expected name|devices|base_seed|workloads|policies|faults|on_error)"
                 )));
             }
         }
@@ -181,6 +264,16 @@ impl FleetSpec {
                 .collect::<Result<Vec<_>, _>>()?,
         };
 
+        let on_error = match json.get("on_error") {
+            None => OnError::FailFast,
+            Some(v) => {
+                let s = v
+                    .as_str()
+                    .ok_or_else(|| FleetError::Spec("`on_error` must be a string".into()))?;
+                OnError::parse(s).map_err(|e| FleetError::Spec(format!("on_error: {e}")))?
+            }
+        };
+
         let spec = FleetSpec {
             name,
             devices,
@@ -188,6 +281,7 @@ impl FleetSpec {
             workloads,
             policies,
             faults,
+            on_error,
         };
         spec.validate()?;
         Ok(spec)
@@ -216,6 +310,13 @@ impl FleetSpec {
                 "`faults` must be non-empty (use [\"off\"] for clean runs)".into(),
             ));
         }
+        if let OnError::Retry(n) = self.on_error {
+            if n == 0 || n > MAX_RETRIES {
+                return Err(FleetError::Spec(format!(
+                    "`on_error` retry count must be in 1..={MAX_RETRIES}, got {n}"
+                )));
+            }
+        }
         Ok(())
     }
 
@@ -226,6 +327,26 @@ impl FleetSpec {
     pub fn device_seed(&self, device: usize) -> u64 {
         SimRng::seed_from(self.base_seed)
             .fork_indexed("fleet/device", device as u64)
+            .seed()
+    }
+
+    /// The seed of retry `attempt` (1-based) of device `device`: a
+    /// labelled fork indexed by `device * RETRY_STRIDE + attempt`, so
+    /// every (device, attempt) pair draws an independent stream that is
+    /// a pure function of the two indices — report bytes stay identical
+    /// at any `--jobs` count even when retries fire.
+    ///
+    /// Attempt 0 is the regular [`Self::device_seed`].
+    #[must_use]
+    pub fn retry_seed(&self, device: usize, attempt: u32) -> u64 {
+        if attempt == 0 {
+            return self.device_seed(device);
+        }
+        SimRng::seed_from(self.base_seed)
+            .fork_indexed(
+                "fleet/retry",
+                device as u64 * RETRY_STRIDE + u64::from(attempt),
+            )
             .seed()
     }
 

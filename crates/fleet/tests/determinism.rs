@@ -54,10 +54,10 @@ fn records_cover_the_cross_product_with_distinct_seeds() {
     assert_eq!(report.devices, 12);
     assert_eq!(report.records.len(), 12);
 
-    let combos: BTreeSet<(String, u64, &str)> = report
+    let combos: BTreeSet<(String, u64, String)> = report
         .records
         .iter()
-        .map(|r| (r.workload.clone(), r.policy, r.faults))
+        .map(|r| (r.workload.clone(), r.policy, r.faults.clone()))
         .collect();
     assert_eq!(combos.len(), 12, "every combination appears exactly once");
 
@@ -83,7 +83,7 @@ fn records_cover_the_cross_product_with_distinct_seeds() {
     // Detecting governors (change-point, ema) report a probe latency;
     // max does not.
     for r in &report.records {
-        match r.governor {
+        match r.governor.as_str() {
             "max" => assert_eq!(r.detection_latency_frames, None, "device {}", r.device),
             _ => assert!(
                 r.detection_latency_frames.expect("probe ran") >= 1.0,

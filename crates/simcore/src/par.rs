@@ -301,6 +301,62 @@ where
     acc
 }
 
+/// The fallible, resumable companion to [`par_fold_range_batched`]:
+/// streams `map` over `range` in consecutive batches of `batch` items,
+/// folding each batch's results into `acc` in index order, and invokes
+/// `after_batch(&acc, next_index)` once per completed batch — the
+/// progress hook checkpointing callers (the fleet engine) use to
+/// snapshot the accumulated prefix at deterministic boundaries.
+///
+/// `range.start` need not be zero: a resumed caller passes the first
+/// *unfinished* index and an accumulator pre-seeded with the finished
+/// prefix. Because batch boundaries are a pure function of
+/// `(range, batch)`, a resumed run revisits exactly the boundaries the
+/// interrupted run would have hit.
+///
+/// The first error returned by `fold` or `after_batch` aborts the loop
+/// immediately — remaining batches are never mapped — and is returned
+/// to the caller. Under the same purity contract as
+/// [`par_map_indexed`], the successful result is bit-identical at any
+/// thread count. A `batch` of 0 is treated as 1.
+///
+/// # Errors
+///
+/// Returns the first error produced by `fold` or `after_batch`.
+///
+/// # Panics
+///
+/// Panics if `map` panics on any index.
+pub fn par_try_fold_range_batched<R, A, E, F, G, H>(
+    jobs: Jobs,
+    range: std::ops::Range<usize>,
+    batch: usize,
+    map: F,
+    init: A,
+    mut fold: G,
+    mut after_batch: H,
+) -> Result<A, E>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+    G: FnMut(A, usize, R) -> Result<A, E>,
+    H: FnMut(&A, usize) -> Result<(), E>,
+{
+    let batch = batch.max(1);
+    let mut acc = init;
+    let mut start = range.start;
+    while start < range.end {
+        let m = batch.min(range.end - start);
+        let results = par_map_range(jobs, m, |j| map(start + j));
+        for (j, r) in results.into_iter().enumerate() {
+            acc = fold(acc, start + j, r)?;
+        }
+        start += m;
+        after_batch(&acc, start)?;
+    }
+    Ok(acc)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,6 +485,91 @@ mod tests {
     fn batched_fold_handles_empty_range() {
         let sum = par_fold_range_batched(Jobs::Count(4), 0, 16, |i| i, 0usize, |a, _, r| a + r);
         assert_eq!(sum, 0);
+    }
+
+    #[test]
+    fn try_fold_matches_infallible_fold_and_fires_batch_hook() {
+        let work = |i: usize| -> f64 {
+            let mut rng = SimRng::seed_from(9).fork_indexed("try-fold-test", i as u64);
+            (0..20).map(|_| rng.next_f64()).sum()
+        };
+        let reference = par_map_range(Jobs::Count(1), 100, work);
+        for (jobs, batch) in [(1, 7), (4, 7), (4, 100), (8, 1)] {
+            let mut boundaries = Vec::new();
+            let folded: Result<Vec<f64>, ()> = par_try_fold_range_batched(
+                Jobs::Count(jobs),
+                0..100,
+                batch,
+                work,
+                Vec::new(),
+                |mut acc, i, r| {
+                    assert_eq!(acc.len(), i, "fold must see ascending indices");
+                    acc.push(r);
+                    Ok(acc)
+                },
+                |acc, done| {
+                    assert_eq!(acc.len(), done);
+                    boundaries.push(done);
+                    Ok(())
+                },
+            );
+            assert_eq!(folded.expect("no errors"), reference, "jobs={jobs}");
+            assert_eq!(*boundaries.last().expect("hook fired"), 100);
+            assert!(boundaries.windows(2).all(|w| w[1] - w[0] <= batch));
+        }
+    }
+
+    #[test]
+    fn try_fold_resumes_mid_range_and_stops_on_first_error() {
+        let work = |i: usize| i * 2;
+        // Resume: start at 6 with a pre-seeded prefix; boundaries land
+        // where the batch grid dictates.
+        let resumed = par_try_fold_range_batched(
+            Jobs::Count(2),
+            6..20,
+            4,
+            work,
+            (0..6).map(work).collect::<Vec<_>>(),
+            |mut acc, _i, r| -> Result<_, String> {
+                acc.push(r);
+                Ok(acc)
+            },
+            |_acc, _done| Ok(()),
+        )
+        .expect("no errors");
+        assert_eq!(resumed, (0..20).map(work).collect::<Vec<_>>());
+
+        // A fold error aborts before later batches are mapped.
+        let mapped = AtomicUsize::new(0);
+        let failed: Result<usize, &str> = par_try_fold_range_batched(
+            Jobs::Count(1),
+            0..100,
+            5,
+            |i| {
+                mapped.fetch_add(1, Ordering::Relaxed);
+                i
+            },
+            0usize,
+            |acc, _i, r| if r == 7 { Err("boom") } else { Ok(acc + r) },
+            |_acc, _done| Ok(()),
+        );
+        assert_eq!(failed, Err("boom"));
+        assert!(
+            mapped.load(Ordering::Relaxed) <= 10,
+            "later batches must not be mapped"
+        );
+
+        // An after_batch error aborts too.
+        let failed: Result<usize, &str> = par_try_fold_range_batched(
+            Jobs::Count(2),
+            0..100,
+            5,
+            |i| i,
+            0usize,
+            |acc, _i, r| Ok(acc + r),
+            |_acc, done| if done >= 10 { Err("stop") } else { Ok(()) },
+        );
+        assert_eq!(failed, Err("stop"));
     }
 
     #[test]

@@ -3,9 +3,11 @@
 //! A fleet run (`crates/fleet`) simulates many devices; its trace
 //! output is two-layered: each device optionally records its own
 //! [`Event`](crate::Event) JSONL stream, and the fleet engine records a
-//! *fleet-level* JSONL log of [`FleetEvent`]s — one `device_start` /
-//! `device_done` pair per device, bracketed by `fleet_start` and
-//! `fleet_done`. The log is written in device-index order after the
+//! *fleet-level* JSONL log of [`FleetEvent`]s — one `device_start`
+//! followed by `device_done` or `device_failed` per device, plus a
+//! `fleet_checkpoint` marker per resume snapshot, bracketed by
+//! `fleet_start` and `fleet_done`. The log is written in device-index
+//! order after the
 //! parallel run completes, so it is byte-identical at any `--jobs`
 //! count, like everything else the engine emits.
 //!
@@ -53,6 +55,23 @@ pub enum FleetEvent {
         /// Mean total frame delay, seconds.
         mean_delay_s: f64,
     },
+    /// One device failed every attempt its failure policy allowed; the
+    /// fleet carried on without it (or aborted, under `fail_fast`).
+    DeviceFailed {
+        /// Device index within the fleet.
+        device: u64,
+        /// The seed of the last attempt.
+        seed: u64,
+        /// Attempts consumed before giving up.
+        attempts: u64,
+        /// The last attempt's error message.
+        error: String,
+    },
+    /// The engine wrote a resume checkpoint of the outcome prefix.
+    FleetCheckpoint {
+        /// Devices whose outcomes the checkpoint covers (`0..done`).
+        done: u64,
+    },
     /// The whole fleet completed.
     FleetDone {
         /// Number of devices that completed.
@@ -68,6 +87,8 @@ impl FleetEvent {
             FleetEvent::FleetStart { .. } => "fleet_start",
             FleetEvent::DeviceStart { .. } => "device_start",
             FleetEvent::DeviceDone { .. } => "device_done",
+            FleetEvent::DeviceFailed { .. } => "device_failed",
+            FleetEvent::FleetCheckpoint { .. } => "fleet_checkpoint",
             FleetEvent::FleetDone { .. } => "fleet_done",
         }
     }
@@ -101,6 +122,15 @@ impl FleetEvent {
                 frames_completed: u64_field(json, "frames_completed")?,
                 energy_j: f64_field(json, "energy_j")?,
                 mean_delay_s: f64_field(json, "mean_delay_s")?,
+            },
+            "device_failed" => FleetEvent::DeviceFailed {
+                device: u64_field(json, "device")?,
+                seed: u64_field(json, "seed")?,
+                attempts: u64_field(json, "attempts")?,
+                error: str_field(json, "error")?,
+            },
+            "fleet_checkpoint" => FleetEvent::FleetCheckpoint {
+                done: u64_field(json, "done")?,
             },
             "fleet_done" => FleetEvent::FleetDone {
                 devices: u64_field(json, "devices")?,
@@ -149,6 +179,20 @@ impl ToJson for FleetEvent {
                 pairs.push(("frames_completed".into(), frames_completed.to_json()));
                 pairs.push(("energy_j".into(), energy_j.to_json()));
                 pairs.push(("mean_delay_s".into(), mean_delay_s.to_json()));
+            }
+            FleetEvent::DeviceFailed {
+                device,
+                seed,
+                attempts,
+                error,
+            } => {
+                pairs.push(("device".into(), device.to_json()));
+                pairs.push(("seed".into(), seed.to_json()));
+                pairs.push(("attempts".into(), attempts.to_json()));
+                pairs.push(("error".into(), error.to_json()));
+            }
+            FleetEvent::FleetCheckpoint { done } => {
+                pairs.push(("done".into(), done.to_json()));
             }
             FleetEvent::FleetDone { devices } => {
                 pairs.push(("devices".into(), devices.to_json()));
@@ -224,6 +268,13 @@ mod tests {
                 energy_j: 56.25,
                 mean_delay_s: 0.125,
             },
+            FleetEvent::DeviceFailed {
+                device: 1,
+                seed: u64::MAX - 7,
+                attempts: 3,
+                error: "injected panic: boom".into(),
+            },
+            FleetEvent::FleetCheckpoint { done: 2 },
             FleetEvent::FleetDone { devices: 3 },
         ]
     }

@@ -26,7 +26,7 @@ use fleet::FleetSpec;
 use powermgr::config::{DpmKind, GovernorKind, SupervisorConfig, SystemConfig};
 use powermgr::scenario::Workload;
 use powermgr::SimReport;
-use std::path::Path;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use trace::{FilteredSink, JsonlSink, KindSet, TraceSink};
 
@@ -61,6 +61,21 @@ struct FleetArgs {
     json: Option<String>,
     /// Write per-device + fleet JSONL traces under this directory.
     trace_dir: Option<String>,
+    /// Write resume checkpoints under this directory.
+    checkpoint: Option<String>,
+    /// Batches between checkpoints (default: engine's).
+    checkpoint_every: Option<usize>,
+    /// Resume from the checkpoint in this directory.
+    resume: Option<String>,
+}
+
+/// How a fleet run ended, mapped onto the process exit code: 0 clean,
+/// 2 partial (some devices failed but the report covers the
+/// survivors), 1 fatal.
+#[derive(Debug)]
+enum FleetOutcome {
+    Clean,
+    Partial,
 }
 
 /// Parses `--jobs`' value: a positive worker-thread count.
@@ -126,6 +141,9 @@ fn parse_fleet(args: &[String]) -> Result<FleetArgs, String> {
     let mut jobs = None;
     let mut json = None;
     let mut trace_dir = None;
+    let mut checkpoint = None;
+    let mut checkpoint_every = None;
+    let mut resume = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -138,14 +156,29 @@ fn parse_fleet(args: &[String]) -> Result<FleetArgs, String> {
             "--jobs" => jobs = Some(parse_jobs(&value("--jobs")?)?),
             "--json" => json = Some(value("--json")?),
             "--trace-dir" => trace_dir = Some(value("--trace-dir")?),
+            "--checkpoint" => checkpoint = Some(value("--checkpoint")?),
+            "--checkpoint-every" => {
+                let v = value("--checkpoint-every")?;
+                checkpoint_every =
+                    Some(v.parse().ok().filter(|&n: &usize| n > 0).ok_or_else(|| {
+                        format!("--checkpoint-every expects a positive batch count, got `{v}`")
+                    })?);
+            }
+            "--resume" => resume = Some(value("--resume")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
+    }
+    if checkpoint_every.is_some() && checkpoint.is_none() {
+        return Err("--checkpoint-every requires --checkpoint".to_owned());
     }
     Ok(FleetArgs {
         spec: spec.ok_or("missing --spec (path to a fleet spec JSON file)")?,
         jobs,
         json,
         trace_dir,
+        checkpoint,
+        checkpoint_every,
+        resume,
     })
 }
 
@@ -190,7 +223,9 @@ fn execute(run: &RunArgs) -> Result<SimReport, String> {
 
 /// Runs the `fleet` subcommand: load + run the spec, print the report
 /// and a threshold-cache summary, optionally write the JSON document.
-fn execute_fleet(args: &FleetArgs) -> Result<(), String> {
+/// Reports whether any device failed so `main` can exit 2 for partial
+/// reports.
+fn execute_fleet(args: &FleetArgs) -> Result<FleetOutcome, String> {
     if let Some(jobs) = args.jobs {
         simcore::par::set_default_jobs(jobs);
     }
@@ -198,13 +233,15 @@ fn execute_fleet(args: &FleetArgs) -> Result<(), String> {
         .map_err(|e| format!("cannot read spec file {}: {e}", args.spec))?;
     let spec = FleetSpec::parse(&text).map_err(|e| e.to_string())?;
 
+    let opts = fleet::RunOptions {
+        trace_dir: args.trace_dir.as_deref().map(PathBuf::from),
+        checkpoint_dir: args.checkpoint.as_deref().map(PathBuf::from),
+        checkpoint_every: args.checkpoint_every.unwrap_or(0),
+        resume_dir: args.resume.as_deref().map(PathBuf::from),
+    };
     let cache_before = detect::cache::cache_stats_detailed();
-    let report = fleet::run_fleet_with(
-        &spec,
-        simcore::par::Jobs::Auto,
-        args.trace_dir.as_deref().map(Path::new),
-    )
-    .map_err(|e| e.to_string())?;
+    let report =
+        fleet::run_fleet_opts(&spec, simcore::par::Jobs::Auto, &opts).map_err(|e| e.to_string())?;
     let cache = detect::cache::cache_stats_detailed().since(&cache_before);
 
     println!("{report}");
@@ -220,12 +257,19 @@ fn execute_fleet(args: &FleetArgs) -> Result<(), String> {
     if let Some(dir) = &args.trace_dir {
         println!("[traces written under {dir}]");
     }
+    if let Some(dir) = &args.checkpoint {
+        println!("[checkpoint written under {dir}]");
+    }
     if let Some(path) = &args.json {
         std::fs::write(path, report.to_json_pretty())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("[json written to {path}]");
     }
-    Ok(())
+    Ok(if report.partial {
+        FleetOutcome::Partial
+    } else {
+        FleetOutcome::Clean
+    })
 }
 
 fn print_list() {
@@ -245,13 +289,16 @@ fn print_list() {
     println!("           --trace-filter <kinds> comma list of");
     println!("           run|mode|freq|rate|sleep|wake|drop|degrade|frame");
     println!("fleet    : dvsdpm fleet --spec <path.json> [--jobs <n>] [--json <path>]");
-    println!("           [--trace-dir <dir>]; spec keys: name, devices, base_seed,");
-    println!("           workloads, policies ([{{governor, dpm}}]), faults");
+    println!("           [--trace-dir <dir>] [--checkpoint <dir> [--checkpoint-every <b>]]");
+    println!("           [--resume <dir>]; spec keys: name, devices, base_seed,");
+    println!("           workloads, policies ([{{governor, dpm}}]), faults,");
+    println!("           on_error (fail_fast|continue|retry:<n>)");
+    println!("           exit codes: 0 clean, 2 partial (some devices failed), 1 fatal");
 }
 
 fn print_usage() {
     eprintln!("usage: dvsdpm run --workload <w> [--governor <g>] [--dpm <d>] [--seed <n>] [--faults <preset>] [--json <path>] [--jobs <n>] [--trace <path>] [--trace-filter <kinds>]");
-    eprintln!("       dvsdpm fleet --spec <path> [--jobs <n>] [--json <path>] [--trace-dir <dir>]");
+    eprintln!("       dvsdpm fleet --spec <path> [--jobs <n>] [--json <path>] [--trace-dir <dir>] [--checkpoint <dir>] [--checkpoint-every <b>] [--resume <dir>]");
     eprintln!("       dvsdpm list");
 }
 
@@ -285,7 +332,12 @@ fn main() -> ExitCode {
         },
         Some("fleet") => match parse_fleet(&args[1..]) {
             Ok(fleet_args) => match execute_fleet(&fleet_args) {
-                Ok(()) => ExitCode::SUCCESS,
+                Ok(FleetOutcome::Clean) => ExitCode::SUCCESS,
+                // Partial: the run finished and the report is valid for
+                // the survivors, but some devices failed — distinct
+                // from both success and a fatal error so scripts can
+                // react without parsing the report.
+                Ok(FleetOutcome::Partial) => ExitCode::from(2),
                 Err(e) => {
                     eprintln!("error: {e}");
                     ExitCode::FAILURE
@@ -442,11 +494,45 @@ mod tests {
         assert_eq!(minimal.jobs, None);
         assert_eq!(minimal.json, None);
         assert_eq!(minimal.trace_dir, None);
+        assert_eq!(minimal.checkpoint, None);
+        assert_eq!(minimal.checkpoint_every, None);
+        assert_eq!(minimal.resume, None);
 
         let err = parse_fleet(&strs(&[])).unwrap_err();
         assert!(err.contains("missing --spec"), "{err}");
         assert!(parse_fleet(&strs(&["--spec", "f.json", "--jobs", "0"])).is_err());
         assert!(parse_fleet(&strs(&["--spec", "f.json", "--mystery"])).is_err());
+    }
+
+    #[test]
+    fn parses_checkpoint_and_resume_flags() {
+        let args = parse_fleet(&strs(&[
+            "--spec",
+            "f.json",
+            "--checkpoint",
+            "ckpt",
+            "--checkpoint-every",
+            "2",
+            "--resume",
+            "ckpt",
+        ]))
+        .unwrap();
+        assert_eq!(args.checkpoint.as_deref(), Some("ckpt"));
+        assert_eq!(args.checkpoint_every, Some(2));
+        assert_eq!(args.resume.as_deref(), Some("ckpt"));
+
+        // A cadence without a destination is meaningless.
+        let err = parse_fleet(&strs(&["--spec", "f.json", "--checkpoint-every", "2"])).unwrap_err();
+        assert!(err.contains("requires --checkpoint"), "{err}");
+        assert!(parse_fleet(&strs(&[
+            "--spec",
+            "f.json",
+            "--checkpoint",
+            "c",
+            "--checkpoint-every",
+            "0"
+        ]))
+        .is_err());
     }
 
     #[test]
@@ -456,6 +542,9 @@ mod tests {
             jobs: None,
             json: None,
             trace_dir: None,
+            checkpoint: None,
+            checkpoint_every: None,
+            resume: None,
         };
         let err = execute_fleet(&args).unwrap_err();
         assert!(err.contains("cannot read spec file"), "{err}");

@@ -253,6 +253,137 @@ fn fleet_runs_spec_and_writes_identical_json_at_any_jobs() {
     assert_eq!(json["cohorts"].as_array().map(<[_]>::len), Some(4));
 }
 
+/// A fleet spec with a controllable `on_error` policy and a mix of
+/// healthy and guaranteed-failing (`poison`) devices.
+fn write_faulty_fleet_spec(dir: &std::path::Path, on_error: &str) -> std::path::PathBuf {
+    std::fs::create_dir_all(dir).expect("temp dir");
+    let path = dir.join(format!("fleet_spec_{on_error}.json"));
+    std::fs::write(
+        &path,
+        format!(
+            r#"{{
+                "name": "cli-faulty",
+                "devices": 6,
+                "base_seed": 17,
+                "workloads": ["mp3:A"],
+                "policies": [
+                    {{ "governor": "max", "dpm": "none" }},
+                    {{ "governor": "ideal", "dpm": "none" }}
+                ],
+                "faults": ["off", "poison"],
+                "on_error": "{on_error}"
+            }}"#
+        ),
+    )
+    .expect("spec written");
+    path
+}
+
+#[test]
+fn fleet_exit_codes_distinguish_clean_partial_fatal() {
+    let dir = std::env::temp_dir().join("dvsdpm-cli-fleet-exit");
+
+    // Clean fleet: exit 0, no partial marker.
+    let clean = write_fleet_spec(&dir);
+    let out = dvsdpm()
+        .args(["fleet", "--spec"])
+        .arg(&clean)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "clean fleet must exit 0");
+
+    // Failures under `continue`: the report is produced but marked
+    // partial, and the process signals it with exit code 2.
+    let partial = write_faulty_fleet_spec(&dir, "continue");
+    let json = dir.join("partial.json");
+    let out = dvsdpm()
+        .args(["fleet", "--spec"])
+        .arg(&partial)
+        .arg("--json")
+        .arg(&json)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "partial fleet must exit 2");
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("PARTIAL"), "{text}");
+    let report = simcore::Json::parse(&std::fs::read_to_string(&json).expect("json written"))
+        .expect("valid json");
+    assert_eq!(report["partial"].as_bool(), Some(true));
+    // 1 workload x 2 policies x 2 faults wraps at 4: of 6 devices,
+    // indices 2 and 3 land on `poison`.
+    assert_eq!(report["health"]["failed"].as_u64(), Some(2));
+
+    // The same failures under `fail_fast`: fatal, exit 1, device named.
+    let fatal = write_faulty_fleet_spec(&dir, "fail_fast");
+    let out = dvsdpm()
+        .args(["fleet", "--spec"])
+        .arg(&fatal)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "fail_fast fleet must exit 1");
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("failed after"), "{err}");
+}
+
+#[test]
+fn fleet_checkpoint_and_resume_reproduce_the_uninterrupted_report() {
+    let dir = std::env::temp_dir().join("dvsdpm-cli-fleet-resume");
+    let spec = write_faulty_fleet_spec(&dir, "continue");
+    let ckpt = dir.join("ckpt");
+    let _ = std::fs::remove_dir_all(&ckpt);
+
+    // Reference: one uninterrupted run.
+    let reference = dir.join("reference.json");
+    let out = dvsdpm()
+        .args(["fleet", "--spec"])
+        .arg(&spec)
+        .arg("--json")
+        .arg(&reference)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+
+    // Checkpointed run, then a resume from the final checkpoint: the
+    // resume replays nothing but must still emit identical bytes.
+    let first = dir.join("first.json");
+    let out = dvsdpm()
+        .args(["fleet", "--spec"])
+        .arg(&spec)
+        .arg("--checkpoint")
+        .arg(&ckpt)
+        .args(["--checkpoint-every", "1", "--json"])
+        .arg(&first)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(ckpt.join("fleet.ckpt").exists(), "checkpoint file written");
+
+    let resumed = dir.join("resumed.json");
+    let out = dvsdpm()
+        .args(["fleet", "--spec"])
+        .arg(&spec)
+        .arg("--resume")
+        .arg(&ckpt)
+        .arg("--json")
+        .arg(&resumed)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+
+    let want = std::fs::read_to_string(&reference).expect("reference json");
+    assert_eq!(
+        std::fs::read_to_string(&first).expect("first json"),
+        want,
+        "checkpointing changed the report"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&resumed).expect("resumed json"),
+        want,
+        "resume changed the report"
+    );
+    let _ = std::fs::remove_dir_all(&ckpt);
+}
+
 #[test]
 fn fleet_bad_inputs_fail_with_actionable_stderr() {
     // Unreadable spec file.
