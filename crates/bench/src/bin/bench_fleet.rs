@@ -11,7 +11,17 @@
 //! process-wide cache, so only the very first lookup of the process
 //! misses and the steady-state ratio approaches 1.
 //!
-//! Usage: `bench_fleet [--devices N] [--jobs N] [--json PATH]`
+//! With `--rss-ceiling-mb C` the benchmark also reads the process peak
+//! RSS (`VmHWM` from `/proc/self/status`) after every run and fails if
+//! it ever exceeds `C` MiB. This is the fleet-scale memory gate: the
+//! streaming accumulator summarizes and drops device results per batch,
+//! so peak RSS stays bounded no matter how many devices the fleet has
+//! (a million-device run fits in the same ceiling as a thousand-device
+//! one). `--no-oversubscribe` drops the `2N` row so huge gating runs
+//! only pay for `jobs = 1` and `jobs = N`.
+//!
+//! Usage: `bench_fleet [--devices N] [--jobs N] [--json PATH]
+//!         [--rss-ceiling-mb C] [--no-oversubscribe]`
 
 use fleet::{run_fleet, FleetSpec};
 use simcore::par::Jobs;
@@ -32,6 +42,10 @@ struct Row {
     cache_hit_ratio: f64,
     /// Report bytes equal to the `jobs = 1` reference run.
     identical: bool,
+    /// Process peak RSS (`VmHWM`) after this run, MiB; 0 if unreadable.
+    peak_rss_mb: f64,
+    /// The `--rss-ceiling-mb` gate this run was held to; 0 = ungated.
+    rss_ceiling_mb: f64,
 }
 
 simcore::impl_to_json!(Row {
@@ -44,6 +58,8 @@ simcore::impl_to_json!(Row {
     speedup,
     cache_hit_ratio,
     identical,
+    peak_rss_mb,
+    rss_ceiling_mb,
 });
 
 /// The benchmark fleet: short MP3 clips, three policies (change-point
@@ -76,14 +92,26 @@ fn main() {
             .filter(|&n| n > 0)
             .unwrap_or_else(|| panic!("--devices expects a positive integer, got `{v}`"))
     });
+    let rss_ceiling_mb: Option<f64> = bench::flag_value("--rss-ceiling-mb").map(|v| {
+        v.parse()
+            .ok()
+            .filter(|&c: &f64| c.is_finite() && c > 0.0)
+            .unwrap_or_else(|| panic!("--rss-ceiling-mb expects a positive number, got `{v}`"))
+    });
     bench::header(
         "Bench",
         "fleet engine: devices/second and threshold-cache sharing",
     );
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) as u64;
+    let mut job_counts = vec![1, jobs, 2 * jobs];
+    if bench::has_flag("--no-oversubscribe") {
+        job_counts.truncate(2);
+    }
+    job_counts.dedup();
+    let listed: Vec<String> = job_counts.iter().map(ToString::to_string).collect();
     println!(
-        "[{devices} devices at jobs = 1, {jobs}, {} on {cores} core(s)]",
-        2 * jobs
+        "[{devices} devices at jobs = {} on {cores} core(s)]",
+        listed.join(", ")
     );
 
     // Warm the process-wide threshold cache outside the timed region:
@@ -96,8 +124,6 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     let mut reference: Option<String> = None;
     let mut baseline_ms = 0.0;
-    let mut job_counts = vec![1, jobs, 2 * jobs];
-    job_counts.dedup();
     for n in job_counts {
         let before = detect::cache::cache_stats_detailed();
         let t0 = Instant::now();
@@ -119,6 +145,19 @@ fn main() {
             "fleet report diverged between jobs=1 and jobs={n}"
         );
 
+        let peak_rss_mb = bench::peak_rss_mb().unwrap_or(0.0);
+        if let Some(ceiling) = rss_ceiling_mb {
+            assert!(
+                peak_rss_mb > 0.0,
+                "--rss-ceiling-mb needs /proc/self/status (VmHWM) to enforce the gate"
+            );
+            assert!(
+                peak_rss_mb <= ceiling,
+                "peak RSS {peak_rss_mb:.1} MiB exceeded the {ceiling:.1} MiB ceiling \
+                 after the jobs={n} run — aggregation is accumulating per-device state"
+            );
+        }
+
         rows.push(Row {
             jobs: n as u64,
             devices: devices as u64,
@@ -129,20 +168,32 @@ fn main() {
             speedup: baseline_ms / wall_ms,
             cache_hit_ratio: cache.hit_ratio(),
             identical,
+            peak_rss_mb,
+            rss_ceiling_mb: rss_ceiling_mb.unwrap_or(0.0),
         });
     }
 
     println!(
-        "{:>5} {:>9} {:>12} {:>13} {:>9} {:>11}",
-        "jobs", "devices", "wall (ms)", "devices/sec", "speedup", "cache hits"
+        "{:>5} {:>9} {:>12} {:>13} {:>9} {:>11} {:>10}",
+        "jobs", "devices", "wall (ms)", "devices/sec", "speedup", "cache hits", "rss (MiB)"
     );
     for r in &rows {
         println!(
-            "{:>5} {:>9} {:>12.1} {:>13.1} {:>8.2}x {:>11.3}",
-            r.jobs, r.devices, r.wall_ms, r.devices_per_sec, r.speedup, r.cache_hit_ratio
+            "{:>5} {:>9} {:>12.1} {:>13.1} {:>8.2}x {:>11.3} {:>10.1}",
+            r.jobs,
+            r.devices,
+            r.wall_ms,
+            r.devices_per_sec,
+            r.speedup,
+            r.cache_hit_ratio,
+            r.peak_rss_mb
         );
     }
     println!("\nReports verified byte-identical across all jobs counts.");
+    if let Some(ceiling) = rss_ceiling_mb {
+        let peak = bench::peak_rss_mb().unwrap_or(0.0);
+        println!("Peak RSS {peak:.1} MiB stayed under the {ceiling:.1} MiB ceiling.");
+    }
     for r in &rows {
         assert!(
             r.cache_hit_ratio >= 0.9,

@@ -72,6 +72,25 @@ pub fn json_path_from_args() -> Option<std::path::PathBuf> {
     flag_value("--json").map(std::path::PathBuf::from)
 }
 
+/// Whether the bare flag `name` appears in the process arguments.
+#[must_use]
+pub fn has_flag(name: &str) -> bool {
+    std::env::args().skip(1).any(|a| a == name)
+}
+
+/// Peak resident-set size of this process so far, in MiB, read from the
+/// `VmHWM` line of `/proc/self/status`. `VmHWM` is the kernel's
+/// high-water mark: it only ever grows over the process lifetime, so a
+/// reading taken after a run bounds every earlier moment of it too.
+/// Returns `None` where the proc filesystem is unavailable (non-Linux).
+#[must_use]
+pub fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
 /// Returns the value following `name` in the process arguments, if any.
 #[must_use]
 pub fn flag_value(name: &str) -> Option<String> {

@@ -1,42 +1,52 @@
 //! Checkpoint/resume for long fleet runs.
 //!
-//! A checkpoint is the ordered prefix of device outcomes written so
-//! far, snapshotted atomically (temp file + rename) every few batches
-//! so a killed process loses at most one checkpoint interval of work.
-//! Resuming skips the recorded prefix and re-runs only the remaining
-//! devices; because every device's outcome is a pure function of the
-//! spec, the resumed report is byte-identical to an uninterrupted run.
+//! A checkpoint is the full [`FleetAccumulator`] state after the first
+//! N devices, snapshotted durably (temp file + fsync + rename + parent
+//! directory fsync) every few batches so a killed process loses at most
+//! one checkpoint interval of work. Resuming restores the accumulator
+//! and re-runs only the remaining devices; because every device's
+//! outcome is a pure function of the spec and the accumulator folds
+//! outcomes in device order, the resumed report is byte-identical to an
+//! uninterrupted run — at *constant* checkpoint size, where the v1
+//! format grew linearly with the outcome prefix.
 //!
 //! On-disk format (`fleet.ckpt` in the checkpoint directory):
 //!
 //! ```text
-//! {"kind":"fleet_checkpoint","version":1,"spec_digest":…,"done":N,"checksum":…}
-//! {"kind":"ok","device":0,…}      ← N outcome lines, device order
-//! {"kind":"fail","device":1,…}
+//! {"kind":"fleet_checkpoint","version":2,"spec_digest":…,"done":N,"checksum":…}
+//! {"max_attempts":…,"completed":…,…,"records":[…],"records_truncated":…}
 //! ```
 //!
 //! Two properties make resume trustworthy:
 //!
 //! * **Integrity**: the header carries an FNV-1a checksum of the
-//!   outcome payload and a digest of the spec; a truncated file, a
-//!   flipped bit, or a checkpoint from a different spec is rejected
-//!   with a typed error rather than silently corrupting the report.
+//!   payload line and a digest of the spec; a truncated file, a flipped
+//!   bit, or a checkpoint from a different spec is rejected with a
+//!   typed error rather than silently corrupting the report.
+//!   `sync_all` before the rename means a post-crash file can only be
+//!   the previous checkpoint or this one — never a valid-looking name
+//!   over unsynced bytes.
 //! * **Bit-exactness**: every `f64` is stored as its IEEE-754 bit
 //!   pattern (the JSON layer's decimal round-trip would lose NaN and
 //!   collapse payload bytes), so a resumed report's bytes match the
-//!   uninterrupted run's exactly.
+//!   uninterrupted run's exactly — including the quantile sketches,
+//!   whose future compactions depend on the exact restored items.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use simcore::json::Json;
+use simcore::stats::{OnlineStats, QuantileSketch};
 
-use crate::report::{DeviceFailure, DeviceOutcome, DeviceRecord};
+use crate::accum::{CohortAcc, FleetAccumulator, MetricAcc};
+use crate::report::{DeviceRecord, FailureSample};
 use crate::spec::FleetSpec;
 use crate::FleetError;
 
 /// Format version; bumped on any incompatible layout change.
-pub const CHECKPOINT_VERSION: u64 = 1;
+/// Version 2 replaced the v1 outcome-prefix payload with serialized
+/// accumulator state (constant-size checkpoints).
+pub const CHECKPOINT_VERSION: u64 = 2;
 
 /// File name of the checkpoint inside its directory.
 pub const CHECKPOINT_FILE: &str = "fleet.ckpt";
@@ -68,11 +78,13 @@ pub fn spec_digest(spec: &FleetSpec) -> u64 {
     fnv1a64(format!("{spec:?}").as_bytes())
 }
 
-/// Writes an atomic checkpoint of the ordered outcome prefix.
+/// Writes a durable, atomic checkpoint of the accumulator state after
+/// the first [`FleetAccumulator::devices`] devices.
 ///
-/// The payload goes to `fleet.ckpt.tmp` first and is renamed into
-/// place, so a crash mid-write leaves either the previous checkpoint or
-/// none — never a torn file.
+/// The payload goes to `fleet.ckpt.tmp`, is synced to disk, renamed
+/// into place, and the directory is synced (on Unix) — so a crash at
+/// any point leaves either the previous checkpoint or this one, both
+/// fully written; never a torn or unsynced file.
 ///
 /// # Errors
 ///
@@ -81,7 +93,7 @@ pub fn spec_digest(spec: &FleetSpec) -> u64 {
 pub fn write_checkpoint(
     dir: &Path,
     spec: &FleetSpec,
-    outcomes: &[DeviceOutcome],
+    acc: &FleetAccumulator,
 ) -> Result<(), FleetError> {
     fs::create_dir_all(dir).map_err(|e| {
         FleetError::Io(format!(
@@ -89,16 +101,13 @@ pub fn write_checkpoint(
             dir.display()
         ))
     })?;
-    let mut payload = String::new();
-    for o in outcomes {
-        payload.push_str(&encode_outcome(o).dump());
-        payload.push('\n');
-    }
+    let mut payload = encode_accumulator(acc).dump();
+    payload.push('\n');
     let header = Json::obj(vec![
         ("kind".into(), Json::Str("fleet_checkpoint".into())),
         ("version".into(), Json::Int(CHECKPOINT_VERSION as i64)),
         ("spec_digest".into(), Json::Int(spec_digest(spec) as i64)),
-        ("done".into(), Json::Int(outcomes.len() as i64)),
+        ("done".into(), Json::Int(acc.devices() as i64)),
         (
             "checksum".into(),
             Json::Int(fnv1a64(payload.as_bytes()) as i64),
@@ -110,13 +119,12 @@ pub fn write_checkpoint(
 
     let path = checkpoint_path(dir);
     let tmp = path.with_extension("ckpt.tmp");
-    fs::write(&tmp, text)
-        .map_err(|e| FleetError::Io(format!("cannot write {}: {e}", tmp.display())))?;
-    fs::rename(&tmp, &path)
-        .map_err(|e| FleetError::Io(format!("cannot rename {} into place: {e}", tmp.display())))
+    trace::durable::write_atomic(&path, &tmp, text.as_bytes())
+        .map_err(|e| FleetError::Io(format!("cannot write {}: {e}", path.display())))
 }
 
-/// Loads and verifies a checkpoint for `spec`.
+/// Loads and verifies a checkpoint for `spec`, restoring the
+/// accumulator exactly as it was when written.
 ///
 /// `Ok(None)` when the directory holds no checkpoint yet (a resume of a
 /// run that died before its first snapshot simply starts from device
@@ -127,12 +135,13 @@ pub fn write_checkpoint(
 /// [`FleetError::Io`] when the file exists but cannot be read;
 /// [`FleetError::Checkpoint`] when it fails verification: wrong
 /// version, a digest from a different spec, a checksum mismatch
-/// (truncation/corruption), more outcomes than the spec has devices, or
-/// outcomes that are not the contiguous device prefix `0..N`.
+/// (truncation/corruption), more devices than the spec has, or
+/// accumulator state that is internally inconsistent (e.g. a sketch
+/// whose level weights do not sum to its count).
 pub fn load_checkpoint(
     dir: &Path,
     spec: &FleetSpec,
-) -> Result<Option<Vec<DeviceOutcome>>, FleetError> {
+) -> Result<Option<FleetAccumulator>, FleetError> {
     let path = checkpoint_path(dir);
     let text = match fs::read_to_string(&path) {
         Ok(text) => text,
@@ -171,36 +180,31 @@ pub fn load_checkpoint(
             "payload checksum mismatch (truncated or corrupted checkpoint)".into(),
         ));
     }
-    let done = int_field(&header, "done").map_err(&bad)? as usize;
-    if done > spec.devices {
+    let done = int_field(&header, "done").map_err(&bad)?;
+    if done > spec.devices as u64 {
         return Err(bad(format!(
             "records {done} devices but the spec has only {}",
             spec.devices
         )));
     }
 
-    let mut outcomes = Vec::with_capacity(done);
-    for (lineno, line) in payload.lines().enumerate() {
-        let json =
-            Json::parse(line).map_err(|e| bad(format!("outcome line {}: {e}", lineno + 1)))?;
-        let outcome =
-            decode_outcome(&json).map_err(|e| bad(format!("outcome line {}: {e}", lineno + 1)))?;
-        if outcome.device() != lineno as u64 {
-            return Err(bad(format!(
-                "outcome line {} is device {} (checkpoints must be the contiguous prefix)",
-                lineno + 1,
-                outcome.device()
-            )));
-        }
-        outcomes.push(outcome);
-    }
-    if outcomes.len() != done {
+    let json = Json::parse(payload.trim_end())
+        .map_err(|e| bad(format!("malformed accumulator payload: {e}")))?;
+    let acc = decode_accumulator(&json).map_err(&bad)?;
+    if acc.devices() != done {
         return Err(bad(format!(
-            "header promises {done} outcomes, payload has {}",
-            outcomes.len()
+            "header promises {done} devices, accumulator holds {}",
+            acc.devices()
         )));
     }
-    Ok(Some(outcomes))
+    if acc.cohorts.len() != spec.policies.len() {
+        return Err(bad(format!(
+            "accumulator has {} cohort slots, spec has {} policies",
+            acc.cohorts.len(),
+            spec.policies.len()
+        )));
+    }
+    Ok(Some(acc))
 }
 
 /// Encodes an `f64` as its bit pattern (see module docs).
@@ -208,86 +212,297 @@ fn bits(v: f64) -> Json {
     Json::Int(v.to_bits() as i64)
 }
 
-fn encode_outcome(outcome: &DeviceOutcome) -> Json {
-    match outcome {
-        DeviceOutcome::Completed(r) => Json::obj(vec![
-            ("kind".into(), Json::Str("ok".into())),
-            ("device".into(), Json::Int(r.device as i64)),
-            ("seed".into(), Json::Int(r.seed as i64)),
-            ("workload".into(), Json::Str(r.workload.clone())),
-            ("policy".into(), Json::Int(r.policy as i64)),
-            ("governor".into(), Json::Str(r.governor.clone())),
-            ("dpm".into(), Json::Str(r.dpm.clone())),
-            ("faults".into(), Json::Str(r.faults.clone())),
-            ("attempts".into(), Json::Int(r.attempts as i64)),
-            ("energy_kj_bits".into(), bits(r.energy_kj)),
-            ("mean_delay_s_bits".into(), bits(r.mean_delay_s)),
-            ("drop_rate_bits".into(), bits(r.drop_rate)),
-            (
-                "detection_latency_frames_bits".into(),
-                r.detection_latency_frames.map_or(Json::Null, bits),
-            ),
-            (
-                "frames_completed".into(),
-                Json::Int(r.frames_completed as i64),
-            ),
-            ("duration_secs_bits".into(), bits(r.duration_secs)),
-            (
-                "deadline_miss_ratio_bits".into(),
-                bits(r.deadline_miss_ratio),
-            ),
-        ]),
-        DeviceOutcome::Failed(f) => Json::obj(vec![
-            ("kind".into(), Json::Str("fail".into())),
-            ("device".into(), Json::Int(f.device as i64)),
-            ("seed".into(), Json::Int(f.seed as i64)),
-            ("workload".into(), Json::Str(f.workload.clone())),
-            ("policy".into(), Json::Int(f.policy as i64)),
-            ("governor".into(), Json::Str(f.governor.clone())),
-            ("dpm".into(), Json::Str(f.dpm.clone())),
-            ("faults".into(), Json::Str(f.faults.clone())),
-            ("attempts".into(), Json::Int(f.attempts as i64)),
-            ("error".into(), Json::Str(f.error.clone())),
-        ]),
-    }
+fn encode_stats(s: &OnlineStats) -> Json {
+    Json::obj(vec![
+        ("count".into(), Json::Int(s.count() as i64)),
+        ("mean_bits".into(), bits(s.mean())),
+        ("m2_bits".into(), bits(s.m2())),
+        ("min_bits".into(), bits(s.min())),
+        ("max_bits".into(), bits(s.max())),
+        ("sum_bits".into(), bits(s.sum())),
+    ])
 }
 
-fn decode_outcome(json: &Json) -> Result<DeviceOutcome, String> {
-    match json.get("kind").and_then(Json::as_str) {
-        Some("ok") => Ok(DeviceOutcome::Completed(DeviceRecord {
-            device: int_field(json, "device")?,
-            seed: int_field(json, "seed")?,
-            workload: str_field(json, "workload")?,
-            policy: int_field(json, "policy")?,
-            governor: str_field(json, "governor")?,
-            dpm: str_field(json, "dpm")?,
-            faults: str_field(json, "faults")?,
-            attempts: int_field(json, "attempts")?,
-            energy_kj: f64_bits_field(json, "energy_kj_bits")?,
-            mean_delay_s: f64_bits_field(json, "mean_delay_s_bits")?,
-            drop_rate: f64_bits_field(json, "drop_rate_bits")?,
-            detection_latency_frames: match json.get("detection_latency_frames_bits") {
-                Some(Json::Null) => None,
-                _ => Some(f64_bits_field(json, "detection_latency_frames_bits")?),
-            },
-            frames_completed: int_field(json, "frames_completed")?,
-            duration_secs: f64_bits_field(json, "duration_secs_bits")?,
-            deadline_miss_ratio: f64_bits_field(json, "deadline_miss_ratio_bits")?,
-        })),
-        Some("fail") => Ok(DeviceOutcome::Failed(DeviceFailure {
-            device: int_field(json, "device")?,
-            seed: int_field(json, "seed")?,
-            workload: str_field(json, "workload")?,
-            policy: int_field(json, "policy")?,
-            governor: str_field(json, "governor")?,
-            dpm: str_field(json, "dpm")?,
-            faults: str_field(json, "faults")?,
-            attempts: int_field(json, "attempts")?,
-            error: str_field(json, "error")?,
-        })),
-        Some(other) => Err(format!("unknown outcome kind `{other}`")),
-        None => Err("missing \"kind\"".into()),
+fn decode_stats(json: &Json) -> Result<OnlineStats, String> {
+    Ok(OnlineStats::from_raw(
+        int_field(json, "count")?,
+        f64_bits_field(json, "mean_bits")?,
+        f64_bits_field(json, "m2_bits")?,
+        f64_bits_field(json, "min_bits")?,
+        f64_bits_field(json, "max_bits")?,
+        f64_bits_field(json, "sum_bits")?,
+    ))
+}
+
+fn encode_sketch(s: &QuantileSketch) -> Json {
+    let (capacity, count, err_ranks, levels) = s.to_parts();
+    Json::obj(vec![
+        ("capacity".into(), Json::Int(capacity as i64)),
+        ("count".into(), Json::Int(count as i64)),
+        ("err_ranks".into(), Json::Int(err_ranks as i64)),
+        (
+            "levels".into(),
+            Json::Arr(
+                levels
+                    .into_iter()
+                    .map(|(items, keep_odd)| {
+                        Json::obj(vec![
+                            ("keep_odd".into(), Json::Bool(keep_odd)),
+                            (
+                                "items_bits".into(),
+                                Json::Arr(items.into_iter().map(bits).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn decode_sketch(json: &Json) -> Result<QuantileSketch, String> {
+    let capacity = usize::try_from(int_field(json, "capacity")?).map_err(|e| e.to_string())?;
+    let count = int_field(json, "count")?;
+    let err_ranks = int_field(json, "err_ranks")?;
+    let mut levels = Vec::new();
+    for (i, level) in json
+        .get("levels")
+        .and_then(Json::as_array)
+        .ok_or("missing \"levels\"")?
+        .iter()
+        .enumerate()
+    {
+        let keep_odd = level
+            .get("keep_odd")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| format!("level {i}: missing \"keep_odd\""))?;
+        let items = level
+            .get("items_bits")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("level {i}: missing \"items_bits\""))?
+            .iter()
+            .map(|v| {
+                v.as_i64()
+                    .map(|b| f64::from_bits(b as u64))
+                    .ok_or_else(|| format!("level {i}: non-integer item bits"))
+            })
+            .collect::<Result<Vec<f64>, String>>()?;
+        levels.push((items, keep_odd));
     }
+    QuantileSketch::from_parts(capacity, count, err_ranks, levels)
+}
+
+fn encode_metric(m: &MetricAcc) -> Json {
+    Json::obj(vec![
+        ("stats".into(), encode_stats(&m.stats)),
+        ("sketch".into(), encode_sketch(&m.sketch)),
+    ])
+}
+
+fn decode_metric(json: &Json) -> Result<MetricAcc, String> {
+    let stats = decode_stats(json.get("stats").ok_or("missing \"stats\"")?)?;
+    let sketch = decode_sketch(json.get("sketch").ok_or("missing \"sketch\"")?)?;
+    if stats.count() != sketch.count() {
+        return Err(format!(
+            "metric stats count {} disagrees with sketch count {}",
+            stats.count(),
+            sketch.count()
+        ));
+    }
+    Ok(MetricAcc { stats, sketch })
+}
+
+fn encode_cohort(c: &CohortAcc) -> Json {
+    Json::obj(vec![
+        ("devices".into(), Json::Int(c.devices as i64)),
+        ("failed".into(), Json::Int(c.failed as i64)),
+        ("survivors".into(), Json::Int(c.survivors as i64)),
+        ("governor".into(), Json::Str(c.governor.clone())),
+        ("dpm".into(), Json::Str(c.dpm.clone())),
+        ("sum_energy_kj_bits".into(), bits(c.sum_energy_kj)),
+        ("sum_delay_s_bits".into(), bits(c.sum_delay_s)),
+        ("sum_drop_rate_bits".into(), bits(c.sum_drop_rate)),
+    ])
+}
+
+fn decode_cohort(json: &Json) -> Result<CohortAcc, String> {
+    let devices = int_field(json, "devices")?;
+    let failed = int_field(json, "failed")?;
+    let survivors = int_field(json, "survivors")?;
+    if failed + survivors != devices {
+        return Err(format!(
+            "cohort devices {devices} != failed {failed} + survivors {survivors}"
+        ));
+    }
+    Ok(CohortAcc {
+        devices,
+        failed,
+        survivors,
+        governor: str_field(json, "governor")?,
+        dpm: str_field(json, "dpm")?,
+        sum_energy_kj: f64_bits_field(json, "sum_energy_kj_bits")?,
+        sum_delay_s: f64_bits_field(json, "sum_delay_s_bits")?,
+        sum_drop_rate: f64_bits_field(json, "sum_drop_rate_bits")?,
+    })
+}
+
+fn encode_sample(s: &FailureSample) -> Json {
+    Json::obj(vec![
+        ("device".into(), Json::Int(s.device as i64)),
+        ("attempts".into(), Json::Int(s.attempts as i64)),
+        ("error".into(), Json::Str(s.error.clone())),
+    ])
+}
+
+fn decode_sample(json: &Json) -> Result<FailureSample, String> {
+    Ok(FailureSample {
+        device: int_field(json, "device")?,
+        attempts: int_field(json, "attempts")?,
+        error: str_field(json, "error")?,
+    })
+}
+
+fn encode_accumulator(acc: &FleetAccumulator) -> Json {
+    Json::obj(vec![
+        ("max_attempts".into(), Json::Int(acc.max_attempts as i64)),
+        ("completed".into(), Json::Int(acc.completed as i64)),
+        ("failed".into(), Json::Int(acc.failed as i64)),
+        ("retried".into(), Json::Int(acc.retried as i64)),
+        ("recovered".into(), Json::Int(acc.recovered as i64)),
+        ("quarantined".into(), Json::Int(acc.quarantined as i64)),
+        (
+            "retry_attempts".into(),
+            Json::Int(acc.retry_attempts as i64),
+        ),
+        (
+            "first_errors".into(),
+            Json::Arr(acc.first_errors.iter().map(encode_sample).collect()),
+        ),
+        (
+            "cohorts".into(),
+            Json::Arr(acc.cohorts.iter().map(encode_cohort).collect()),
+        ),
+        ("energy_kj".into(), encode_metric(&acc.energy_kj)),
+        ("mean_delay_s".into(), encode_metric(&acc.mean_delay_s)),
+        ("drop_rate".into(), encode_metric(&acc.drop_rate)),
+        (
+            "detection_latency_frames".into(),
+            encode_metric(&acc.detection_latency_frames),
+        ),
+        (
+            "records".into(),
+            Json::Arr(acc.records.iter().map(encode_record).collect()),
+        ),
+        (
+            "records_truncated".into(),
+            Json::Int(acc.records_truncated as i64),
+        ),
+    ])
+}
+
+fn decode_accumulator(json: &Json) -> Result<FleetAccumulator, String> {
+    let completed = int_field(json, "completed")?;
+    let failed = int_field(json, "failed")?;
+    let first_errors = json
+        .get("first_errors")
+        .and_then(Json::as_array)
+        .ok_or("missing \"first_errors\"")?
+        .iter()
+        .map(decode_sample)
+        .collect::<Result<Vec<FailureSample>, String>>()?;
+    let cohorts = json
+        .get("cohorts")
+        .and_then(Json::as_array)
+        .ok_or("missing \"cohorts\"")?
+        .iter()
+        .map(decode_cohort)
+        .collect::<Result<Vec<CohortAcc>, String>>()?;
+    if cohorts.iter().map(|c| c.devices).sum::<u64>() != completed + failed {
+        return Err("cohort device counts do not sum to completed + failed".into());
+    }
+    let records = json
+        .get("records")
+        .and_then(Json::as_array)
+        .ok_or("missing \"records\"")?
+        .iter()
+        .map(decode_record)
+        .collect::<Result<Vec<DeviceRecord>, String>>()?;
+    let acc = FleetAccumulator {
+        max_attempts: int_field(json, "max_attempts")?,
+        completed,
+        failed,
+        retried: int_field(json, "retried")?,
+        recovered: int_field(json, "recovered")?,
+        quarantined: int_field(json, "quarantined")?,
+        retry_attempts: int_field(json, "retry_attempts")?,
+        first_errors,
+        cohorts,
+        energy_kj: decode_metric(json.get("energy_kj").ok_or("missing \"energy_kj\"")?)?,
+        mean_delay_s: decode_metric(json.get("mean_delay_s").ok_or("missing \"mean_delay_s\"")?)?,
+        drop_rate: decode_metric(json.get("drop_rate").ok_or("missing \"drop_rate\"")?)?,
+        detection_latency_frames: decode_metric(
+            json.get("detection_latency_frames")
+                .ok_or("missing \"detection_latency_frames\"")?,
+        )?,
+        records,
+        records_truncated: int_field(json, "records_truncated")?,
+    };
+    if acc.energy_kj.stats.count() > completed {
+        return Err("energy metric counts more devices than completed".into());
+    }
+    Ok(acc)
+}
+
+fn encode_record(r: &DeviceRecord) -> Json {
+    Json::obj(vec![
+        ("device".into(), Json::Int(r.device as i64)),
+        ("seed".into(), Json::Int(r.seed as i64)),
+        ("workload".into(), Json::Str(r.workload.clone())),
+        ("policy".into(), Json::Int(r.policy as i64)),
+        ("governor".into(), Json::Str(r.governor.clone())),
+        ("dpm".into(), Json::Str(r.dpm.clone())),
+        ("faults".into(), Json::Str(r.faults.clone())),
+        ("attempts".into(), Json::Int(r.attempts as i64)),
+        ("energy_kj_bits".into(), bits(r.energy_kj)),
+        ("mean_delay_s_bits".into(), bits(r.mean_delay_s)),
+        ("drop_rate_bits".into(), bits(r.drop_rate)),
+        (
+            "detection_latency_frames_bits".into(),
+            r.detection_latency_frames.map_or(Json::Null, bits),
+        ),
+        (
+            "frames_completed".into(),
+            Json::Int(r.frames_completed as i64),
+        ),
+        ("duration_secs_bits".into(), bits(r.duration_secs)),
+        (
+            "deadline_miss_ratio_bits".into(),
+            bits(r.deadline_miss_ratio),
+        ),
+    ])
+}
+
+fn decode_record(json: &Json) -> Result<DeviceRecord, String> {
+    Ok(DeviceRecord {
+        device: int_field(json, "device")?,
+        seed: int_field(json, "seed")?,
+        workload: str_field(json, "workload")?,
+        policy: int_field(json, "policy")?,
+        governor: str_field(json, "governor")?,
+        dpm: str_field(json, "dpm")?,
+        faults: str_field(json, "faults")?,
+        attempts: int_field(json, "attempts")?,
+        energy_kj: f64_bits_field(json, "energy_kj_bits")?,
+        mean_delay_s: f64_bits_field(json, "mean_delay_s_bits")?,
+        drop_rate: f64_bits_field(json, "drop_rate_bits")?,
+        detection_latency_frames: match json.get("detection_latency_frames_bits") {
+            Some(Json::Null) => None,
+            _ => Some(f64_bits_field(json, "detection_latency_frames_bits")?),
+        },
+        frames_completed: int_field(json, "frames_completed")?,
+        duration_secs: f64_bits_field(json, "duration_secs_bits")?,
+        deadline_miss_ratio: f64_bits_field(json, "deadline_miss_ratio_bits")?,
+    })
 }
 
 /// Reads a `u64` stored as `Json::Int` (two's-complement cast for
@@ -313,6 +528,7 @@ fn f64_bits_field(json: &Json, name: &'static str) -> Result<f64, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::report::{DeviceFailure, DeviceOutcome};
     use crate::spec::OnError;
     use faults::FaultPreset;
     use powermgr::config::{DpmKind, GovernorKind};
@@ -345,9 +561,11 @@ mod tests {
                 faults: "off".into(),
                 attempts: 1,
                 energy_kj: 1.25,
-                mean_delay_s: f64::NAN, // bit-exact even for NaN
+                mean_delay_s: 0.5,
                 drop_rate: 0.125,
-                detection_latency_frames: None,
+                // NaN is filtered by the metric accumulators but must
+                // survive the record sample bit-exactly.
+                detection_latency_frames: Some(f64::NAN),
                 frames_completed: 100,
                 duration_secs: 60.0,
                 deadline_miss_ratio: 0.0,
@@ -366,25 +584,46 @@ mod tests {
         ]
     }
 
-    fn bit_eq(a: &DeviceOutcome, b: &DeviceOutcome) -> bool {
-        // PartialEq is false for NaN fields; compare the encoded forms,
-        // which carry exact bit patterns.
-        encode_outcome(a) == encode_outcome(b)
+    fn accumulated(outcomes: Vec<DeviceOutcome>) -> FleetAccumulator {
+        let mut acc = FleetAccumulator::new(1, 3);
+        for o in outcomes {
+            acc.push(o);
+        }
+        acc
+    }
+
+    /// The restored accumulator must not merely *look* equal — it must
+    /// produce bit-identical behaviour forever after. Comparing the
+    /// re-encoded forms covers every bit pattern, NaN included.
+    fn bit_eq(a: &FleetAccumulator, b: &FleetAccumulator) -> bool {
+        encode_accumulator(a).dump() == encode_accumulator(b).dump()
     }
 
     #[test]
-    fn round_trips_bit_exactly_including_nan() {
+    fn round_trips_accumulator_state_bit_exactly() {
         let dir = std::env::temp_dir().join(format!("dvsdpm-ckpt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
         let spec = spec();
-        let want = outcomes();
+        let want = accumulated(outcomes());
         write_checkpoint(&dir, &spec, &want).expect("write");
         let got = load_checkpoint(&dir, &spec)
             .expect("load")
             .expect("present");
-        assert_eq!(got.len(), want.len());
-        for (g, w) in got.iter().zip(&want) {
-            assert!(bit_eq(g, w), "round-trip changed {w:?} into {g:?}");
+        assert!(bit_eq(&got, &want), "round-trip changed the accumulator");
+        assert_eq!(got.devices(), 2);
+        // The restored accumulator continues identically: pushing the
+        // same future outcomes yields byte-identical reports.
+        let mut live = accumulated(outcomes());
+        let mut restored = got;
+        for acc in [&mut live, &mut restored] {
+            let mut extra = outcomes();
+            if let DeviceOutcome::Completed(r) = &mut extra[0] {
+                r.device = 2;
+                r.energy_kj = 9.75;
+            }
+            acc.push(extra.swap_remove(0));
         }
+        assert!(bit_eq(&live, &restored), "futures diverged after restore");
         // No temp file left behind.
         assert!(!checkpoint_path(&dir).with_extension("ckpt.tmp").exists());
         fs::remove_dir_all(&dir).ok();
@@ -400,8 +639,9 @@ mod tests {
     #[test]
     fn verification_rejects_corruption_and_foreign_specs() {
         let dir = std::env::temp_dir().join(format!("dvsdpm-ckpt-bad-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
         let spec = spec();
-        write_checkpoint(&dir, &spec, &outcomes()).expect("write");
+        write_checkpoint(&dir, &spec, &accumulated(outcomes())).expect("write");
 
         // A different spec (changed on_error) must be rejected.
         let mut other = spec.clone();
@@ -409,7 +649,7 @@ mod tests {
         let err = load_checkpoint(&dir, &other).expect_err("digest mismatch");
         assert!(err.to_string().contains("digest mismatch"), "{err}");
 
-        // Flip one payload byte: checksum mismatch.
+        // Truncate the payload: checksum mismatch.
         let path = checkpoint_path(&dir);
         let good = fs::read_to_string(&path).expect("read");
         let truncated = &good[..good.len() - 2];
@@ -417,8 +657,8 @@ mod tests {
         let err = load_checkpoint(&dir, &spec).expect_err("checksum mismatch");
         assert!(err.to_string().contains("checksum mismatch"), "{err}");
 
-        // Wrong version.
-        fs::write(&path, good.replacen("\"version\":1", "\"version\":99", 1))
+        // Wrong version (v1 checkpoints are rejected, not misread).
+        fs::write(&path, good.replacen("\"version\":2", "\"version\":1", 1))
             .expect("write version");
         let err = load_checkpoint(&dir, &spec).expect_err("version mismatch");
         assert!(err.to_string().contains("version"), "{err}");
@@ -426,16 +666,22 @@ mod tests {
     }
 
     #[test]
-    fn non_prefix_outcomes_are_rejected() {
-        let dir = std::env::temp_dir().join(format!("dvsdpm-ckpt-gap-{}", std::process::id()));
+    fn inconsistent_accumulator_state_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("dvsdpm-ckpt-incons-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
         let spec = spec();
-        let mut gapped = outcomes();
-        if let DeviceOutcome::Failed(f) = &mut gapped[1] {
-            f.device = 3; // hole at device 1
-        }
-        write_checkpoint(&dir, &spec, &gapped).expect("write");
-        let err = load_checkpoint(&dir, &spec).expect_err("gap rejected");
-        assert!(err.to_string().contains("contiguous prefix"), "{err}");
+        let mut acc = accumulated(outcomes());
+        // Claim an extra completion the cohorts know nothing about: the
+        // decoder's cross-checks must catch it even though header
+        // checksum and digest are valid (we re-write the checkpoint, so
+        // both are freshly computed over the corrupt state).
+        acc.completed += 1;
+        write_checkpoint(&dir, &spec, &acc).expect("write");
+        let err = load_checkpoint(&dir, &spec).expect_err("inconsistency rejected");
+        assert!(
+            err.to_string().contains("do not sum"),
+            "unexpected error: {err}"
+        );
         fs::remove_dir_all(&dir).ok();
     }
 }

@@ -26,8 +26,9 @@
 //!   every later device hits the cache. With one distinct config the
 //!   steady-state hit ratio approaches 1.
 
+use std::cell::RefCell;
 use std::fs;
-use std::io::BufWriter;
+use std::io::{BufWriter, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 
@@ -40,6 +41,7 @@ use simcore::par::{par_try_fold_range_batched, Jobs};
 use simcore::rng::SimRng;
 use trace::{FleetEvent, JsonlSink, TraceSink};
 
+use crate::accum::FleetAccumulator;
 use crate::checkpoint;
 use crate::report::{DeviceFailure, DeviceOutcome, DeviceRecord, FleetReport};
 use crate::spec::{DeviceAssignment, FleetSpec, OnError};
@@ -83,6 +85,8 @@ pub struct RunOptions {
     /// Resume from the checkpoint in this directory (no checkpoint file
     /// yet simply starts from device 0).
     pub resume_dir: Option<PathBuf>,
+    /// Devices per parallel wave; `0` means [`BATCH`].
+    pub batch: usize,
 }
 
 /// Runs the fleet and aggregates the report.
@@ -145,76 +149,128 @@ pub fn run_fleet_opts(
         })?;
     }
 
-    // Resume: adopt the verified outcome prefix and re-run only the
-    // rest. Each device is a pure function of the spec, so the join is
-    // seamless.
-    let resumed: Vec<DeviceOutcome> = match &opts.resume_dir {
-        Some(dir) => checkpoint::load_checkpoint(dir, spec)?.unwrap_or_default(),
-        None => Vec::new(),
+    // Resume: restore the accumulator state and re-run only the
+    // remaining devices. Each device is a pure function of the spec and
+    // the accumulator folds in device order, so the join is seamless.
+    let max_attempts = u64::from(spec.on_error.max_attempts());
+    let resumed: FleetAccumulator = match &opts.resume_dir {
+        Some(dir) => checkpoint::load_checkpoint(dir, spec)?
+            .unwrap_or_else(|| FleetAccumulator::new(spec.policies.len(), max_attempts)),
+        None => FleetAccumulator::new(spec.policies.len(), max_attempts),
     };
-    let start = resumed.len();
+    let start = usize::try_from(resumed.devices()).expect("device count fits in usize");
 
     let every = if opts.checkpoint_every == 0 {
         DEFAULT_CHECKPOINT_EVERY
     } else {
         opts.checkpoint_every
     };
+    let batch = if opts.batch == 0 { BATCH } else { opts.batch };
     let mut batches = 0usize;
-    let mut checkpoints: Vec<u64> = Vec::new();
     let trace_dir = opts.trace_dir.as_deref();
 
-    // Map devices in parallel batches; fold arrives in ascending device
-    // order, so the outcome vector (and everything derived from it) is
-    // independent of the worker count.
-    let outcomes: Vec<DeviceOutcome> = par_try_fold_range_batched(
-        jobs,
-        start..spec.devices,
-        BATCH,
-        |i| supervised_run(spec, i, trace_dir),
-        resumed,
-        |mut acc: Vec<DeviceOutcome>, _i, result| {
-            let outcome = result?;
-            if spec.on_error == OnError::FailFast {
-                if let DeviceOutcome::Failed(f) = &outcome {
-                    return Err(FleetError::Device {
-                        device: f.device,
-                        attempts: f.attempts,
-                        error: f.error.clone(),
-                    });
-                }
-            }
-            acc.push(outcome);
-            Ok(acc)
-        },
-        |acc, _next| {
-            batches += 1;
-            if let Some(dir) = &opts.checkpoint_dir {
-                if batches.is_multiple_of(every) && acc.len() < spec.devices {
-                    checkpoint::write_checkpoint(dir, spec, acc)?;
-                    checkpoints.push(acc.len() as u64);
-                }
-            }
-            Ok(())
-        },
-    )?;
+    // The fleet log streams during the fold. Both the fold and the
+    // after-batch closure run on the calling thread, so a `RefCell`
+    // hands the single `&mut` between them without locking. A resumed
+    // run's log covers only the devices it actually ran.
+    let fleet_log: RefCell<Option<FleetLog>> = RefCell::new(match trace_dir {
+        Some(dir) => Some(FleetLog::create(dir, spec)?),
+        None => None,
+    });
 
-    // A final checkpoint covering the whole fleet, so resuming a
-    // completed run replays nothing.
-    if let Some(dir) = &opts.checkpoint_dir {
-        checkpoint::write_checkpoint(dir, spec, &outcomes)?;
-        checkpoints.push(outcomes.len() as u64);
+    // Map devices in parallel batches; the fold arrives in ascending
+    // device order, so the accumulator (and everything derived from it)
+    // is independent of the worker count — and each outcome is dropped
+    // as soon as it is folded, so memory no longer grows with the fleet.
+    let run = || -> Result<FleetAccumulator, FleetError> {
+        let acc = par_try_fold_range_batched(
+            jobs,
+            start..spec.devices,
+            batch,
+            |i| supervised_run(spec, i, trace_dir),
+            resumed,
+            |mut acc: FleetAccumulator, _i, result| {
+                let outcome = result?;
+                if spec.on_error == OnError::FailFast {
+                    if let DeviceOutcome::Failed(f) = &outcome {
+                        return Err(FleetError::Device {
+                            device: f.device,
+                            attempts: f.attempts,
+                            error: f.error.clone(),
+                        });
+                    }
+                }
+                if let Some(log) = fleet_log.borrow_mut().as_mut() {
+                    log.outcome(&outcome)?;
+                }
+                acc.push(outcome);
+                Ok(acc)
+            },
+            |acc, _next| {
+                batches += 1;
+                if let Some(dir) = &opts.checkpoint_dir {
+                    let done = usize::try_from(acc.devices()).expect("fits in usize");
+                    if batches.is_multiple_of(every) && done < spec.devices {
+                        checkpoint::write_checkpoint(dir, spec, acc)?;
+                        if let Some(log) = fleet_log.borrow_mut().as_mut() {
+                            log.checkpoint(acc.devices())?;
+                        }
+                    }
+                }
+                Ok(())
+            },
+        )?;
+
+        // A final checkpoint covering the whole fleet, so resuming a
+        // completed run replays nothing.
+        if let Some(dir) = &opts.checkpoint_dir {
+            checkpoint::write_checkpoint(dir, spec, &acc)?;
+            if let Some(log) = fleet_log.borrow_mut().as_mut() {
+                log.checkpoint(acc.devices())?;
+            }
+        }
+        Ok(acc)
+    };
+    let result = run();
+
+    match result {
+        Ok(acc) => {
+            if let Some(log) = fleet_log.into_inner() {
+                log.finish(acc.completed)?;
+            }
+            Ok(acc.finish(&spec.name, spec.base_seed, &spec.on_error.to_string()))
+        }
+        Err(e) => {
+            // Scrub the half-written log so no truncated
+            // `fleet.jsonl.tmp` outlives a failed run.
+            if let Some(log) = fleet_log.into_inner() {
+                log.abandon();
+            }
+            Err(e)
+        }
     }
-    if let Some(dir) = trace_dir {
-        write_fleet_log(spec, &outcomes, &checkpoints, dir)?;
+}
+
+/// Runs a single device of the fleet exactly as the engine would —
+/// supervised, deterministically retried per the spec's failure policy
+/// — and returns its outcome. This is the engine's unit of work,
+/// exposed so tools (and tests) can stream outcomes through their own
+/// [`FleetAccumulator`].
+///
+/// # Errors
+///
+/// [`FleetError::Spec`] for an invalid spec or out-of-range device
+/// index; device failures are *contained* in the returned
+/// [`DeviceOutcome::Failed`], never surfaced as `Err`.
+pub fn run_device(spec: &FleetSpec, device: usize) -> Result<DeviceOutcome, FleetError> {
+    spec.validate()?;
+    if device >= spec.devices {
+        return Err(FleetError::Spec(format!(
+            "device {device} is out of range for a {}-device fleet",
+            spec.devices
+        )));
     }
-    Ok(FleetReport::build(
-        &spec.name,
-        spec.base_seed,
-        spec.policies.len(),
-        &spec.on_error.to_string(),
-        u64::from(spec.on_error.max_attempts()),
-        outcomes,
-    ))
+    supervised_run(spec, device, None)
 }
 
 /// How one device attempt ended, seen from the supervisor.
@@ -331,7 +387,16 @@ fn run_attempt(
                     tmp.display()
                 )))
             })?;
-            fs::rename(&tmp, &path).map_err(|e| io_err("cannot rename", &tmp, e))?;
+            // Sync before promoting: a rename can hit disk before the
+            // file contents, so an unsynced promote could survive a
+            // crash as a valid-looking truncated trace.
+            let file = sink
+                .into_inner()
+                .into_inner()
+                .map_err(|e| io_err("cannot flush", &tmp, e.into_error()))?;
+            file.sync_all()
+                .map_err(|e| io_err("cannot sync", &tmp, e))?;
+            trace::durable::promote(&tmp, &path).map_err(|e| io_err("cannot rename", &tmp, e))?;
             report
         }
     };
@@ -435,74 +500,103 @@ fn detection_latency_frames(governor: &GovernorKind, seed: u64) -> Result<Option
     }
 }
 
-/// Writes `fleet.jsonl` atomically (temp file + rename): the fleet-
-/// level event stream — start, one start/done-or-failed pair per device
-/// in device order, the checkpoint markers, done.
-fn write_fleet_log(
-    spec: &FleetSpec,
-    outcomes: &[DeviceOutcome],
-    checkpoints: &[u64],
-    dir: &Path,
-) -> Result<(), FleetError> {
-    let mut out = String::new();
-    let mut push = |event: FleetEvent| {
-        out.push_str(&event.to_json().dump());
-        out.push('\n');
-    };
-    push(FleetEvent::FleetStart {
-        name: spec.name.clone(),
-        devices: spec.devices as u64,
-        base_seed: spec.base_seed,
-    });
-    for o in outcomes {
-        match o {
+/// Streams `fleet.jsonl` as the fold progresses — start, one
+/// start/done-or-failed pair per device in device order, checkpoint
+/// markers at their true positions, done — staged at a temp path and
+/// promoted durably (fsync + rename + directory fsync) on success, so
+/// a crash or failed run never leaves a valid-looking truncated log.
+struct FleetLog {
+    out: BufWriter<fs::File>,
+    tmp: PathBuf,
+    path: PathBuf,
+}
+
+impl FleetLog {
+    fn create(dir: &Path, spec: &FleetSpec) -> Result<FleetLog, FleetError> {
+        let path = dir.join("fleet.jsonl");
+        let tmp = dir.join("fleet.jsonl.tmp");
+        let file = fs::File::create(&tmp)
+            .map_err(|e| FleetError::Io(format!("cannot create {}: {e}", tmp.display())))?;
+        let mut log = FleetLog {
+            out: BufWriter::new(file),
+            tmp,
+            path,
+        };
+        log.push(&FleetEvent::FleetStart {
+            name: spec.name.clone(),
+            devices: spec.devices as u64,
+            base_seed: spec.base_seed,
+        })?;
+        Ok(log)
+    }
+
+    fn push(&mut self, event: &FleetEvent) -> Result<(), FleetError> {
+        let mut line = event.to_json().dump();
+        line.push('\n');
+        self.out
+            .write_all(line.as_bytes())
+            .map_err(|e| FleetError::Io(format!("cannot write {}: {e}", self.tmp.display())))
+    }
+
+    fn outcome(&mut self, outcome: &DeviceOutcome) -> Result<(), FleetError> {
+        match outcome {
             DeviceOutcome::Completed(r) => {
-                push(FleetEvent::DeviceStart {
+                self.push(&FleetEvent::DeviceStart {
                     device: r.device,
                     seed: r.seed,
                     workload: r.workload.clone(),
                     governor: r.governor.clone(),
                     dpm: r.dpm.clone(),
                     faults: r.faults.clone(),
-                });
-                push(FleetEvent::DeviceDone {
+                })?;
+                self.push(&FleetEvent::DeviceDone {
                     device: r.device,
                     frames_completed: r.frames_completed,
                     energy_j: r.energy_kj * 1000.0,
                     mean_delay_s: r.mean_delay_s,
-                });
+                })
             }
             DeviceOutcome::Failed(f) => {
-                push(FleetEvent::DeviceStart {
+                self.push(&FleetEvent::DeviceStart {
                     device: f.device,
                     seed: f.seed,
                     workload: f.workload.clone(),
                     governor: f.governor.clone(),
                     dpm: f.dpm.clone(),
                     faults: f.faults.clone(),
-                });
-                push(FleetEvent::DeviceFailed {
+                })?;
+                self.push(&FleetEvent::DeviceFailed {
                     device: f.device,
                     seed: f.seed,
                     attempts: f.attempts,
                     error: f.error.clone(),
-                });
+                })
             }
         }
     }
-    for &done in checkpoints {
-        push(FleetEvent::FleetCheckpoint { done });
+
+    fn checkpoint(&mut self, done: u64) -> Result<(), FleetError> {
+        self.push(&FleetEvent::FleetCheckpoint { done })
     }
-    push(FleetEvent::FleetDone {
-        devices: outcomes
-            .iter()
-            .filter(|o| matches!(o, DeviceOutcome::Completed(_)))
-            .count() as u64,
-    });
-    let path = dir.join("fleet.jsonl");
-    let tmp = dir.join("fleet.jsonl.tmp");
-    fs::write(&tmp, out)
-        .map_err(|e| FleetError::Io(format!("cannot write {}: {e}", tmp.display())))?;
-    fs::rename(&tmp, &path)
-        .map_err(|e| FleetError::Io(format!("cannot rename {} into place: {e}", tmp.display())))
+
+    fn finish(mut self, completed: u64) -> Result<(), FleetError> {
+        self.push(&FleetEvent::FleetDone { devices: completed })?;
+        let FleetLog { out, tmp, path } = self;
+        let io_err = |what: &str, p: &Path, e: String| {
+            FleetError::Io(format!("{what} {}: {e}", p.display()))
+        };
+        let file = out
+            .into_inner()
+            .map_err(|e| io_err("cannot flush", &tmp, e.to_string()))?;
+        file.sync_all()
+            .map_err(|e| io_err("cannot sync", &tmp, e.to_string()))?;
+        trace::durable::promote(&tmp, &path)
+            .map_err(|e| io_err("cannot rename", &tmp, e.to_string()))
+    }
+
+    fn abandon(self) {
+        let FleetLog { out, tmp, .. } = self;
+        drop(out);
+        let _ = fs::remove_file(&tmp);
+    }
 }

@@ -46,12 +46,14 @@
 
 use std::fmt;
 
+pub mod accum;
 pub mod checkpoint;
 pub mod engine;
 pub mod report;
 pub mod spec;
 
-pub use engine::{run_fleet, run_fleet_opts, run_fleet_with, RunOptions};
+pub use accum::{FleetAccumulator, MetricAcc, RECORD_SAMPLE_CAP, SKETCH_CAPACITY};
+pub use engine::{run_device, run_fleet, run_fleet_opts, run_fleet_with, RunOptions};
 pub use report::{
     CohortHealth, CohortSummary, DeviceFailure, DeviceOutcome, DeviceRecord, FailureSample,
     FleetHealth, FleetReport, MetricSummary,

@@ -14,10 +14,16 @@ use std::fmt;
 
 use simcore::impl_to_json;
 use simcore::json::{Json, ToJson};
-use simcore::stats::exact_quantile;
+
+use crate::accum::MetricAcc;
 
 /// Distribution of one metric over the fleet: mean, extremes, and the
 /// percentiles the capacity-planning plots need.
+///
+/// Percentiles come from a bounded deterministic
+/// [`simcore::stats::QuantileSketch`]: exact whenever the observation
+/// count stayed within the sketch capacity (`rank_error == 0`), and
+/// within `rank_error × count` ranks of exact beyond that.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricSummary {
     /// Arithmetic mean.
@@ -34,6 +40,11 @@ pub struct MetricSummary {
     pub p90: f64,
     /// 99th percentile.
     pub p99: f64,
+    /// Finite observations summarized.
+    pub count: u64,
+    /// Worst-case percentile rank error as a fraction of `count`;
+    /// `0.0` means the percentiles are exact.
+    pub rank_error: f64,
 }
 
 impl_to_json!(MetricSummary {
@@ -44,28 +55,23 @@ impl_to_json!(MetricSummary {
     p50,
     p90,
     p99,
+    count,
+    rank_error,
 });
 
 impl MetricSummary {
     /// Summarizes `values`, ignoring non-finite entries; `None` when
     /// nothing finite remains (e.g. a metric no device reports).
+    ///
+    /// The sketch behind the summary is sized to hold every value, so
+    /// this entry point is always exact (`rank_error == 0`).
     #[must_use]
     pub fn from_values(values: &[f64]) -> Option<MetricSummary> {
-        let mut finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
-        if finite.is_empty() {
-            return None;
+        let mut acc = MetricAcc::new(values.len().max(2));
+        for &v in values {
+            acc.push(v);
         }
-        finite.sort_by(f64::total_cmp);
-        let mean = finite.iter().sum::<f64>() / finite.len() as f64;
-        Some(MetricSummary {
-            mean,
-            min: finite[0],
-            max: finite[finite.len() - 1],
-            p10: exact_quantile(&finite, 0.10),
-            p50: exact_quantile(&finite, 0.50),
-            p90: exact_quantile(&finite, 0.90),
-            p99: exact_quantile(&finite, 0.99),
-        })
+        acc.summary()
     }
 }
 
@@ -438,8 +444,14 @@ pub struct FleetReport {
     pub cohorts: Vec<CohortSummary>,
     /// Failure accounting for the whole fleet.
     pub health: FleetHealth,
-    /// Every surviving device's record, in device order.
+    /// Surviving device records in device order — all of them for
+    /// fleets up to [`crate::accum::RECORD_SAMPLE_CAP`], a leading
+    /// sample beyond that (the summaries above always cover the whole
+    /// fleet).
     pub records: Vec<DeviceRecord>,
+    /// Surviving records dropped beyond the sample cap; `0` means
+    /// `records` is complete.
+    pub records_truncated: u64,
 }
 
 impl_to_json!(FleetReport {
@@ -454,6 +466,7 @@ impl_to_json!(FleetReport {
     cohorts,
     health,
     records,
+    records_truncated,
 });
 
 impl FleetReport {
@@ -463,6 +476,10 @@ impl FleetReport {
     /// come out in slot order so the report layout matches the spec.
     /// `on_error` and `max_attempts` describe the failure policy the
     /// outcomes were produced under (echoed into [`FleetHealth`]).
+    ///
+    /// This is a convenience wrapper that streams the outcomes through
+    /// a [`crate::FleetAccumulator`]; the engine feeds the accumulator
+    /// directly so records never pile up in memory.
     ///
     /// # Panics
     ///
@@ -481,68 +498,11 @@ impl FleetReport {
             !outcomes.is_empty(),
             "a fleet report needs at least one device"
         );
-        let health = FleetHealth::build(on_error, policies, max_attempts, &outcomes);
-        let partial = health.failed > 0;
-        let devices = outcomes.len() as u64;
-        let records: Vec<DeviceRecord> = outcomes
-            .into_iter()
-            .filter_map(|o| match o {
-                DeviceOutcome::Completed(r) => Some(r),
-                DeviceOutcome::Failed(_) => None,
-            })
-            .collect();
-        let metric = |f: fn(&DeviceRecord) -> f64| {
-            let values: Vec<f64> = records.iter().map(f).collect();
-            MetricSummary::from_values(&values)
-        };
-        let detection: Vec<f64> = records
-            .iter()
-            .filter_map(|r| r.detection_latency_frames)
-            .collect();
-
-        let mut cohorts = Vec::with_capacity(policies);
-        for slot in 0..policies as u64 {
-            let members: Vec<&DeviceRecord> = records.iter().filter(|r| r.policy == slot).collect();
-            let Some(first) = members.first() else {
-                continue; // slot never assigned, or no member survived
-            };
-            let mean = |f: fn(&DeviceRecord) -> f64| {
-                members.iter().map(|r| f(r)).sum::<f64>() / members.len() as f64
-            };
-            cohorts.push(CohortSummary {
-                policy: slot,
-                governor: first.governor.clone(),
-                dpm: first.dpm.clone(),
-                devices: members.len() as u64,
-                mean_energy_kj: mean(|r| r.energy_kj),
-                mean_delay_s: mean(|r| r.mean_delay_s),
-                mean_drop_rate: mean(|r| r.drop_rate),
-                savings_vs_baseline: None,
-            });
+        let mut acc = crate::FleetAccumulator::new(policies, max_attempts);
+        for o in outcomes {
+            acc.push(o);
         }
-        let baseline = cohorts
-            .iter()
-            .find(|c| c.governor == "max" && c.dpm == "none")
-            .map(|c| c.mean_energy_kj);
-        if let Some(base) = baseline {
-            for c in &mut cohorts {
-                c.savings_vs_baseline = (c.mean_energy_kj > 0.0).then(|| base / c.mean_energy_kj);
-            }
-        }
-
-        FleetReport {
-            name: name.to_string(),
-            devices,
-            base_seed,
-            partial,
-            energy_kj: metric(|r| r.energy_kj),
-            mean_delay_s: metric(|r| r.mean_delay_s),
-            drop_rate: metric(|r| r.drop_rate),
-            detection_latency_frames: MetricSummary::from_values(&detection),
-            cohorts,
-            health,
-            records,
-        }
+        acc.finish(name, base_seed, on_error)
     }
 
     /// Pretty-printed JSON document, the canonical on-disk form.
@@ -650,6 +610,14 @@ impl fmt::Display for FleetReport {
                 Some(x) => writeln!(f, "  {x:>5.2}x vs max/none")?,
                 None => writeln!(f)?,
             }
+        }
+        if self.records_truncated > 0 {
+            writeln!(
+                f,
+                "  records: leading sample of {} ({} more folded into the summaries)",
+                self.records.len(),
+                self.records_truncated
+            )?;
         }
         Ok(())
     }

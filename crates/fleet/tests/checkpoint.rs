@@ -5,7 +5,9 @@
 use std::path::PathBuf;
 
 use fleet::checkpoint::{load_checkpoint, write_checkpoint};
-use fleet::{run_fleet, run_fleet_opts, FleetError, FleetSpec, RunOptions};
+use fleet::{
+    run_device, run_fleet, run_fleet_opts, FleetAccumulator, FleetError, FleetSpec, RunOptions,
+};
 use simcore::json::ToJson;
 use simcore::par::Jobs;
 
@@ -41,8 +43,7 @@ fn resume_from_any_prefix_matches_the_uninterrupted_run() {
         .to_json()
         .pretty();
 
-    // Build the full outcome list once by running with checkpointing
-    // enabled, then replay resume from several synthetic prefixes.
+    // A checkpointed run's final snapshot must cover the whole fleet.
     let dir = tmp_dir("prefix");
     run_fleet_opts(
         &spec,
@@ -57,10 +58,17 @@ fn resume_from_any_prefix_matches_the_uninterrupted_run() {
     let full = load_checkpoint(&dir, &spec)
         .expect("loads")
         .expect("final checkpoint present");
-    assert_eq!(full.len(), 9, "final checkpoint covers the fleet");
+    assert_eq!(full.devices(), 9, "final checkpoint covers the fleet");
 
+    // Synthesize the accumulator state after each prefix by streaming
+    // the engine's own per-device outcomes (run_device is the same unit
+    // of work the fold uses), checkpoint it, and resume from there.
     for prefix in [0, 1, 4, 9] {
-        write_checkpoint(&dir, &spec, &full[..prefix]).expect("write prefix");
+        let mut acc = FleetAccumulator::new(spec.policies.len(), 1);
+        for device in 0..prefix {
+            acc.push(run_device(&spec, device).expect("device runs"));
+        }
+        write_checkpoint(&dir, &spec, &acc).expect("write prefix");
         let resumed = run_fleet_opts(
             &spec,
             Jobs::Count(2),

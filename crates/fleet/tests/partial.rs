@@ -191,6 +191,37 @@ fn all_devices_failing_still_produces_a_report() {
     assert!(report.cohorts.is_empty());
 }
 
+/// Regression for the poisoned-mutex bug: a `panic` chaos-preset
+/// device unwinds while the parallel engine's span-store and
+/// result-slot mutexes are in active use. Before the
+/// `unwrap_or_else(into_inner)` recovery in `simcore::par`, one caught
+/// device panic could poison those locks and turn every *later*
+/// contained failure into a cascading abort of the whole run. With
+/// profiling enabled the fleet must still yield `DeviceOutcome::Failed`
+/// for the panicking devices and a complete report.
+#[test]
+fn profiled_panic_devices_still_fail_cleanly() {
+    simcore::par::set_profiling(true);
+    let spec = mixed_spec(12, "continue");
+    let result = run_fleet(&spec, Jobs::Count(4));
+    simcore::par::set_profiling(false);
+    let report = result.expect("panicking devices are contained, not cascaded");
+    assert_eq!(report.devices, 12);
+    assert_eq!(report.health.failed, 8, "poison + panic thirds both fail");
+    assert_eq!(report.health.completed, 4);
+    assert!(
+        report
+            .health
+            .first_errors
+            .iter()
+            .any(|e| e.error.starts_with("panic:")),
+        "panic outcomes survive as Failed, not aborts"
+    );
+    // The spans recorded while devices were panicking are still
+    // harvestable — the store survived the poison.
+    let _ = simcore::par::take_spans();
+}
+
 #[test]
 fn failed_devices_leave_no_truncated_trace_files() {
     let dir = std::env::temp_dir().join(format!("fleet_partial_trace_{}", std::process::id()));

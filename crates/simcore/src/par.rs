@@ -138,13 +138,21 @@ pub fn profiling_enabled() -> bool {
 }
 
 /// Drains and returns every span recorded since the last call.
+///
+/// Poisoned-lock state is recovered, not propagated: a panic inside a
+/// `catch_unwind`-supervised work item (the fleet engine's failure
+/// containment) must never turn later profiling calls into cascading
+/// panics.
 #[must_use]
 pub fn take_spans() -> Vec<ParSpan> {
-    std::mem::take(&mut *span_store().lock().expect("span store poisoned"))
+    std::mem::take(&mut *span_store().lock().unwrap_or_else(|e| e.into_inner()))
 }
 
 fn record_span(span: ParSpan) {
-    span_store().lock().expect("span store poisoned").push(span);
+    span_store()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(span);
 }
 
 /// Maps `f` over `items` on a scoped-thread job pool, returning results
@@ -206,13 +214,13 @@ where
                         break;
                     }
                     let r = f(i, &items[i]);
-                    *slots[i].lock().expect("result slot poisoned") = Some(r);
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
                     claimed += 1;
                 }
                 if let Some(t0) = worker_start {
                     worker_spans
                         .lock()
-                        .expect("worker span list poisoned")
+                        .unwrap_or_else(|e| e.into_inner())
                         .push(WorkerSpan {
                             worker,
                             items: claimed,
@@ -223,9 +231,7 @@ where
         }
     });
     if let Some(t0) = loop_start {
-        let mut workers = worker_spans
-            .into_inner()
-            .expect("worker span list poisoned");
+        let mut workers = worker_spans.into_inner().unwrap_or_else(|e| e.into_inner());
         workers.sort_by_key(|w| w.worker);
         record_span(ParSpan {
             threads,
@@ -238,7 +244,7 @@ where
         .into_iter()
         .map(|m| {
             m.into_inner()
-                .expect("result slot poisoned")
+                .unwrap_or_else(|e| e.into_inner())
                 .expect("every index was claimed exactly once")
         })
         .collect()
@@ -422,8 +428,40 @@ mod tests {
         });
     }
 
+    /// Serializes the tests that drain or poison the global span store;
+    /// without it they race on `take_spans`. The guard itself recovers
+    /// from poisoning, since the poison test panics on purpose.
+    static SPAN_STORE_TESTS: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn poisoned_span_store_recovers_instead_of_cascading() {
+        let _serialize = SPAN_STORE_TESTS.lock().unwrap_or_else(|e| e.into_inner());
+        // Poison the global span-store mutex the way a supervised device
+        // panic would: panic while holding the lock, catch the unwind.
+        let poison = std::panic::catch_unwind(|| {
+            let _guard = span_store().lock().unwrap_or_else(|e| e.into_inner());
+            panic!("poison the span store");
+        });
+        assert!(poison.is_err());
+        // Regression: these panicked on `PoisonError` before the
+        // `unwrap_or_else(into_inner)` recovery, turning every later
+        // contained failure into a cascading abort.
+        record_span(ParSpan {
+            threads: 1,
+            items: 12_345,
+            wall_ns: 0,
+            workers: Vec::new(),
+        });
+        let spans = take_spans();
+        assert!(
+            spans.iter().any(|s| s.items == 12_345),
+            "span recorded after poisoning must survive"
+        );
+    }
+
     #[test]
     fn profiling_records_spans_without_changing_results() {
+        let _serialize = SPAN_STORE_TESTS.lock().unwrap_or_else(|e| e.into_inner());
         let work = |i: usize| -> f64 {
             let mut rng = SimRng::seed_from(7).fork_indexed("span-test", i as u64);
             (0..50).map(|_| rng.next_f64()).sum()

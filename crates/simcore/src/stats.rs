@@ -119,6 +119,32 @@ impl OnlineStats {
         self.max
     }
 
+    /// The running sum of squared deviations from the mean (Welford's
+    /// `M2` term) — exposed so accumulator state can be serialized and
+    /// restored bit-exactly by checkpointing callers.
+    #[must_use]
+    pub fn m2(&self) -> f64 {
+        self.m2
+    }
+
+    /// Reconstructs an accumulator from raw state previously read off
+    /// [`count`](Self::count), [`mean`](Self::mean), [`m2`](Self::m2),
+    /// [`min`](Self::min), [`max`](Self::max), and [`sum`](Self::sum) —
+    /// the checkpoint-restore counterpart of those accessors. The
+    /// fields are trusted verbatim; feeding inconsistent values yields
+    /// an accumulator that reports them back unchanged.
+    #[must_use]
+    pub fn from_raw(count: u64, mean: f64, m2: f64, min: f64, max: f64, sum: f64) -> OnlineStats {
+        OnlineStats {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+            sum,
+        }
+    }
+
     /// Merges another accumulator into this one (parallel Welford merge).
     pub fn merge(&mut self, other: &OnlineStats) {
         if other.count == 0 {
@@ -518,25 +544,350 @@ fn t_quantile_975(df: usize) -> f64 {
 /// Computes the `q`-quantile of a slice by sorting a copy (linear
 /// interpolation between order statistics).
 ///
-/// Convenient for small sample sets such as per-clip decode-time summaries.
+/// Convenient for small sample sets such as per-clip decode-time
+/// summaries. Sorting uses [`f64::total_cmp`], so NaN never panics; NaN
+/// entries sort after `+∞` and only perturb the top quantiles. Callers
+/// taking several quantiles of the same data should sort once and use
+/// [`exact_quantile_sorted`].
 ///
 /// # Panics
 ///
 /// Panics if `data` is empty or `q` is outside `[0, 1]`.
 #[must_use]
 pub fn exact_quantile(data: &[f64], q: f64) -> f64 {
-    assert!(!data.is_empty(), "quantile of empty data");
-    assert!((0.0..=1.0).contains(&q), "q must be in [0, 1]");
     let mut v: Vec<f64> = data.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile data"));
-    let pos = q * (v.len() - 1) as f64;
+    v.sort_by(f64::total_cmp);
+    exact_quantile_sorted(&v, q)
+}
+
+/// [`exact_quantile`] over data already sorted ascending (in
+/// [`f64::total_cmp`] order) — the one-sort path for callers that take
+/// several quantiles of the same sample.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`. Debug builds
+/// also assert the slice is actually sorted.
+#[must_use]
+pub fn exact_quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty data");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0, 1]");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le()),
+        "exact_quantile_sorted requires total_cmp-sorted data"
+    );
+    let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
     if lo == hi {
-        v[lo]
+        sorted[lo]
     } else {
         let frac = pos - lo as f64;
-        v[lo] * (1.0 - frac) + v[hi] * frac
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// One weight class of a [`QuantileSketch`]: level `h` holds items each
+/// standing for `2^h` original observations.
+#[derive(Debug, Clone, PartialEq)]
+struct SketchLevel {
+    /// Items at this level. Level 0 is the insertion buffer and is
+    /// unsorted; every level is sorted on compaction.
+    items: Vec<f64>,
+    /// Parity of the next compaction: `false` keeps even sorted
+    /// indices, `true` keeps odd ones. Alternating the parity each
+    /// compaction makes the per-compaction rank errors alternate in
+    /// sign, so they largely cancel in practice while the tracked
+    /// worst-case bound stays valid.
+    keep_odd: bool,
+}
+
+impl SketchLevel {
+    fn empty() -> SketchLevel {
+        SketchLevel {
+            items: Vec::new(),
+            keep_odd: false,
+        }
+    }
+}
+
+/// A deterministic fixed-capacity quantile sketch (KLL-style compactor
+/// hierarchy without randomization).
+///
+/// Level `h` stores items of weight `2^h`, at most `capacity` per
+/// level. When a level overflows it is sorted and *compacted*: every
+/// other item survives to level `h + 1` (the starting offset alternates
+/// between compactions via a stored parity bit; an odd straggler stays
+/// behind at its own level, so total weight is always preserved
+/// exactly). There is no randomness anywhere, so the sketch state —
+/// and every quantile it reports — is a pure function of the insertion
+/// and merge order. Feeding observations in a canonical order (the
+/// fleet engine's ascending device order) therefore yields bit-identical
+/// results at any thread count.
+///
+/// Memory is `O(capacity × log(n / capacity))` for `n` insertions.
+///
+/// # Error bound
+///
+/// Compacting a level of weight `w` perturbs the rank of any query
+/// point by at most `w`; the sketch accumulates those worst-case
+/// contributions in [`rank_error_bound`](Self::rank_error_bound). For
+/// `n` insertions at capacity `k` the bound is ≈ `log2(n/k) · n/k`
+/// ranks (about 1 % of `n` at `k = 1024`, `n = 10^6`); the alternating
+/// parity keeps observed error well below it. While no compaction has
+/// occurred (`n ≤ capacity`, no merges past capacity), quantiles are
+/// **exact** — identical to [`exact_quantile_sorted`].
+///
+/// # Example
+///
+/// ```
+/// use simcore::stats::QuantileSketch;
+///
+/// let mut s = QuantileSketch::new(64);
+/// for i in 0..1000 {
+///     s.push(f64::from(i));
+/// }
+/// let p50 = s.quantile(0.5);
+/// assert!((p50 - 499.5).abs() <= s.rank_error_bound() as f64);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    capacity: usize,
+    count: u64,
+    /// Accumulated worst-case rank error from every compaction so far,
+    /// in ranks (`Σ 2^h` over compactions at level `h`).
+    err_ranks: u64,
+    levels: Vec<SketchLevel>,
+}
+
+impl QuantileSketch {
+    /// Creates an empty sketch holding at most `capacity` items per
+    /// level before compacting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 2` (a one-item level can never compact in
+    /// pairs).
+    #[must_use]
+    pub fn new(capacity: usize) -> QuantileSketch {
+        assert!(capacity >= 2, "sketch capacity must be at least 2");
+        QuantileSketch {
+            capacity,
+            count: 0,
+            err_ranks: 0,
+            levels: vec![SketchLevel::empty()],
+        }
+    }
+
+    /// Per-level capacity the sketch was built with.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total observations inserted (directly or via merge).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when nothing has been inserted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Worst-case absolute rank error of any quantile query, in ranks
+    /// (0 while the sketch is still exact). Divide by
+    /// [`count`](Self::count) for the relative bound.
+    #[must_use]
+    pub fn rank_error_bound(&self) -> u64 {
+        self.err_ranks
+    }
+
+    /// Inserts one observation. Values compare via [`f64::total_cmp`],
+    /// so NaN is accepted and sorts after `+∞` (callers wanting
+    /// finite-only quantiles filter before pushing).
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.levels[0].items.push(x);
+        self.restore_capacity();
+    }
+
+    /// Merges `other` into `self`. Deterministic — the result is a pure
+    /// function of the two operand states and their order — but not
+    /// commutative, so callers must merge in a canonical order (the
+    /// fleet engine merges in ascending batch order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "cannot merge sketches of different capacities"
+        );
+        self.count += other.count;
+        self.err_ranks += other.err_ranks;
+        while self.levels.len() < other.levels.len() {
+            self.levels.push(SketchLevel::empty());
+        }
+        for (h, lvl) in other.levels.iter().enumerate() {
+            self.levels[h].items.extend_from_slice(&lvl.items);
+        }
+        self.restore_capacity();
+    }
+
+    /// Compacts every over-full level, bottom up. Promotion can push
+    /// the next level over capacity; the upward sweep handles it in the
+    /// same pass.
+    fn restore_capacity(&mut self) {
+        let mut h = 0;
+        while h < self.levels.len() {
+            if self.levels[h].items.len() > self.capacity {
+                self.compact(h);
+            }
+            h += 1;
+        }
+    }
+
+    /// Compacts level `h`: sort, leave an odd straggler behind, promote
+    /// every other item of the rest to level `h + 1`, flip the parity.
+    fn compact(&mut self, h: usize) {
+        if self.levels.len() <= h + 1 {
+            self.levels.push(SketchLevel::empty());
+        }
+        let lvl = &mut self.levels[h];
+        let mut items = std::mem::take(&mut lvl.items);
+        items.sort_by(f64::total_cmp);
+        if items.len() % 2 == 1 {
+            // An odd straggler keeps its weight and stays behind: total
+            // weight is preserved exactly, no rank error introduced.
+            let straggler = items.pop().expect("non-empty: len is odd");
+            lvl.items.push(straggler);
+        }
+        let start = usize::from(lvl.keep_odd);
+        lvl.keep_odd = !lvl.keep_odd;
+        let survivors: Vec<f64> = items.iter().copied().skip(start).step_by(2).collect();
+        // Each compaction of weight-w items moves any query rank by at
+        // most w; 2^h ≤ 2^63 for any reachable level count.
+        self.err_ranks += 1_u64 << h;
+        self.levels[h + 1].items.extend_from_slice(&survivors);
+    }
+
+    /// The `q`-quantile estimate.
+    ///
+    /// While no compaction has occurred, this is exactly
+    /// [`exact_quantile_sorted`] over everything inserted. Afterwards
+    /// it returns the stored item covering the weighted target rank —
+    /// within [`rank_error_bound`](Self::rank_error_bound) ranks of the
+    /// true order statistic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sketch is empty or `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.is_empty(), "quantile of an empty sketch");
+        assert!((0.0..=1.0).contains(&q), "q must be in [0, 1]");
+        if self.err_ranks == 0 {
+            // Everything still sits at weight 1 (level 0, plus possibly
+            // weight-1 items brought in by merges before any
+            // compaction): exact path.
+            let mut v: Vec<f64> = self
+                .levels
+                .iter()
+                .flat_map(|l| l.items.iter().copied())
+                .collect();
+            v.sort_by(f64::total_cmp);
+            return exact_quantile_sorted(&v, q);
+        }
+        let mut points: Vec<(f64, u64)> = Vec::new();
+        for (h, lvl) in self.levels.iter().enumerate() {
+            let w = 1_u64 << h;
+            points.extend(lvl.items.iter().map(|&x| (x, w)));
+        }
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let total: u64 = points.iter().map(|p| p.1).sum();
+        debug_assert_eq!(total, self.count, "compaction must preserve weight");
+        // Target rank in [0, total): the item whose cumulative weight
+        // range covers it is the estimate.
+        let pos = q * (total - 1) as f64;
+        let target = pos.round() as u64;
+        let mut cum = 0_u64;
+        for &(x, w) in &points {
+            cum += w;
+            if cum > target {
+                return x;
+            }
+        }
+        points.last().expect("non-empty").0
+    }
+
+    /// Decomposes the sketch into raw state for serialization:
+    /// `(capacity, count, err_ranks, levels)` where each level is its
+    /// items (level 0 in insertion order) plus its compaction parity.
+    #[must_use]
+    pub fn to_parts(&self) -> (usize, u64, u64, Vec<(Vec<f64>, bool)>) {
+        (
+            self.capacity,
+            self.count,
+            self.err_ranks,
+            self.levels
+                .iter()
+                .map(|l| (l.items.clone(), l.keep_odd))
+                .collect(),
+        )
+    }
+
+    /// Rebuilds a sketch from [`to_parts`](Self::to_parts) output — the
+    /// checkpoint-restore path. Continuing to push into the rebuilt
+    /// sketch behaves bit-identically to the original.
+    ///
+    /// # Errors
+    ///
+    /// Rejects states no push/merge sequence can produce: capacity
+    /// below 2, no levels, an over-capacity level, or a stored weight
+    /// total disagreeing with `count`.
+    pub fn from_parts(
+        capacity: usize,
+        count: u64,
+        err_ranks: u64,
+        levels: Vec<(Vec<f64>, bool)>,
+    ) -> Result<QuantileSketch, String> {
+        if capacity < 2 {
+            return Err(format!("sketch capacity {capacity} is below 2"));
+        }
+        if levels.is_empty() {
+            return Err("sketch must have at least one level".into());
+        }
+        let mut weight: u64 = 0;
+        for (h, (items, _)) in levels.iter().enumerate() {
+            if items.len() > capacity {
+                return Err(format!(
+                    "level {h} holds {} items, over capacity {capacity}",
+                    items.len()
+                ));
+            }
+            weight += (items.len() as u64) << h;
+        }
+        if weight != count {
+            return Err(format!(
+                "stored weight {weight} disagrees with count {count}"
+            ));
+        }
+        if err_ranks == 0 && levels.iter().skip(1).any(|(items, _)| !items.is_empty()) {
+            return Err("a never-compacted sketch cannot hold items above level 0".into());
+        }
+        Ok(QuantileSketch {
+            capacity,
+            count,
+            err_ranks,
+            levels: levels
+                .into_iter()
+                .map(|(items, keep_odd)| SketchLevel { items, keep_odd })
+                .collect(),
+        })
     }
 }
 
@@ -771,5 +1122,175 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn exact_quantile_empty_panics() {
         let _ = exact_quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn exact_quantile_tolerates_nan_instead_of_panicking() {
+        // Regression: the old `partial_cmp(..).expect("NaN in quantile
+        // data")` sort panicked on any NaN entry. `total_cmp` sorts NaN
+        // after +∞, so lower quantiles stay meaningful.
+        let data = [3.0, f64::NAN, 1.0, 2.0];
+        assert!((exact_quantile(&data, 0.0) - 1.0).abs() < 1e-12);
+        assert!((exact_quantile(&data, 1.0 / 3.0) - 2.0).abs() < 1e-12);
+        assert!(exact_quantile(&data, 1.0).is_nan());
+    }
+
+    #[test]
+    fn exact_quantile_sorted_matches_unsorted_entry_point() {
+        let data = [5.0, -1.0, 3.5, 0.0, 9.0, 2.0];
+        let mut sorted = data.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(exact_quantile(&data, q), exact_quantile_sorted(&sorted, q));
+        }
+    }
+
+    #[test]
+    fn online_stats_raw_round_trip() {
+        let mut s = OnlineStats::new();
+        for x in [1.0, 4.0, -2.5, 9.0] {
+            s.push(x);
+        }
+        let back = OnlineStats::from_raw(s.count(), s.mean(), s.m2(), s.min(), s.max(), s.sum());
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn sketch_is_exact_until_capacity_is_exceeded() {
+        let mut s = QuantileSketch::new(64);
+        let data: Vec<f64> = (0..64).map(|i| f64::from((i * 37) % 64)).collect();
+        for &x in &data {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 64);
+        assert_eq!(s.rank_error_bound(), 0, "no compaction at n == capacity");
+        let mut sorted = data.clone();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), exact_quantile_sorted(&sorted, q));
+        }
+    }
+
+    #[test]
+    fn sketch_stays_within_its_rank_error_bound() {
+        let mut s = QuantileSketch::new(32);
+        let data: Vec<f64> = (0..5000_u64)
+            .map(|i| ((i * 2_654_435) % 5000) as f64)
+            .collect();
+        for &x in &data {
+            s.push(x);
+        }
+        assert!(s.rank_error_bound() > 0, "compaction must have happened");
+        let mut sorted = data.clone();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        for q in [0.01, 0.1, 0.5, 0.9, 0.99] {
+            let est = s.quantile(q);
+            // Rank of the estimate in the true data vs the target rank.
+            let rank_lo = sorted.partition_point(|&x| x < est);
+            let rank_hi = sorted.partition_point(|&x| x <= est);
+            let target = q * (n - 1) as f64;
+            let err = if (rank_lo as f64) > target {
+                rank_lo as f64 - target
+            } else if (rank_hi as f64) < target {
+                target - rank_hi as f64
+            } else {
+                0.0
+            };
+            assert!(
+                err <= s.rank_error_bound() as f64,
+                "q={q}: rank error {err} exceeds bound {}",
+                s.rank_error_bound()
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_is_a_pure_function_of_insertion_order() {
+        let data: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 1000) as f64).collect();
+        let build = || {
+            let mut s = QuantileSketch::new(16);
+            for &x in &data {
+                s.push(x);
+            }
+            s
+        };
+        assert_eq!(build(), build(), "same order, bit-identical state");
+    }
+
+    #[test]
+    fn sketch_merge_is_deterministic_and_weight_preserving() {
+        let data: Vec<f64> = (0..900).map(|i| ((i * 31) % 900) as f64).collect();
+        let merged = || {
+            let mut a = QuantileSketch::new(16);
+            let mut b = QuantileSketch::new(16);
+            for &x in &data[..400] {
+                a.push(x);
+            }
+            for &x in &data[400..] {
+                b.push(x);
+            }
+            a.merge(&b);
+            a
+        };
+        let m1 = merged();
+        assert_eq!(m1, merged(), "merge is deterministic");
+        assert_eq!(m1.count(), 900);
+        let est = m1.quantile(0.5);
+        let mut sorted = data.clone();
+        sorted.sort_by(f64::total_cmp);
+        let target = 0.5 * (sorted.len() - 1) as f64;
+        let rank_lo = sorted.partition_point(|&x| x < est) as f64;
+        let rank_hi = sorted.partition_point(|&x| x <= est) as f64;
+        let err = (rank_lo - target).max(target - rank_hi).max(0.0);
+        assert!(err <= m1.rank_error_bound() as f64);
+    }
+
+    #[test]
+    fn sketch_parts_round_trip_preserves_future_behaviour() {
+        let mut a = QuantileSketch::new(8);
+        for i in 0..100 {
+            s_push(&mut a, i);
+        }
+        let (cap, count, err, levels) = a.to_parts();
+        let mut b = QuantileSketch::from_parts(cap, count, err, levels).expect("valid parts");
+        assert_eq!(a, b);
+        for i in 100..200 {
+            s_push(&mut a, i);
+            s_push(&mut b, i);
+        }
+        assert_eq!(a, b, "restored sketch must continue bit-identically");
+    }
+
+    fn s_push(s: &mut QuantileSketch, i: i32) {
+        s.push(f64::from((i * 131) % 997));
+    }
+
+    #[test]
+    fn sketch_from_parts_rejects_impossible_states() {
+        assert!(QuantileSketch::from_parts(1, 0, 0, vec![(vec![], false)]).is_err());
+        assert!(QuantileSketch::from_parts(4, 0, 0, vec![]).is_err());
+        // Over-capacity level.
+        assert!(QuantileSketch::from_parts(2, 3, 0, vec![(vec![1.0, 2.0, 3.0], false)]).is_err());
+        // Weight/count mismatch.
+        assert!(QuantileSketch::from_parts(4, 5, 0, vec![(vec![1.0, 2.0], false)]).is_err());
+        // Items above level 0 without any recorded compaction.
+        assert!(
+            QuantileSketch::from_parts(4, 2, 0, vec![(vec![], false), (vec![1.0], false)]).is_err()
+        );
+        // A consistent state loads.
+        assert!(QuantileSketch::from_parts(
+            4,
+            4,
+            1,
+            vec![(vec![1.0, 2.0], true), (vec![5.0], false)]
+        )
+        .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sketch")]
+    fn sketch_quantile_of_empty_panics() {
+        let _ = QuantileSketch::new(8).quantile(0.5);
     }
 }

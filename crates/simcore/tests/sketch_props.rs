@@ -1,0 +1,162 @@
+//! Differential property tests pinning [`QuantileSketch`] against the
+//! exact quantile over retained data: the sketch must be *exactly*
+//! right while its count stays within capacity, and within its own
+//! tracked rank-error bound beyond that. A separate determinism
+//! property checks that sequential pushes and chunked merges produce
+//! identical sketch state — the invariant the fleet engine's
+//! byte-identity at any `--jobs` count rests on.
+
+use proptest::prelude::*;
+use simcore::stats::{exact_quantile_sorted, QuantileSketch};
+
+const QS: [f64; 7] = [0.0, 0.01, 0.10, 0.50, 0.90, 0.99, 1.0];
+
+/// The rank of `x` in `sorted` as a half-open interval
+/// `[first index ≥ x, first index > x]`.
+fn rank_bounds(sorted: &[f64], x: f64) -> (usize, usize) {
+    let lo = sorted.partition_point(|&v| v.total_cmp(&x).is_lt());
+    let hi = sorted.partition_point(|&v| v.total_cmp(&x).is_le());
+    (lo, hi)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under capacity the sketch never compacts, so every quantile is
+    /// bit-identical to the exact quantile of the sorted data.
+    #[test]
+    fn sketch_is_exact_at_or_under_capacity(
+        values in prop::collection::vec(-1e6f64..1e6, 1..128),
+    ) {
+        let mut sketch = QuantileSketch::new(128);
+        for &v in &values {
+            sketch.push(v);
+        }
+        prop_assert_eq!(sketch.rank_error_bound(), 0);
+        let mut sorted = values;
+        sorted.sort_by(f64::total_cmp);
+        for q in QS {
+            let got = sketch.quantile(q);
+            let want = exact_quantile_sorted(&sorted, q);
+            prop_assert!(
+                got.to_bits() == want.to_bits(),
+                "q={q}: sketch {got} != exact {want}"
+            );
+        }
+    }
+
+    /// Over capacity the sketch compacts lossily, but each returned
+    /// quantile must sit within the sketch's *tracked* worst-case rank
+    /// error of the target rank in the fully retained data.
+    #[test]
+    fn sketch_stays_within_its_tracked_rank_error(
+        values in prop::collection::vec(-1e6f64..1e6, 200..1200),
+        capacity in 8usize..64,
+    ) {
+        let mut sketch = QuantileSketch::new(capacity);
+        for &v in &values {
+            sketch.push(v);
+        }
+        let n = values.len() as u64;
+        prop_assert_eq!(sketch.count(), n);
+        let bound = sketch.rank_error_bound();
+        prop_assert!(bound > 0, "this case is meant to exceed capacity");
+        let mut sorted = values;
+        sorted.sort_by(f64::total_cmp);
+        for q in QS {
+            let got = sketch.quantile(q);
+            let target = (q * (n - 1) as f64).round() as u64;
+            let (lo, hi) = rank_bounds(&sorted, got);
+            // The returned value's true rank interval, widened by the
+            // tracked bound, must contain the target rank.
+            let lo = (lo as u64).saturating_sub(bound);
+            let hi = hi as u64 + bound;
+            prop_assert!(
+                (lo..=hi).contains(&target),
+                "q={q}: value {got} has rank [{lo}, {hi}] around target \
+                 {target} (n={n}, bound={bound})"
+            );
+        }
+    }
+
+    /// Merging is a pure function of the merge sequence: replaying the
+    /// same chunked merge yields bit-identical state, the total weight
+    /// is preserved, and the merged sketch's quantiles respect its own
+    /// tracked rank-error bound against the fully retained data.
+    /// (The fleet engine gets jobs-count independence from an identical
+    /// *insertion* sequence — the in-order fold — not from merge
+    /// equalling sequential push, which no compacting sketch offers.)
+    #[test]
+    fn chunked_merge_is_deterministic_and_within_bound(
+        values in prop::collection::vec(-1e3f64..1e3, 1..600),
+        capacity in 4usize..32,
+        chunk in 1usize..64,
+    ) {
+        let run = || {
+            let mut merged = QuantileSketch::new(capacity);
+            for batch in values.chunks(chunk) {
+                let mut sub = QuantileSketch::new(capacity);
+                for &v in batch {
+                    sub.push(v);
+                }
+                merged.merge(&sub);
+            }
+            merged
+        };
+        let merged = run();
+        prop_assert_eq!(merged.count(), values.len() as u64);
+        prop_assert_eq!(
+            merged.to_parts(),
+            run().to_parts(),
+            "same merge sequence must give identical state"
+        );
+        let n = values.len() as u64;
+        let bound = merged.rank_error_bound();
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        for q in QS {
+            let got = merged.quantile(q);
+            if bound == 0 {
+                // Never compacted: exact, interpolated like the
+                // reference (so compare values, not ranks).
+                let want = exact_quantile_sorted(&sorted, q);
+                prop_assert!(
+                    got.to_bits() == want.to_bits(),
+                    "q={q}: merged {got} != exact {want}"
+                );
+                continue;
+            }
+            let target = (q * (n - 1) as f64).round() as u64;
+            let (lo, hi) = rank_bounds(&sorted, got);
+            let lo = (lo as u64).saturating_sub(bound);
+            let hi = hi as u64 + bound;
+            prop_assert!(
+                (lo..=hi).contains(&target),
+                "q={q}: merged value {got} has rank [{lo}, {hi}] around \
+                 target {target} (n={n}, bound={bound})"
+            );
+        }
+    }
+
+    /// Checkpoint round-trip: a sketch restored from its parts must
+    /// behave identically forever after, not just look equal.
+    #[test]
+    fn parts_round_trip_preserves_future_behaviour(
+        before in prop::collection::vec(-1e3f64..1e3, 1..300),
+        after in prop::collection::vec(-1e3f64..1e3, 0..300),
+        capacity in 4usize..32,
+    ) {
+        let mut live = QuantileSketch::new(capacity);
+        for &v in &before {
+            live.push(v);
+        }
+        let (cap, count, err, levels) = live.to_parts();
+        let mut restored = QuantileSketch::from_parts(cap, count, err, levels)
+            .expect("own parts are valid");
+        for &v in &after {
+            live.push(v);
+            restored.push(v);
+        }
+        prop_assert_eq!(live.to_parts(), restored.to_parts());
+    }
+}

@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod durable;
 pub mod event;
 pub mod fleet;
 pub mod registry;

@@ -67,6 +67,8 @@ struct FleetArgs {
     checkpoint_every: Option<usize>,
     /// Resume from the checkpoint in this directory.
     resume: Option<String>,
+    /// Devices per parallel wave (default: engine's).
+    batch: Option<usize>,
 }
 
 /// How a fleet run ended, mapped onto the process exit code: 0 clean,
@@ -144,6 +146,7 @@ fn parse_fleet(args: &[String]) -> Result<FleetArgs, String> {
     let mut checkpoint = None;
     let mut checkpoint_every = None;
     let mut resume = None;
+    let mut batch = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -165,6 +168,12 @@ fn parse_fleet(args: &[String]) -> Result<FleetArgs, String> {
                     })?);
             }
             "--resume" => resume = Some(value("--resume")?),
+            "--batch" => {
+                let v = value("--batch")?;
+                batch = Some(v.parse().ok().filter(|&n: &usize| n > 0).ok_or_else(|| {
+                    format!("--batch expects a positive device count, got `{v}`")
+                })?);
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -179,6 +188,7 @@ fn parse_fleet(args: &[String]) -> Result<FleetArgs, String> {
         checkpoint,
         checkpoint_every,
         resume,
+        batch,
     })
 }
 
@@ -238,6 +248,7 @@ fn execute_fleet(args: &FleetArgs) -> Result<FleetOutcome, String> {
         checkpoint_dir: args.checkpoint.as_deref().map(PathBuf::from),
         checkpoint_every: args.checkpoint_every.unwrap_or(0),
         resume_dir: args.resume.as_deref().map(PathBuf::from),
+        batch: args.batch.unwrap_or(0),
     };
     let cache_before = detect::cache::cache_stats_detailed();
     let report =
@@ -290,7 +301,7 @@ fn print_list() {
     println!("           run|mode|freq|rate|sleep|wake|drop|degrade|frame");
     println!("fleet    : dvsdpm fleet --spec <path.json> [--jobs <n>] [--json <path>]");
     println!("           [--trace-dir <dir>] [--checkpoint <dir> [--checkpoint-every <b>]]");
-    println!("           [--resume <dir>]; spec keys: name, devices, base_seed,");
+    println!("           [--resume <dir>] [--batch <n>]; spec keys: name, devices, base_seed,");
     println!("           workloads, policies ([{{governor, dpm}}]), faults,");
     println!("           on_error (fail_fast|continue|retry:<n>)");
     println!("           exit codes: 0 clean, 2 partial (some devices failed), 1 fatal");
@@ -298,7 +309,7 @@ fn print_list() {
 
 fn print_usage() {
     eprintln!("usage: dvsdpm run --workload <w> [--governor <g>] [--dpm <d>] [--seed <n>] [--faults <preset>] [--json <path>] [--jobs <n>] [--trace <path>] [--trace-filter <kinds>]");
-    eprintln!("       dvsdpm fleet --spec <path> [--jobs <n>] [--json <path>] [--trace-dir <dir>] [--checkpoint <dir>] [--checkpoint-every <b>] [--resume <dir>]");
+    eprintln!("       dvsdpm fleet --spec <path> [--jobs <n>] [--json <path>] [--trace-dir <dir>] [--checkpoint <dir>] [--checkpoint-every <b>] [--resume <dir>] [--batch <n>]");
     eprintln!("       dvsdpm list");
 }
 
@@ -497,6 +508,11 @@ mod tests {
         assert_eq!(minimal.checkpoint, None);
         assert_eq!(minimal.checkpoint_every, None);
         assert_eq!(minimal.resume, None);
+        assert_eq!(minimal.batch, None);
+
+        let batched = parse_fleet(&strs(&["--spec", "f.json", "--batch", "64"])).unwrap();
+        assert_eq!(batched.batch, Some(64));
+        assert!(parse_fleet(&strs(&["--spec", "f.json", "--batch", "0"])).is_err());
 
         let err = parse_fleet(&strs(&[])).unwrap_err();
         assert!(err.contains("missing --spec"), "{err}");
@@ -545,6 +561,7 @@ mod tests {
             checkpoint: None,
             checkpoint_every: None,
             resume: None,
+            batch: None,
         };
         let err = execute_fleet(&args).unwrap_err();
         assert!(err.contains("cannot read spec file"), "{err}");

@@ -384,6 +384,100 @@ fn fleet_checkpoint_and_resume_reproduce_the_uninterrupted_report() {
     let _ = std::fs::remove_dir_all(&ckpt);
 }
 
+/// Hard-kill durability: a checkpointed fleet run killed with SIGKILL
+/// mid-flight (no destructors, no flush) must resume from its last
+/// durable checkpoint and produce report bytes identical to an
+/// uninterrupted run. This is what the `sync_all`-before-rename in the
+/// checkpoint writer buys; the test also holds if the child finishes
+/// before the kill lands (then the resume just replays nothing).
+#[cfg(unix)]
+#[test]
+fn fleet_resume_after_sigkill_is_byte_identical() {
+    use std::time::{Duration, Instant};
+
+    let dir = std::env::temp_dir().join("dvsdpm-cli-fleet-sigkill");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let spec = dir.join("spec.json");
+    std::fs::write(
+        &spec,
+        r#"{
+            "name": "sigkill",
+            "devices": 120,
+            "base_seed": 23,
+            "workloads": ["mp3:A"],
+            "policies": [{ "governor": "change-point", "dpm": "break-even" }]
+        }"#,
+    )
+    .expect("spec written");
+
+    // Reference: one uninterrupted run.
+    let reference = dir.join("reference.json");
+    let out = dvsdpm()
+        .args(["fleet", "--spec"])
+        .arg(&spec)
+        .arg("--json")
+        .arg(&reference)
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Checkpointed run with small batches, killed as soon as the first
+    // checkpoint file appears on disk.
+    let ckpt = dir.join("ckpt");
+    let mut child = dvsdpm()
+        .args(["fleet", "--spec"])
+        .arg(&spec)
+        .arg("--checkpoint")
+        .arg(&ckpt)
+        .args(["--checkpoint-every", "1", "--batch", "4", "--json"])
+        .arg(dir.join("killed.json"))
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("fleet child spawns");
+    let ckpt_file = ckpt.join("fleet.ckpt");
+    let deadline = Instant::now() + Duration::from_secs(300);
+    while !ckpt_file.exists()
+        && child.try_wait().expect("poll child").is_none()
+        && Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    child.kill().ok(); // SIGKILL — no chance to flush or clean up
+    child.wait().expect("child reaped");
+
+    // Resume must finish the remaining devices and emit the reference
+    // bytes exactly.
+    let resumed = dir.join("resumed.json");
+    let out = dvsdpm()
+        .args(["fleet", "--spec"])
+        .arg(&spec)
+        .arg("--resume")
+        .arg(&ckpt)
+        .arg("--json")
+        .arg(&resumed)
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read_to_string(&resumed).expect("resumed json"),
+        std::fs::read_to_string(&reference).expect("reference json"),
+        "resume after SIGKILL diverged from the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn fleet_bad_inputs_fail_with_actionable_stderr() {
     // Unreadable spec file.
