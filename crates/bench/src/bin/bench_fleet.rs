@@ -20,10 +20,28 @@
 //! one). `--no-oversubscribe` drops the `2N` row so huge gating runs
 //! only pay for `jobs = 1` and `jobs = N`.
 //!
+//! The run also measures **two-distinct-key calibration overlap**: two
+//! detector configs that differ only by calibration seed are calibrated
+//! cold, first back-to-back and then on two concurrent threads, and the
+//! ratio of the two wall times is reported. Under the sharded
+//! per-entry cache the two misses overlap (ratio → ~2 on ≥ 2 cores);
+//! under the old one-big-lock cache they serialized (ratio ≈ 1)
+//! regardless of cores.
+//!
+//! With `--check`, the run is gated against the checked-in
+//! `BENCH_fleet_baseline.json` (override with `--baseline PATH`):
+//! a single-thread devices/sec floor (relaxed by the baseline's
+//! `tolerance`), a parallel-speedup floor applied only on machines
+//! with ≥ 4 cores, and a two-key overlap floor applied only with
+//! ≥ 2 cores. Exits non-zero on any regression.
+//!
 //! Usage: `bench_fleet [--devices N] [--jobs N] [--json PATH]
-//!         [--rss-ceiling-mb C] [--no-oversubscribe]`
+//!         [--rss-ceiling-mb C] [--no-oversubscribe]
+//!         [--check] [--baseline PATH]`
 
+use detect::calibrate::{default_ratios, CalibrationConfig};
 use fleet::{run_fleet, FleetSpec};
+use simcore::json::ToJson;
 use simcore::par::Jobs;
 use std::time::Instant;
 
@@ -61,6 +79,64 @@ simcore::impl_to_json!(Row {
     peak_rss_mb,
     rss_ceiling_mb,
 });
+
+struct TwoKeyOverlap {
+    cores: u64,
+    /// Wall time of two cold calibrations on distinct keys run
+    /// back-to-back on one thread, milliseconds.
+    sequential_ms: f64,
+    /// Wall time of two cold calibrations on two more distinct keys run
+    /// on two concurrent threads, milliseconds.
+    concurrent_ms: f64,
+    /// `sequential_ms / concurrent_ms` — ~2 when distinct-key misses
+    /// overlap on ≥ 2 cores, ~1 when they serialize (the old
+    /// lock-held-across-calibration cache, or a 1-core machine).
+    overlap: f64,
+}
+
+simcore::impl_to_json!(TwoKeyOverlap {
+    cores,
+    sequential_ms,
+    concurrent_ms,
+    overlap,
+});
+
+/// Times two cold-miss calibrations on distinct cache keys, sequential
+/// vs concurrent. All four keys are unique to this process run (the
+/// seeds are reserved for this benchmark), so every lookup is a true
+/// miss; each calibration runs single-threaded internally so the
+/// measurement isolates cross-key concurrency, not intra-calibration
+/// parallelism.
+fn bench_two_key_overlap(cores: u64) -> TwoKeyOverlap {
+    let config = CalibrationConfig {
+        trials: 3_000,
+        ..CalibrationConfig::default()
+    };
+    let ratios = default_ratios();
+    let calibrate = |seed: u64| {
+        detect::cache::cached_table(&ratios, config, seed, Jobs::Count(1))
+            .expect("benchmark calibration succeeds")
+    };
+
+    let t0 = Instant::now();
+    calibrate(0xBE9C_2001);
+    calibrate(0xBE9C_2002);
+    let sequential_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        s.spawn(|| calibrate(0xBE9C_2003));
+        s.spawn(|| calibrate(0xBE9C_2004));
+    });
+    let concurrent_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    TwoKeyOverlap {
+        cores,
+        sequential_ms,
+        concurrent_ms,
+        overlap: sequential_ms / concurrent_ms,
+    }
+}
 
 /// The benchmark fleet: short MP3 clips, three policies (change-point
 /// to exercise the shared threshold cache, EMA and max as contrast),
@@ -203,7 +279,96 @@ fn main() {
         );
     }
 
+    println!("\n[two-key calibration overlap: cold misses on distinct detector configs]");
+    let overlap = bench_two_key_overlap(cores);
+    println!(
+        "  sequential {:.1} ms, concurrent {:.1} ms — overlap {:.2}x on {} core(s)",
+        overlap.sequential_ms, overlap.concurrent_ms, overlap.overlap, overlap.cores
+    );
+
+    let report = simcore::Json::Obj(vec![
+        ("rows".to_string(), rows.to_json()),
+        ("two_key_calibration".to_string(), overlap.to_json()),
+    ]);
     let path = bench::json_path_from_args()
         .unwrap_or_else(|| std::path::PathBuf::from("BENCH_fleet.json"));
-    bench::write_json(&path, &rows);
+    bench::write_json(&path, &report);
+
+    if bench::has_flag("--check") {
+        let baseline = bench::flag_value("--baseline")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::path::PathBuf::from("BENCH_fleet_baseline.json"));
+        check_against_baseline(&rows, &overlap, &baseline);
+    }
+}
+
+/// Gates the run against the checked-in devices/sec and overlap floors.
+fn check_against_baseline(rows: &[Row], overlap: &TwoKeyOverlap, path: &std::path::Path) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", path.display()));
+    let base = simcore::Json::parse(&text)
+        .unwrap_or_else(|e| panic!("malformed baseline {}: {e}", path.display()));
+    let get = |key: &str| {
+        base.get(key)
+            .and_then(simcore::Json::as_f64)
+            .unwrap_or_else(|| panic!("baseline is missing `{key}`"))
+    };
+    let tolerance = get("tolerance");
+    let mut failures = Vec::new();
+
+    let j1 = rows
+        .iter()
+        .find(|r| r.jobs == 1)
+        .expect("jobs=1 row always runs");
+    let floor = get("min_devices_per_sec_j1");
+    let relaxed = floor * (1.0 - tolerance);
+    if j1.devices_per_sec < relaxed {
+        failures.push(format!(
+            "jobs=1 devices/sec {:.0} < floor {floor:.0} − {:.0}% tolerance = {relaxed:.0}",
+            j1.devices_per_sec,
+            tolerance * 100.0
+        ));
+    }
+
+    // Parallel floors are machine-relative (both sides of each ratio
+    // run in this process), so no tolerance — but they only make sense
+    // with cores to scale onto.
+    let cores = j1.cores;
+    if cores >= 4 {
+        let best = rows
+            .iter()
+            .filter(|r| !r.oversubscribed)
+            .map(|r| r.speedup)
+            .fold(0.0f64, f64::max);
+        let min_speedup = get("min_parallel_speedup_4core");
+        if best < min_speedup {
+            failures.push(format!(
+                "parallel speedup {best:.2}x < floor {min_speedup:.2}x on {cores} cores"
+            ));
+        }
+    }
+    if cores >= 2 {
+        let min_overlap = get("min_two_key_overlap_2core");
+        if overlap.overlap < min_overlap {
+            failures.push(format!(
+                "two-key calibration overlap {:.2}x < floor {min_overlap:.2}x on {cores} cores \
+                 — distinct-key misses are serializing on the cache lock",
+                overlap.overlap
+            ));
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "[gate] OK against {} (tolerance {:.0}%, {cores} core(s))",
+            path.display(),
+            tolerance * 100.0
+        );
+    } else {
+        eprintln!("[gate] REGRESSION against {}:", path.display());
+        for f in &failures {
+            eprintln!("[gate]   {f}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -20,6 +20,16 @@
 //! are relaxed by the baseline's `tolerance` to absorb machine-to-
 //! machine variance, and the process exits non-zero on any regression.
 //!
+//! The reported threshold-cache stats are scoped to the **simulator
+//! phase** (a [`detect::cache::CacheStats::since`] delta), not process
+//! lifetime: the detector phase deliberately uses its own calibration
+//! key (different trial count and seed), so lifetime totals mix two
+//! unrelated one-off misses with the simulator's single warm hit and
+//! bottom out at ~0.33 even when caching works perfectly. Phase-scoped,
+//! a cold process shows exactly 1 miss (the warm-up calibration) and
+//! 1 hit (the timed run): ratio 0.5, gated by
+//! `min_threshold_cache_hit_ratio`.
+//!
 //! Usage: `bench_hotpath [--quick] [--check] [--json PATH] [--baseline PATH]`
 
 use detect::calibrate::{
@@ -224,6 +234,18 @@ fn check_against_baseline(report: &HotpathReport, path: &std::path::Path) {
             report.calibration_speedup
         ));
     }
+    // Exact count arithmetic (1 warm miss + 1 timed hit on a cold
+    // process, hits only on a warm one), so no tolerance is applied.
+    let min_hit_ratio = get("min_threshold_cache_hit_ratio");
+    if report.threshold_cache_hit_ratio < min_hit_ratio {
+        failures.push(format!(
+            "simulator-phase threshold-cache hit ratio {:.3} < floor {min_hit_ratio:.3} \
+             ({} hits / {} misses) — calibration is being repaid inside the phase",
+            report.threshold_cache_hit_ratio,
+            report.threshold_cache_hits,
+            report.threshold_cache_misses
+        ));
+    }
     for (name, measured, floor) in [
         (
             "detector samples/sec",
@@ -283,9 +305,12 @@ fn main() {
     println!("[detector: {det_samples} samples through a warm change-point detector]");
     let (fed, samples_per_sec) = bench_detector(det_samples, det_trials);
     println!("[simulator: traced mp3:{sim_labels} run, change-point + break-even DPM]");
+    // Scope cache accounting to the simulator phase: the detector bench
+    // above used a distinct calibration key (its own one-off miss), and
+    // folding that in would misreport the simulator's caching as ~0.33.
+    let cache_before = detect::cache::cache_stats_detailed();
     let (events, events_per_sec) = bench_simulator(sim_labels);
-
-    let cache = detect::cache::cache_stats_detailed();
+    let cache = detect::cache::cache_stats_detailed().since(&cache_before);
     let report = HotpathReport {
         quick,
         cores,
@@ -321,7 +346,7 @@ fn main() {
         "simulator events", report.simulator_events_per_sec, "-"
     );
     println!(
-        "[threshold cache: {} hits / {} misses, hit ratio {:.2}]",
+        "[threshold cache, simulator phase: {} hits / {} misses, hit ratio {:.2}]",
         report.threshold_cache_hits,
         report.threshold_cache_misses,
         report.threshold_cache_hit_ratio

@@ -149,6 +149,31 @@ impl Governor {
         initial_arrival: f64,
         initial_service: f64,
     ) -> Result<Self, PmError> {
+        Self::build_with_table(kind, initial_arrival, initial_service, None)
+    }
+
+    /// [`Self::build`] with an optionally pre-resolved threshold table.
+    ///
+    /// A change-point governor normally resolves its table through the
+    /// process-wide cache (one lookup per governor). Batch harnesses
+    /// that construct many identically configured governors — the fleet
+    /// engine's cohort stepping — resolve the table once per cohort via
+    /// [`detect::ChangePointConfig::resolve_table`] and pass it here,
+    /// skipping the cache entirely. Passing `Some` table that was
+    /// resolved from the same config is behaviorally identical to
+    /// `None`: the cache returns the same `Arc` either way.
+    ///
+    /// Non-change-point governors ignore `table`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a rate or a strategy parameter is invalid.
+    pub fn build_with_table(
+        kind: &GovernorKind,
+        initial_arrival: f64,
+        initial_service: f64,
+        table: Option<&std::sync::Arc<detect::calibrate::ThresholdTable>>,
+    ) -> Result<Self, PmError> {
         for (name, v) in [
             ("initial_arrival", initial_arrival),
             ("initial_service", initial_service),
@@ -164,8 +189,16 @@ impl Governor {
             ),
             GovernorKind::ChangePoint(config) => {
                 // Calibrate once (through the process-wide threshold
-                // cache), share the table between the two streams.
-                let first = ChangePointDetector::new(initial_arrival, config.clone())?;
+                // cache, unless the caller pre-resolved the table),
+                // share the table between the two streams.
+                let first = match table {
+                    Some(table) => ChangePointDetector::with_shared_table(
+                        initial_arrival,
+                        std::sync::Arc::clone(table),
+                        config.check_interval,
+                    )?,
+                    None => ChangePointDetector::new(initial_arrival, config.clone())?,
+                };
                 let second = ChangePointDetector::with_shared_table(
                     initial_service,
                     first.shared_table(),

@@ -57,12 +57,14 @@ pub mod governor;
 pub mod manager;
 pub mod metrics;
 pub mod power;
+pub mod resolve;
 pub mod scenario;
 pub mod system;
 
 pub use config::{DpmKind, GovernorKind, SystemConfig};
 pub use governor::RateDetection;
 pub use metrics::SimReport;
+pub use resolve::SharedResources;
 pub use system::SystemSimulator;
 
 use std::error::Error;

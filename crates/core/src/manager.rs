@@ -135,7 +135,38 @@ impl PowerManager {
         initial_arrival: f64,
         initial_service: f64,
     ) -> Result<Self, PmError> {
-        let governor = Governor::build(&config.governor, initial_arrival, initial_service)?;
+        Self::build_shared(
+            badge,
+            config,
+            initial_arrival,
+            initial_service,
+            &crate::resolve::SharedResources::default(),
+        )
+    }
+
+    /// [`Self::build`] from pre-resolved shared resources: a cohort
+    /// harness resolves the change-point threshold table once (see
+    /// [`crate::resolve::SharedResources`]) and every manager built
+    /// here performs zero threshold-cache traffic. Behaviorally
+    /// identical to [`Self::build`] when the resources were resolved
+    /// from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any sub-policy rejects its parameters.
+    pub fn build_shared(
+        badge: &SmartBadge,
+        config: &SystemConfig,
+        initial_arrival: f64,
+        initial_service: f64,
+        shared: &crate::resolve::SharedResources,
+    ) -> Result<Self, PmError> {
+        let governor = Governor::build_with_table(
+            &config.governor,
+            initial_arrival,
+            initial_service,
+            shared.threshold_table.as_ref(),
+        )?;
         let dvs = DvsPolicy::smartbadge(config.mp3_target_delay_s, config.mpeg_target_delay_s)?
             .with_queue_model(config.queue_model)?;
         let costs = DpmCosts::managed_subsystem(badge);

@@ -104,6 +104,37 @@ impl Workload {
             Workload::Session => run_session_traced(config, seed, sink),
         }
     }
+
+    /// [`Self::run`] from pre-resolved shared resources
+    /// ([`crate::resolve::SharedResources`]) — same trace, same report,
+    /// zero threshold-cache traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown clip labels or invalid configuration.
+    pub fn run_shared(
+        &self,
+        config: &SystemConfig,
+        seed: u64,
+        shared: &crate::resolve::SharedResources,
+    ) -> Result<SimReport, PmError> {
+        run_trace_shared(&self.build(seed)?, config, seed, shared)
+    }
+
+    /// [`Self::run_shared`], recording structured events into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown clip labels or invalid configuration.
+    pub fn run_traced_shared(
+        &self,
+        config: &SystemConfig,
+        seed: u64,
+        shared: &crate::resolve::SharedResources,
+        sink: &mut dyn TraceSink,
+    ) -> Result<SimReport, PmError> {
+        run_trace_traced_shared(&self.build(seed)?, config, seed, shared, sink)
+    }
 }
 
 impl fmt::Display for Workload {
@@ -241,6 +272,37 @@ pub fn run_session_traced(
 /// Returns an error for invalid configuration.
 pub fn run_trace(trace: &Trace, config: &SystemConfig, seed: u64) -> Result<SimReport, PmError> {
     SystemSimulator::new(trace, config.clone(), seed)?.run(trace.end())
+}
+
+/// [`run_trace`] from pre-resolved shared resources — the fleet
+/// engine's cohort path. Bit-identical to [`run_trace`] when the
+/// resources were resolved from `config`.
+///
+/// # Errors
+///
+/// Returns an error for invalid configuration.
+pub fn run_trace_shared(
+    trace: &Trace,
+    config: &SystemConfig,
+    seed: u64,
+    shared: &crate::resolve::SharedResources,
+) -> Result<SimReport, PmError> {
+    SystemSimulator::new_shared(trace, config.clone(), seed, shared)?.run(trace.end())
+}
+
+/// [`run_trace_shared`], recording structured events into `sink`.
+///
+/// # Errors
+///
+/// Returns an error for invalid configuration.
+pub fn run_trace_traced_shared(
+    trace: &Trace,
+    config: &SystemConfig,
+    seed: u64,
+    shared: &crate::resolve::SharedResources,
+    sink: &mut dyn TraceSink,
+) -> Result<SimReport, PmError> {
+    SystemSimulator::new_traced_shared(trace, config.clone(), seed, shared, sink)?.run(trace.end())
 }
 
 /// [`run_trace`], recording structured events into `sink`. The traced

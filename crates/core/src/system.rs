@@ -94,6 +94,86 @@ enum Mode {
     Waking,
 }
 
+/// Plain-field accumulators for everything the hot event loop counts.
+///
+/// The [`MetricsRegistry`] stays the single source of truth the report
+/// is assembled from, but its string-keyed maps cost a comparison walk
+/// per touch — measurable when every simulated event updates two or
+/// three metrics. The event loop therefore accumulates into these POD
+/// fields ("run to the next decision without bookkeeping overhead") and
+/// [`HotStats::flush`] materializes them into the registry once per
+/// run. Integer-nanosecond sums are associative, so the flushed
+/// registry — and every report derived from it — is bit-identical to
+/// one updated per event.
+#[derive(Debug, Default)]
+struct HotStats {
+    /// Residency per [`TraceMode::index`] (5 modes).
+    mode_ns: [u64; 5],
+    /// Decode residency per frequency key; the SmartBadge exposes ~10
+    /// operating points, so a linear scan beats any map.
+    freq_ns: Vec<(u32, u64)>,
+    frames_completed: u64,
+    freq_switches: u64,
+    sleeps: u64,
+    wakes: u64,
+    deadlines_total: u64,
+    deadline_misses: u64,
+    peak_queue_depth: f64,
+    queue_depth_seen: bool,
+}
+
+impl HotStats {
+    #[inline]
+    fn add_freq_ns(&mut self, key: u32, ns: u64) {
+        for e in &mut self.freq_ns {
+            if e.0 == key {
+                e.1 += ns;
+                return;
+            }
+        }
+        self.freq_ns.push((key, ns));
+    }
+
+    #[inline]
+    fn note_queue_depth(&mut self, depth: f64) {
+        if !self.queue_depth_seen || depth > self.peak_queue_depth {
+            self.peak_queue_depth = depth;
+            self.queue_depth_seen = true;
+        }
+    }
+
+    /// Materializes the accumulators into `metrics`. Only touched
+    /// metrics are written, so the registry contents match a per-event
+    /// update history exactly (absent keys stay absent).
+    fn flush(&self, metrics: &mut MetricsRegistry) {
+        for (idx, &ns) in self.mode_ns.iter().enumerate() {
+            if ns > 0 {
+                metrics.add_span_ns(keys::MODE_NS, idx as u32, ns);
+            }
+        }
+        for &(key, ns) in &self.freq_ns {
+            if ns > 0 {
+                metrics.add_span_ns(keys::FREQ_NS, key, ns);
+            }
+        }
+        for (name, n) in [
+            (keys::FRAMES_COMPLETED, self.frames_completed),
+            (keys::FREQ_SWITCHES, self.freq_switches),
+            (keys::SLEEPS, self.sleeps),
+            (keys::WAKES, self.wakes),
+            (keys::DEADLINES_TOTAL, self.deadlines_total),
+            (keys::DEADLINE_MISSES, self.deadline_misses),
+        ] {
+            if n > 0 {
+                metrics.add(name, n);
+            }
+        }
+        if self.queue_depth_seen {
+            metrics.gauge_max(keys::PEAK_QUEUE_DEPTH, self.peak_queue_depth);
+        }
+    }
+}
+
 impl Mode {
     fn key(self) -> ModeKey {
         match self {
@@ -145,6 +225,9 @@ pub struct SystemSimulator<'t> {
     /// event counters, peak gauges, and integer-nanosecond residency
     /// series. [`SimReport`] is assembled from it at the end of `run`.
     metrics: MetricsRegistry,
+    /// Hot-loop accumulators, flushed into `metrics` once per run (see
+    /// [`HotStats`]).
+    hot: HotStats,
     /// Structured event sink; `None` (the untraced default) keeps the
     /// hot path to a branch on an `Option`.
     sink: Option<&'t mut dyn TraceSink>,
@@ -159,11 +242,33 @@ impl<'t> SystemSimulator<'t> {
     ///
     /// Returns an error if the power manager rejects the configuration.
     pub fn new(trace: &Trace, config: SystemConfig, seed: u64) -> Result<Self, PmError> {
+        Self::new_shared(
+            trace,
+            config,
+            seed,
+            &crate::resolve::SharedResources::default(),
+        )
+    }
+
+    /// [`Self::new`] from pre-resolved shared resources
+    /// ([`crate::resolve::SharedResources`]) — the cohort-batch
+    /// constructor. Bit-identical to [`Self::new`] in every report and
+    /// random stream when the resources match the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the power manager rejects the configuration.
+    pub fn new_shared(
+        trace: &Trace,
+        config: SystemConfig,
+        seed: u64,
+        shared: &crate::resolve::SharedResources,
+    ) -> Result<Self, PmError> {
         let badge = SmartBadge::new();
         let costs = DpmCosts::managed_subsystem(&badge);
         // Neutral initial estimates: typical media rates; the governor
         // warm-up replaces them with data-driven values within 20 frames.
-        let manager = PowerManager::build(&badge, &config, 25.0, 100.0)?;
+        let manager = PowerManager::build_shared(&badge, &config, 25.0, 100.0, shared)?;
         let profile = PowerProfile::uniform(&badge, PowerState::Idle);
         // Forking is independent of consumption, so adding the injector
         // stream does not perturb the clean-run event sequence.
@@ -206,6 +311,7 @@ impl<'t> SystemSimulator<'t> {
             meter: EnergyMeter::new(),
             delays: OnlineStats::new(),
             metrics: MetricsRegistry::new(),
+            hot: HotStats::default(),
             sink: None,
         })
     }
@@ -225,6 +331,24 @@ impl<'t> SystemSimulator<'t> {
         sink: &'t mut dyn TraceSink,
     ) -> Result<Self, PmError> {
         let mut sim = SystemSimulator::new(trace, config, seed)?;
+        sim.sink = Some(sink);
+        Ok(sim)
+    }
+
+    /// [`Self::new_traced`] from pre-resolved shared resources — see
+    /// [`Self::new_shared`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the power manager rejects the configuration.
+    pub fn new_traced_shared(
+        trace: &Trace,
+        config: SystemConfig,
+        seed: u64,
+        shared: &crate::resolve::SharedResources,
+        sink: &'t mut dyn TraceSink,
+    ) -> Result<Self, PmError> {
+        let mut sim = SystemSimulator::new_shared(trace, config, seed, shared)?;
         sim.sink = Some(sink);
         Ok(sim)
     }
@@ -298,6 +422,11 @@ impl<'t> SystemSimulator<'t> {
         self.emit(TraceEvent::RunEnd {
             at: self.last_account,
         });
+
+        // Materialize the hot-loop accumulators: from here on the
+        // registry once again holds every statistic, exactly as if it
+        // had been updated per event.
+        self.hot.flush(&mut self.metrics);
 
         // The report's residency maps are the registry's nanosecond
         // series converted once through `ns_to_secs`: the same totals a
@@ -392,11 +521,9 @@ impl<'t> SystemSimulator<'t> {
             // granularity) reconstructs the histogram bit-exactly.
             let ns = dt.as_nanos();
             self.metrics.advance_ns(ns);
-            self.metrics
-                .add_span_ns(keys::MODE_NS, self.mode.key().trace_mode().index(), ns);
+            self.hot.mode_ns[self.mode.key().trace_mode().index() as usize] += ns;
             if matches!(self.mode, Mode::Decoding) {
-                self.metrics
-                    .add_span_ns(keys::FREQ_NS, freq_key(self.physical_op), ns);
+                self.hot.add_freq_ns(freq_key(self.physical_op), ns);
             }
             self.last_account = now;
         }
@@ -469,8 +596,7 @@ impl<'t> SystemSimulator<'t> {
                 occupancy: self.buffer.len() as u32,
             });
         }
-        self.metrics
-            .gauge_max(keys::PEAK_QUEUE_DEPTH, self.buffer.len() as f64);
+        self.hot.note_queue_depth(self.buffer.len() as f64);
         let was_degraded = self.manager.is_degraded();
         self.manager.note_queue_depth(self.buffer.len());
         self.manager.note_occupancy(now, self.buffer.len());
@@ -512,7 +638,7 @@ impl<'t> SystemSimulator<'t> {
         let nominal = self.costs.wake_latency(state).as_secs_f64();
         // Uniform [0.5, 1.5]x around the nominal latency (Section 2.1).
         let latency = SimDuration::from_secs_f64(nominal * (0.5 + self.rng.next_f64()));
-        self.metrics.inc(keys::WAKES);
+        self.hot.wakes += 1;
         self.set_mode(Mode::Waking);
         self.emit(TraceEvent::WakeStart { at: now, latency });
         self.queue.push(
@@ -559,7 +685,7 @@ impl<'t> SystemSimulator<'t> {
             } else {
                 let from = self.physical_op;
                 self.physical_op = desired;
-                self.metrics.inc(keys::FREQ_SWITCHES);
+                self.hot.freq_switches += 1;
                 self.emit(TraceEvent::FreqSwitch {
                     at: now,
                     from_tenths_mhz: freq_key(from),
@@ -589,7 +715,7 @@ impl<'t> SystemSimulator<'t> {
                 what: "decode completion without a frame in flight",
             });
         };
-        self.metrics.inc(keys::FRAMES_COMPLETED);
+        self.hot.frames_completed += 1;
         let delay_s = now.saturating_since(frame.arrival).as_secs_f64();
         self.delays.push(delay_s);
         self.emit(TraceEvent::FrameDone {
@@ -602,9 +728,9 @@ impl<'t> SystemSimulator<'t> {
             let deadline_s =
                 self.config.deadline_factor * self.manager.dvs().target_delay_s(frame.kind);
             let missed = delay_s > deadline_s;
-            self.metrics.inc(keys::DEADLINES_TOTAL);
+            self.hot.deadlines_total += 1;
             if missed {
-                self.metrics.inc(keys::DEADLINE_MISSES);
+                self.hot.deadline_misses += 1;
             }
             self.manager.note_deadline(now, missed);
         }
@@ -658,7 +784,7 @@ impl<'t> SystemSimulator<'t> {
             Mode::Decoding | Mode::Waking => false,
         };
         if allowed {
-            self.metrics.inc(keys::SLEEPS);
+            self.hot.sleeps += 1;
             self.deepest_this_idle =
                 Some(
                     self.deepest_this_idle
@@ -698,7 +824,7 @@ impl<'t> SystemSimulator<'t> {
                 _ => false,
             };
             if allowed {
-                self.metrics.inc(keys::SLEEPS);
+                self.hot.sleeps += 1;
                 self.set_mode(Mode::Sleeping(state));
                 self.emit(TraceEvent::SleepEnter {
                     at,

@@ -11,6 +11,22 @@
 //! [`Arc`]s, so a thousand detectors constructed from one configuration
 //! perform one calibration and share one allocation.
 //!
+//! # Locking
+//!
+//! The cache is a **sharded map of per-key entries**. A lookup briefly
+//! locks one shard to fetch-or-insert the key's entry, releases it, and
+//! then locks only that entry for the duration of its calibration:
+//!
+//! * concurrent misses on **distinct keys** calibrate concurrently —
+//!   a heterogeneous fleet's first wave of detector configs never
+//!   queues head-of-line behind one calibration (shard collisions cost
+//!   only the brief entry fetch, never the calibration itself);
+//! * concurrent misses on the **same key** are deduplicated — the
+//!   second requester blocks on the entry until the first finishes,
+//!   then counts a hit and receives the shared [`Arc`];
+//! * failed calibrations leave the entry empty, so errors keep missing
+//!   and never poison the map.
+//!
 //! f64 key components are hashed by their IEEE-754 bit patterns
 //! ([`f64::to_bits`]), so "identical configuration" means *bit*-identical
 //! — two configs that differ by one ULP calibrate separately, which is
@@ -21,6 +37,7 @@ use crate::DetectError;
 use simcore::par::Jobs;
 use simcore::rng::SimRng;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -49,29 +66,69 @@ impl CacheKey {
     }
 }
 
-static CACHE: OnceLock<Mutex<HashMap<CacheKey, Arc<ThresholdTable>>>> = OnceLock::new();
+/// One key's calibration slot. The slot mutex — not the shard mutex —
+/// is what a miss holds while calibrating, so only same-key requesters
+/// ever wait on a calibration. `None` means "not calibrated yet" (fresh
+/// entry, or every calibration so far failed).
+#[derive(Default)]
+struct Entry {
+    table: Mutex<Option<Arc<ThresholdTable>>>,
+}
+
+/// Shard count: a small power of two is plenty — the shard lock is held
+/// only for a `HashMap` fetch-or-insert, never across calibration, so
+/// sharding only has to spread that microsecond-scale critical section.
+const SHARD_COUNT: usize = 16;
+
+/// One shard: a plain map from key to its calibration entry.
+type Shard = Mutex<HashMap<CacheKey, Arc<Entry>>>;
+
+static SHARDS: OnceLock<Vec<Shard>> = OnceLock::new();
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 static HIT_NANOS: AtomicU64 = AtomicU64::new(0);
 static MISS_NANOS: AtomicU64 = AtomicU64::new(0);
 
-fn cache() -> &'static Mutex<HashMap<CacheKey, Arc<ThresholdTable>>> {
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+fn shards() -> &'static [Shard] {
+    SHARDS.get_or_init(|| {
+        (0..SHARD_COUNT)
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect()
+    })
+}
+
+/// Stable shard selector. `DefaultHasher::new()` is deterministic (the
+/// per-`HashMap` random state lives in `RandomState`, not here), so a
+/// key maps to the same shard for the lifetime of the process.
+fn shard_of(key: &CacheKey) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % SHARD_COUNT
+}
+
+/// Recovers a poisoned lock: a panicking calibration (contained by the
+/// fleet supervisor's `catch_unwind`) leaves its entry `None`, which is
+/// exactly the "not calibrated" state, so later lookups can proceed.
+fn relock<T>(lock: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    lock.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Returns the calibrated table for `(ratios, config, seed)`, calibrating
 /// at most once per distinct key for the lifetime of the process.
 ///
-/// The cache lock is held across a miss's calibration, so concurrent
-/// requests for the same key never duplicate the Monte-Carlo work — the
-/// second requester blocks briefly and receives the shared [`Arc`].
-/// (Calibration itself parallelizes internally via `jobs`, so holding
-/// the lock does not serialize the actual computation.)
+/// Misses on **distinct keys proceed concurrently**: a lookup holds its
+/// shard's lock only to fetch-or-insert the key's entry, then calibrates
+/// under that entry's own lock. Concurrent requests for the **same** key
+/// never duplicate the Monte-Carlo work — the second requester blocks on
+/// the entry until the first finishes, counts a hit, and receives the
+/// shared [`Arc`]. (Calibration also parallelizes internally via `jobs`.)
 ///
 /// # Errors
 ///
 /// Propagates any [`ThresholdTable::calibrate_jobs`] error; failed
-/// calibrations are not cached.
+/// calibrations are not cached — the key's entry stays empty and the
+/// next lookup calibrates again.
 pub fn cached_table(
     ratios: &[f64],
     config: CalibrationConfig,
@@ -80,8 +137,13 @@ pub fn cached_table(
 ) -> Result<Arc<ThresholdTable>, DetectError> {
     let started = std::time::Instant::now();
     let key = CacheKey::new(ratios, config, seed);
-    let mut map = cache().lock().expect("threshold cache poisoned");
-    if let Some(table) = map.get(&key) {
+    let entry = {
+        let mut map = relock(&shards()[shard_of(&key)]);
+        Arc::clone(map.entry(key).or_default())
+    };
+    // Shard lock released: from here on, only same-key traffic contends.
+    let mut slot = relock(&entry.table);
+    if let Some(table) = slot.as_ref() {
         HITS.fetch_add(1, Ordering::Relaxed);
         HIT_NANOS.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
         return Ok(Arc::clone(table));
@@ -91,7 +153,7 @@ pub fn cached_table(
     let table = Arc::new(ThresholdTable::calibrate_jobs(
         ratios, config, &mut rng, jobs,
     )?);
-    map.insert(key, Arc::clone(&table));
+    *slot = Some(Arc::clone(&table));
     MISS_NANOS.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
     Ok(table)
 }
@@ -175,15 +237,20 @@ pub fn cache_stats_detailed() -> CacheStats {
 }
 
 /// Drops every cached table (already-shared [`Arc`]s stay alive in their
-/// holders). Statistics are preserved. Primarily for tests and
-/// memory-sensitive embedders.
+/// holders; an in-flight calibration completes into its orphaned entry
+/// and is simply recalibrated on the next lookup). Statistics are
+/// preserved. Primarily for tests and memory-sensitive embedders.
 pub fn clear() {
-    cache().lock().expect("threshold cache poisoned").clear();
+    for shard in shards() {
+        relock(shard).clear();
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Barrier;
 
     fn quick_config() -> CalibrationConfig {
         CalibrationConfig {
@@ -300,5 +367,85 @@ mod tests {
         assert!(cached_table(&[], quick_config(), seed, Jobs::Count(1)).is_err());
         let (_, m1) = cache_stats();
         assert_eq!(m1, m0 + 1, "errors keep missing, never poison the map");
+        // A failed key must also recover: the same key with valid ratios
+        // is a different key, but the failed entry itself must not block
+        // a third attempt.
+        assert!(cached_table(&[], quick_config(), seed, Jobs::Count(1)).is_err());
+    }
+
+    /// The regression test for the head-of-line bug this module used to
+    /// have: the old design held one global lock across the entire
+    /// Monte-Carlo calibration, so a concurrent miss on a *different*
+    /// key queued behind it. Here a long calibration (A) and a short one
+    /// (B) start together; B must finish while A is still running.
+    #[test]
+    fn concurrent_misses_on_distinct_keys_overlap() {
+        // Unique seeds so neither key can be pre-populated.
+        let seed = 0xCAC4_E020;
+        let long_config = CalibrationConfig {
+            window: 80,
+            k_step: 8,
+            confidence: 0.99,
+            trials: 40_000,
+        };
+        let short_config = quick_config();
+        let barrier = Barrier::new(2);
+        let a_done = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                barrier.wait();
+                let _ = cached_table(&[2.0], long_config, seed, Jobs::Count(1)).unwrap();
+                a_done.store(true, Ordering::SeqCst);
+            });
+            barrier.wait();
+            // Give A time to enter its calibration (it holds only its
+            // own entry's lock once inside).
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            let _ = cached_table(&[2.0], short_config, seed, Jobs::Count(1)).unwrap();
+            assert!(
+                !a_done.load(Ordering::SeqCst),
+                "short calibration (B) waited for the long one (A) to finish — \
+                 distinct-key misses are serializing again"
+            );
+        });
+    }
+
+    /// Same-key concurrent misses must still be deduplicated: exactly
+    /// one calibration runs, everyone shares its allocation.
+    #[test]
+    fn concurrent_same_key_misses_calibrate_once() {
+        let seed = 0xCAC4_E021;
+        let (_, m0) = cache_stats();
+        let barrier = Barrier::new(4);
+        let tables: Vec<Arc<ThresholdTable>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        cached_table(&[2.0, 0.5], quick_config(), seed, Jobs::Count(1)).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let (_, m1) = cache_stats();
+        assert_eq!(m1, m0 + 1, "same key must calibrate exactly once");
+        assert!(tables.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
+    }
+
+    #[test]
+    fn clear_preserves_stats_and_recalibrates() {
+        let seed = 0xCAC4_E022;
+        let a = cached_table(&[2.0, 0.5], quick_config(), seed, Jobs::Count(1)).unwrap();
+        let (_, m0) = cache_stats();
+        clear();
+        let (h1, m1) = cache_stats();
+        assert_eq!(m0, m1, "clear preserves statistics");
+        let b = cached_table(&[2.0, 0.5], quick_config(), seed, Jobs::Count(1)).unwrap();
+        let (_, m2) = cache_stats();
+        assert_eq!(m2, m1 + 1, "cleared key calibrates again");
+        assert!(!Arc::ptr_eq(&a, &b), "fresh allocation after clear");
+        assert_eq!(*a, *b, "recalibration is deterministic");
+        let _ = h1;
     }
 }

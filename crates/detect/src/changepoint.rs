@@ -52,6 +52,35 @@ impl Default for ChangePointConfig {
     }
 }
 
+impl ChangePointConfig {
+    /// Resolves this configuration's calibrated threshold table through
+    /// the process-wide [`crate::cache`] — exactly the lookup
+    /// [`ChangePointDetector::new`] performs, exposed so batch harnesses
+    /// (the fleet engine's cohort stepping) can resolve once per cohort
+    /// and construct every detector via
+    /// [`ChangePointDetector::with_shared_table`] with zero cache
+    /// traffic. The returned table is bit-identical to the one `new`
+    /// would use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any calibration error.
+    pub fn resolve_table(&self) -> Result<Arc<ThresholdTable>, DetectError> {
+        let calibration = CalibrationConfig {
+            window: self.window,
+            k_step: self.k_step,
+            confidence: self.confidence,
+            trials: self.calibration_trials,
+        };
+        crate::cache::cached_table(
+            &self.ratios,
+            calibration,
+            self.calibration_seed,
+            simcore::par::Jobs::Auto,
+        )
+    }
+}
+
 /// Online rate-change detector driven by the maximum-likelihood ratio
 /// test with offline-calibrated thresholds.
 ///
@@ -99,18 +128,7 @@ impl ChangePointDetector {
     /// Returns an error if the initial rate or any configuration value is
     /// invalid.
     pub fn new(initial_rate: f64, config: ChangePointConfig) -> Result<Self, DetectError> {
-        let calibration = CalibrationConfig {
-            window: config.window,
-            k_step: config.k_step,
-            confidence: config.confidence,
-            trials: config.calibration_trials,
-        };
-        let table = crate::cache::cached_table(
-            &config.ratios,
-            calibration,
-            config.calibration_seed,
-            simcore::par::Jobs::Auto,
-        )?;
+        let table = config.resolve_table()?;
         Self::with_shared_table(initial_rate, table, config.check_interval)
     }
 

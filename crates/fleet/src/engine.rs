@@ -20,11 +20,17 @@
 //!   become a [`DeviceOutcome::Failed`] handled per the spec's
 //!   [`OnError`] policy. Only infrastructure errors (trace or
 //!   checkpoint I/O) abort the run.
-//! * Change-point calibration goes through the process-wide
-//!   [`detect::cache`]: the first device with a given detector config
-//!   pays for calibration (itself bit-identical at any thread count),
-//!   every later device hits the cache. With one distinct config the
-//!   steady-state hit ratio approaches 1.
+//! * Change-point calibration is resolved **once per policy** before
+//!   the loop starts ([`crate::soa::CohortResources::prepare`]) and the
+//!   shared table handed to every device construction, so the
+//!   per-device hot path performs zero threshold-cache traffic. The
+//!   calibration itself (bit-identical at any thread count) still goes
+//!   through the process-wide [`detect::cache`], so distinct runs in
+//!   one process share tables too.
+//! * Within a batch, devices are *scheduled* in cohort order
+//!   ([`crate::soa::cohort_key`] via `par_try_fold_range_batched_by`):
+//!   identical-config devices step back-to-back on one worker while
+//!   results still land (and fold) in device order.
 
 use std::cell::RefCell;
 use std::fs;
@@ -32,18 +38,16 @@ use std::io::{BufWriter, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 
-use detect::{ChangePointDetector, EmaEstimator, RateEstimator};
-use powermgr::config::{GovernorKind, SupervisorConfig, SystemConfig};
-use powermgr::PmError;
-use simcore::dist::{Exponential, Sample};
+use powermgr::config::{SupervisorConfig, SystemConfig};
+use powermgr::{PmError, SharedResources};
 use simcore::json::ToJson;
-use simcore::par::{par_try_fold_range_batched, Jobs};
-use simcore::rng::SimRng;
+use simcore::par::{par_try_fold_range_batched_by, Jobs};
 use trace::{FleetEvent, JsonlSink, TraceSink};
 
 use crate::accum::FleetAccumulator;
 use crate::checkpoint;
 use crate::report::{DeviceFailure, DeviceOutcome, DeviceRecord, FleetReport};
+use crate::soa::{self, CohortResources};
 use crate::spec::{DeviceAssignment, FleetSpec, OnError};
 use crate::FleetError;
 
@@ -59,16 +63,6 @@ pub const DEFAULT_CHECKPOINT_EVERY: usize = 4;
 /// single-device chaos runs (a bounded buffer is what makes drop
 /// accounting meaningful under injected faults).
 const FAULT_BUFFER_FRAMES: usize = 64;
-
-/// Detection-latency probe: rate step the probe replays, in frames/s.
-const PROBE_SLOW_RATE: f64 = 10.0;
-/// Post-step rate of the probe, frames/s (the paper's fig. 10 step).
-const PROBE_FAST_RATE: f64 = 60.0;
-/// Slow samples fed before the step so detector windows are warm.
-const PROBE_PREFILL: usize = 150;
-/// Upper bound on post-step samples; a detector that has not reacted
-/// by then is reported at the cap rather than scanning forever.
-const PROBE_CAP: usize = 600;
 
 /// Optional engine features beyond the plain spec + jobs run: trace
 /// streaming, periodic checkpoints, and resuming from one.
@@ -160,6 +154,11 @@ pub fn run_fleet_opts(
     };
     let start = usize::try_from(resumed.devices()).expect("device count fits in usize");
 
+    // Resolve each policy's shared threshold table once, before any
+    // device runs: the per-device hot path then performs zero cache
+    // traffic, and cohorts of identical-config devices share one table.
+    let cohorts = CohortResources::prepare(spec);
+
     let every = if opts.checkpoint_every == 0 {
         DEFAULT_CHECKPOINT_EVERY
     } else {
@@ -182,12 +181,16 @@ pub fn run_fleet_opts(
     // device order, so the accumulator (and everything derived from it)
     // is independent of the worker count — and each outcome is dropped
     // as soon as it is folded, so memory no longer grows with the fleet.
+    // The schedule key groups each batch into cohorts: identical-config
+    // devices step consecutively on one worker (their shared tables
+    // stay hot) without perturbing result slots or fold order.
     let run = || -> Result<FleetAccumulator, FleetError> {
-        let acc = par_try_fold_range_batched(
+        let acc = par_try_fold_range_batched_by(
             jobs,
             start..spec.devices,
             batch,
-            |i| supervised_run(spec, i, trace_dir),
+            |i| soa::cohort_key(spec, i),
+            |i| supervised_run(spec, i, trace_dir, &cohorts),
             resumed,
             |mut acc: FleetAccumulator, _i, result| {
                 let outcome = result?;
@@ -257,6 +260,11 @@ pub fn run_fleet_opts(
 /// exposed so tools (and tests) can stream outcomes through their own
 /// [`FleetAccumulator`].
 ///
+/// This is the *per-device reference path*: no cohort pre-resolution,
+/// every construction goes through the threshold cache itself. The
+/// engine's cohort path is held byte-equal to it by
+/// `tests/soa_differential.rs`.
+///
 /// # Errors
 ///
 /// [`FleetError::Spec`] for an invalid spec or out-of-range device
@@ -270,7 +278,7 @@ pub fn run_device(spec: &FleetSpec, device: usize) -> Result<DeviceOutcome, Flee
             spec.devices
         )));
     }
-    supervised_run(spec, device, None)
+    supervised_run(spec, device, None, &CohortResources::default())
 }
 
 /// How one device attempt ended, seen from the supervisor.
@@ -290,8 +298,10 @@ fn supervised_run(
     spec: &FleetSpec,
     device: usize,
     trace_dir: Option<&Path>,
+    cohorts: &CohortResources,
 ) -> Result<DeviceOutcome, FleetError> {
     let a = spec.assignment(device);
+    let shared = cohorts.for_policy(a.policy_index);
     let max_attempts = spec.on_error.max_attempts();
     let mut last_error = String::new();
     let mut last_seed = a.seed;
@@ -301,7 +311,7 @@ fn supervised_run(
         let seed = spec.retry_seed(device, attempt - 1);
         last_seed = seed;
         let attempted = catch_unwind(AssertUnwindSafe(|| {
-            run_attempt(&a, seed, u64::from(attempt), trace_dir)
+            run_attempt(&a, seed, u64::from(attempt), trace_dir, shared)
         }));
         match attempted {
             Ok(Ok(record)) => return Ok(DeviceOutcome::Completed(record)),
@@ -351,20 +361,27 @@ fn trace_tmp_path(dir: &Path, device: usize) -> PathBuf {
 
 /// Runs one attempt of one device: resolve its config (fault spec
 /// derivation is seed-dependent, so this happens per attempt inside the
-/// supervisor's `catch_unwind`), run its workload, and condense the
+/// supervisor's `catch_unwind`), run its workload from the cohort's
+/// pre-resolved shared resources, and condense the
 /// [`powermgr::SimReport`] plus the detection probe into a
-/// [`DeviceRecord`].
+/// [`DeviceRecord`]. Empty `shared` resources (the reference path)
+/// resolve through the threshold cache per construction instead —
+/// byte-identical either way.
 fn run_attempt(
     a: &DeviceAssignment<'_>,
     seed: u64,
     attempt: u64,
     trace_dir: Option<&Path>,
+    shared: &SharedResources,
 ) -> Result<DeviceRecord, AttemptError> {
     let config = device_config(a, seed);
     let sim_err = |e: PmError| AttemptError::Contained(e.to_string());
 
     let report = match trace_dir {
-        None => a.workload.run(&config, seed).map_err(sim_err)?,
+        None => a
+            .workload
+            .run_shared(&config, seed, shared)
+            .map_err(sim_err)?,
         Some(dir) => {
             // Stage the trace at a temp path and rename only on
             // success: an interrupted or failed attempt never leaves a
@@ -379,7 +396,7 @@ fn run_attempt(
             let mut sink = JsonlSink::new(BufWriter::new(file));
             let report = a
                 .workload
-                .run_traced(&config, seed, &mut sink)
+                .run_traced_shared(&config, seed, shared, &mut sink)
                 .map_err(sim_err)?;
             sink.finish().map_err(|e| {
                 AttemptError::Fatal(FleetError::Io(format!(
@@ -423,7 +440,7 @@ fn run_attempt(
         energy_kj: report.total_energy_kj(),
         mean_delay_s: report.mean_frame_delay_s(),
         drop_rate,
-        detection_latency_frames: detection_latency_frames(&config.governor, seed)
+        detection_latency_frames: soa::probe_detection_latency(&config.governor, seed, shared)
             .map_err(AttemptError::Contained)?,
         frames_completed: report.frames_completed,
         duration_secs: report.duration_secs,
@@ -450,53 +467,6 @@ fn device_config(a: &DeviceAssignment<'_>, seed: u64) -> SystemConfig {
         supervisor,
         buffer_capacity,
         ..SystemConfig::default()
-    }
-}
-
-/// Measures how many post-step samples the device's detector needs to
-/// register a 10 → 60 frames/s arrival-rate step (the paper's fig. 10
-/// workload transition), on a probe stream forked from the attempt
-/// seed. `Ok(None)` for governors with no online detector (ideal knows
-/// the future, max never looks). Errors are contained like any other
-/// per-device failure.
-fn detection_latency_frames(governor: &GovernorKind, seed: u64) -> Result<Option<f64>, String> {
-    let mut rng = SimRng::seed_from(seed).fork("fleet/detect-probe");
-    let probe =
-        |rate: f64| Exponential::new(rate).map_err(|e| format!("detection probe rate {rate}: {e}"));
-    let slow = probe(PROBE_SLOW_RATE)?;
-    let fast = probe(PROBE_FAST_RATE)?;
-
-    match governor {
-        GovernorKind::Ideal | GovernorKind::MaxPerformance => Ok(None),
-        GovernorKind::ChangePoint(cfg) => {
-            let mut det = ChangePointDetector::new(PROBE_SLOW_RATE, cfg.clone())
-                .map_err(|e| PmError::from(e).to_string())?;
-            for _ in 0..PROBE_PREFILL {
-                let _ = det.observe(slow.sample(&mut rng));
-            }
-            for n in 1..=PROBE_CAP {
-                if det.observe(fast.sample(&mut rng)).is_some() {
-                    return Ok(Some(n as f64));
-                }
-            }
-            Ok(Some(PROBE_CAP as f64))
-        }
-        GovernorKind::ExpAverage { gain } => {
-            let mut est = EmaEstimator::new(PROBE_SLOW_RATE, *gain)
-                .map_err(|e| PmError::from(e).to_string())?;
-            for _ in 0..PROBE_PREFILL {
-                let _ = est.observe(slow.sample(&mut rng));
-            }
-            // The EMA re-estimates continuously; "detected" is the first
-            // sample where its estimate is within 10% of the new rate.
-            for n in 1..=PROBE_CAP {
-                let _ = est.observe(fast.sample(&mut rng));
-                if est.current_rate() >= 0.9 * PROBE_FAST_RATE {
-                    return Ok(Some(n as f64));
-                }
-            }
-            Ok(Some(PROBE_CAP as f64))
-        }
     }
 }
 

@@ -50,6 +50,7 @@ pub mod accum;
 pub mod checkpoint;
 pub mod engine;
 pub mod report;
+pub mod soa;
 pub mod spec;
 
 pub use accum::{FleetAccumulator, MetricAcc, RECORD_SAMPLE_CAP, SKETCH_CAPACITY};
@@ -58,6 +59,7 @@ pub use report::{
     CohortHealth, CohortSummary, DeviceFailure, DeviceOutcome, DeviceRecord, FailureSample,
     FleetHealth, FleetReport, MetricSummary,
 };
+pub use soa::{cohort_key, probe_detection_latency, CohortResources};
 pub use spec::{DeviceAssignment, FleetSpec, OnError, PolicySpec};
 
 /// Errors from parsing a fleet spec or running a fleet.

@@ -339,6 +339,45 @@ pub fn par_try_fold_range_batched<R, A, E, F, G, H>(
     batch: usize,
     map: F,
     init: A,
+    fold: G,
+    after_batch: H,
+) -> Result<A, E>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+    G: FnMut(A, usize, R) -> Result<A, E>,
+    H: FnMut(&A, usize) -> Result<(), E>,
+{
+    par_try_fold_range_batched_by(jobs, range, batch, |_| 0, map, init, fold, after_batch)
+}
+
+/// [`par_try_fold_range_batched`] with a *schedule key*: within each
+/// batch, items are claimed by workers in ascending `(schedule(i), i)`
+/// order instead of plain index order, so items sharing a key run
+/// back-to-back on the same worker — the cohort-locality hook the fleet
+/// engine uses to step identical-config devices as a group (shared
+/// threshold tables and detector state stay hot in cache).
+///
+/// Scheduling is *only* about claim order: every result still lands in
+/// the slot of its item index and the fold still sees indices strictly
+/// ascending, so under the usual purity contract the accumulator is
+/// bit-identical for every `jobs` count **and every schedule key**.
+///
+/// # Errors
+///
+/// Returns the first error produced by `fold` or `after_batch`.
+///
+/// # Panics
+///
+/// Panics if `map` panics on any index.
+#[allow(clippy::too_many_arguments)]
+pub fn par_try_fold_range_batched_by<R, A, E, F, G, H, K>(
+    jobs: Jobs,
+    range: std::ops::Range<usize>,
+    batch: usize,
+    schedule: K,
+    map: F,
+    init: A,
     mut fold: G,
     mut after_batch: H,
 ) -> Result<A, E>
@@ -347,14 +386,26 @@ where
     F: Fn(usize) -> R + Sync,
     G: FnMut(A, usize, R) -> Result<A, E>,
     H: FnMut(&A, usize) -> Result<(), E>,
+    K: Fn(usize) -> u64,
 {
     let batch = batch.max(1);
     let mut acc = init;
     let mut start = range.start;
     while start < range.end {
         let m = batch.min(range.end - start);
-        let results = par_map_range(jobs, m, |j| map(start + j));
+        // Claim order within the batch: stable sort by schedule key, so
+        // equal-key items keep their relative index order and run
+        // consecutively on whichever worker claims them.
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by_key(|&j| schedule(start + j));
+        let mapped = par_map_indexed(jobs, &order, |_, &j| map(start + j));
+        // Scatter back to index order before folding.
+        let mut results: Vec<Option<R>> = (0..m).map(|_| None).collect();
+        for (pos, r) in mapped.into_iter().enumerate() {
+            results[order[pos]] = Some(r);
+        }
         for (j, r) in results.into_iter().enumerate() {
+            let r = r.expect("every offset scheduled exactly once");
             acc = fold(acc, start + j, r)?;
         }
         start += m;
@@ -554,6 +605,52 @@ mod tests {
             assert_eq!(folded.expect("no errors"), reference, "jobs={jobs}");
             assert_eq!(*boundaries.last().expect("hook fired"), 100);
             assert!(boundaries.windows(2).all(|w| w[1] - w[0] <= batch));
+        }
+    }
+
+    #[test]
+    fn schedule_key_changes_claim_order_but_never_results() {
+        let work = |i: usize| -> f64 {
+            let mut rng = SimRng::seed_from(11).fork_indexed("sched-test", i as u64);
+            (0..20).map(|_| rng.next_f64()).sum()
+        };
+        let reference: Result<Vec<f64>, ()> = par_try_fold_range_batched(
+            Jobs::Count(1),
+            0..90,
+            16,
+            work,
+            Vec::new(),
+            |mut acc, _i, r| {
+                acc.push(r);
+                Ok(acc)
+            },
+            |_, _| Ok(()),
+        );
+        let reference = reference.expect("no errors");
+        // Keys that interleave (cohort round-robin), reverse, and
+        // collapse to a constant — none may perturb fold order/results.
+        let keys: [fn(usize) -> u64; 3] = [|i| (i % 7) as u64, |i| u64::MAX - i as u64, |_| 42];
+        for key in keys {
+            for jobs in [1, 3, 8] {
+                let folded: Result<Vec<f64>, ()> = par_try_fold_range_batched_by(
+                    Jobs::Count(jobs),
+                    0..90,
+                    16,
+                    key,
+                    work,
+                    Vec::new(),
+                    |mut acc, i, r| {
+                        assert_eq!(acc.len(), i, "fold must see ascending indices");
+                        acc.push(r);
+                        Ok(acc)
+                    },
+                    |acc, done| {
+                        assert_eq!(acc.len(), done);
+                        Ok(())
+                    },
+                );
+                assert_eq!(folded.expect("no errors"), reference, "jobs={jobs}");
+            }
         }
     }
 
