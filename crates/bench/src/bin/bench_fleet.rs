@@ -280,15 +280,39 @@ fn main() {
     }
 
     println!("\n[two-key calibration overlap: cold misses on distinct detector configs]");
-    let overlap = bench_two_key_overlap(cores);
-    println!(
-        "  sequential {:.1} ms, concurrent {:.1} ms — overlap {:.2}x on {} core(s)",
-        overlap.sequential_ms, overlap.concurrent_ms, overlap.overlap, overlap.cores
-    );
+    // On a single core two "concurrent" calibrations just timeshare, so
+    // the sequential/concurrent ratio says nothing about the cache — skip
+    // the measurement instead of reporting a meaningless overlap.
+    let overlap = if cores >= 2 {
+        let o = bench_two_key_overlap(cores);
+        println!(
+            "  sequential {:.1} ms, concurrent {:.1} ms — overlap {:.2}x on {} core(s)",
+            o.sequential_ms, o.concurrent_ms, o.overlap, o.cores
+        );
+        Some(o)
+    } else {
+        println!("  skipped: overlap needs >= 2 cores, this machine has {cores}");
+        None
+    };
 
+    let two_key_json = match &overlap {
+        Some(o) => o.to_json(),
+        None => simcore::Json::Obj(vec![
+            ("cores".to_string(), simcore::Json::Int(cores as i64)),
+            ("skipped".to_string(), simcore::Json::Bool(true)),
+            (
+                "reason".to_string(),
+                simcore::Json::Str(
+                    "two-key overlap requires >= 2 cores; on one core the \
+                     sequential/concurrent ratio does not measure the cache"
+                        .to_string(),
+                ),
+            ),
+        ]),
+    };
     let report = simcore::Json::Obj(vec![
         ("rows".to_string(), rows.to_json()),
-        ("two_key_calibration".to_string(), overlap.to_json()),
+        ("two_key_calibration".to_string(), two_key_json),
     ]);
     let path = bench::json_path_from_args()
         .unwrap_or_else(|| std::path::PathBuf::from("BENCH_fleet.json"));
@@ -298,12 +322,12 @@ fn main() {
         let baseline = bench::flag_value("--baseline")
             .map(std::path::PathBuf::from)
             .unwrap_or_else(|| std::path::PathBuf::from("BENCH_fleet_baseline.json"));
-        check_against_baseline(&rows, &overlap, &baseline);
+        check_against_baseline(&rows, overlap.as_ref(), &baseline);
     }
 }
 
 /// Gates the run against the checked-in devices/sec and overlap floors.
-fn check_against_baseline(rows: &[Row], overlap: &TwoKeyOverlap, path: &std::path::Path) {
+fn check_against_baseline(rows: &[Row], overlap: Option<&TwoKeyOverlap>, path: &std::path::Path) {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", path.display()));
     let base = simcore::Json::parse(&text)
@@ -348,12 +372,13 @@ fn check_against_baseline(rows: &[Row], overlap: &TwoKeyOverlap, path: &std::pat
         }
     }
     if cores >= 2 {
+        let o = overlap.expect("overlap is measured whenever cores >= 2");
         let min_overlap = get("min_two_key_overlap_2core");
-        if overlap.overlap < min_overlap {
+        if o.overlap < min_overlap {
             failures.push(format!(
                 "two-key calibration overlap {:.2}x < floor {min_overlap:.2}x on {cores} cores \
                  — distinct-key misses are serializing on the cache lock",
-                overlap.overlap
+                o.overlap
             ));
         }
     }

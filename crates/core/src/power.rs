@@ -115,6 +115,7 @@ impl PowerProfile {
 
     /// Integrates this profile over `dt` into the meter, attributing per
     /// component, and advances the meter's elapsed time.
+    #[inline]
     pub fn accumulate_into(&self, meter: &mut EnergyMeter, dt: SimDuration) {
         for (i, id) in MANAGED_COMPONENTS.iter().enumerate() {
             meter.accumulate(*id, self.mw[i], dt);

@@ -274,6 +274,23 @@ pub fn run_trace(trace: &Trace, config: &SystemConfig, seed: u64) -> Result<SimR
     SystemSimulator::new(trace, config.clone(), seed)?.run(trace.end())
 }
 
+/// [`run_trace`], additionally returning the number of events the
+/// simulation kernel processed — the denominator the hot-path
+/// throughput benchmark uses. The report is identical to
+/// [`run_trace`]'s; with no sink attached the run takes the
+/// monomorphized untraced fast path.
+///
+/// # Errors
+///
+/// Returns an error for invalid configuration.
+pub fn run_trace_counted(
+    trace: &Trace,
+    config: &SystemConfig,
+    seed: u64,
+) -> Result<(SimReport, u64), PmError> {
+    SystemSimulator::new(trace, config.clone(), seed)?.run_counted(trace.end())
+}
+
 /// [`run_trace`] from pre-resolved shared resources — the fleet
 /// engine's cohort path. Bit-identical to [`run_trace`] when the
 /// resources were resolved from `config`.

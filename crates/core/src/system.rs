@@ -29,7 +29,7 @@ use framequeue::FrameBuffer;
 use hardware::cpu::OperatingPoint;
 use hardware::energy::EnergyMeter;
 use hardware::{PowerState, SmartBadge};
-use simcore::event::EventQueue;
+use simcore::event::LaneQueue;
 use simcore::rng::SimRng;
 use simcore::stats::OnlineStats;
 use simcore::time::{SimDuration, SimTime};
@@ -85,6 +85,19 @@ enum Event {
     /// A wake-up transition completes (valid only for `epoch`).
     WakeDone { epoch: u64 },
 }
+
+/// [`LaneQueue`] lane per event kind. Arrivals, decode completions,
+/// and wake-ups are single-pending by construction (the
+/// `next_arrival_scheduled` protocol, one frame in flight, one wake
+/// per idle epoch); sleep commands get one lane for the common
+/// single-transition plan and spill into the queue's sorted overflow
+/// for multi-step plans or stale leftovers. Lanes are placement hints
+/// only — pop order is the global `(time, sequence)` order either way.
+const LANE_ARRIVAL: usize = 0;
+const LANE_DECODE: usize = 1;
+const LANE_WAKE: usize = 2;
+const LANE_SLEEP: usize = 3;
+const LANES: usize = 4;
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Mode {
@@ -199,11 +212,22 @@ pub struct SystemSimulator<'t> {
     rng: SimRng,
     injector: FaultInjector,
 
-    queue: EventQueue<Event>,
+    queue: LaneQueue<Event, LANES>,
     frames: Vec<FrameRecord>,
     buffer: FrameBuffer<FrameRecord>,
     mode: Mode,
     profile: PowerProfile,
+    /// Profiles for the modes that depend on nothing dynamic, computed
+    /// once so mode transitions in the hot loop don't rebuild them.
+    idle_profile: PowerProfile,
+    standby_profile: PowerProfile,
+    off_profile: PowerProfile,
+    waking_profile: PowerProfile,
+    /// One-entry cache for the decode profile, keyed by media kind and
+    /// the physical operating point's bits. The operating point only
+    /// moves at frequency switches (rare next to decode starts), so
+    /// nearly every decode reuses the cached profile.
+    decode_profile: Option<(workload::MediaKind, u64, u64, PowerProfile)>,
     last_account: SimTime,
     idle_epoch: u64,
     idle_since: SimTime,
@@ -283,6 +307,10 @@ impl<'t> SystemSimulator<'t> {
             None => FrameBuffer::new(),
         };
         let physical_op = badge.cpu().max_operating_point();
+        let standby_profile =
+            PowerProfile::uniform(&badge, SleepState::Standby.to_power_state());
+        let off_profile = PowerProfile::uniform(&badge, SleepState::Off.to_power_state());
+        let waking_profile = PowerProfile::waking(&badge);
         Ok(SystemSimulator {
             badge,
             costs,
@@ -290,15 +318,19 @@ impl<'t> SystemSimulator<'t> {
             manager,
             rng: base_rng.fork("system"),
             injector,
-            // The steady-state event population is small (next arrival,
-            // decode completion, a handful of sleep commands per idle
-            // plan), so a modest preallocation keeps the hot loop free
+            // One lane per event kind; only surplus sleep commands ever
+            // spill, so a modest preallocation keeps the hot loop free
             // of heap growth for any workload.
-            queue: EventQueue::with_capacity(32),
+            queue: LaneQueue::with_spill_capacity(16),
             frames: trace.frames().to_vec(),
             buffer,
             mode: Mode::Idle,
             profile,
+            idle_profile: profile,
+            standby_profile,
+            off_profile,
+            waking_profile,
+            decode_profile: None,
             last_account: SimTime::ZERO,
             idle_epoch: 0,
             idle_since: SimTime::ZERO,
@@ -387,41 +419,79 @@ impl<'t> SystemSimulator<'t> {
 
     /// Runs the trace to completion and returns the report.
     ///
+    /// Dispatches once on whether a sink is attached and runs a
+    /// monomorphized event loop either way: the untraced path (the
+    /// fleet default) has tracing compiled out entirely, so it
+    /// constructs no [`TraceEvent`]s at all — not even discarded ones —
+    /// while remaining bit-identical to the traced run in every
+    /// reported number.
+    ///
     /// # Errors
     ///
     /// Returns [`PmError::InvalidState`] if an event handler observes a
     /// state that violates the simulator's invariants (a decode
     /// completion with no frame in flight, a decode start on an empty
     /// buffer).
-    pub fn run(mut self, trace_end: SimTime) -> Result<SimReport, PmError> {
+    pub fn run(self, trace_end: SimTime) -> Result<SimReport, PmError> {
+        self.run_counted(trace_end).map(|(report, _)| report)
+    }
+
+    /// [`Self::run`], additionally returning the number of events the
+    /// kernel processed (pops of the main event loop, stale sleep
+    /// commands included) — the denominator throughput benchmarks use.
+    /// The report is identical to [`Self::run`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::run`].
+    pub fn run_counted(self, trace_end: SimTime) -> Result<(SimReport, u64), PmError> {
+        if self.sink.is_some() {
+            self.run_impl::<true>(trace_end)
+        } else {
+            self.run_impl::<false>(trace_end)
+        }
+    }
+
+    fn run_impl<const TRACED: bool>(
+        mut self,
+        trace_end: SimTime,
+    ) -> Result<(SimReport, u64), PmError> {
         // Device starts idle with a DPM plan, waiting for the stream.
-        self.emit(TraceEvent::RunStart { at: SimTime::ZERO });
-        self.enter_idle(SimTime::ZERO);
+        if TRACED {
+            self.emit(TraceEvent::RunStart { at: SimTime::ZERO });
+        }
+        self.enter_idle::<TRACED>(SimTime::ZERO);
         self.schedule_arrival(0);
 
+        let mut pops: u64 = 0;
         while let Some(scheduled) = self.queue.pop() {
+            pops += 1;
             let now = scheduled.at;
             self.account(now);
             match scheduled.event {
-                Event::Arrival(i) => self.handle_arrival(now, i)?,
-                Event::DecodeDone => self.handle_decode_done(now)?,
-                Event::SleepCmd { epoch, state } => self.handle_sleep_cmd(now, epoch, state),
-                Event::WakeDone { epoch } => self.handle_wake_done(now, epoch)?,
+                Event::Arrival(i) => self.handle_arrival::<TRACED>(now, i)?,
+                Event::DecodeDone => self.handle_decode_done::<TRACED>(now)?,
+                Event::SleepCmd { epoch, state } => {
+                    self.handle_sleep_cmd::<TRACED>(now, epoch, state);
+                }
+                Event::WakeDone { epoch } => self.handle_wake_done::<TRACED>(now, epoch)?,
             }
             // Once the stream is exhausted and drained, account the tail
             // and stop — remaining queue entries are stale sleep commands.
             if self.stream_drained() {
-                self.finish(trace_end);
+                self.finish::<TRACED>(trace_end);
                 break;
             }
         }
         // If the event queue ran dry without hitting the drain check
         // (e.g. an empty trace under a no-sleep plan), account the tail
         // now; a second call after an in-loop finish is a no-op.
-        self.finish(trace_end);
-        self.emit(TraceEvent::RunEnd {
-            at: self.last_account,
-        });
+        self.finish::<TRACED>(trace_end);
+        if TRACED {
+            self.emit(TraceEvent::RunEnd {
+                at: self.last_account,
+            });
+        }
 
         // Materialize the hot-loop accumulators: from here on the
         // registry once again holds every statistic, exactly as if it
@@ -473,21 +543,24 @@ impl<'t> SystemSimulator<'t> {
             degraded_entries,
             degraded_secs,
         };
-        Ok(SimReport {
-            energy: self.meter,
-            frame_delays: self.delays,
-            frames_completed: self.metrics.counter(keys::FRAMES_COMPLETED),
-            freq_switches: self.metrics.counter(keys::FREQ_SWITCHES),
-            rate_changes: self.manager.rate_changes(),
-            sleeps: self.metrics.counter(keys::SLEEPS),
-            wakes: self.metrics.counter(keys::WAKES),
-            mode_secs,
-            freq_residency,
-            duration_secs,
-            governor: self.manager.governor_label(),
-            dpm: self.manager.dpm_label(),
-            robustness,
-        })
+        Ok((
+            SimReport {
+                energy: self.meter,
+                frame_delays: self.delays,
+                frames_completed: self.metrics.counter(keys::FRAMES_COMPLETED),
+                freq_switches: self.metrics.counter(keys::FREQ_SWITCHES),
+                rate_changes: self.manager.rate_changes(),
+                sleeps: self.metrics.counter(keys::SLEEPS),
+                wakes: self.metrics.counter(keys::WAKES),
+                mode_secs,
+                freq_residency,
+                duration_secs,
+                governor: self.manager.governor_label(),
+                dpm: self.manager.dpm_label(),
+                robustness,
+            },
+            pops,
+        ))
     }
 
     /// Schedules delivery of trace frame `index`, applying any jitter
@@ -504,7 +577,7 @@ impl<'t> SystemSimulator<'t> {
         let at = nominal
             .saturating_add(self.injector.arrival_jitter(nominal))
             .max(self.queue.now());
-        self.queue.push(at, Event::Arrival(index));
+        self.queue.push(LANE_ARRIVAL, at, Event::Arrival(index));
         self.next_arrival_scheduled = true;
     }
 
@@ -538,24 +611,37 @@ impl<'t> SystemSimulator<'t> {
                     .map(|f| f.kind)
                     .unwrap_or(workload::MediaKind::Mp3Audio);
                 let op = self.physical_op;
-                // Clamp into PowerProfile::decode's (0, 1] domain so no
-                // curve corner case can panic the simulator mid-run
-                // (clamp alone would pass NaN through).
-                let raw = self.manager.dvs().curve(kind).performance_at(op.freq_mhz);
-                let activity = if raw.is_finite() {
-                    raw.clamp(f64::MIN_POSITIVE, 1.0)
-                } else {
-                    1.0
-                };
-                PowerProfile::decode(&self.badge, op, kind, activity)
+                let key = (kind, op.freq_mhz.to_bits(), op.voltage_v.to_bits());
+                match self.decode_profile {
+                    Some((k, f, v, p)) if (k, f, v) == key => p,
+                    _ => {
+                        // Clamp into PowerProfile::decode's (0, 1] domain
+                        // so no curve corner case can panic the simulator
+                        // mid-run (clamp alone would pass NaN through).
+                        let raw = self.manager.dvs().curve(kind).performance_at(op.freq_mhz);
+                        let activity = if raw.is_finite() {
+                            raw.clamp(f64::MIN_POSITIVE, 1.0)
+                        } else {
+                            1.0
+                        };
+                        let p = PowerProfile::decode(&self.badge, op, kind, activity);
+                        self.decode_profile = Some((key.0, key.1, key.2, p));
+                        p
+                    }
+                }
             }
-            Mode::Idle => PowerProfile::uniform(&self.badge, PowerState::Idle),
-            Mode::Sleeping(s) => PowerProfile::uniform(&self.badge, s.to_power_state()),
-            Mode::Waking => PowerProfile::waking(&self.badge),
+            Mode::Idle => self.idle_profile,
+            Mode::Sleeping(SleepState::Standby) => self.standby_profile,
+            Mode::Sleeping(SleepState::Off) => self.off_profile,
+            Mode::Waking => self.waking_profile,
         };
     }
 
-    fn handle_arrival(&mut self, now: SimTime, index: usize) -> Result<(), PmError> {
+    fn handle_arrival<const TRACED: bool>(
+        &mut self,
+        now: SimTime,
+        index: usize,
+    ) -> Result<(), PmError> {
         // The next arrival is scheduled regardless of this frame's fate.
         self.schedule_arrival(index + 1);
 
@@ -581,26 +667,33 @@ impl<'t> SystemSimulator<'t> {
         // A new operating point applies from the next decode start: any
         // in-flight frame finishes at its old speed, and the switch cost
         // (plus any faulty-switch retries) is paid when the decode starts.
-        let changes_before = self.manager.rate_changes();
-        self.manager
-            .on_arrival(frame.kind, gap_s, frame.true_arrival_rate);
-        if self.manager.rate_changes() > changes_before {
-            self.emit_rate_change(now);
+        if TRACED {
+            let changes_before = self.manager.rate_changes();
+            self.manager
+                .on_arrival(frame.kind, gap_s, frame.true_arrival_rate);
+            if self.manager.rate_changes() > changes_before {
+                self.emit_rate_change(now);
+            }
+        } else {
+            self.manager
+                .on_arrival(frame.kind, gap_s, frame.true_arrival_rate);
         }
         if self.buffer.offer(now, frame).is_some() {
             // Buffer overflow: the drop is counted by the buffer; the
             // supervisor still sees the resulting occupancy below.
             debug_assert!(self.buffer.capacity().is_some());
-            self.emit(TraceEvent::BufferDrop {
-                at: now,
-                occupancy: self.buffer.len() as u32,
-            });
+            if TRACED {
+                self.emit(TraceEvent::BufferDrop {
+                    at: now,
+                    occupancy: self.buffer.len() as u32,
+                });
+            }
         }
         self.hot.note_queue_depth(self.buffer.len() as f64);
-        let was_degraded = self.manager.is_degraded();
+        let was_degraded = TRACED && self.manager.is_degraded();
         self.manager.note_queue_depth(self.buffer.len());
         self.manager.note_occupancy(now, self.buffer.len());
-        if self.manager.is_degraded() != was_degraded {
+        if TRACED && self.manager.is_degraded() != was_degraded {
             self.emit(TraceEvent::Degraded {
                 at: now,
                 entered: !was_degraded,
@@ -611,16 +704,16 @@ impl<'t> SystemSimulator<'t> {
             Mode::Idle => {
                 self.leave_idle(now);
                 if !self.buffer.is_empty() {
-                    self.start_decode(now)?;
+                    self.start_decode::<TRACED>(now)?;
                 } else {
                     // The only frame in flight was dropped by a
                     // zero-capacity buffer; go straight back to idle.
-                    self.enter_idle(now);
+                    self.enter_idle::<TRACED>(now);
                 }
             }
             Mode::Sleeping(state) => {
                 self.leave_idle(now);
-                self.begin_wake(now, state);
+                self.begin_wake::<TRACED>(now, state);
             }
             Mode::Decoding | Mode::Waking => {}
         }
@@ -634,14 +727,17 @@ impl<'t> SystemSimulator<'t> {
         self.deepest_this_idle = None;
     }
 
-    fn begin_wake(&mut self, now: SimTime, state: SleepState) {
+    fn begin_wake<const TRACED: bool>(&mut self, now: SimTime, state: SleepState) {
         let nominal = self.costs.wake_latency(state).as_secs_f64();
         // Uniform [0.5, 1.5]x around the nominal latency (Section 2.1).
         let latency = SimDuration::from_secs_f64(nominal * (0.5 + self.rng.next_f64()));
         self.hot.wakes += 1;
         self.set_mode(Mode::Waking);
-        self.emit(TraceEvent::WakeStart { at: now, latency });
+        if TRACED {
+            self.emit(TraceEvent::WakeStart { at: now, latency });
+        }
         self.queue.push(
+            LANE_WAKE,
             now + latency,
             Event::WakeDone {
                 epoch: self.idle_epoch,
@@ -649,20 +745,24 @@ impl<'t> SystemSimulator<'t> {
         );
     }
 
-    fn handle_wake_done(&mut self, now: SimTime, epoch: u64) -> Result<(), PmError> {
+    fn handle_wake_done<const TRACED: bool>(
+        &mut self,
+        now: SimTime,
+        epoch: u64,
+    ) -> Result<(), PmError> {
         if epoch != self.idle_epoch || !matches!(self.mode, Mode::Waking) {
             return Ok(());
         }
         if self.buffer.is_empty() {
             // Defensive: a wake with nothing to do returns to idle.
-            self.enter_idle(now);
+            self.enter_idle::<TRACED>(now);
             Ok(())
         } else {
-            self.start_decode(now)
+            self.start_decode::<TRACED>(now)
         }
     }
 
-    fn start_decode(&mut self, now: SimTime) -> Result<(), PmError> {
+    fn start_decode<const TRACED: bool>(&mut self, now: SimTime) -> Result<(), PmError> {
         let Some((frame, _waited)) = self.buffer.pop(now) else {
             return Err(PmError::InvalidState {
                 what: "decode started on an empty buffer",
@@ -686,30 +786,37 @@ impl<'t> SystemSimulator<'t> {
                 let from = self.physical_op;
                 self.physical_op = desired;
                 self.hot.freq_switches += 1;
-                self.emit(TraceEvent::FreqSwitch {
-                    at: now,
-                    from_tenths_mhz: freq_key(from),
-                    to_tenths_mhz: freq_key(desired),
-                    from_mv: millivolts(from),
-                    to_mv: millivolts(desired),
-                });
+                if TRACED {
+                    self.emit(TraceEvent::FreqSwitch {
+                        at: now,
+                        from_tenths_mhz: freq_key(from),
+                        to_tenths_mhz: freq_key(desired),
+                        from_mv: millivolts(from),
+                        to_mv: millivolts(desired),
+                    });
+                }
             }
         }
         self.decoding_frame = Some(frame);
         self.set_mode(Mode::Decoding);
-        self.emit(TraceEvent::DecodeStart {
-            at: now,
-            freq_tenths_mhz: freq_key(self.physical_op),
-        });
+        if TRACED {
+            self.emit(TraceEvent::DecodeStart {
+                at: now,
+                freq_tenths_mhz: freq_key(self.physical_op),
+            });
+        }
         let stretch = self.manager.dvs().stretch(frame.kind, self.physical_op);
         let overrun = self.injector.decode_overrun_factor(now);
         let decode = frame.work * stretch * overrun + switch_cost;
-        self.queue
-            .push(now + SimDuration::from_secs_f64(decode), Event::DecodeDone);
+        self.queue.push(
+            LANE_DECODE,
+            now + SimDuration::from_secs_f64(decode),
+            Event::DecodeDone,
+        );
         Ok(())
     }
 
-    fn handle_decode_done(&mut self, now: SimTime) -> Result<(), PmError> {
+    fn handle_decode_done<const TRACED: bool>(&mut self, now: SimTime) -> Result<(), PmError> {
         let Some(frame) = self.decoding_frame.take() else {
             return Err(PmError::InvalidState {
                 what: "decode completion without a frame in flight",
@@ -718,12 +825,14 @@ impl<'t> SystemSimulator<'t> {
         self.hot.frames_completed += 1;
         let delay_s = now.saturating_since(frame.arrival).as_secs_f64();
         self.delays.push(delay_s);
-        self.emit(TraceEvent::FrameDone {
-            at: now,
-            delay_s,
-            freq_tenths_mhz: freq_key(self.physical_op),
-        });
-        let was_degraded = self.manager.is_degraded();
+        if TRACED {
+            self.emit(TraceEvent::FrameDone {
+                at: now,
+                delay_s,
+                freq_tenths_mhz: freq_key(self.physical_op),
+            });
+        }
+        let was_degraded = TRACED && self.manager.is_degraded();
         if self.track_deadlines {
             let deadline_s =
                 self.config.deadline_factor * self.manager.dvs().target_delay_s(frame.kind);
@@ -734,37 +843,45 @@ impl<'t> SystemSimulator<'t> {
             }
             self.manager.note_deadline(now, missed);
         }
-        let changes_before = self.manager.rate_changes();
-        self.manager
-            .on_decode_complete(frame.kind, frame.work, frame.true_service_rate);
-        if self.manager.rate_changes() > changes_before {
-            self.emit_rate_change(now);
+        if TRACED {
+            let changes_before = self.manager.rate_changes();
+            self.manager
+                .on_decode_complete(frame.kind, frame.work, frame.true_service_rate);
+            if self.manager.rate_changes() > changes_before {
+                self.emit_rate_change(now);
+            }
+        } else {
+            self.manager
+                .on_decode_complete(frame.kind, frame.work, frame.true_service_rate);
         }
         self.manager.note_queue_depth(self.buffer.len());
         self.manager.note_occupancy(now, self.buffer.len());
-        if self.manager.is_degraded() != was_degraded {
+        if TRACED && self.manager.is_degraded() != was_degraded {
             self.emit(TraceEvent::Degraded {
                 at: now,
                 entered: !was_degraded,
             });
         }
         if self.buffer.is_empty() {
-            self.enter_idle(now);
+            self.enter_idle::<TRACED>(now);
             Ok(())
         } else {
-            self.start_decode(now)
+            self.start_decode::<TRACED>(now)
         }
     }
 
-    fn enter_idle(&mut self, now: SimTime) {
+    fn enter_idle<const TRACED: bool>(&mut self, now: SimTime) {
         self.idle_epoch += 1;
         self.idle_since = now;
         self.deepest_this_idle = None;
         self.set_mode(Mode::Idle);
-        self.emit(TraceEvent::IdleEnter { at: now });
+        if TRACED {
+            self.emit(TraceEvent::IdleEnter { at: now });
+        }
         let plan = self.manager.plan_idle(&mut self.rng);
         for (after, state) in plan.transitions {
             self.queue.push(
+                LANE_SLEEP,
                 now.saturating_add(after),
                 Event::SleepCmd {
                     epoch: self.idle_epoch,
@@ -774,7 +891,7 @@ impl<'t> SystemSimulator<'t> {
         }
     }
 
-    fn handle_sleep_cmd(&mut self, now: SimTime, epoch: u64, state: SleepState) {
+    fn handle_sleep_cmd<const TRACED: bool>(&mut self, now: SimTime, epoch: u64, state: SleepState) {
         if epoch != self.idle_epoch {
             return;
         }
@@ -791,33 +908,36 @@ impl<'t> SystemSimulator<'t> {
                         .map_or(state, |d| if state > d { state } else { d }),
                 );
             self.set_mode(Mode::Sleeping(state));
-            self.emit(TraceEvent::SleepEnter {
-                at: now,
-                state: sleep_kind(state),
-            });
+            if TRACED {
+                self.emit(TraceEvent::SleepEnter {
+                    at: now,
+                    state: sleep_kind(state),
+                });
+            }
         }
     }
 
     /// Accounts the trailing interval after the last frame: the device
     /// follows its final idle plan until the trace end.
-    fn finish(&mut self, trace_end: SimTime) {
+    fn finish<const TRACED: bool>(&mut self, trace_end: SimTime) {
         let now = self.queue.now();
         if !matches!(self.mode, Mode::Idle | Mode::Sleeping(_)) || trace_end <= now {
             self.account(now.max(trace_end));
             return;
         }
-        // Walk the remaining queued sleep commands up to the end.
-        let mut pending: Vec<(SimTime, SleepState)> = Vec::with_capacity(self.queue.len());
+        // Walk the remaining queued sleep commands up to the end. Pops
+        // already arrive in (time, seq) order, so stale epochs and
+        // post-end commands are skipped where they stand — no scratch
+        // buffer and no sort — while the queue clock still advances
+        // over them exactly as the old drain did.
         while let Some(s) = self.queue.pop() {
-            if let Event::SleepCmd { epoch, state } = s.event {
-                if epoch == self.idle_epoch && s.at <= trace_end {
-                    pending.push((s.at, state));
-                }
+            let Event::SleepCmd { epoch, state } = s.event else {
+                continue;
+            };
+            if epoch != self.idle_epoch || s.at > trace_end {
+                continue;
             }
-        }
-        pending.sort_by_key(|&(t, _)| t);
-        for (at, state) in pending {
-            self.account(at);
+            self.account(s.at);
             let allowed = match self.mode {
                 Mode::Idle => true,
                 Mode::Sleeping(current) => state > current,
@@ -826,10 +946,12 @@ impl<'t> SystemSimulator<'t> {
             if allowed {
                 self.hot.sleeps += 1;
                 self.set_mode(Mode::Sleeping(state));
-                self.emit(TraceEvent::SleepEnter {
-                    at,
-                    state: sleep_kind(state),
-                });
+                if TRACED {
+                    self.emit(TraceEvent::SleepEnter {
+                        at: s.at,
+                        state: sleep_kind(state),
+                    });
+                }
             }
         }
         self.account(trace_end);

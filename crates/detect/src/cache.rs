@@ -382,11 +382,16 @@ mod tests {
     fn concurrent_misses_on_distinct_keys_overlap() {
         // Unique seeds so neither key can be pre-populated.
         let seed = 0xCAC4_E020;
+        // A must stay busy far longer than the sleep below plus B's
+        // quick calibration, or `a_done` flips before B returns and the
+        // test fails without any serialization. The optimized kernel
+        // runs a few million trials per second, so size A in the
+        // hundreds of milliseconds.
         let long_config = CalibrationConfig {
             window: 80,
             k_step: 8,
             confidence: 0.99,
-            trials: 40_000,
+            trials: 200_000,
         };
         let short_config = quick_config();
         let barrier = Barrier::new(2);
@@ -400,7 +405,7 @@ mod tests {
             barrier.wait();
             // Give A time to enter its calibration (it holds only its
             // own entry's lock once inside).
-            std::thread::sleep(std::time::Duration::from_millis(30));
+            std::thread::sleep(std::time::Duration::from_millis(10));
             let _ = cached_table(&[2.0], short_config, seed, Jobs::Count(1)).unwrap();
             assert!(
                 !a_done.load(Ordering::SeqCst),

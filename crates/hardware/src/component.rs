@@ -44,6 +44,13 @@ impl ComponentId {
         ComponentId::Sram,
         ComponentId::Dram,
     ];
+
+    /// Dense index of this component in [`Self::ALL`] order; used for
+    /// array-backed per-component accounting.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
 }
 
 impl fmt::Display for ComponentId {

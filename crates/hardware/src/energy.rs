@@ -7,7 +7,6 @@
 use crate::component::ComponentId;
 use simcore::json::{Json, ToJson};
 use simcore::time::SimDuration;
-use std::collections::BTreeMap;
 
 /// Integrates component power draws over time.
 ///
@@ -26,7 +25,14 @@ use std::collections::BTreeMap;
 /// ```
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct EnergyMeter {
-    joules: BTreeMap<ComponentId, f64>,
+    /// Joule totals indexed by [`ComponentId`] discriminant. A fixed
+    /// array keeps the per-interval accumulation the simulator does on
+    /// every event O(1) with no tree traversal; `touched` distinguishes
+    /// "never attributed" from "attributed zero" so reports only list
+    /// components that actually drew power, exactly as the previous
+    /// map-backed meter did.
+    joules: [f64; ComponentId::ALL.len()],
+    touched: [bool; ComponentId::ALL.len()],
     elapsed_secs: f64,
 }
 
@@ -42,12 +48,15 @@ impl EnergyMeter {
     /// # Panics
     ///
     /// Panics if `power_mw` is negative or not finite.
+    #[inline]
     pub fn accumulate(&mut self, id: ComponentId, power_mw: f64, dt: SimDuration) {
         assert!(
             power_mw.is_finite() && power_mw >= 0.0,
             "power must be finite and non-negative, got {power_mw}"
         );
-        *self.joules.entry(id).or_insert(0.0) += power_mw * 1e-3 * dt.as_secs_f64();
+        let i = id.index();
+        self.touched[i] = true;
+        self.joules[i] += power_mw * 1e-3 * dt.as_secs_f64();
     }
 
     /// Records wall-clock progress without attributing energy; used so the
@@ -58,6 +67,7 @@ impl EnergyMeter {
     /// float-accumulated view of that single source of truth (the
     /// registry keeps integer nanoseconds); the simulator cross-checks
     /// the two at the end of every run.
+    #[inline]
     pub fn advance_time(&mut self, dt: SimDuration) {
         self.elapsed_secs += dt.as_secs_f64();
     }
@@ -65,13 +75,16 @@ impl EnergyMeter {
     /// Joules attributed to `id` so far.
     #[must_use]
     pub fn component_joules(&self, id: ComponentId) -> f64 {
-        self.joules.get(&id).copied().unwrap_or(0.0)
+        self.joules[id.index()]
     }
 
     /// Total joules across all components.
     #[must_use]
     pub fn total_joules(&self) -> f64 {
-        self.joules.values().sum()
+        // Untouched slots hold exactly 0.0, and adding 0.0 to a
+        // non-negative running sum is exact, so summing every slot in
+        // id order matches summing only the touched ones bit for bit.
+        self.joules.iter().sum()
     }
 
     /// Total energy in kilojoules, the unit the paper's tables use.
@@ -99,16 +112,25 @@ impl EnergyMeter {
         }
     }
 
-    /// Per-component totals in joules, in [`ComponentId`] order.
+    /// Per-component totals in joules, in [`ComponentId`] order,
+    /// listing only components that have been attributed energy.
     #[must_use]
     pub fn breakdown(&self) -> Vec<(ComponentId, f64)> {
-        self.joules.iter().map(|(&id, &j)| (id, j)).collect()
+        ComponentId::ALL
+            .iter()
+            .filter(|id| self.touched[id.index()])
+            .map(|&id| (id, self.joules[id.index()]))
+            .collect()
     }
 
     /// Merges another meter's totals into this one.
     pub fn merge(&mut self, other: &EnergyMeter) {
-        for (&id, &j) in &other.joules {
-            *self.joules.entry(id).or_insert(0.0) += j;
+        for id in ComponentId::ALL {
+            let i = id.index();
+            if other.touched[i] {
+                self.touched[i] = true;
+                self.joules[i] += other.joules[i];
+            }
         }
         self.elapsed_secs += other.elapsed_secs;
     }
@@ -116,8 +138,14 @@ impl EnergyMeter {
 
 impl ToJson for EnergyMeter {
     fn to_json(&self) -> Json {
+        let joules = Json::obj(
+            self.breakdown()
+                .into_iter()
+                .map(|(id, j)| (id.to_string(), j.to_json()))
+                .collect(),
+        );
         Json::obj(vec![
-            ("joules".to_string(), self.joules.to_json()),
+            ("joules".to_string(), joules),
             ("elapsed_secs".to_string(), self.elapsed_secs.to_json()),
             ("total_joules".to_string(), self.total_joules().to_json()),
         ])
