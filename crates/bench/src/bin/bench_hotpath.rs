@@ -325,9 +325,7 @@ fn main() {
     let (opt_tps, ref_tps, speedup) = bench_calibration(trials);
     println!("[detector: {det_samples} samples through a warm change-point detector]");
     let (fed, samples_per_sec) = bench_detector(det_samples, det_trials);
-    println!(
-        "[simulator: untraced mp3:{sim_labels} ×{sim_reps}, change-point + break-even DPM]"
-    );
+    println!("[simulator: untraced mp3:{sim_labels} ×{sim_reps}, change-point + break-even DPM]");
     // Scope cache accounting to the simulator phase: the detector bench
     // above used a distinct calibration key (its own one-off miss), and
     // folding that in would misreport the simulator's caching as ~0.33.

@@ -10,6 +10,13 @@
 //!   than the untraced run beyond a small absolute epsilon, so a
 //!   regression on the disabled-tracing hot path fails CI.
 //!
+//! A fifth variant runs the ring sink with the streaming assertion
+//! monitor attached (paper-default invariants) and holds it to the same
+//! shape of budget against the plain ring-sink run: monitoring a traced
+//! run must cost no more than 10 % + 2 ms on top of tracing alone, and
+//! the report must stay byte-identical once its `assertions` verdict is
+//! stripped.
+//!
 //! The Ideal governor is used on purpose: it involves no threshold
 //! calibration, so the timed region is the pure simulation loop the
 //! tracing hooks live in.
@@ -73,9 +80,29 @@ fn main() -> ExitCode {
         sink.finish().expect("in-memory write");
         r
     });
+    let workload = scenario::Workload::Mp3("AB".to_owned());
+    let shared = powermgr::SharedResources::default();
+    let (t_mon, mut r_mon) = min_time(|| {
+        let mut sink = RingSink::new(1 << 16);
+        let mut monitor =
+            trace::AssertionMonitor::new(&trace::AssertionConfig::paper()).expect("valid config");
+        workload
+            .run_observed(&cfg, seed, &shared, Some(&mut sink), Some(&mut monitor))
+            .expect("monitored run")
+    });
 
+    assert!(
+        r_mon.assertions.is_some(),
+        "monitored run must carry a verdict"
+    );
+    r_mon.assertions = None; // the verdict is the only permitted delta
     let baseline = r_off.to_json().dump();
-    for (label, r) in [("null", &r_null), ("ring", &r_ring), ("jsonl", &r_jsonl)] {
+    for (label, r) in [
+        ("null", &r_null),
+        ("ring", &r_ring),
+        ("jsonl", &r_jsonl),
+        ("ring+mon", &r_mon),
+    ] {
         assert_eq!(
             baseline,
             r.to_json().dump(),
@@ -89,6 +116,7 @@ fn main() -> ExitCode {
     println!("{:<10} {:>10.3}", "null", ms(t_null));
     println!("{:<10} {:>10.3}", "ring", ms(t_ring));
     println!("{:<10} {:>10.3}", "jsonl", ms(t_jsonl));
+    println!("{:<10} {:>10.3}", "ring+mon", ms(t_mon));
 
     // Budget: disabled-or-null tracing within 10 % of untraced, plus a
     // 2 ms absolute epsilon so sub-millisecond jitter cannot flake.
@@ -105,6 +133,25 @@ fn main() -> ExitCode {
     println!(
         "\nnull-sink overhead {:+.1}% (budget +10% + 2 ms) — OK",
         (t_null.as_secs_f64() / t_off.as_secs_f64() - 1.0) * 100.0
+    );
+
+    // Same shape of budget for the assertion monitor, measured against
+    // tracing alone: the invariant state machines are fixed-size and
+    // allocation-free, so they must stay in the noise of a traced run.
+    let mon_budget =
+        Duration::from_secs_f64(t_ring.as_secs_f64() * 1.10) + Duration::from_millis(2);
+    if t_mon > mon_budget {
+        eprintln!(
+            "FAIL: monitored run {:.3} ms exceeds budget {:.3} ms (ring-sink {:.3} ms + 10% + 2 ms)",
+            ms(t_mon),
+            ms(mon_budget),
+            ms(t_ring)
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "monitor overhead {:+.1}% over ring sink (budget +10% + 2 ms) — OK",
+        (t_mon.as_secs_f64() / t_ring.as_secs_f64() - 1.0) * 100.0
     );
     ExitCode::SUCCESS
 }

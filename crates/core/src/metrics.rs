@@ -171,23 +171,40 @@ pub struct SimReport {
     pub dpm: &'static str,
     /// Fault-injection and graceful-degradation counters.
     pub robustness: RobustnessReport,
+    /// Streaming invariant verdicts, present only when an
+    /// [`trace::AssertionMonitor`] was attached to the run.
+    pub assertions: Option<trace::AssertionReport>,
 }
 
-simcore::impl_to_json!(SimReport {
-    energy,
-    frame_delays,
-    frames_completed,
-    freq_switches,
-    rate_changes,
-    sleeps,
-    wakes,
-    mode_secs,
-    freq_residency,
-    duration_secs,
-    governor,
-    dpm,
-    robustness,
-});
+impl ToJson for SimReport {
+    /// Field order matches the struct; `assertions` is appended only
+    /// when a monitor was attached, so unmonitored reports — including
+    /// every pre-existing golden — keep their exact bytes.
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("energy".to_owned(), self.energy.to_json()),
+            ("frame_delays".to_owned(), self.frame_delays.to_json()),
+            (
+                "frames_completed".to_owned(),
+                self.frames_completed.to_json(),
+            ),
+            ("freq_switches".to_owned(), self.freq_switches.to_json()),
+            ("rate_changes".to_owned(), self.rate_changes.to_json()),
+            ("sleeps".to_owned(), self.sleeps.to_json()),
+            ("wakes".to_owned(), self.wakes.to_json()),
+            ("mode_secs".to_owned(), self.mode_secs.to_json()),
+            ("freq_residency".to_owned(), self.freq_residency.to_json()),
+            ("duration_secs".to_owned(), self.duration_secs.to_json()),
+            ("governor".to_owned(), self.governor.to_json()),
+            ("dpm".to_owned(), self.dpm.to_json()),
+            ("robustness".to_owned(), self.robustness.to_json()),
+        ];
+        if let Some(assertions) = &self.assertions {
+            pairs.push(("assertions".to_owned(), assertions.to_json()));
+        }
+        Json::obj(pairs)
+    }
+}
 
 impl SimReport {
     /// Total energy, joules.
@@ -342,6 +359,9 @@ impl fmt::Display for SimReport {
                 r.degraded_entries
             )?;
         }
+        if let Some(assertions) = &self.assertions {
+            write!(f, "\n  assertions: {assertions}")?;
+        }
         Ok(())
     }
 }
@@ -381,6 +401,7 @@ mod tests {
             governor: "ideal",
             dpm: "none",
             robustness: RobustnessReport::default(),
+            assertions: None,
         }
     }
 
@@ -472,6 +493,30 @@ mod tests {
         assert_eq!(json["robustness"]["frames_dropped"], 0u64);
         // The dump must parse back.
         assert!(Json::parse(&json.dump()).is_ok());
+    }
+
+    #[test]
+    fn assertions_key_appears_only_when_a_monitor_ran() {
+        let bare = report();
+        assert!(
+            !bare.to_json().dump().contains("assertions"),
+            "unmonitored reports keep their pre-assertion bytes"
+        );
+        assert!(!bare.to_string().contains("assertions"));
+
+        let mut monitored = report();
+        monitored.assertions = Some(trace::AssertionReport {
+            delay: Some(trace::InvariantReport {
+                checked: 10,
+                violations: 2,
+                first_violation: None,
+                worst_margin: 1.5,
+            }),
+            ..trace::AssertionReport::default()
+        });
+        let json = monitored.to_json();
+        assert_eq!(json["assertions"]["delay"]["violations"], 2u64);
+        assert!(monitored.to_string().contains("assertions: 2 violation(s)"));
     }
 
     #[test]

@@ -135,6 +135,26 @@ impl Workload {
     ) -> Result<SimReport, PmError> {
         run_trace_traced_shared(&self.build(seed)?, config, seed, shared, sink)
     }
+
+    /// The fully general run: optional event sink, optional streaming
+    /// assertion monitor. With both `None` this is exactly
+    /// [`Self::run_shared`] (the monomorphized untraced fast path);
+    /// with a monitor attached the report carries
+    /// [`SimReport::assertions`](crate::metrics::SimReport).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown clip labels or invalid configuration.
+    pub fn run_observed(
+        &self,
+        config: &SystemConfig,
+        seed: u64,
+        shared: &crate::resolve::SharedResources,
+        sink: Option<&mut dyn TraceSink>,
+        monitor: Option<&mut trace::AssertionMonitor>,
+    ) -> Result<SimReport, PmError> {
+        run_trace_observed(&self.build(seed)?, config, seed, shared, sink, monitor)
+    }
 }
 
 impl fmt::Display for Workload {
@@ -322,6 +342,41 @@ pub fn run_trace_traced_shared(
     SystemSimulator::new_traced_shared(trace, config.clone(), seed, shared, sink)?.run(trace.end())
 }
 
+/// [`run_trace_shared`] with an optional sink and an optional
+/// streaming [`trace::AssertionMonitor`] — the superset entry point the
+/// CLI and the fleet engine share. Neither attachment perturbs the
+/// simulation: the report's numbers are bit-identical across all four
+/// combinations, and `assertions` is populated exactly when a monitor
+/// is attached.
+///
+/// # Errors
+///
+/// Returns an error for invalid configuration.
+pub fn run_trace_observed(
+    trace: &Trace,
+    config: &SystemConfig,
+    seed: u64,
+    shared: &crate::resolve::SharedResources,
+    sink: Option<&mut dyn TraceSink>,
+    monitor: Option<&mut trace::AssertionMonitor>,
+) -> Result<SimReport, PmError> {
+    match (sink, monitor) {
+        (None, None) => run_trace_shared(trace, config, seed, shared),
+        (Some(sink), None) => run_trace_traced_shared(trace, config, seed, shared, sink),
+        (None, Some(monitor)) => {
+            let mut sim = SystemSimulator::new_shared(trace, config.clone(), seed, shared)?;
+            sim.attach_monitor(monitor);
+            sim.run(trace.end())
+        }
+        (Some(sink), Some(monitor)) => {
+            let mut sim =
+                SystemSimulator::new_traced_shared(trace, config.clone(), seed, shared, sink)?;
+            sim.attach_monitor(monitor);
+            sim.run(trace.end())
+        }
+    }
+}
+
 /// [`run_trace`], recording structured events into `sink`. The traced
 /// run is bit-identical to the untraced one in every reported number.
 ///
@@ -393,6 +448,44 @@ mod tests {
         assert_eq!(plain.to_json().dump(), traced.to_json().dump());
         let summary = trace::replay(&sink.events());
         assert_eq!(summary.frames_completed, traced.frames_completed);
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_and_attaches_assertions() {
+        use simcore::json::ToJson;
+        let config = cfg(GovernorKind::quick_change_point(), DpmKind::None);
+        let shared = crate::resolve::SharedResources::default();
+        let workload = Workload::parse("mp3:AB").unwrap();
+        let plain = workload.run(&config, 7).unwrap();
+
+        // Neither attachment may perturb the simulation.
+        let assert_config = trace::AssertionConfig::paper();
+        let mut monitor = trace::AssertionMonitor::new(&assert_config).unwrap();
+        let mut sink = trace::RingSink::new(1 << 20);
+        let observed = workload
+            .run_observed(&config, 7, &shared, Some(&mut sink), Some(&mut monitor))
+            .unwrap();
+        let assertions = observed.assertions.expect("monitor attached");
+        let mut stripped = observed.clone();
+        stripped.assertions = None;
+        assert_eq!(plain.to_json().dump(), stripped.to_json().dump());
+
+        // Monitor-only (no sink) takes the same traced instantiation and
+        // reaches the same verdict.
+        let mut solo = trace::AssertionMonitor::new(&assert_config).unwrap();
+        let monitored = workload
+            .run_observed(&config, 7, &shared, None, Some(&mut solo))
+            .unwrap();
+        assert_eq!(
+            monitored.assertions.unwrap().to_json().dump(),
+            assertions.to_json().dump()
+        );
+
+        // Offline replay of the recorded trace agrees bit for bit.
+        let offline = trace::AssertionMonitor::check(&assert_config, &sink.events()).unwrap();
+        assert_eq!(sink.dropped(), 0, "ring must hold the full trace");
+        assert_eq!(offline.to_json().dump(), assertions.to_json().dump());
+        assert!(assertions.delay.unwrap().checked > 1000);
     }
 
     #[test]

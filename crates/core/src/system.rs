@@ -255,6 +255,11 @@ pub struct SystemSimulator<'t> {
     /// Structured event sink; `None` (the untraced default) keeps the
     /// hot path to a branch on an `Option`.
     sink: Option<&'t mut dyn TraceSink>,
+    /// Streaming invariant checker. Attaching one forces the traced
+    /// event-loop instantiation (the monitor must see every event) even
+    /// when no sink is present; the untraced fast path stays reserved
+    /// for runs with neither.
+    monitor: Option<&'t mut trace::AssertionMonitor>,
 }
 
 impl<'t> SystemSimulator<'t> {
@@ -307,8 +312,7 @@ impl<'t> SystemSimulator<'t> {
             None => FrameBuffer::new(),
         };
         let physical_op = badge.cpu().max_operating_point();
-        let standby_profile =
-            PowerProfile::uniform(&badge, SleepState::Standby.to_power_state());
+        let standby_profile = PowerProfile::uniform(&badge, SleepState::Standby.to_power_state());
         let off_profile = PowerProfile::uniform(&badge, SleepState::Off.to_power_state());
         let waking_profile = PowerProfile::waking(&badge);
         Ok(SystemSimulator {
@@ -345,6 +349,7 @@ impl<'t> SystemSimulator<'t> {
             metrics: MetricsRegistry::new(),
             hot: HotStats::default(),
             sink: None,
+            monitor: None,
         })
     }
 
@@ -385,9 +390,20 @@ impl<'t> SystemSimulator<'t> {
         Ok(sim)
     }
 
-    /// Records `event` into the attached sink, if any.
+    /// Attaches a streaming [`trace::AssertionMonitor`]. The monitor
+    /// observes the identical event stream a sink would record, so its
+    /// verdict matches an offline `tracecat assert` of that trace
+    /// bit for bit; the run's report carries [`SimReport::assertions`].
+    pub fn attach_monitor(&mut self, monitor: &'t mut trace::AssertionMonitor) {
+        self.monitor = Some(monitor);
+    }
+
+    /// Records `event` into the attached monitor and sink, if any.
     #[inline]
     fn emit(&mut self, event: TraceEvent) {
+        if let Some(monitor) = self.monitor.as_mut() {
+            monitor.observe(&event);
+        }
         if let Some(sink) = self.sink.as_mut() {
             sink.record(&event);
         }
@@ -445,7 +461,7 @@ impl<'t> SystemSimulator<'t> {
     ///
     /// Same as [`Self::run`].
     pub fn run_counted(self, trace_end: SimTime) -> Result<(SimReport, u64), PmError> {
-        if self.sink.is_some() {
+        if self.sink.is_some() || self.monitor.is_some() {
             self.run_impl::<true>(trace_end)
         } else {
             self.run_impl::<false>(trace_end)
@@ -558,6 +574,7 @@ impl<'t> SystemSimulator<'t> {
                 governor: self.manager.governor_label(),
                 dpm: self.manager.dpm_label(),
                 robustness,
+                assertions: self.monitor.as_ref().map(|m| m.report()),
             },
             pops,
         ))
@@ -891,7 +908,12 @@ impl<'t> SystemSimulator<'t> {
         }
     }
 
-    fn handle_sleep_cmd<const TRACED: bool>(&mut self, now: SimTime, epoch: u64, state: SleepState) {
+    fn handle_sleep_cmd<const TRACED: bool>(
+        &mut self,
+        now: SimTime,
+        epoch: u64,
+        state: SleepState,
+    ) {
         if epoch != self.idle_epoch {
             return;
         }

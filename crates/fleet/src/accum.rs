@@ -23,7 +23,7 @@ use simcore::stats::{OnlineStats, QuantileSketch};
 
 use crate::report::{
     CohortHealth, CohortSummary, DeviceOutcome, DeviceRecord, FailureSample, FleetHealth,
-    FleetReport, MetricSummary,
+    FleetReport, MetricSummary, SloSummary,
 };
 
 /// Quantile-sketch capacity per metric. 2048 keeps every fleet up to
@@ -113,6 +113,10 @@ pub struct CohortAcc {
     pub(crate) sum_energy_kj: f64,
     pub(crate) sum_delay_s: f64,
     pub(crate) sum_drop_rate: f64,
+    /// Constant-size assertion SLO tallies over the cohort's survivors;
+    /// all-zero (and absent from the report) when no member carried a
+    /// monitor verdict.
+    pub(crate) slo: SloSummary,
 }
 
 impl CohortAcc {
@@ -126,6 +130,7 @@ impl CohortAcc {
             sum_energy_kj: 0.0,
             sum_delay_s: 0.0,
             sum_drop_rate: 0.0,
+            slo: SloSummary::default(),
         }
     }
 }
@@ -226,6 +231,9 @@ impl FleetAccumulator {
                 cohort.sum_energy_kj += r.energy_kj;
                 cohort.sum_delay_s += r.mean_delay_s;
                 cohort.sum_drop_rate += r.drop_rate;
+                if let Some(a) = &r.assertions {
+                    cohort.slo.fold(a);
+                }
                 self.energy_kj.push(r.energy_kj);
                 self.mean_delay_s.push(r.mean_delay_s);
                 self.drop_rate.push(r.drop_rate);
@@ -288,8 +296,13 @@ impl FleetAccumulator {
                     mean_delay_s: c.sum_delay_s / c.survivors as f64,
                     mean_drop_rate: c.sum_drop_rate / c.survivors as f64,
                     savings_vs_baseline: None,
+                    slo: (c.slo.monitored > 0).then_some(c.slo),
                 });
             }
+        }
+        let mut fleet_slo = SloSummary::default();
+        for c in &self.cohorts {
+            fleet_slo.merge(&c.slo);
         }
         let baseline = cohorts
             .iter()
@@ -328,6 +341,7 @@ impl FleetAccumulator {
             health,
             records: self.records,
             records_truncated: self.records_truncated,
+            slo: (fleet_slo.monitored > 0).then_some(fleet_slo),
         }
     }
 }
@@ -354,6 +368,7 @@ mod tests {
             frames_completed: 100,
             duration_secs: 60.0,
             deadline_miss_ratio: 0.0,
+            assertions: None,
         }
     }
 

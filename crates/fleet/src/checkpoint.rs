@@ -39,7 +39,7 @@ use simcore::json::Json;
 use simcore::stats::{OnlineStats, QuantileSketch};
 
 use crate::accum::{CohortAcc, FleetAccumulator, MetricAcc};
-use crate::report::{DeviceRecord, FailureSample};
+use crate::report::{DeviceAssertions, DeviceRecord, FailureSample, SloSummary};
 use crate::spec::FleetSpec;
 use crate::FleetError;
 
@@ -312,6 +312,38 @@ fn decode_metric(json: &Json) -> Result<MetricAcc, String> {
     Ok(MetricAcc { stats, sketch })
 }
 
+fn encode_slo(s: &SloSummary) -> Json {
+    Json::obj(vec![
+        ("monitored".into(), Json::Int(s.monitored as i64)),
+        ("violating".into(), Json::Int(s.violating as i64)),
+        ("delay".into(), Json::Int(s.delay as i64)),
+        ("oscillation".into(), Json::Int(s.oscillation as i64)),
+        ("occupancy".into(), Json::Int(s.occupancy as i64)),
+        (
+            "energy_monotone".into(),
+            Json::Int(s.energy_monotone as i64),
+        ),
+    ])
+}
+
+fn decode_slo(json: &Json) -> Result<SloSummary, String> {
+    let slo = SloSummary {
+        monitored: int_field(json, "monitored")?,
+        violating: int_field(json, "violating")?,
+        delay: int_field(json, "delay")?,
+        oscillation: int_field(json, "oscillation")?,
+        occupancy: int_field(json, "occupancy")?,
+        energy_monotone: int_field(json, "energy_monotone")?,
+    };
+    if slo.violating > slo.monitored {
+        return Err(format!(
+            "slo claims {} violating devices out of {} monitored",
+            slo.violating, slo.monitored
+        ));
+    }
+    Ok(slo)
+}
+
 fn encode_cohort(c: &CohortAcc) -> Json {
     Json::obj(vec![
         ("devices".into(), Json::Int(c.devices as i64)),
@@ -322,6 +354,7 @@ fn encode_cohort(c: &CohortAcc) -> Json {
         ("sum_energy_kj_bits".into(), bits(c.sum_energy_kj)),
         ("sum_delay_s_bits".into(), bits(c.sum_delay_s)),
         ("sum_drop_rate_bits".into(), bits(c.sum_drop_rate)),
+        ("slo".into(), encode_slo(&c.slo)),
     ])
 }
 
@@ -334,6 +367,13 @@ fn decode_cohort(json: &Json) -> Result<CohortAcc, String> {
             "cohort devices {devices} != failed {failed} + survivors {survivors}"
         ));
     }
+    let slo = decode_slo(json.get("slo").ok_or("missing \"slo\"")?)?;
+    if slo.monitored > survivors {
+        return Err(format!(
+            "cohort slo monitors {} devices but only {survivors} survived",
+            slo.monitored
+        ));
+    }
     Ok(CohortAcc {
         devices,
         failed,
@@ -343,6 +383,7 @@ fn decode_cohort(json: &Json) -> Result<CohortAcc, String> {
         sum_energy_kj: f64_bits_field(json, "sum_energy_kj_bits")?,
         sum_delay_s: f64_bits_field(json, "sum_delay_s_bits")?,
         sum_drop_rate: f64_bits_field(json, "sum_drop_rate_bits")?,
+        slo,
     })
 }
 
@@ -479,6 +520,21 @@ fn encode_record(r: &DeviceRecord) -> Json {
             "deadline_miss_ratio_bits".into(),
             bits(r.deadline_miss_ratio),
         ),
+        (
+            "assertions".into(),
+            match &r.assertions {
+                None => Json::Null,
+                Some(a) => Json::obj(vec![
+                    ("delay".into(), Json::Int(a.delay as i64)),
+                    ("oscillation".into(), Json::Int(a.oscillation as i64)),
+                    ("occupancy".into(), Json::Int(a.occupancy as i64)),
+                    (
+                        "energy_monotone".into(),
+                        Json::Int(a.energy_monotone as i64),
+                    ),
+                ]),
+            },
+        ),
     ])
 }
 
@@ -502,6 +558,16 @@ fn decode_record(json: &Json) -> Result<DeviceRecord, String> {
         frames_completed: int_field(json, "frames_completed")?,
         duration_secs: f64_bits_field(json, "duration_secs_bits")?,
         deadline_miss_ratio: f64_bits_field(json, "deadline_miss_ratio_bits")?,
+        assertions: match json.get("assertions") {
+            Some(Json::Null) => None,
+            Some(v) => Some(DeviceAssertions {
+                delay: int_field(v, "delay")?,
+                oscillation: int_field(v, "oscillation")?,
+                occupancy: int_field(v, "occupancy")?,
+                energy_monotone: int_field(v, "energy_monotone")?,
+            }),
+            None => return Err("missing \"assertions\"".into()),
+        },
     })
 }
 
@@ -546,6 +612,7 @@ mod tests {
             }],
             faults: vec![FaultPreset::Off],
             on_error: OnError::Continue,
+            assertions: None,
         }
     }
 
@@ -569,6 +636,14 @@ mod tests {
                 frames_completed: 100,
                 duration_secs: 60.0,
                 deadline_miss_ratio: 0.0,
+                // Monitored device: the violation counts must survive
+                // the round-trip and land back in the cohort SLO.
+                assertions: Some(DeviceAssertions {
+                    delay: 3,
+                    oscillation: 1,
+                    occupancy: 0,
+                    energy_monotone: 2,
+                }),
             }),
             DeviceOutcome::Failed(DeviceFailure {
                 device: 1,

@@ -46,7 +46,7 @@ use trace::{FleetEvent, JsonlSink, TraceSink};
 
 use crate::accum::FleetAccumulator;
 use crate::checkpoint;
-use crate::report::{DeviceFailure, DeviceOutcome, DeviceRecord, FleetReport};
+use crate::report::{DeviceAssertions, DeviceFailure, DeviceOutcome, DeviceRecord, FleetReport};
 use crate::soa::{self, CohortResources};
 use crate::spec::{DeviceAssignment, FleetSpec, OnError};
 use crate::FleetError;
@@ -311,7 +311,14 @@ fn supervised_run(
         let seed = spec.retry_seed(device, attempt - 1);
         last_seed = seed;
         let attempted = catch_unwind(AssertUnwindSafe(|| {
-            run_attempt(&a, seed, u64::from(attempt), trace_dir, shared)
+            run_attempt(
+                &a,
+                seed,
+                u64::from(attempt),
+                trace_dir,
+                shared,
+                spec.assertions.as_ref(),
+            )
         }));
         match attempted {
             Ok(Ok(record)) => return Ok(DeviceOutcome::Completed(record)),
@@ -373,14 +380,26 @@ fn run_attempt(
     attempt: u64,
     trace_dir: Option<&Path>,
     shared: &SharedResources,
+    assertions: Option<&trace::AssertionConfig>,
 ) -> Result<DeviceRecord, AttemptError> {
     let config = device_config(a, seed);
     let sim_err = |e: PmError| AttemptError::Contained(e.to_string());
 
+    // A fresh monitor per attempt: verdicts never bleed across retries.
+    // The spec validator vetted the config, so construction failing here
+    // is an engine bug, not a device fault — fatal, never retried.
+    let mut monitor = match assertions {
+        None => None,
+        Some(cfg) => Some(
+            trace::AssertionMonitor::new(cfg)
+                .map_err(|e| AttemptError::Fatal(FleetError::Spec(e)))?,
+        ),
+    };
+
     let report = match trace_dir {
         None => a
             .workload
-            .run_shared(&config, seed, shared)
+            .run_observed(&config, seed, shared, None, monitor.as_mut())
             .map_err(sim_err)?,
         Some(dir) => {
             // Stage the trace at a temp path and rename only on
@@ -396,7 +415,7 @@ fn run_attempt(
             let mut sink = JsonlSink::new(BufWriter::new(file));
             let report = a
                 .workload
-                .run_traced_shared(&config, seed, shared, &mut sink)
+                .run_observed(&config, seed, shared, Some(&mut sink), monitor.as_mut())
                 .map_err(sim_err)?;
             sink.finish().map_err(|e| {
                 AttemptError::Fatal(FleetError::Io(format!(
@@ -445,6 +464,7 @@ fn run_attempt(
         frames_completed: report.frames_completed,
         duration_secs: report.duration_secs,
         deadline_miss_ratio: report.robustness.deadline_miss_ratio(),
+        assertions: report.assertions.map(|r| DeviceAssertions::from_report(&r)),
     })
 }
 

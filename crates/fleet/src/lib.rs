@@ -36,6 +36,7 @@
 //!     ],
 //!     faults: vec![faults::FaultPreset::Off],
 //!     on_error: OnError::FailFast,
+//!     assertions: None,
 //! };
 //! let report = run_fleet(&spec, Jobs::Count(2))?;
 //! assert_eq!(report.devices, 2);
@@ -56,8 +57,8 @@ pub mod spec;
 pub use accum::{FleetAccumulator, MetricAcc, RECORD_SAMPLE_CAP, SKETCH_CAPACITY};
 pub use engine::{run_device, run_fleet, run_fleet_opts, run_fleet_with, RunOptions};
 pub use report::{
-    CohortHealth, CohortSummary, DeviceFailure, DeviceOutcome, DeviceRecord, FailureSample,
-    FleetHealth, FleetReport, MetricSummary,
+    CohortHealth, CohortSummary, DeviceAssertions, DeviceFailure, DeviceOutcome, DeviceRecord,
+    FailureSample, FleetHealth, FleetReport, MetricSummary, SloSummary,
 };
 pub use soa::{cohort_key, probe_detection_latency, CohortResources};
 pub use spec::{DeviceAssignment, FleetSpec, OnError, PolicySpec};

@@ -75,6 +75,107 @@ impl MetricSummary {
     }
 }
 
+/// Per-invariant assertion-violation counts for one monitored device —
+/// the constant-size slice of its `SimReport` assertion verdict that
+/// the fleet rollup folds (field order matches
+/// [`trace::AssertionReport::INVARIANTS`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeviceAssertions {
+    /// Eq. 5 delay-constraint violations.
+    pub delay: u64,
+    /// V/f oscillation-rate violations.
+    pub oscillation: u64,
+    /// Buffer-occupancy watchdog violations.
+    pub occupancy: u64,
+    /// Voltage-monotonicity violations.
+    pub energy_monotone: u64,
+}
+
+impl_to_json!(DeviceAssertions {
+    delay,
+    oscillation,
+    occupancy,
+    energy_monotone,
+});
+
+impl DeviceAssertions {
+    /// Extracts the violation counts from a monitor's verdict.
+    #[must_use]
+    pub fn from_report(report: &trace::AssertionReport) -> DeviceAssertions {
+        let [delay, oscillation, occupancy, energy_monotone] = report.violation_counts();
+        DeviceAssertions {
+            delay,
+            oscillation,
+            occupancy,
+            energy_monotone,
+        }
+    }
+
+    /// Total violations across all invariants.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.delay + self.oscillation + self.occupancy + self.energy_monotone
+    }
+}
+
+/// SLO rollup of assertion monitoring over a set of devices (one
+/// cohort, or the whole fleet): how many devices were monitored, how
+/// many violated anything, and the per-invariant violation totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SloSummary {
+    /// Surviving devices that ran with a monitor attached.
+    pub monitored: u64,
+    /// Monitored devices with at least one violation.
+    pub violating: u64,
+    /// Total Eq. 5 delay-constraint violations.
+    pub delay: u64,
+    /// Total V/f oscillation-rate violations.
+    pub oscillation: u64,
+    /// Total buffer-occupancy watchdog violations.
+    pub occupancy: u64,
+    /// Total voltage-monotonicity violations.
+    pub energy_monotone: u64,
+}
+
+impl_to_json!(SloSummary {
+    monitored,
+    violating,
+    delay,
+    oscillation,
+    occupancy,
+    energy_monotone,
+});
+
+impl SloSummary {
+    /// Folds one monitored device's counts into the rollup.
+    pub fn fold(&mut self, device: &DeviceAssertions) {
+        self.monitored += 1;
+        if device.total() > 0 {
+            self.violating += 1;
+        }
+        self.delay += device.delay;
+        self.oscillation += device.oscillation;
+        self.occupancy += device.occupancy;
+        self.energy_monotone += device.energy_monotone;
+    }
+
+    /// Total violations across all invariants.
+    #[must_use]
+    pub fn total_violations(&self) -> u64 {
+        self.delay + self.oscillation + self.occupancy + self.energy_monotone
+    }
+
+    /// Merges another rollup (cohort → fleet aggregation).
+    pub fn merge(&mut self, other: &SloSummary) {
+        self.monitored += other.monitored;
+        self.violating += other.violating;
+        self.delay += other.delay;
+        self.oscillation += other.oscillation;
+        self.occupancy += other.occupancy;
+        self.energy_monotone += other.energy_monotone;
+    }
+}
+
 /// The successful outcome of one device's run, in fleet-report form.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DeviceRecord {
@@ -110,25 +211,49 @@ pub struct DeviceRecord {
     pub duration_secs: f64,
     /// Fraction of frame deadlines missed.
     pub deadline_miss_ratio: f64,
+    /// Per-invariant assertion-violation counts; `None` when the run
+    /// was not monitored (the key is then omitted from the JSON form,
+    /// keeping unmonitored reports byte-identical to earlier versions).
+    pub assertions: Option<DeviceAssertions>,
 }
 
-impl_to_json!(DeviceRecord {
-    device,
-    seed,
-    workload,
-    policy,
-    governor,
-    dpm,
-    faults,
-    attempts,
-    energy_kj,
-    mean_delay_s,
-    drop_rate,
-    detection_latency_frames,
-    frames_completed,
-    duration_secs,
-    deadline_miss_ratio,
-});
+// Hand-written (not `impl_to_json!`) so `assertions: None` omits the
+// key entirely instead of emitting `null` — unmonitored fleet reports
+// must stay byte-identical to the pre-assertion golden files.
+impl ToJson for DeviceRecord {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("device".to_string(), self.device.to_json()),
+            ("seed".to_string(), self.seed.to_json()),
+            ("workload".to_string(), self.workload.to_json()),
+            ("policy".to_string(), self.policy.to_json()),
+            ("governor".to_string(), self.governor.to_json()),
+            ("dpm".to_string(), self.dpm.to_json()),
+            ("faults".to_string(), self.faults.to_json()),
+            ("attempts".to_string(), self.attempts.to_json()),
+            ("energy_kj".to_string(), self.energy_kj.to_json()),
+            ("mean_delay_s".to_string(), self.mean_delay_s.to_json()),
+            ("drop_rate".to_string(), self.drop_rate.to_json()),
+            (
+                "detection_latency_frames".to_string(),
+                self.detection_latency_frames.to_json(),
+            ),
+            (
+                "frames_completed".to_string(),
+                self.frames_completed.to_json(),
+            ),
+            ("duration_secs".to_string(), self.duration_secs.to_json()),
+            (
+                "deadline_miss_ratio".to_string(),
+                self.deadline_miss_ratio.to_json(),
+            ),
+        ];
+        if let Some(a) = &self.assertions {
+            fields.push(("assertions".to_string(), a.to_json()));
+        }
+        Json::obj(fields)
+    }
+}
 
 /// The failed outcome of one device's run: every attempt the failure
 /// policy allowed ended in a typed error or a caught panic.
@@ -399,18 +524,33 @@ pub struct CohortSummary {
     /// (baseline energy ÷ cohort energy, Table 5's "×" column);
     /// `None` when the fleet has no baseline cohort.
     pub savings_vs_baseline: Option<f64>,
+    /// Assertion SLO rollup over the cohort's survivors; `None` (and
+    /// omitted from JSON) when no device in the cohort was monitored.
+    pub slo: Option<SloSummary>,
 }
 
-impl_to_json!(CohortSummary {
-    policy,
-    governor,
-    dpm,
-    devices,
-    mean_energy_kj,
-    mean_delay_s,
-    mean_drop_rate,
-    savings_vs_baseline,
-});
+// Hand-written so `slo: None` omits the key — see `DeviceRecord`.
+impl ToJson for CohortSummary {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("policy".to_string(), self.policy.to_json()),
+            ("governor".to_string(), self.governor.to_json()),
+            ("dpm".to_string(), self.dpm.to_json()),
+            ("devices".to_string(), self.devices.to_json()),
+            ("mean_energy_kj".to_string(), self.mean_energy_kj.to_json()),
+            ("mean_delay_s".to_string(), self.mean_delay_s.to_json()),
+            ("mean_drop_rate".to_string(), self.mean_drop_rate.to_json()),
+            (
+                "savings_vs_baseline".to_string(),
+                self.savings_vs_baseline.to_json(),
+            ),
+        ];
+        if let Some(slo) = &self.slo {
+            fields.push(("slo".to_string(), slo.to_json()));
+        }
+        Json::obj(fields)
+    }
+}
 
 /// The aggregate report for one fleet run.
 ///
@@ -452,22 +592,40 @@ pub struct FleetReport {
     /// Surviving records dropped beyond the sample cap; `0` means
     /// `records` is complete.
     pub records_truncated: u64,
+    /// Fleet-wide assertion SLO rollup (the per-cohort rollups merged);
+    /// `None` (and omitted from JSON) when no device was monitored.
+    pub slo: Option<SloSummary>,
 }
 
-impl_to_json!(FleetReport {
-    name,
-    devices,
-    base_seed,
-    partial,
-    energy_kj,
-    mean_delay_s,
-    drop_rate,
-    detection_latency_frames,
-    cohorts,
-    health,
-    records,
-    records_truncated,
-});
+// Hand-written so `slo: None` omits the key — see `DeviceRecord`.
+impl ToJson for FleetReport {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("name".to_string(), self.name.to_json()),
+            ("devices".to_string(), self.devices.to_json()),
+            ("base_seed".to_string(), self.base_seed.to_json()),
+            ("partial".to_string(), self.partial.to_json()),
+            ("energy_kj".to_string(), self.energy_kj.to_json()),
+            ("mean_delay_s".to_string(), self.mean_delay_s.to_json()),
+            ("drop_rate".to_string(), self.drop_rate.to_json()),
+            (
+                "detection_latency_frames".to_string(),
+                self.detection_latency_frames.to_json(),
+            ),
+        ];
+        if let Some(slo) = &self.slo {
+            fields.push(("slo".to_string(), slo.to_json()));
+        }
+        fields.push(("cohorts".to_string(), self.cohorts.to_json()));
+        fields.push(("health".to_string(), self.health.to_json()));
+        fields.push(("records".to_string(), self.records.to_json()));
+        fields.push((
+            "records_truncated".to_string(),
+            self.records_truncated.to_json(),
+        ));
+        Json::obj(fields)
+    }
+}
 
 impl FleetReport {
     /// Builds the aggregate report from per-device outcomes.
@@ -572,6 +730,20 @@ impl fmt::Display for FleetReport {
             Some(m) => row(f, "detection (frames)", Some(m))?,
             None => writeln!(f, "  detection (frames) n/a (no detecting governor)")?,
         }
+        if let Some(slo) = &self.slo {
+            writeln!(
+                f,
+                "  assertions         {} monitored, {} violating, {} violation(s) \
+                 [delay {}, oscillation {}, occupancy {}, energy {}]",
+                slo.monitored,
+                slo.violating,
+                slo.total_violations(),
+                slo.delay,
+                slo.oscillation,
+                slo.occupancy,
+                slo.energy_monotone
+            )?;
+        }
         let h = &self.health;
         if h.failed > 0 || h.retried > 0 {
             writeln!(
@@ -606,10 +778,19 @@ impl fmt::Display for FleetReport {
                 c.mean_delay_s,
                 c.mean_drop_rate
             )?;
-            match c.savings_vs_baseline {
-                Some(x) => writeln!(f, "  {x:>5.2}x vs max/none")?,
-                None => writeln!(f)?,
+            if let Some(x) = c.savings_vs_baseline {
+                write!(f, "  {x:>5.2}x vs max/none")?;
             }
+            if let Some(slo) = &c.slo {
+                write!(
+                    f,
+                    "  slo {}/{} violating ({} viol)",
+                    slo.violating,
+                    slo.monitored,
+                    slo.total_violations()
+                )?;
+            }
+            writeln!(f)?;
         }
         if self.records_truncated > 0 {
             writeln!(
@@ -644,6 +825,7 @@ mod tests {
             frames_completed: 100,
             duration_secs: 60.0,
             deadline_miss_ratio: 0.0,
+            assertions: None,
         }
     }
 
@@ -802,6 +984,39 @@ mod tests {
         assert_eq!(health.first_errors.len(), FleetHealth::MAX_ERROR_SAMPLES);
         assert_eq!(health.first_errors[0].device, 0);
         assert_eq!(health.failed, 20);
+    }
+
+    #[test]
+    fn slo_rollup_appears_only_for_monitored_fleets() {
+        // Unmonitored fleet: neither the records nor the summaries grow
+        // any assertion keys — byte-compatible with older reports.
+        let clean = build_clean("t", 1, vec![record(0, 0, 1.0, None)]);
+        assert_eq!(clean.slo, None);
+        let text = clean.to_json_pretty();
+        assert!(!text.contains("\"slo\""), "{text}");
+        assert!(!text.contains("\"assertions\""), "{text}");
+        // Monitored fleet: device counts fold into cohort + fleet SLO.
+        let mut noisy = record(0, 0, 1.0, None);
+        noisy.assertions = Some(DeviceAssertions {
+            delay: 2,
+            oscillation: 0,
+            occupancy: 1,
+            energy_monotone: 0,
+        });
+        let mut quiet = record(1, 0, 2.0, None);
+        quiet.assertions = Some(DeviceAssertions::default());
+        let report = build_clean("t", 1, vec![noisy, quiet]);
+        let slo = report.slo.as_ref().expect("fleet rollup");
+        assert_eq!((slo.monitored, slo.violating), (2, 1));
+        assert_eq!((slo.delay, slo.occupancy), (2, 1));
+        assert_eq!(slo.total_violations(), 3);
+        assert_eq!(report.cohorts[0].slo.as_ref(), Some(slo));
+        let text = report.to_json_pretty();
+        assert!(text.contains("\"slo\""), "{text}");
+        assert!(text.contains("\"assertions\""), "{text}");
+        let shown = report.to_string();
+        assert!(shown.contains("2 monitored, 1 violating"), "{shown}");
+        assert!(shown.contains("slo 1/2 violating (3 viol)"), "{shown}");
     }
 
     #[test]

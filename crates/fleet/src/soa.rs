@@ -281,6 +281,7 @@ mod tests {
             policies,
             faults: vec![faults::FaultPreset::Off],
             on_error: OnError::FailFast,
+            assertions: None,
         }
     }
 

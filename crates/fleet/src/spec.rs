@@ -139,6 +139,10 @@ pub struct FleetSpec {
     pub faults: Vec<FaultPreset>,
     /// Failure policy: what one failing device does to the run.
     pub on_error: OnError,
+    /// Streaming invariant set every device is monitored against
+    /// (`None`, the default, attaches no monitor and keeps the
+    /// monomorphized untraced fast path).
+    pub assertions: Option<trace::AssertionConfig>,
 }
 
 /// The resolved configuration of one device: its seed and its slot in
@@ -175,10 +179,17 @@ impl FleetSpec {
         for (key, _) in pairs {
             if !matches!(
                 key.as_str(),
-                "name" | "devices" | "base_seed" | "workloads" | "policies" | "faults" | "on_error"
+                "name"
+                    | "devices"
+                    | "base_seed"
+                    | "workloads"
+                    | "policies"
+                    | "faults"
+                    | "on_error"
+                    | "assertions"
             ) {
                 return Err(FleetError::Spec(format!(
-                    "unknown key `{key}` (expected name|devices|base_seed|workloads|policies|faults|on_error)"
+                    "unknown key `{key}` (expected name|devices|base_seed|workloads|policies|faults|on_error|assertions)"
                 )));
             }
         }
@@ -274,6 +285,13 @@ impl FleetSpec {
             }
         };
 
+        // Strict like every other block: unknown keys, missing fields,
+        // and invalid (negative/NaN) bounds are all hard errors.
+        let assertions = match json.get("assertions") {
+            None => None,
+            Some(v) => Some(trace::AssertionConfig::from_json(v).map_err(FleetError::Spec)?),
+        };
+
         let spec = FleetSpec {
             name,
             devices,
@@ -282,6 +300,7 @@ impl FleetSpec {
             policies,
             faults,
             on_error,
+            assertions,
         };
         spec.validate()?;
         Ok(spec)
@@ -316,6 +335,9 @@ impl FleetSpec {
                     "`on_error` retry count must be in 1..={MAX_RETRIES}, got {n}"
                 )));
             }
+        }
+        if let Some(assertions) = &self.assertions {
+            assertions.validate().map_err(FleetError::Spec)?;
         }
         Ok(())
     }
@@ -524,6 +546,60 @@ mod tests {
                 msg.contains(want),
                 "spec {text:?}: got {msg:?}, want {want:?}"
             );
+        }
+    }
+
+    #[test]
+    fn parses_an_assertions_block_and_rejects_bad_ones_strictly() {
+        let spec = FleetSpec::parse(
+            r#"{
+                "devices": 2, "workloads": ["mp3:A"], "policies": [{}],
+                "assertions": {
+                    "delay": { "bound_s": 0.3, "tolerance": 1.0 },
+                    "oscillation": { "max_switches": 10, "window_s": 1.0 },
+                    "occupancy": { "max": 64 },
+                    "energy_monotone": true
+                }
+            }"#,
+        )
+        .expect("valid assertions block");
+        let assertions = spec.assertions.expect("block parsed");
+        assert_eq!(assertions.delay.unwrap().bound_s, 0.3);
+        assert_eq!(assertions.oscillation.unwrap().max_switches, 10);
+
+        // No block → no monitoring.
+        let bare =
+            FleetSpec::parse(r#"{ "devices": 1, "workloads": ["mp3:A"], "policies": [{}] }"#)
+                .unwrap();
+        assert!(bare.assertions.is_none());
+
+        let bad: &[(&str, &str)] = &[
+            (
+                r#"{"delay": {"bound_s": 0.3, "slack": 2}}"#,
+                "unknown key `slack`",
+            ),
+            (r#"{"watchdog": {}}"#, "unknown key `watchdog`"),
+            (
+                r#"{"delay": {"bound_s": 0.3, "tolerance": -0.5}}"#,
+                "tolerance must be finite and >= 0",
+            ),
+            (r#"{"delay": {"bound_s": -1.0}}"#, "bound_s must be finite"),
+            (
+                r#"{"oscillation": {"max_switches": 0, "window_s": 1.0}}"#,
+                "max_switches must be >= 1",
+            ),
+            (
+                r#"{"occupancy": {"max": 1.5}}"#,
+                "must be a non-negative integer",
+            ),
+            (r#"[]"#, "assertions must be an object"),
+        ];
+        for (block, want) in bad {
+            let text = format!(
+                r#"{{ "devices": 1, "workloads": ["mp3:A"], "policies": [{{}}], "assertions": {block} }}"#
+            );
+            let msg = FleetSpec::parse(&text).expect_err(&text).to_string();
+            assert!(msg.contains(want), "{block}: got {msg:?}, want {want:?}");
         }
     }
 }

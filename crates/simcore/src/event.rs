@@ -362,7 +362,10 @@ impl<E, const LANES: usize> LaneQueue<E, LANES> {
     #[must_use]
     pub fn peek_time(&self) -> Option<SimTime> {
         let slot_min = self.keys.iter().copied().min().unwrap_or(EMPTY_KEY);
-        let spill_min = self.spill.last().map_or(EMPTY_KEY, |e| pack_key(e.at, e.seq));
+        let spill_min = self
+            .spill
+            .last()
+            .map_or(EMPTY_KEY, |e| pack_key(e.at, e.seq));
         let best = slot_min.min(spill_min);
         if best == EMPTY_KEY {
             None

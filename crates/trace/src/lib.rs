@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod assert;
 pub mod durable;
 pub mod event;
 pub mod fleet;
@@ -31,6 +32,10 @@ pub mod registry;
 pub mod replay;
 pub mod sink;
 
+pub use assert::{
+    eq5_delay_bound, AssertionConfig, AssertionMonitor, AssertionReport, DelayBound,
+    InvariantReport, OccupancyBound, OscillationBound, ViolationSample,
+};
 pub use event::{Event, EventKind, KindSet, SleepKind, StreamKind, TraceMode};
 pub use fleet::{parse_fleet_jsonl, FleetEvent};
 pub use registry::{ns_to_secs, MetricsRegistry};
@@ -56,6 +61,36 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
         events.push(event);
     }
     Ok(events)
+}
+
+/// Verifies that `events` are in non-decreasing time order.
+///
+/// Replay-side consumers ([`replay()`], `tracecat replay --check`,
+/// `tracecat assert`) **reject** disordered traces instead of
+/// re-sorting them: a trace whose timestamps run backwards was either
+/// truncated/corrupted or concatenated from multiple runs, and sorting
+/// it would silently manufacture a plausible-looking stream that no
+/// simulator ever produced.
+///
+/// # Errors
+///
+/// Names the first offending event (1-based, matching JSONL line
+/// numbering for traces without blank lines) and both timestamps.
+pub fn ensure_time_ordered(events: &[Event]) -> Result<(), String> {
+    for (i, pair) in events.windows(2).enumerate() {
+        if pair[1].at() < pair[0].at() {
+            return Err(format!(
+                "trace is out of time order: event {} ({} at t={}ns) precedes event {} ({} at t={}ns)",
+                i + 2,
+                pair[1].name(),
+                pair[1].at().as_nanos(),
+                i + 1,
+                pair[0].name(),
+                pair[0].at().as_nanos(),
+            ));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -90,5 +125,34 @@ mod tests {
     fn parse_jsonl_reports_the_offending_line() {
         let err = parse_jsonl("{\"kind\":\"run_start\",\"t\":0}\nnot json\n").unwrap_err();
         assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn time_order_check_accepts_ties_and_names_the_regression() {
+        let ordered = vec![
+            Event::RunStart { at: SimTime::ZERO },
+            Event::IdleEnter {
+                at: SimTime::from_nanos(5),
+            },
+            Event::RunEnd {
+                at: SimTime::from_nanos(5), // ties are legal
+            },
+        ];
+        assert!(ensure_time_ordered(&ordered).is_ok());
+        assert!(ensure_time_ordered(&[]).is_ok());
+
+        let disordered = vec![
+            Event::RunStart {
+                at: SimTime::from_nanos(10),
+            },
+            Event::RunEnd {
+                at: SimTime::from_nanos(9),
+            },
+        ];
+        let err = ensure_time_ordered(&disordered).unwrap_err();
+        assert!(
+            err.contains("event 2") && err.contains("t=9ns") && err.contains("t=10ns"),
+            "{err}"
+        );
     }
 }

@@ -1,0 +1,267 @@
+//! Property tests for the assertion monitors over *synthetic* event
+//! streams (vendored mini-proptest, no simulator in the loop).
+//!
+//! Streams are built clean **by construction** against a fixed test
+//! invariant set — frame delays under the bound, switches spaced wider
+//! than the oscillation window allows to matter, occupancies under the
+//! watchdog, voltages drawn from one monotone V(f) table. Each property
+//! then injects exactly one violation of one invariant and requires the
+//! verdict to trip **only** that invariant; clean streams must trip
+//! nothing. Every case also replays the stream offline
+//! ([`AssertionMonitor::check`]) and requires the verdict to match the
+//! online monitor bit-for-bit.
+
+use proptest::prelude::*;
+use simcore::json::ToJson;
+use simcore::time::SimTime;
+use trace::{
+    AssertionConfig, AssertionMonitor, AssertionReport, DelayBound, Event, OccupancyBound,
+    OscillationBound, TraceSink,
+};
+
+/// The invariant set every property runs against. Deliberately small
+/// numbers so injected violations are unambiguous:
+/// delay bound 0.1 s (zero tolerance), at most 3 switches per 1 s
+/// window, occupancy watchdog at 10, voltage monotone in frequency.
+fn test_config() -> AssertionConfig {
+    AssertionConfig {
+        delay: Some(DelayBound {
+            bound_s: 0.1,
+            tolerance: 0.0,
+        }),
+        oscillation: Some(OscillationBound {
+            max_switches: 3,
+            window_s: 1.0,
+        }),
+        occupancy: Some(OccupancyBound { max_occupancy: 10 }),
+        energy_monotone: true,
+    }
+}
+
+/// Clean operating frequencies (tenths of a MHz). Distinct and few
+/// enough that every pair fits the energy table, so the monotone
+/// voltage map below is fully recorded.
+const CLEAN_FREQS: [u32; 8] = [590, 740, 880, 1030, 1180, 1330, 1470, 1620];
+
+/// The one true V(f): strictly increasing in `f`, one voltage per
+/// frequency — streams that only use this map can never trip the
+/// energy-monotone invariant.
+fn clean_mv(freq_tenths_mhz: u32) -> u32 {
+    800 + freq_tenths_mhz / 10
+}
+
+fn ns(nanos: u64) -> SimTime {
+    SimTime::from_nanos(nanos)
+}
+
+fn switch_at(nanos: u64, from: u32, to: u32) -> Event {
+    Event::FreqSwitch {
+        at: ns(nanos),
+        from_tenths_mhz: from,
+        to_tenths_mhz: to,
+        from_mv: clean_mv(from),
+        to_mv: clean_mv(to),
+    }
+}
+
+/// One generated stream element: a time gap (milliseconds) and a
+/// payload drawn from the clean-by-construction distributions.
+#[derive(Debug, Clone)]
+enum Kind {
+    /// `FrameDone` with a delay safely under the 0.1 s bound.
+    Frame(f64),
+    /// `BufferDrop` at an occupancy within the watchdog.
+    Drop(u32),
+    /// `FreqSwitch` between two clean operating points (indices into
+    /// [`CLEAN_FREQS`]).
+    Switch(usize, usize),
+    /// Events no invariant examines — noise the monitor must ignore.
+    Idle,
+    Decode(usize),
+}
+
+fn kind() -> impl Strategy<Value = Kind> {
+    let n = CLEAN_FREQS.len();
+    prop_oneof![
+        3 => (0.0f64..0.09).prop_map(Kind::Frame),
+        1 => (0u32..11).prop_map(Kind::Drop),
+        2 => (0..n, 0..n).prop_map(|(a, b)| Kind::Switch(a, b)),
+        1 => Just(Kind::Idle),
+        1 => (0..n).prop_map(Kind::Decode),
+    ]
+}
+
+fn slots() -> impl Strategy<Value = Vec<(u64, Kind)>> {
+    prop::collection::vec((1u64..50, kind()), 0..64)
+}
+
+/// Materializes a slot list into a strictly time-ordered clean stream
+/// (without its `RunEnd`). Gaps are prefix-summed so order holds by
+/// construction; every switch is pushed an extra 0.5 s out, so any
+/// four consecutive switches span at least 1.5 s — wider than the 1 s
+/// oscillation window. Returns the events and the final cursor time.
+fn build_stream(slots: &[(u64, Kind)]) -> (Vec<Event>, u64) {
+    let mut events = vec![Event::RunStart { at: SimTime::ZERO }];
+    let mut cursor: u64 = 0;
+    for (gap_ms, kind) in slots {
+        cursor += gap_ms * 1_000_000;
+        match *kind {
+            Kind::Frame(delay_s) => events.push(Event::FrameDone {
+                at: ns(cursor),
+                delay_s,
+                freq_tenths_mhz: CLEAN_FREQS[0],
+            }),
+            Kind::Drop(occupancy) => events.push(Event::BufferDrop {
+                at: ns(cursor),
+                occupancy,
+            }),
+            Kind::Switch(a, b) => {
+                cursor += 500_000_000;
+                events.push(switch_at(cursor, CLEAN_FREQS[a], CLEAN_FREQS[b]));
+            }
+            Kind::Idle => events.push(Event::IdleEnter { at: ns(cursor) }),
+            Kind::Decode(a) => events.push(Event::DecodeStart {
+                at: ns(cursor),
+                freq_tenths_mhz: CLEAN_FREQS[a],
+            }),
+        }
+    }
+    (events, cursor)
+}
+
+fn finish(mut events: Vec<Event>, cursor: u64) -> Vec<Event> {
+    events.push(Event::RunEnd {
+        at: ns(cursor + 1_000_000),
+    });
+    events
+}
+
+/// Runs the stream through the monitor both ways — online via the
+/// [`TraceSink`] interface and offline via [`AssertionMonitor::check`]
+/// — and requires bit-identical verdicts before returning one.
+fn verdict(events: &[Event]) -> AssertionReport {
+    let config = test_config();
+    let mut monitor = AssertionMonitor::new(&config).expect("valid test config");
+    for event in events {
+        monitor.record(event);
+    }
+    let online = monitor.report();
+    let offline = AssertionMonitor::check(&config, events).expect("stream is time-ordered");
+    assert_eq!(
+        online.to_json().dump(),
+        offline.to_json().dump(),
+        "online and offline verdicts diverge on a synthetic stream"
+    );
+    assert_eq!(online, offline);
+    online
+}
+
+fn counts(events: &[Event]) -> [u64; 4] {
+    verdict(events).violation_counts()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn clean_streams_never_trip_any_invariant(slots in slots()) {
+        let (events, cursor) = build_stream(&slots);
+        let events = finish(events, cursor);
+        let report = verdict(&events);
+        prop_assert!(
+            report.is_clean(),
+            "clean-by-construction stream tripped: {report}"
+        );
+        // The monitor must still have *checked* everything checkable.
+        let frames = events
+            .iter()
+            .filter(|e| matches!(e, Event::FrameDone { .. }))
+            .count() as u64;
+        let drops = events
+            .iter()
+            .filter(|e| matches!(e, Event::BufferDrop { .. }))
+            .count() as u64;
+        prop_assert_eq!(report.delay.expect("enabled").checked, frames);
+        prop_assert_eq!(report.occupancy.expect("enabled").checked, drops);
+    }
+
+    #[test]
+    fn a_delay_spike_trips_exactly_the_delay_invariant(
+        slots in slots(),
+        spike in 0.2f64..1.0,
+    ) {
+        let (mut events, cursor) = build_stream(&slots);
+        let at = cursor + 1_100_000_000;
+        events.push(Event::FrameDone {
+            at: ns(at),
+            delay_s: spike,
+            freq_tenths_mhz: CLEAN_FREQS[0],
+        });
+        let [delay, osc, occ, energy] = counts(&finish(events, at));
+        prop_assert_eq!(delay, 1, "the spike must trip the delay bound once");
+        prop_assert_eq!((osc, occ, energy), (0, 0, 0), "no other invariant may trip");
+    }
+
+    #[test]
+    fn a_switch_burst_trips_exactly_the_oscillation_invariant(
+        slots in slots(),
+        burst_gap_ms in 10u64..30,
+    ) {
+        // Four switches inside ~0.1 s: one more than the budget allows
+        // per window. Injected 1.1 s after the last clean event (past
+        // the window), alternating between two *clean* operating points
+        // so the energy invariant stays quiet.
+        let (mut events, cursor) = build_stream(&slots);
+        let mut at = cursor + 1_100_000_000;
+        for i in 0..4u64 {
+            let (a, b) = if i % 2 == 0 { (0, 5) } else { (5, 0) };
+            events.push(switch_at(at, CLEAN_FREQS[a], CLEAN_FREQS[b]));
+            at += burst_gap_ms * 1_000_000;
+        }
+        let [delay, osc, occ, energy] = counts(&finish(events, at));
+        prop_assert_eq!(osc, 1, "the 4th burst switch must close a too-short window");
+        prop_assert_eq!((delay, occ, energy), (0, 0, 0), "no other invariant may trip");
+    }
+
+    #[test]
+    fn an_occupancy_overflow_trips_exactly_the_occupancy_invariant(
+        slots in slots(),
+        over in 11u32..101,
+    ) {
+        let (mut events, cursor) = build_stream(&slots);
+        let at = cursor + 1_100_000_000;
+        events.push(Event::BufferDrop {
+            at: ns(at),
+            occupancy: over,
+        });
+        let [delay, osc, occ, energy] = counts(&finish(events, at));
+        prop_assert_eq!(occ, 1, "the overflow must trip the watchdog once");
+        prop_assert_eq!((delay, osc, energy), (0, 0, 0), "no other invariant may trip");
+    }
+
+    #[test]
+    fn a_voltage_inversion_trips_exactly_the_energy_invariant(
+        slots in slots(),
+        undervolt_mv in 100u32..200,
+    ) {
+        // A switch *up* in frequency (to a frequency outside the clean
+        // set, so the bad pair can't collide with a recorded one) whose
+        // target voltage lands *below* the source voltage. The source
+        // pair is observed — and recorded — first, so the inverted pair
+        // always has a higher-voltage lower-frequency point to violate
+        // against, whatever the clean prefix contained.
+        let (mut events, cursor) = build_stream(&slots);
+        let at = cursor + 1_100_000_000;
+        let from = CLEAN_FREQS[6];
+        events.push(Event::FreqSwitch {
+            at: ns(at),
+            from_tenths_mhz: from,
+            to_tenths_mhz: 1910,
+            from_mv: clean_mv(from),
+            to_mv: clean_mv(from) - undervolt_mv,
+        });
+        let [delay, osc, occ, energy] = counts(&finish(events, at));
+        prop_assert_eq!(energy, 1, "the inverted pair must break voltage monotonicity");
+        prop_assert_eq!((delay, osc, occ), (0, 0, 0), "no other invariant may trip");
+    }
+}

@@ -183,7 +183,11 @@ mod tests {
 
     /// The scalar one-draw-per-event loop the block sampler replaced,
     /// kept verbatim as a differential reference.
-    fn generate_with_floor_scalar(schedule: &RateSchedule, floor: f64, rng: &mut SimRng) -> Vec<f64> {
+    fn generate_with_floor_scalar(
+        schedule: &RateSchedule,
+        floor: f64,
+        rng: &mut SimRng,
+    ) -> Vec<f64> {
         let total = schedule.total_duration();
         let mut arrivals = Vec::new();
         let mut t = 0.0;

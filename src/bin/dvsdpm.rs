@@ -15,6 +15,10 @@
 //! `--trace <path>` records every structured simulator event as JSONL;
 //! `--trace-filter <kinds>` restricts it to a comma-separated list of
 //! event kinds. Inspect the result with the companion `tracecat` tool.
+//! `--assert` attaches the streaming assertion monitor (paper-default
+//! invariants; `--assert-config <path>` loads a JSON `assertions` block
+//! instead) — the verdict lands in the report's `assertions` object,
+//! and works with or without `--trace`.
 //!
 //! `fleet` runs a whole population of devices from a JSON spec (see
 //! `fleet::FleetSpec`) over the deterministic parallel engine and
@@ -47,6 +51,8 @@ struct RunArgs {
     trace: Option<String>,
     /// Restrict the trace to these event kinds (requires `--trace`).
     trace_filter: Option<KindSet>,
+    /// Attach a streaming assertion monitor with this invariant set.
+    assertions: Option<trace::AssertionConfig>,
 }
 
 /// Parsed `fleet` command-line request.
@@ -98,6 +104,8 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
     let mut jobs = None;
     let mut trace_path = None;
     let mut trace_filter = None;
+    let mut assert_default = false;
+    let mut assert_config: Option<trace::AssertionConfig> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -119,12 +127,29 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
             "--jobs" => jobs = Some(parse_jobs(&value("--jobs")?)?),
             "--trace" => trace_path = Some(value("--trace")?),
             "--trace-filter" => trace_filter = Some(KindSet::parse(&value("--trace-filter")?)?),
+            "--assert" => assert_default = true,
+            "--assert-config" => {
+                let path = value("--assert-config")?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read assertion config {path}: {e}"))?;
+                let json = simcore::json::Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+                assert_config = Some(
+                    trace::AssertionConfig::from_json(&json).map_err(|e| format!("{path}: {e}"))?,
+                );
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     if trace_filter.is_some() && trace_path.is_none() {
         return Err("--trace-filter requires --trace".to_owned());
     }
+    // `--assert-config` implies `--assert`; bare `--assert` means the
+    // paper-default invariant set.
+    let assertions = match (assert_config, assert_default) {
+        (Some(cfg), _) => Some(cfg),
+        (None, true) => Some(trace::AssertionConfig::paper()),
+        (None, false) => None,
+    };
     Ok(RunArgs {
         workload: workload.ok_or("missing --workload")?,
         governor,
@@ -135,6 +160,7 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
         jobs,
         trace: trace_path,
         trace_filter,
+        assertions,
     })
 }
 
@@ -212,8 +238,26 @@ fn execute(run: &RunArgs) -> Result<SimReport, String> {
         buffer_capacity,
         ..SystemConfig::default()
     };
+    let mut monitor = match &run.assertions {
+        None => None,
+        Some(cfg) => Some(
+            trace::AssertionMonitor::new(cfg)
+                .map_err(|e| format!("invalid assertion config: {e}"))?,
+        ),
+    };
     let report = match &run.trace {
-        None => run.workload.run(&config, run.seed),
+        None => match monitor.as_mut() {
+            None => run.workload.run(&config, run.seed),
+            // Monitor without a sink: the observed path attaches it and
+            // the report grows an `assertions` verdict.
+            Some(monitor) => run.workload.run_observed(
+                &config,
+                run.seed,
+                &powermgr::SharedResources::default(),
+                None,
+                Some(monitor),
+            ),
+        },
         Some(path) => {
             let file = std::fs::File::create(path)
                 .map_err(|e| format!("cannot create trace file {path}: {e}"))?;
@@ -222,7 +266,13 @@ fn execute(run: &RunArgs) -> Result<SimReport, String> {
                 Some(keep) => Box::new(FilteredSink::new(jsonl, keep)),
                 None => Box::new(jsonl),
             };
-            let report = run.workload.run_traced(&config, run.seed, sink.as_mut());
+            let report = run.workload.run_observed(
+                &config,
+                run.seed,
+                &powermgr::SharedResources::default(),
+                Some(sink.as_mut()),
+                monitor.as_mut(),
+            );
             sink.finish()
                 .map_err(|e| format!("trace write to {path} failed: {e}"))?;
             report
@@ -299,16 +349,21 @@ fn print_list() {
     println!("trace    : --trace <path> structured JSONL event trace");
     println!("           --trace-filter <kinds> comma list of");
     println!("           run|mode|freq|rate|sleep|wake|drop|degrade|frame");
+    println!("assert   : --assert streaming invariant monitor (paper defaults:");
+    println!("           Eq. 5 delay bound, V/f oscillation rate, buffer watchdog,");
+    println!("           energy-vs-frequency monotonicity);");
+    println!("           --assert-config <path.json> custom invariant set");
     println!("fleet    : dvsdpm fleet --spec <path.json> [--jobs <n>] [--json <path>]");
     println!("           [--trace-dir <dir>] [--checkpoint <dir> [--checkpoint-every <b>]]");
     println!("           [--resume <dir>] [--batch <n>]; spec keys: name, devices, base_seed,");
     println!("           workloads, policies ([{{governor, dpm}}]), faults,");
-    println!("           on_error (fail_fast|continue|retry:<n>)");
+    println!("           on_error (fail_fast|continue|retry:<n>), assertions (optional");
+    println!("           invariant block -> per-cohort SLO rollup in the report)");
     println!("           exit codes: 0 clean, 2 partial (some devices failed), 1 fatal");
 }
 
 fn print_usage() {
-    eprintln!("usage: dvsdpm run --workload <w> [--governor <g>] [--dpm <d>] [--seed <n>] [--faults <preset>] [--json <path>] [--jobs <n>] [--trace <path>] [--trace-filter <kinds>]");
+    eprintln!("usage: dvsdpm run --workload <w> [--governor <g>] [--dpm <d>] [--seed <n>] [--faults <preset>] [--json <path>] [--jobs <n>] [--trace <path>] [--trace-filter <kinds>] [--assert] [--assert-config <path>]");
     eprintln!("       dvsdpm fleet --spec <path> [--jobs <n>] [--json <path>] [--trace-dir <dir>] [--checkpoint <dir>] [--checkpoint-every <b>] [--resume <dir>] [--batch <n>]");
     eprintln!("       dvsdpm list");
 }
@@ -438,6 +493,7 @@ mod tests {
             jobs: None,
             trace: None,
             trace_filter: None,
+            assertions: None,
         };
         let report = execute(&run).unwrap();
         assert!(!report.robustness.is_quiet());
@@ -579,6 +635,7 @@ mod tests {
             jobs: None,
             trace: None,
             trace_filter: None,
+            assertions: None,
         };
         let report = execute(&run).unwrap();
         assert!(report.frames_completed > 1000);
@@ -614,6 +671,74 @@ mod tests {
     }
 
     #[test]
+    fn parses_assert_flags() {
+        // Bare --assert selects the paper-default invariant set.
+        let run = parse_run(&strs(&["--workload", "session", "--assert"])).unwrap();
+        assert_eq!(run.assertions, Some(trace::AssertionConfig::paper()));
+        // No flag, no monitor.
+        let run = parse_run(&strs(&["--workload", "session"])).unwrap();
+        assert_eq!(run.assertions, None);
+        // --assert-config loads a custom block (and implies --assert).
+        let path =
+            std::env::temp_dir().join(format!("dvsdpm-assert-config-{}.json", std::process::id()));
+        std::fs::write(&path, r#"{"occupancy": {"max": 8}}"#).unwrap();
+        let run = parse_run(&strs(&[
+            "--workload",
+            "session",
+            "--assert-config",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let cfg = run.assertions.expect("config implies assert");
+        assert_eq!(cfg.occupancy.map(|o| o.max_occupancy), Some(8));
+        assert!(cfg.delay.is_none());
+        // A bad config file is rejected at parse time with its path.
+        std::fs::write(&path, r#"{"delay": {"bound_s": -1.0}}"#).unwrap();
+        let err = parse_run(&strs(&[
+            "--workload",
+            "session",
+            "--assert-config",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("bound_s"), "{err}");
+        std::fs::remove_file(&path).ok();
+        assert!(
+            parse_run(&strs(&["--workload", "session", "--assert-config"])).is_err(),
+            "flag without a value"
+        );
+    }
+
+    #[test]
+    fn monitored_execution_attaches_a_verdict_without_a_trace() {
+        let run = RunArgs {
+            workload: Workload::Mp3("A".to_owned()),
+            governor: GovernorKind::MaxPerformance,
+            dpm: DpmKind::None,
+            seed: 1,
+            faults: FaultPreset::Off,
+            json: None,
+            jobs: None,
+            trace: None,
+            trace_filter: None,
+            assertions: Some(trace::AssertionConfig::paper()),
+        };
+        let report = execute(&run).unwrap();
+        let verdict = report.assertions.expect("monitor ran");
+        let delay = verdict.delay.expect("delay invariant enabled");
+        assert_eq!(delay.checked, report.frames_completed);
+        // The unmonitored run is otherwise bit-identical: strip the
+        // verdict and compare the full JSON documents.
+        let mut plain_args = run.clone();
+        plain_args.assertions = None;
+        let plain = execute(&plain_args).unwrap();
+        let mut stripped = report.clone();
+        stripped.assertions = None;
+        use simcore::json::ToJson;
+        assert_eq!(stripped.to_json().pretty(), plain.to_json().pretty());
+    }
+
+    #[test]
     fn traced_execution_writes_replayable_jsonl() {
         let path = std::env::temp_dir().join("dvsdpm-cli-trace-test.jsonl");
         let run = RunArgs {
@@ -628,6 +753,7 @@ mod tests {
             jobs: None,
             trace: Some(path.to_string_lossy().into_owned()),
             trace_filter: None,
+            assertions: None,
         };
         let report = execute(&run).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();

@@ -5,6 +5,7 @@
 //! tracecat filter --kinds freq,sleep trace.jsonl
 //! tracecat freq-table trace.jsonl
 //! tracecat replay [--json] [--check report.json] trace.jsonl
+//! tracecat assert [--json] [--config assertions.json] trace.jsonl
 //! ```
 //!
 //! * `summary` — event counts by kind and the covered time range.
@@ -18,11 +19,26 @@
 //!   on any mismatch. Counters must match exactly and residency times
 //!   bit-for-bit — the simulator and the replay share the same
 //!   integer-nanosecond accumulation.
+//! * `assert` — replay the trace through the same
+//!   [`trace::AssertionMonitor`] the simulator attaches online (paper
+//!   defaults, or a `--config` JSON `assertions` block) and print the
+//!   verdict. Exit 0 when every invariant held, 3 on violations, 1 on
+//!   any error.
+//!
+//! Both `replay` and `assert` *reject* out-of-time-order traces with an
+//! error naming the first offending pair: a disordered trace is treated
+//! as corrupt, never silently re-sorted.
 
 use simcore::json::{Json, ToJson};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
-use trace::{parse_jsonl, replay, Event, KindSet, ReplaySummary};
+use trace::{
+    parse_jsonl, replay, AssertionConfig, AssertionMonitor, Event, KindSet, ReplaySummary,
+};
+
+/// Exit code for a trace that parses and replays cleanly but violates
+/// at least one assertion (distinct from `1`, any hard error).
+const EXIT_VIOLATIONS: u8 = 3;
 
 fn load(path: &str) -> Result<Vec<Event>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -158,6 +174,7 @@ fn check_against_report(summary: &ReplaySummary, report: &Json) -> Vec<String> {
 }
 
 fn cmd_replay(events: &[Event], as_json: bool, check: Option<&str>) -> Result<(), String> {
+    trace::ensure_time_ordered(events)?;
     let summary = replay(events);
     if as_json {
         println!("{}", summary.to_json().pretty());
@@ -194,26 +211,78 @@ fn cmd_replay(events: &[Event], as_json: bool, check: Option<&str>) -> Result<()
     Ok(())
 }
 
+/// Replays the trace through the shared invariant definitions and
+/// prints the verdict. Returns the process exit code: `0` clean,
+/// [`EXIT_VIOLATIONS`] when any invariant tripped.
+fn cmd_assert(events: &[Event], config: &AssertionConfig, as_json: bool) -> Result<u8, String> {
+    let report = AssertionMonitor::check(config, events)?;
+    if as_json {
+        println!("{}", report.to_json().pretty());
+    } else {
+        println!("{report}");
+    }
+    Ok(if report.is_clean() {
+        0
+    } else {
+        EXIT_VIOLATIONS
+    })
+}
+
+/// Loads an assertion config from a JSON file holding the same
+/// `assertions` block a fleet spec embeds.
+fn load_assert_config(path: &str) -> Result<AssertionConfig, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    AssertionConfig::from_json(&json).map_err(|e| format!("{path}: {e}"))
+}
+
 fn usage() -> &'static str {
     "usage: tracecat summary <trace.jsonl>\n       \
      tracecat filter --kinds <k1,k2,...> <trace.jsonl>\n       \
      tracecat freq-table <trace.jsonl>\n       \
-     tracecat replay [--json] [--check <report.json>] <trace.jsonl>"
+     tracecat replay [--json] [--check <report.json>] <trace.jsonl>\n       \
+     tracecat assert [--json] [--config <assertions.json>] <trace.jsonl>"
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+/// Parses the `[--json] [--<flag> <value>] <path>` tail shared by
+/// `replay` and `assert`; returns (json, flag value, trace path).
+fn parse_tail(args: &[String], flag: &str) -> Result<(bool, Option<String>, String), String> {
+    let mut as_json = false;
+    let mut value = None;
+    let mut path = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => as_json = true,
+            a if a == flag => {
+                value = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} needs a path"))?,
+                );
+            }
+            other if path.is_none() && !other.starts_with("--") => {
+                path = Some(other.to_owned());
+            }
+            other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok((as_json, value, path.ok_or_else(|| usage().to_owned())?))
+}
+
+fn run(args: &[String]) -> Result<u8, String> {
     match args.first().map(String::as_str) {
         Some("summary") => {
             let [path] = &args[1..] else {
                 return Err(usage().to_owned());
             };
             cmd_summary(&load(path)?);
-            Ok(())
+            Ok(0)
         }
         Some("filter") => match &args[1..] {
             [kinds_flag, kinds, path] if kinds_flag == "--kinds" => {
                 cmd_filter(&load(path)?, KindSet::parse(kinds)?);
-                Ok(())
+                Ok(0)
             }
             _ => Err(usage().to_owned()),
         },
@@ -222,31 +291,20 @@ fn run(args: &[String]) -> Result<(), String> {
                 return Err(usage().to_owned());
             };
             cmd_freq_table(&load(path)?);
-            Ok(())
+            Ok(0)
         }
         Some("replay") => {
-            let mut as_json = false;
-            let mut check = None;
-            let mut path = None;
-            let mut it = args[1..].iter();
-            while let Some(arg) = it.next() {
-                match arg.as_str() {
-                    "--json" => as_json = true,
-                    "--check" => {
-                        check = Some(
-                            it.next()
-                                .cloned()
-                                .ok_or_else(|| "--check needs a report path".to_owned())?,
-                        );
-                    }
-                    other if path.is_none() && !other.starts_with("--") => {
-                        path = Some(other.to_owned());
-                    }
-                    other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
-                }
-            }
-            let path = path.ok_or_else(|| usage().to_owned())?;
-            cmd_replay(&load(&path)?, as_json, check.as_deref())
+            let (as_json, check, path) = parse_tail(&args[1..], "--check")?;
+            cmd_replay(&load(&path)?, as_json, check.as_deref())?;
+            Ok(0)
+        }
+        Some("assert") => {
+            let (as_json, config_path, path) = parse_tail(&args[1..], "--config")?;
+            let config = match config_path {
+                Some(p) => load_assert_config(&p)?,
+                None => AssertionConfig::paper(),
+            };
+            cmd_assert(&load(&path)?, &config, as_json)
         }
         _ => Err(usage().to_owned()),
     }
@@ -255,7 +313,7 @@ fn run(args: &[String]) -> Result<(), String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => ExitCode::from(code),
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
@@ -373,5 +431,38 @@ mod tests {
         assert!(run(&["filter".into(), "--kinds".into(), "freq".into()]).is_err());
         assert!(run(&["replay".into(), "--check".into()]).is_err());
         assert!(run(&["replay".into(), "/nonexistent/trace.jsonl".into()]).is_err());
+        assert!(run(&["assert".into(), "--config".into()]).is_err());
+        assert!(run(&["assert".into(), "/nonexistent/trace.jsonl".into()]).is_err());
+    }
+
+    #[test]
+    fn replay_rejects_out_of_order_traces() {
+        let mut events = sample_events();
+        events.swap(2, 3); // frame_done now precedes its decode_start
+        let err = cmd_replay(&events, false, None).expect_err("disordered trace");
+        assert!(err.contains("out of time order"), "{err}");
+        // The same trace in order replays fine.
+        cmd_replay(&sample_events(), false, None).expect("ordered trace");
+    }
+
+    #[test]
+    fn assert_exit_codes_separate_clean_violating_and_corrupt() {
+        let config = AssertionConfig::paper();
+        // The sample trace is clean under the paper invariants.
+        assert_eq!(cmd_assert(&sample_events(), &config, false), Ok(0));
+        // An occupancy overflow trips the watchdog invariant: exit 3.
+        let mut events = sample_events();
+        events.insert(
+            events.len() - 1,
+            Event::BufferDrop {
+                at: t(9_000),
+                occupancy: 100,
+            },
+        );
+        assert_eq!(cmd_assert(&events, &config, true), Ok(EXIT_VIOLATIONS));
+        // A disordered trace is an error, not a verdict.
+        events.swap(2, 3);
+        let err = cmd_assert(&events, &config, false).expect_err("disordered");
+        assert!(err.contains("out of time order"), "{err}");
     }
 }

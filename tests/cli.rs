@@ -529,6 +529,229 @@ fn fleet_bad_inputs_fail_with_actionable_stderr() {
 }
 
 #[test]
+fn run_assert_without_trace_reports_a_verdict() {
+    let dir = std::env::temp_dir().join("dvsdpm-cli-assert-run");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let report = dir.join("report.json");
+    let out = dvsdpm()
+        .args([
+            "run",
+            "--workload",
+            "mp3:A",
+            "--governor",
+            "ideal",
+            "--dpm",
+            "none",
+            "--seed",
+            "3",
+            "--assert",
+            "--json",
+        ])
+        .arg(&report)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("assertions: clean"), "{text}");
+
+    // The verdict rides the JSON report and actually checked frames.
+    let json = simcore::Json::parse(&std::fs::read_to_string(&report).expect("json written"))
+        .expect("valid json");
+    assert!(
+        json["assertions"]["delay"]["checked"]
+            .as_u64()
+            .expect("field")
+            > 1000
+    );
+    assert_eq!(json["assertions"]["delay"]["violations"].as_u64(), Some(0));
+}
+
+#[test]
+fn tracecat_assert_agrees_with_the_online_monitor() {
+    let dir = std::env::temp_dir().join("dvsdpm-cli-assert-agree");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace = dir.join("run.jsonl");
+    let report = dir.join("report.json");
+    let out = dvsdpm()
+        .args([
+            "run",
+            "--workload",
+            "mp3:A",
+            "--governor",
+            "ideal",
+            "--dpm",
+            "break-even",
+            "--seed",
+            "6",
+            "--assert",
+            "--trace",
+        ])
+        .arg(&trace)
+        .arg("--json")
+        .arg(&report)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Replaying the trace offline must reproduce the online verdict
+    // bit for bit (both sides serialize through the same ToJson).
+    let out = tracecat()
+        .args(["assert", "--json"])
+        .arg(&trace)
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let offline = simcore::Json::parse(&String::from_utf8(out.stdout).expect("utf8"))
+        .expect("tracecat emits valid json");
+    let online = simcore::Json::parse(&std::fs::read_to_string(&report).expect("json written"))
+        .expect("valid json");
+    assert_eq!(
+        online["assertions"].dump(),
+        offline.dump(),
+        "offline replay verdict diverged from the online monitor"
+    );
+}
+
+#[test]
+fn tracecat_assert_exit_codes_separate_violations_from_errors() {
+    let dir = std::env::temp_dir().join("dvsdpm-cli-assert-exit");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace = dir.join("run.jsonl");
+    let out = dvsdpm()
+        .args([
+            "run",
+            "--workload",
+            "mp3:A",
+            "--governor",
+            "ideal",
+            "--dpm",
+            "none",
+            "--seed",
+            "6",
+            "--trace",
+        ])
+        .arg(&trace)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // An impossible delay bound: every frame violates, exit code 3.
+    let config = dir.join("strict.json");
+    std::fs::write(
+        &config,
+        r#"{ "delay": { "bound_s": 1e-9, "tolerance": 0.0 } }"#,
+    )
+    .expect("config written");
+    let out = tracecat()
+        .args(["assert", "--config"])
+        .arg(&config)
+        .arg(&trace)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3), "violations must exit 3");
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("violation(s)"), "{text}");
+
+    // A disordered (tampered) trace is rejected outright: exit 1, not a
+    // violation verdict.
+    let mut lines: Vec<String> = std::fs::read_to_string(&trace)
+        .expect("trace readable")
+        .lines()
+        .map(str::to_owned)
+        .collect();
+    lines.rotate_right(1); // run_end first → time order broken
+    let tampered = dir.join("tampered.jsonl");
+    std::fs::write(&tampered, lines.join("\n")).expect("tampered written");
+    let out = tracecat()
+        .arg("assert")
+        .arg(&tampered)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "disordered trace must exit 1");
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("out of time order"), "{err}");
+
+    // Missing inputs are reported by path.
+    let out = tracecat()
+        .args(["assert", "/nonexistent/trace.jsonl"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("cannot read"), "{err}");
+
+    // A bad invariant set is a config error, not a verdict.
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, r#"{ "delay": { "bound_s": -1.0 } }"#).expect("config written");
+    let out = tracecat()
+        .args(["assert", "--config"])
+        .arg(&bad)
+        .arg(&trace)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("bound_s"), "{err}");
+}
+
+#[test]
+fn fleet_rejects_bad_assertion_blocks_in_the_spec() {
+    let dir = std::env::temp_dir().join("dvsdpm-cli-assert-spec");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let cases: &[(&str, &str)] = &[
+        (
+            r#"{ "delay": { "bound_s": 0.2, "slack": 2 } }"#,
+            "unknown key `slack`",
+        ),
+        (
+            r#"{ "delay": { "bound_s": 0.2, "tolerance": -0.5 } }"#,
+            "tolerance must be finite and >= 0",
+        ),
+        (
+            r#"{ "oscillation": { "max_switches": 0, "window_s": 1.0 } }"#,
+            "max_switches must be >= 1",
+        ),
+    ];
+    for (i, (block, want)) in cases.iter().enumerate() {
+        let spec = dir.join(format!("bad_{i}.json"));
+        std::fs::write(
+            &spec,
+            format!(
+                r#"{{ "devices": 1, "workloads": ["mp3:A"],
+                     "policies": [{{ "governor": "max", "dpm": "none" }}],
+                     "assertions": {block} }}"#
+            ),
+        )
+        .expect("spec written");
+        let out = dvsdpm()
+            .args(["fleet", "--spec"])
+            .arg(&spec)
+            .output()
+            .expect("binary runs");
+        assert!(!out.status.success(), "bad block {block} must be rejected");
+        let err = String::from_utf8(out.stderr).expect("utf8");
+        assert!(err.contains(want), "{block}: got {err:?}, want {want:?}");
+    }
+}
+
+#[test]
 fn tracecat_check_verifies_and_rejects_reports() {
     let dir = std::env::temp_dir().join("dvsdpm-cli-tracecat-check");
     std::fs::create_dir_all(&dir).expect("temp dir");
